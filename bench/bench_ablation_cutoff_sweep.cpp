@@ -1,0 +1,45 @@
+// CUTOFF-ratio sweep ablation (§IV-E): the paper picks 15% as "the
+// average contribution by one device when considering all the devices are
+// the same" (100/7). This sweep shows how the chosen ratio trades device
+// utilization against the cost of keeping weak contributors.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "support/harness.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("full");
+  const auto devices = rt.all_devices();
+  const double ratios[] = {0.0, 0.05, 0.10, 0.1429, 0.15, 0.20, 0.30};
+
+  std::printf("CUTOFF-ratio sweep, MODEL_2_AUTO on 7 devices\n"
+              "(100/7 = 14.29%% is the paper's equal-contribution point)\n\n");
+  for (const auto& name : kern::all_kernel_names()) {
+    const long long n = kern::paper_size(name);
+    auto c = kern::make_case(name, n, false);
+    std::printf("--- %s ---\n", bench::kernel_label(name, n).c_str());
+    TextTable t({"cutoff %", "time (ms)", "devices kept",
+                 "speedup vs no cutoff"});
+    double base = 0.0;
+    for (double r : ratios) {
+      bench::PolicyRun p{sched::AlgorithmKind::kModel2Auto, r,
+                         "MODEL_2_AUTO"};
+      const auto res = bench::run_policy(rt, *c, devices, p);
+      if (r == 0.0) base = res.total_time;
+      const int kept =
+          res.has_cutoff ? res.cutoff.num_selected
+                         : static_cast<int>(devices.size());
+      t.row()
+          .cell(r * 100.0, 2)
+          .cell(res.total_time * 1e3, 3)
+          .cell(static_cast<long long>(kept))
+          .cell(base / res.total_time, 2);
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Within-device (teams) distribution ablation — the dist_schedule(teams:)
+// level of the HOMP extension. Two effects the device model captures:
+//
+//  1. quantization: a kernel whose iterations cannot be split internally
+//     wastes units when chunks are smaller than the unit count — which
+//     penalizes fine-grained dynamic chunking on wide devices;
+//  2. skew: under iteration-dependent work, teams BLOCK's critical path
+//     is the heaviest contiguous subrange, teams CYCLIC averages it out.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "support/harness.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  const auto devices = rt.accelerators();
+
+  // --- 1. quantization vs chunk size -----------------------------------
+  std::printf("teams quantization: indivisible iterations on 15-SM K40s\n");
+  {
+    TextTable t({"dynamic chunk %", "divisible (ms)", "indivisible (ms)",
+                 "waste factor"});
+    for (double frac : {0.005, 0.02, 0.10, 0.50}) {
+      double times[2];
+      for (int divisible = 1; divisible >= 0; --divisible) {
+        rt::LoopKernel k;
+        k.name = "teams-quant";
+        k.iterations = dist::Range::of_size(2000);
+        k.cost.flops_per_iter = 1e7;
+        k.cost.mem_bytes_per_iter = 64.0;
+        k.cost.transfer_bytes_per_iter = 64.0;
+        k.cost.divisible_iterations = divisible != 0;
+        auto c = kern::make_case("axpy", 2000, false);  // storage shape
+        auto maps = c->maps();
+        rt::OffloadOptions o;
+        o.device_ids = devices;
+        o.sched.kind = sched::AlgorithmKind::kDynamic;
+        o.sched.dynamic_chunk_fraction = frac;
+        o.execute_bodies = false;
+        times[divisible] = rt.offload(k, maps, o).total_time;
+      }
+      t.row()
+          .cell(frac * 100.0, 1)
+          .cell(times[1] * 1e3, 3)
+          .cell(times[0] * 1e3, 3)
+          .cell(times[0] / times[1], 2);
+    }
+    t.print(std::cout);
+  }
+
+  // --- 2. skewed work: teams BLOCK vs CYCLIC ---------------------------
+  std::printf("\nteams policy under skewed per-iteration work "
+              "(triangular workload)\n");
+  {
+    TextTable t({"teams policy", "time (ms)"});
+    for (auto pol : {dist::PolicyKind::kBlock, dist::PolicyKind::kCyclic}) {
+      rt::LoopKernel k;
+      k.name = "teams-skew";
+      k.iterations = dist::Range::of_size(30'000);
+      k.cost.flops_per_iter = 1e6;
+      k.cost.mem_bytes_per_iter = 64.0;
+      k.cost.transfer_bytes_per_iter = 64.0;
+      k.work_factor = [](const dist::Range& r) {
+        const double mid = 0.5 * static_cast<double>(r.lo + r.hi);
+        return 0.05 + mid / 30'000.0;
+      };
+      auto c = kern::make_case("axpy", 30'000, false);
+      auto maps = c->maps();
+      rt::OffloadOptions o;
+      o.device_ids = devices;
+      o.sched.kind = sched::AlgorithmKind::kBlock;
+      o.teams_policy = pol;
+      o.execute_bodies = false;
+      t.row()
+          .cell(pol == dist::PolicyKind::kBlock ? "BLOCK" : "CYCLIC")
+          .cell(rt.offload(k, maps, o).total_time * 1e3, 3);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

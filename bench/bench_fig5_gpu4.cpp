@@ -1,0 +1,50 @@
+// Figure 5: Offloading Execution Time (ms) on 2 K80 GPUs (= 4 K40) Using
+// Different Loop Distribution Policies.
+//
+// Expected shape (paper §VI-A): BLOCK best for the compute-intensive
+// kernels (matmul, stencil2d, bm2d); SCHED_DYNAMIC best for the
+// data-intensive ones (axpy, matvec, sum) thanks to transfer/compute
+// overlap across chunks.
+
+#include <cstdio>
+
+#include "support/harness.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  // Figure 5 uses the four K40s only (devices 1-4); the host stages data.
+  bench::print_time_grid(
+      rt, rt.accelerators(),
+      "Figure 5 — offloading execution time on 4x K40 (2x K80 cards)");
+
+  // Shape check for the harness output (§VI-A text).
+  auto policies = bench::seven_policies();
+  const auto& block = policies[0];
+  const auto& dynamic = policies[1];
+  int ok = 0, checked = 0;
+  for (const auto& [name, dyn_wins] :
+       std::initializer_list<std::pair<const char*, bool>>{
+           {"axpy", true},
+           {"matvec", true},
+           {"sum", true},
+           {"matmul", false},
+           {"stencil2d", false},
+           {"bm2d", false}}) {
+    auto c = kern::make_case(name, kern::paper_size(name), false);
+    const double tb =
+        bench::run_policy(rt, *c, rt.accelerators(), block).total_time;
+    const double td =
+        bench::run_policy(rt, *c, rt.accelerators(), dynamic).total_time;
+    ++checked;
+    const bool got = td < tb;
+    if (got == dyn_wins) ++ok;
+    std::printf("  %-12s %s wins (paper: %s expected)%s\n", name,
+                got ? "SCHED_DYNAMIC" : "BLOCK",
+                dyn_wins ? "SCHED_DYNAMIC" : "BLOCK",
+                got == dyn_wins ? "" : "  << MISMATCH");
+  }
+  std::printf("shape agreement with paper Fig. 5: %d/%d kernels\n", ok,
+              checked);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 8: Offloading Execution Time (ms) on 2 CPUs and 2 MICs Using
+// Different Loop Distribution Policies — true hybrid offloading: the host
+// computes through shared memory (no transfers) while the MICs pay LEO
+// offload overheads.
+//
+// Expected shape (§VI-B): MODEL_1_AUTO effective for the
+// compute-intensive kernels (matmul, bm2d, stencil2d); SCHED_DYNAMIC a
+// good option for the rest. Barrier overheads 2-8% per device.
+
+#include <cstdio>
+
+#include "support/harness.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("cpu-mic");
+  bench::print_time_grid(
+      rt, rt.all_devices(),
+      "Figure 8 — offloading execution time on 2x CPU (one host device) + "
+      "2x Xeon Phi");
+
+  // Barrier-overhead summary the paper quotes for this machine.
+  double lo = 100.0, hi = 0.0;
+  for (const auto& name : kern::all_kernel_names()) {
+    auto c = kern::make_case(name, kern::paper_size(name), false);
+    for (const auto& p : bench::seven_policies()) {
+      const auto res = bench::run_policy(rt, *c, rt.all_devices(), p);
+      const double barrier =
+          res.phase_fraction(rt::Phase::kBarrier) * 100.0;
+      lo = std::min(lo, barrier);
+      hi = std::max(hi, barrier);
+    }
+  }
+  std::printf("\nbarrier overhead range across kernels/policies: "
+              "%.1f%% .. %.1f%% of device time (paper: ~2-8%%)\n",
+              lo, hi);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 9: Offloading Execution Time (ms) on 2 CPUs, 2 K80 GPUs and
+// 2 MICs Using Different Loop Distribution Policies and Using
+// CUTOFF_RATIO(15%).
+//
+// Expected shape (§VI-C): with strongly heterogeneous devices
+// SCHED_DYNAMIC yields decent performance for most kernels, and the final
+// column (minimum time with the 15% CUTOFF applied) improves on the
+// no-cutoff times for most kernels by dropping weak contributors.
+
+#include "support/harness.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("full");
+  bench::print_time_grid(
+      rt, rt.all_devices(),
+      "Figure 9 — offloading execution time on 2x CPU + 4x K40 + 2x Phi",
+      /*cutoff_column=*/true);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) of the runtime's building blocks:
+// pragma parsing, device-clause resolution, distribution computation,
+// scheduler stepping, the DES engine, and whole simulated offloads.
+// These measure *host* cost of the runtime machinery itself — the
+// overhead a real HOMP deployment would add per offload.
+
+#include <benchmark/benchmark.h>
+
+#include "dist/distribution.h"
+#include "kernels/case.h"
+#include "machine/profiles.h"
+#include "pragma/parse.h"
+#include "runtime/runtime.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace homp;
+
+void BM_PragmaParseTarget(benchmark::State& state) {
+  const std::string text =
+      "#pragma omp parallel target device(0:*) "
+      "map(tofrom: y[0:n] partition([ALIGN(loop)])) "
+      "map(to: x[0:n] partition([ALIGN(loop)]), a, n) "
+      "distribute dist_schedule(target:[AUTO])";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pragma::parse_directive(text));
+  }
+}
+BENCHMARK(BM_PragmaParseTarget);
+
+void BM_DeviceClauseResolve(benchmark::State& state) {
+  auto m = mach::builtin("full");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pragma::resolve_device_clause("0:2, 4:2", m));
+  }
+}
+BENCHMARK(BM_DeviceClauseResolve);
+
+void BM_DistributionByWeights(benchmark::State& state) {
+  const std::vector<double> w = {0.3, 0.25, 0.2, 0.1, 0.08, 0.05, 0.02};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::Distribution::by_weights(dist::Range(0, 1 << 20), w));
+  }
+}
+BENCHMARK(BM_DistributionByWeights);
+
+void BM_SchedulerDynamicDrain(benchmark::State& state) {
+  sched::LoopContext ctx;
+  ctx.loop = dist::Range::of_size(state.range(0));
+  ctx.devices.resize(7);
+  for (auto& d : ctx.devices) {
+    d.peak_flops = 1e12;
+    d.peak_membw_Bps = 1e11;
+  }
+  sched::SchedulerConfig cfg;
+  cfg.kind = sched::AlgorithmKind::kDynamic;
+  for (auto _ : state) {
+    auto s = make_scheduler(cfg, ctx);
+    int slot = 0;
+    while (auto c = s->next_chunk(slot)) {
+      benchmark::DoNotOptimize(*c);
+      slot = (slot + 1) % 7;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 50);  // 50 chunks at 2%
+}
+BENCHMARK(BM_SchedulerDynamicDrain)->Arg(1 << 20);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      e.schedule_at(static_cast<double>(i), [&fired] { ++fired; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_SimulatedOffload(benchmark::State& state) {
+  auto rt = rt::Runtime::from_builtin("full");
+  auto c = kern::make_case("matvec", 48'000, /*materialize=*/false);
+  const auto devices = rt.all_devices();
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = static_cast<sched::AlgorithmKind>(state.range(0));
+  o.execute_bodies = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.offload(kernel, maps, o));
+  }
+}
+BENCHMARK(BM_SimulatedOffload)
+    ->DenseRange(0, sched::kNumAlgorithms - 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RealOffloadAxpy(benchmark::State& state) {
+  // With bodies executed and real copies: the full data path.
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("axpy", state.range(0), /*materialize=*/true);
+  const auto devices = rt.accelerators();
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = sched::AlgorithmKind::kDynamic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.offload(kernel, maps, o));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 24);
+}
+BENCHMARK(BM_RealOffloadAxpy)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table IV: Benchmark Characteristics — MemComp and DataComp of the six
+// kernels, computed from our kernel definitions next to the paper's
+// stated values.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "model/heuristic.h"
+#include "support/harness.h"
+
+int main() {
+  using namespace homp;
+  std::printf("Table IV — benchmark characteristics (REAL elements per "
+              "FLOP)\n\n");
+  TextTable t({"kernel", "MemComp (ours)", "MemComp (paper)",
+               "DataComp (ours)", "DataComp (paper)", "class"});
+  struct Row {
+    const char* name;
+    const char* paper_mem;
+    const char* paper_data;
+  };
+  const Row rows[] = {
+      {"axpy", "1.5", "1.5"},
+      {"matvec", "1 + 0.5/N", "0.5 + 1/N"},
+      {"matmul", "1.5/N", "1.5/N"},
+      {"stencil2d", "0.5", "1/13"},
+      {"sum", "1", "1"},
+      {"bm2d", "0.5", "0.06"},
+  };
+  for (const auto& r : rows) {
+    const long long n = kern::paper_size(r.name);
+    auto c = kern::make_case(r.name, n, false);
+    const auto cost = c->kernel().cost;
+    t.row()
+        .cell(bench::kernel_label(r.name, n))
+        .cell(cost.mem_comp(), 4)
+        .cell(r.paper_mem)
+        .cell(cost.data_comp(), 4)
+        .cell(r.paper_data)
+        .cell(to_string(model::classify(cost)));
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nnote: bm2d's DataComp depends on the search-window accounting;\n"
+      "ours counts the exact per-band transfer (cur + ref with halo +\n"
+      "outputs) for a 16px block, +-8px search. The class column drives\n"
+      "the §IV-D algorithm-selection heuristic.\n");
+  return 0;
+}

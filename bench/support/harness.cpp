@@ -1,0 +1,109 @@
+#include "support/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+
+namespace homp::bench {
+
+std::vector<PolicyRun> seven_policies(double cutoff) {
+  std::vector<PolicyRun> out;
+  for (int a = 0; a < sched::kNumAlgorithms; ++a) {
+    const auto kind = sched::all_algorithms()[a];
+    PolicyRun p;
+    p.kind = kind;
+    p.cutoff = sched::algorithm_info(kind).supports_cutoff ? cutoff : 0.0;
+    switch (kind) {
+      case sched::AlgorithmKind::kBlock:
+        p.label = "BLOCK";
+        break;
+      case sched::AlgorithmKind::kDynamic:
+        p.label = "SCHED_DYNAMIC,2%";
+        break;
+      case sched::AlgorithmKind::kGuided:
+        p.label = "SCHED_GUIDED,20%";
+        break;
+      case sched::AlgorithmKind::kModel1Auto:
+        p.label = "MODEL_1_AUTO";
+        break;
+      case sched::AlgorithmKind::kModel2Auto:
+        p.label = "MODEL_2_AUTO";
+        break;
+      case sched::AlgorithmKind::kSchedProfileAuto:
+        p.label = "SCHED_PROFILE_AUTO,10%";
+        break;
+      case sched::AlgorithmKind::kModelProfileAuto:
+        p.label = "MODEL_PROFILE_AUTO,10%";
+        break;
+      default:
+        // Extension algorithms never appear in seven_policies().
+        p.label = to_string(kind);
+        break;
+    }
+    if (p.cutoff > 0.0) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, ",%g%%", p.cutoff * 100.0);
+      p.label += buf;
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::string kernel_label(const std::string& name, long long n) {
+  if (n % 1'000'000 == 0) return name + "-" + std::to_string(n / 1'000'000) + "M";
+  if (n % 1'000 == 0) return name + "-" + std::to_string(n / 1'000) + "k";
+  return name + "-" + std::to_string(n);
+}
+
+rt::OffloadResult run_policy(const rt::Runtime& rt, const kern::KernelCase& c,
+                             const std::vector<int>& devices,
+                             const PolicyRun& policy, bool unified_memory,
+                             std::uint64_t seed) {
+  rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = policy.kind;
+  o.sched.cutoff_ratio = policy.cutoff;
+  o.execute_bodies = false;
+  o.use_unified_memory = unified_memory;
+  o.noise_seed = seed;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  return rt.offload(kernel, maps, o);
+}
+
+void print_time_grid(const rt::Runtime& rt, const std::vector<int>& devices,
+                     const std::string& title, bool cutoff_column) {
+  std::printf("%s\n", title.c_str());
+  std::printf("(offloading execution time in ms; %zu devices)\n\n",
+              devices.size());
+  auto policies = seven_policies(0.0);
+  std::vector<std::string> header{"kernel"};
+  for (const auto& p : policies) header.push_back(p.label);
+  if (cutoff_column) header.push_back("min w/ CUTOFF,15%");
+  TextTable t(header);
+
+  for (const auto& name : kern::all_kernel_names()) {
+    const long long n = kern::paper_size(name);
+    auto c = kern::make_case(name, n, /*materialize=*/false);
+    t.row().cell(kernel_label(name, n));
+    for (const auto& p : policies) {
+      const auto res = run_policy(rt, *c, devices, p);
+      t.cell(res.total_time * 1e3, 3);
+    }
+    if (cutoff_column) {
+      double best = 1e300;
+      for (const auto& p : seven_policies(0.15)) {
+        if (p.cutoff == 0.0) continue;  // chunk schedulers have no cutoff
+        const auto res = run_policy(rt, *c, devices, p);
+        best = std::min(best, res.total_time);
+      }
+      t.cell(best * 1e3, 3);
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace homp::bench

@@ -1,0 +1,50 @@
+#ifndef HOMP_BENCH_SUPPORT_HARNESS_H
+#define HOMP_BENCH_SUPPORT_HARNESS_H
+
+/// \file harness.h
+/// Shared helpers for the table/figure reproduction binaries. Each bench
+/// prints the same rows/series the paper reports (DESIGN.md §4); absolute
+/// milliseconds come from the calibrated virtual-time simulation, so the
+/// *shape* (who wins, by what factor) is the claim, not the numbers.
+
+#include <string>
+#include <vector>
+
+#include "kernels/case.h"
+#include "runtime/runtime.h"
+
+namespace homp::bench {
+
+/// One scheduling policy as the paper's figures label it.
+struct PolicyRun {
+  sched::AlgorithmKind kind;
+  double cutoff = 0.0;
+  std::string label;  ///< e.g. "SCHED_DYNAMIC,2%"
+};
+
+/// The seven Table II policies with the paper's tuning (2% dynamic chunks,
+/// 20% guided, 10% profiling samples). `cutoff` is applied to the four
+/// algorithms that support it (Table II note), 0 to the rest.
+std::vector<PolicyRun> seven_policies(double cutoff = 0.0);
+
+/// "matmul-6144"-style label.
+std::string kernel_label(const std::string& name, long long n);
+
+/// Offload `c` across `devices` under `policy` (pure simulation — bodies
+/// are not executed; benches run at paper scale).
+rt::OffloadResult run_policy(const rt::Runtime& rt, const kern::KernelCase& c,
+                             const std::vector<int>& devices,
+                             const PolicyRun& policy,
+                             bool unified_memory = false,
+                             std::uint64_t seed = 42);
+
+/// Execution-time grid: one row per kernel (at its Table V size), one
+/// column per policy, in milliseconds — the shape of Figures 5, 8 and 9.
+/// When `cutoff_column` is true, a final column reports the minimum time
+/// across policies with the 15% CUTOFF applied (Figure 9's extra bar).
+void print_time_grid(const rt::Runtime& rt, const std::vector<int>& devices,
+                     const std::string& title, bool cutoff_column = false);
+
+}  // namespace homp::bench
+
+#endif  // HOMP_BENCH_SUPPORT_HARNESS_H

@@ -1,0 +1,78 @@
+// Adaptive mapping with throughput history (the HISTORY_AUTO extension —
+// Qilin-style, the paper's stated future work): repeated offloads of the
+// same kernels converge to near-oracle splits, and the learned model can
+// be saved and reloaded across "runs".
+//
+// Build & run:   ./examples/adaptive
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "kernels/case.h"
+#include "runtime/runtime.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("full");
+  auto rt_oracle = rt::Runtime::from_builtin("full");  // keeps rt's history clean
+  const auto devices = rt.all_devices();
+  std::printf("Adaptive (history-based) mapping on the full machine\n\n");
+
+  TextTable t({"kernel", "1st (model fallback)", "2nd", "3rd",
+               "oracle best of 7"});
+  for (const auto& name : kern::all_kernel_names()) {
+    const long long n = kern::paper_size(name);
+    auto c = kern::make_case(name, n, /*materialize=*/false);
+    auto maps = c->maps();
+    auto kernel = c->kernel();
+
+    // Oracle: best of the paper's seven algorithms.
+    double oracle = 1e300;
+    for (int a = 0; a < sched::kNumAlgorithms; ++a) {
+      rt::OffloadOptions o;
+      o.device_ids = devices;
+      o.sched.kind = sched::all_algorithms()[a];
+      o.execute_bodies = false;
+      oracle =
+          std::min(oracle, rt_oracle.offload(kernel, maps, o).total_time);
+    }
+
+    double runs[3];
+    for (double& ti : runs) {
+      rt::OffloadOptions o;
+      o.device_ids = devices;
+      o.sched.kind = sched::AlgorithmKind::kHistoryAuto;
+      o.execute_bodies = false;
+      ti = rt.offload(kernel, maps, o).total_time;
+    }
+    t.row().cell(name);
+    for (double ti : runs) t.cell(ti * 1e3, 3);
+    t.cell(oracle * 1e3, 3);
+  }
+  std::puts(t.to_string().c_str());
+
+  // Persist the learned model, reload it into a fresh runtime, and show
+  // the first offload there starts warm.
+  const std::string path = "/tmp/homp_adaptive_history.tsv";
+  rt.history().save_file(path);
+  auto rt2 = rt::Runtime::from_builtin("full");
+  rt2.history().load_file(path);
+  std::printf("saved %zu learned (kernel, device) rates to %s and "
+              "reloaded them into a fresh runtime\n",
+              rt.history().size(), path.c_str());
+
+  auto c = kern::make_case("axpy", kern::paper_size("axpy"), false);
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = sched::AlgorithmKind::kHistoryAuto;
+  o.execute_bodies = false;
+  auto res = rt2.offload(kernel, maps, o);
+  std::printf("fresh runtime, warm history: axpy in %s (vs cold-model "
+              "first run above)\n",
+              format_seconds(res.total_time).c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Algorithm auto-selection end-to-end (§IV-D / §VI-D): for every Table IV
+// kernel on every machine, run all seven algorithms, then compare the
+// heuristic's pick (what dist_schedule(target:[AUTO]) resolves to) against
+// the measured oracle best.
+//
+// Build & run:   ./examples/autotune
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "kernels/case.h"
+#include "runtime/runtime.h"
+#include "sched/selector.h"
+
+int main() {
+  using namespace homp;
+  int agree = 0, within10 = 0, total = 0;
+
+  for (const std::string machine : {"gpu4", "cpu-mic", "full"}) {
+    auto rt = rt::Runtime::from_builtin(machine);
+    std::printf("=== machine %s ===\n", machine.c_str());
+    TextTable t({"kernel", "heuristic pick", "oracle best", "pick time",
+                 "best time", "penalty %"});
+    for (const auto& name : kern::all_kernel_names()) {
+      auto c = kern::make_case(name, kern::paper_size(name), false);
+      auto kernel = c->kernel();
+      auto maps = c->maps();
+
+      double best_time = 1e300;
+      sched::AlgorithmKind best = sched::AlgorithmKind::kBlock;
+      double times[sched::kNumAlgorithms];
+      for (int a = 0; a < sched::kNumAlgorithms; ++a) {
+        const auto kind = sched::all_algorithms()[a];
+        rt::OffloadOptions o;
+        o.device_ids = rt.all_devices();
+        o.sched.kind = kind;
+        o.execute_bodies = false;
+        times[a] = rt.offload(kernel, maps, o).total_time;
+        if (times[a] < best_time) {
+          best_time = times[a];
+          best = kind;
+        }
+      }
+
+      rt::OffloadOptions o;
+      o.device_ids = rt.all_devices();
+      o.auto_select_algorithm = true;
+      o.execute_bodies = false;
+      auto picked = rt.offload(kernel, maps, o);
+      const double penalty =
+          (picked.total_time - best_time) / best_time * 100.0;
+
+      ++total;
+      if (picked.algorithm_used == best) ++agree;
+      if (penalty <= 10.0) ++within10;
+      t.row()
+          .cell(name)
+          .cell(to_string(picked.algorithm_used))
+          .cell(to_string(best))
+          .cell(format_seconds(picked.total_time))
+          .cell(format_seconds(best_time))
+          .cell(penalty, 1);
+    }
+    std::puts(t.to_string().c_str());
+  }
+  std::printf("heuristic == oracle on %d/%d cases; within 10%% of oracle on "
+              "%d/%d\n",
+              agree, total, within10, total);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The mini-compiler path end-to-end: kernels written as annotated C-like
+// source (the paper's Fig. 2 shape), compiled at runtime — pragmas parsed,
+// loop body outlined into an interpreted multi-target kernel, and the
+// cost profile the analytical models need derived by static analysis
+// ("through compiler analysis", §IV-B2).
+//
+// Build & run:   ./examples/source_kernels
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "lang/compile.h"
+#include "memory/host_array.h"
+#include "runtime/runtime.h"
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("full");
+  constexpr long long kN = 100'000;
+
+  auto x = mem::HostArray<double>::vector(kN);
+  auto y = mem::HostArray<double>::vector(kN);
+  auto a_mat = mem::HostArray<double>::matrix(512, 512);
+  auto v_in = mem::HostArray<double>::vector(512);
+  auto v_out = mem::HostArray<double>::vector(512);
+  x.fill_with_index([](long long i) { return static_cast<double>(i % 17); });
+  y.fill(1.0);
+  a_mat.fill_with_indices([](long long i, long long j) {
+    return static_cast<double>((i + j) % 5) * 0.25;
+  });
+  v_in.fill_with_index([](long long j) { return 0.5 + (j % 3); });
+
+  pragma::Bindings b;
+  b.bind("x", x);
+  b.bind("y", y);
+  b.bind("A", a_mat);
+  b.bind("v", v_in);
+  b.bind("w", v_out);
+  b.let("n", kN);
+  b.let("rows", 512);
+  b.let("cols", 512);
+  lang::Scalars consts;
+  consts.let("a", 3.0);
+
+  struct Source {
+    const char* name;
+    const char* text;
+  };
+  const Source sources[] = {
+      {"axpy",
+       R"(#pragma omp parallel target device(0:*) \
+    map(tofrom: y[0:n] partition([ALIGN(loop)])) \
+    map(to: x[0:n] partition([ALIGN(loop)]), a, n)
+#pragma omp parallel for distribute dist_schedule(target:[AUTO])
+for (i = 0; i < n; i++)
+  y[i] = y[i] + a * x[i];
+)"},
+      {"matvec",
+       R"(#pragma omp parallel target device(0:*) \
+    map(to: A[0:rows][0:cols] partition([ALIGN(loop)], FULL), v[0:cols]) \
+    map(from: w[0:rows] partition([ALIGN(loop)]))
+#pragma omp parallel for distribute dist_schedule(target:[AUTO])
+for (i = 0; i < rows; i++) {
+  acc = 0;
+  for (j = 0; j < cols; j++)
+    acc += A[i][j] * v[j];
+  w[i] = acc;
+}
+)"},
+  };
+
+  TextTable t({"kernel", "flops/iter (analysis)", "bytes/iter (analysis)",
+               "algorithm picked", "time", "verified"});
+  for (const auto& src : sources) {
+    auto compiled =
+        lang::compile_kernel(src.text, b, consts, rt.machine(), src.name);
+    auto res =
+        rt.offload(compiled.kernel, compiled.maps, compiled.options);
+
+    bool ok = true;
+    if (std::string(src.name) == "axpy") {
+      for (long long i = 0; i < kN && ok; ++i) {
+        ok = y(i) == 1.0 + 3.0 * (i % 17);
+      }
+    } else {
+      for (long long i = 0; i < 512 && ok; ++i) {
+        double expect = 0.0;
+        for (long long j = 0; j < 512; ++j) expect += a_mat(i, j) * v_in(j);
+        ok = std::abs(v_out(i) - expect) < 1e-9;
+      }
+    }
+    t.row()
+        .cell(src.name)
+        .cell(compiled.kernel.cost.flops_per_iter, 1)
+        .cell(compiled.kernel.cost.mem_bytes_per_iter, 1)
+        .cell(to_string(res.algorithm_used))
+        .cell(format_seconds(res.total_time))
+        .cell(ok ? "yes" : "NO");
+  }
+  std::puts(t.to_string().c_str());
+  std::printf("both kernels were compiled from the source text above at "
+              "runtime;\nno hand-written cost profiles or bodies were "
+              "involved.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#ifndef HOMP_CAPI_HOMP_H
+#define HOMP_CAPI_HOMP_H
+
+/// \file homp.h
+/// C-style API shim over the HOMP runtime, mirroring the flavour of the
+/// original `homp` C library the paper releases (github.com/passlab/homp:
+/// homp_init / omp_offloading_* entry points). Kernels remain C++
+/// callables — the paper outlines loop bodies into functions with the
+/// same shape — but everything else (handles, error codes, string-based
+/// directives) is plain C style, so bindings and C callers can drive the
+/// runtime.
+///
+/// All functions return HOMP_OK (0) or a negative error code;
+/// homp_last_error() describes the most recent failure on the calling
+/// thread.
+
+#include <cstddef>
+
+namespace homp::capi {
+
+using homp_runtime_t = struct homp_runtime_opaque*;
+using homp_array_t = struct homp_array_opaque*;
+
+inline constexpr int HOMP_OK = 0;
+inline constexpr int HOMP_ERR_INVALID = -1;   ///< bad arguments / config
+inline constexpr int HOMP_ERR_PARSE = -2;     ///< malformed directive
+inline constexpr int HOMP_ERR_EXEC = -3;      ///< execution failure
+inline constexpr int HOMP_ERR_NOMEM = -4;
+
+/// Kernel body: compute [lo, hi) against the named arrays; `ctx` is the
+/// user pointer given to homp_offload. Return the chunk's partial
+/// reduction value (0 if none).
+using homp_kernel_fn = double (*)(long long lo, long long hi, void* ctx);
+
+/// Per-element accessor handle the kernel obtains via homp_view.
+struct homp_view_t {
+  double* base;        ///< local storage
+  long long lo0, hi0;  ///< covered global range, dim 0
+  long long lo1, hi1;  ///< dim 1 (hi1 = 0 for rank-1)
+  long long stride0;   ///< elements per dim-0 step in local storage
+};
+
+/// Description of the most recent error on this thread ("" if none).
+const char* homp_last_error();
+
+// ---- runtime lifecycle ----
+
+/// Create a runtime from a built-in machine name ("full", "gpu4",
+/// "cpu-mic", "host-only") or a machine-description file path.
+int homp_init(const char* machine, homp_runtime_t* out);
+int homp_fini(homp_runtime_t rt);
+
+int homp_num_devices(homp_runtime_t rt);
+
+// ---- array registration ----
+
+/// Register a dense double array (rank 1 or 2; n1 = 0 for rank 1) under
+/// `name` for use in directives.
+int homp_register_array(homp_runtime_t rt, const char* name, double* data,
+                        long long n0, long long n1);
+/// Bind an integer symbol for array-section bounds (the n in x[0:n]).
+int homp_let(homp_runtime_t rt, const char* name, long long value);
+
+// ---- offloading ----
+
+struct homp_kernel_desc {
+  const char* name;             ///< kernel label (history key)
+  long long iterations;         ///< loop trip count
+  double flops_per_iter;
+  double mem_bytes_per_iter;
+  double transfer_bytes_per_iter;
+  int has_reduction;            ///< 0/1
+  homp_kernel_fn body;          ///< may be null for simulation-only runs
+  void* ctx;                    ///< passed to body
+  int execute_bodies;           ///< 0: pure simulation
+};
+
+struct homp_result {
+  double total_time_s;
+  double reduction;
+  long long chunks;
+  double imbalance_percent;
+};
+
+/// Offload per a HOMP directive string (§III syntax), e.g.
+///   "parallel target device(0:*) map(tofrom: y[0:n]
+///    partition([ALIGN(loop)])) map(to: x[0:n] partition([ALIGN(loop)]))
+///    distribute dist_schedule(target:[AUTO])"
+int homp_offload(homp_runtime_t rt, const char* directive,
+                 const homp_kernel_desc* kernel, homp_result* out);
+
+/// Fetch a view of a mapped array inside a kernel body. Valid only
+/// during the body invocation that received `ctx`.
+int homp_view(const char* array_name, homp_view_t* out);
+
+}  // namespace homp::capi
+
+#endif  // HOMP_CAPI_HOMP_H

@@ -1,0 +1,20 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace homp::detail {
+
+void throw_config_error(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw ConfigError(msg + " [" + expr + " failed at " + file + ":" +
+                    std::to_string(line) + "]");
+}
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "HOMP internal assertion failed: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace homp::detail

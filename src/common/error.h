@@ -1,0 +1,75 @@
+#ifndef HOMP_COMMON_ERROR_H
+#define HOMP_COMMON_ERROR_H
+
+/// \file error.h
+/// Error types and contract-check macros used across the HOMP library.
+///
+/// HOMP is a runtime library: user mistakes (bad pragma syntax, inconsistent
+/// distributions, out-of-range device ids) are reported as exceptions derived
+/// from homp::Error so applications can recover or print diagnostics.
+/// Internal invariant violations abort via HOMP_ASSERT in debug builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace homp {
+
+/// Base class for all errors raised by the HOMP runtime.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed HOMP directive string (lexical or syntactic).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : Error(what + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  /// Byte offset into the directive string where the error was detected.
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Semantically invalid configuration: unknown device, inconsistent
+/// distribution, alignment cycle, map of an unmapped symbol, ...
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Failure inside an offload execution (kernel raised, buffer mismatch).
+class ExecutionError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_config_error(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace homp
+
+/// Validate a user-facing precondition; throws homp::ConfigError on failure.
+#define HOMP_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::homp::detail::throw_config_error(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant; aborts with a message. Enabled in all build types:
+/// the simulator must never silently produce wrong schedules.
+#define HOMP_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::homp::detail::assert_fail(#expr, __FILE__, __LINE__);      \
+    }                                                              \
+  } while (false)
+
+#endif  // HOMP_COMMON_ERROR_H

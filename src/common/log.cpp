@@ -1,0 +1,19 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace homp {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (lvl < level_) return;
+  static std::mutex mu;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[homp %s] %s\n", names[static_cast<int>(lvl)],
+               msg.c_str());
+}
+
+}  // namespace homp

@@ -1,0 +1,63 @@
+#ifndef HOMP_COMMON_LOG_H
+#define HOMP_COMMON_LOG_H
+
+/// \file log.h
+/// Minimal leveled logger. The HOMP runtime logs scheduling decisions at
+/// Debug level and unusual conditions (cutoff removals, fallback paths) at
+/// Info/Warn. Logging defaults to Warn so library users see nothing during
+/// normal operation; tests and benches raise the level explicitly.
+
+#include <sstream>
+#include <string>
+
+namespace homp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration. Not thread-safe to reconfigure while
+/// logging concurrently; set once at startup.
+class Log {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+
+  /// Emit one line at `lvl` (no-op if below the configured level).
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace homp
+
+#define HOMP_LOG(lvl)                                     \
+  if (::homp::Log::level() > ::homp::LogLevel::lvl) {     \
+  } else                                                  \
+    ::homp::detail::LogLine(::homp::LogLevel::lvl)
+
+#define HOMP_DEBUG HOMP_LOG(kDebug)
+#define HOMP_INFO HOMP_LOG(kInfo)
+#define HOMP_WARN HOMP_LOG(kWarn)
+#define HOMP_ERROR HOMP_LOG(kError)
+
+#endif  // HOMP_COMMON_LOG_H

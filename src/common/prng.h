@@ -1,0 +1,75 @@
+#ifndef HOMP_COMMON_PRNG_H
+#define HOMP_COMMON_PRNG_H
+
+/// \file prng.h
+/// Small deterministic PRNG (xoshiro256**) used for reproducible noise in
+/// the device performance model and for randomized property tests.
+/// std::mt19937 is avoided in the simulator hot path: xoshiro is faster and
+/// its state is trivially copyable, which the discrete-event engine relies
+/// on when forking per-device noise streams from one seed.
+
+#include <cstdint>
+
+namespace homp {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, adapted).
+class Prng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds give unrelated streams.
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return next_u64() % n; }
+
+  /// Approximately normal(0, 1) via sum of uniforms (Irwin-Hall, 12 terms).
+  /// Accurate enough for modelling execution-time jitter; avoids
+  /// transcendental calls in the hot path.
+  double next_gaussian() noexcept {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += next_double();
+    return acc - 6.0;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace homp
+
+#endif  // HOMP_COMMON_PRNG_H

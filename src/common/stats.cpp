@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace homp {
+
+Imbalance imbalance_of(const std::vector<double>& device_times) {
+  Imbalance im;
+  if (device_times.empty()) return im;
+  im.max_time = *std::max_element(device_times.begin(), device_times.end());
+  im.mean_time =
+      std::accumulate(device_times.begin(), device_times.end(), 0.0) /
+      static_cast<double>(device_times.size());
+  return im;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x <= 0.0) continue;
+    log_sum += std::log(x);
+    ++n;
+  }
+  return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace homp

@@ -1,0 +1,69 @@
+#ifndef HOMP_COMMON_STATS_H
+#define HOMP_COMMON_STATS_H
+
+/// \file stats.h
+/// Streaming statistics accumulators and load-imbalance metrics used by the
+/// runtime profiler (Figure 6 breakdown) and the benchmark harnesses.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace homp {
+
+/// Welford streaming mean/variance with min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Load-imbalance metrics over per-device completion times, as the paper
+/// reports in Figure 6 ("percentage of the incurred load imbalance").
+///
+/// imbalance = (max - mean) / max, in [0, 1): 0 means perfectly balanced.
+/// This matches the usual definition of the fraction of the critical-path
+/// time the average device spends idle at the barrier.
+struct Imbalance {
+  double max_time = 0.0;
+  double mean_time = 0.0;
+
+  double fraction() const noexcept {
+    return max_time > 0.0 ? (max_time - mean_time) / max_time : 0.0;
+  }
+  double percent() const noexcept { return fraction() * 100.0; }
+};
+
+/// Compute imbalance over per-device busy times. Empty input yields zeros.
+Imbalance imbalance_of(const std::vector<double>& device_times);
+
+/// Geometric mean; returns 0 for empty input, ignores non-positive entries
+/// guarded by HOMP_ASSERT upstream.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace homp
+
+#endif  // HOMP_COMMON_STATS_H

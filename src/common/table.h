@@ -1,0 +1,43 @@
+#ifndef HOMP_COMMON_TABLE_H
+#define HOMP_COMMON_TABLE_H
+
+/// \file table.h
+/// Plain-text table writer used by the benchmark harnesses to print
+/// paper-style tables (Figure 5/8/9 rows, Table IV/V) to stdout.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace homp {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Numeric helpers format with fixed precision so table output is diffable
+/// across runs of the deterministic simulator.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(const std::string& s);
+  TextTable& cell(const char* s);
+  TextTable& cell(double v, int precision = 2);
+  TextTable& cell(long long v);
+  TextTable& cell(std::size_t v);
+
+  /// Render with a header rule, column padding, and a trailing newline.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace homp
+
+#endif  // HOMP_COMMON_TABLE_H

@@ -1,0 +1,87 @@
+#include "dist/align.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace homp::dist {
+
+void AlignmentGraph::set_concrete(const std::string& name,
+                                  Distribution dist) {
+  Node n;
+  n.concrete = true;
+  n.dist = std::move(dist);
+  nodes_[name] = std::move(n);
+}
+
+void AlignmentGraph::set_aligned(const std::string& name,
+                                 const std::string& target, double ratio) {
+  HOMP_REQUIRE(ratio > 0.0, "ALIGN ratio must be positive");
+  HOMP_REQUIRE(name != target, "distribution '" + name +
+                                   "' cannot align with itself");
+  Node n;
+  n.concrete = false;
+  n.target = target;
+  n.ratio = ratio;
+  nodes_[name] = std::move(n);
+}
+
+bool AlignmentGraph::contains(const std::string& name) const {
+  return nodes_.count(name) != 0;
+}
+
+const AlignmentGraph::Node& AlignmentGraph::walk_to_root(
+    const std::string& name, double* ratio_out) const {
+  std::set<std::string> visited;
+  const std::string* cur = &name;
+  double ratio = 1.0;
+  for (;;) {
+    auto it = nodes_.find(*cur);
+    HOMP_REQUIRE(it != nodes_.end(),
+                 "ALIGN target '" + *cur + "' is not a known distribution");
+    const Node& node = it->second;
+    if (node.concrete) {
+      if (ratio_out) *ratio_out = ratio;
+      return node;
+    }
+    HOMP_REQUIRE(visited.insert(*cur).second,
+                 "alignment cycle involving '" + *cur + "'");
+    ratio *= node.ratio;
+    cur = &node.target;
+  }
+}
+
+Distribution AlignmentGraph::resolve(const std::string& name) const {
+  double ratio = 1.0;
+  const Node& root = walk_to_root(name, &ratio);
+  return ratio == 1.0 ? root.dist : root.dist.aligned(ratio);
+}
+
+std::string AlignmentGraph::root_of(const std::string& name) const {
+  std::set<std::string> visited;
+  std::string cur = name;
+  for (;;) {
+    auto it = nodes_.find(cur);
+    HOMP_REQUIRE(it != nodes_.end(),
+                 "ALIGN target '" + cur + "' is not a known distribution");
+    if (it->second.concrete) return cur;
+    HOMP_REQUIRE(visited.insert(cur).second,
+                 "alignment cycle involving '" + cur + "'");
+    cur = it->second.target;
+  }
+}
+
+double AlignmentGraph::ratio_to_root(const std::string& name) const {
+  double ratio = 1.0;
+  walk_to_root(name, &ratio);
+  return ratio;
+}
+
+std::vector<std::string> AlignmentGraph::names() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [k, v] : nodes_) out.push_back(k);
+  return out;
+}
+
+}  // namespace homp::dist

@@ -1,0 +1,66 @@
+#ifndef HOMP_DIST_ALIGN_H
+#define HOMP_DIST_ALIGN_H
+
+/// \file align.h
+/// Alignment graph between named distributions.
+///
+/// The ALIGN policy binds an array dimension (or a loop) to another
+/// distribution by name: `partition([ALIGN(loop1)])`, `dist_schedule(
+/// target:[ALIGN(x)])`. Multiple ALIGNs may chain (x aligns to loop, loop
+/// aligns to y); the paper's runtime "re-links those distributions so each
+/// aligner points to the root alignee's distribution" (§V-D). This class
+/// implements that resolution, composing ratios along the chain and
+/// rejecting cycles and dangling targets.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace homp::dist {
+
+class AlignmentGraph {
+ public:
+  /// Register a concretely computed distribution under `name` (e.g. the
+  /// BLOCK decomposition of array x, or the scheduler's loop partition).
+  /// Re-registering a name overwrites it (an offload region may rebind a
+  /// loop label on every encounter).
+  void set_concrete(const std::string& name, Distribution dist);
+
+  /// Register `name` as ALIGN(target, ratio).
+  void set_aligned(const std::string& name, const std::string& target,
+                   double ratio = 1.0);
+
+  bool contains(const std::string& name) const;
+
+  /// Resolve `name` to a concrete distribution, following ALIGN edges to
+  /// the root and composing ratios. Throws ConfigError on unknown names,
+  /// dangling targets, or alignment cycles.
+  Distribution resolve(const std::string& name) const;
+
+  /// The root alignee's name (a concrete node); `name` itself if concrete.
+  std::string root_of(const std::string& name) const;
+
+  /// Composite ratio from `name` to its root (product along the chain).
+  double ratio_to_root(const std::string& name) const;
+
+  /// All registered names, sorted (diagnostics).
+  std::vector<std::string> names() const;
+
+ private:
+  struct Node {
+    bool concrete = false;
+    Distribution dist;     // valid when concrete
+    std::string target;    // valid when !concrete
+    double ratio = 1.0;    // valid when !concrete
+  };
+
+  const Node& walk_to_root(const std::string& name, double* ratio_out) const;
+
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace homp::dist
+
+#endif  // HOMP_DIST_ALIGN_H

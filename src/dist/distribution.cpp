@@ -1,0 +1,142 @@
+#include "dist/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace homp::dist {
+
+Distribution::Distribution(Range domain, std::vector<Range> parts)
+    : domain_(domain), parts_(std::move(parts)) {
+  for (const Range& p : parts_) {
+    HOMP_REQUIRE(domain_.contains(p),
+                 "distribution part " + p.to_string() +
+                     " outside domain " + domain_.to_string());
+  }
+}
+
+Distribution Distribution::full(Range domain, std::size_t n_parts) {
+  return Distribution(domain, std::vector<Range>(n_parts, domain));
+}
+
+Distribution Distribution::block(Range domain, std::size_t n_parts) {
+  HOMP_REQUIRE(n_parts > 0, "BLOCK distribution needs at least one part");
+  const long long n = domain.size();
+  const long long base = n / static_cast<long long>(n_parts);
+  const long long remnant = n % static_cast<long long>(n_parts);
+  std::vector<Range> parts;
+  parts.reserve(n_parts);
+  long long cursor = domain.lo;
+  for (std::size_t i = 0; i < n_parts; ++i) {
+    const long long size =
+        base + (static_cast<long long>(i) < remnant ? 1 : 0);
+    parts.emplace_back(cursor, cursor + size);
+    cursor += size;
+  }
+  HOMP_ASSERT(cursor == domain.hi || domain.empty());
+  return Distribution(domain, std::move(parts));
+}
+
+Distribution Distribution::by_weights(Range domain,
+                                      const std::vector<double>& w) {
+  HOMP_REQUIRE(!w.empty(), "by_weights needs at least one weight");
+  double total = 0.0;
+  for (double x : w) {
+    HOMP_REQUIRE(x >= 0.0 && std::isfinite(x),
+                 "weights must be finite and non-negative");
+    total += x;
+  }
+  HOMP_REQUIRE(total > 0.0, "weights must not all be zero");
+
+  const long long n = domain.size();
+  std::vector<long long> sizes(w.size());
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(w.size());
+  long long assigned = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double exact = static_cast<double>(n) * w[i] / total;
+    sizes[i] = static_cast<long long>(std::floor(exact));
+    assigned += sizes[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  // Largest-remainder rounding; ties broken toward lower index for
+  // determinism.
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (long long left = n - assigned; left > 0; --left) {
+    sizes[remainders[static_cast<std::size_t>(n - assigned - left)].second]++;
+  }
+  return by_counts(domain, sizes);
+}
+
+Distribution Distribution::by_counts(Range domain,
+                                     const std::vector<long long>& counts) {
+  long long total = 0;
+  for (long long c : counts) {
+    HOMP_REQUIRE(c >= 0, "part sizes must be non-negative");
+    total += c;
+  }
+  HOMP_REQUIRE(total == domain.size(),
+               "part sizes sum to " + std::to_string(total) +
+                   " but domain has " + std::to_string(domain.size()));
+  std::vector<Range> parts;
+  parts.reserve(counts.size());
+  long long cursor = domain.lo;
+  for (long long c : counts) {
+    parts.emplace_back(cursor, cursor + c);
+    cursor += c;
+  }
+  return Distribution(domain, std::move(parts));
+}
+
+const Range& Distribution::part(std::size_t i) const {
+  HOMP_ASSERT(i < parts_.size());
+  return parts_[i];
+}
+
+Distribution Distribution::aligned(double ratio) const {
+  HOMP_REQUIRE(ratio > 0.0, "ALIGN ratio must be positive");
+  Distribution out;
+  out.domain_ = domain_.scaled(ratio);
+  out.parts_.reserve(parts_.size());
+  for (const Range& p : parts_) out.parts_.push_back(p.scaled(ratio));
+  return out;
+}
+
+Distribution Distribution::widened(long long before, long long after) const {
+  HOMP_REQUIRE(before >= 0 && after >= 0, "halo widths must be non-negative");
+  Distribution out;
+  out.domain_ = domain_;
+  out.parts_.reserve(parts_.size());
+  for (const Range& p : parts_) {
+    out.parts_.push_back(p.empty() ? p
+                                   : p.widened(before, after).clamped_to(
+                                         domain_));
+  }
+  return out;
+}
+
+bool Distribution::is_partition() const {
+  return exactly_covers(domain_, parts_);
+}
+
+bool Distribution::is_replication() const {
+  if (parts_.empty()) return false;
+  return std::all_of(parts_.begin(), parts_.end(),
+                     [&](const Range& p) { return p == domain_; });
+}
+
+std::string Distribution::to_string() const {
+  std::string s = domain_.to_string() + " -> {";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i) s += ", ";
+    s += parts_[i].to_string();
+  }
+  return s + "}";
+}
+
+}  // namespace homp::dist

@@ -1,0 +1,76 @@
+#ifndef HOMP_DIST_DISTRIBUTION_H
+#define HOMP_DIST_DISTRIBUTION_H
+
+/// \file distribution.h
+/// A Distribution is the result of applying a policy to one index range:
+/// an assignment of one contiguous subrange per participating device.
+///
+/// Multi-chunk assignments (dynamic/guided chunking, CYCLIC) are not
+/// Distributions; they are realized by the scheduler as a sequence of
+/// chunk offloads. A Distribution describes the single-shot partition used
+/// by BLOCK / ALIGN / model-based AUTO and by array decomposition.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/range.h"
+
+namespace homp::dist {
+
+class Distribution {
+ public:
+  Distribution() = default;
+
+  /// `parts[i]` is the subrange owned by participant i. Parts may be empty
+  /// (a device receiving no work) but must lie within `domain`.
+  Distribution(Range domain, std::vector<Range> parts);
+
+  /// FULL: every participant sees the whole domain (replication).
+  static Distribution full(Range domain, std::size_t n_parts);
+
+  /// BLOCK: contiguous even blocks; the first (domain.size() % n) parts get
+  /// one extra element, matching the axpy_omp_mdev remnant logic in Fig. 1.
+  static Distribution block(Range domain, std::size_t n_parts);
+
+  /// Contiguous parts proportional to non-negative weights (largest
+  /// remainder rounding; deterministic, exact cover). Used by the
+  /// model-based and profile-based AUTO schedulers.
+  static Distribution by_weights(Range domain, const std::vector<double>& w);
+
+  /// Contiguous parts with explicit sizes; sizes must sum to domain size.
+  static Distribution by_counts(Range domain,
+                                const std::vector<long long>& counts);
+
+  const Range& domain() const noexcept { return domain_; }
+  std::size_t num_parts() const noexcept { return parts_.size(); }
+  const Range& part(std::size_t i) const;
+  const std::vector<Range>& parts() const noexcept { return parts_; }
+
+  /// ALIGN(this, ratio): a new distribution whose parts (and domain) are
+  /// this one's scaled by `ratio`.
+  Distribution aligned(double ratio = 1.0) const;
+
+  /// Halo expansion: widen each part by (before, after), clamped to the
+  /// domain. The result replicates boundary elements across neighbours —
+  /// by construction no longer a partition.
+  Distribution widened(long long before, long long after) const;
+
+  /// True if the non-empty parts exactly tile the domain.
+  bool is_partition() const;
+
+  /// True if every part equals the whole domain (FULL).
+  bool is_replication() const;
+
+  bool operator==(const Distribution& o) const noexcept = default;
+
+  std::string to_string() const;
+
+ private:
+  Range domain_;
+  std::vector<Range> parts_;
+};
+
+}  // namespace homp::dist
+
+#endif  // HOMP_DIST_DISTRIBUTION_H

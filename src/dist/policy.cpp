@@ -1,0 +1,99 @@
+#include "dist/policy.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace homp::dist {
+
+const char* to_string(PolicyKind k) noexcept {
+  switch (k) {
+    case PolicyKind::kFull:
+      return "FULL";
+    case PolicyKind::kBlock:
+      return "BLOCK";
+    case PolicyKind::kAlign:
+      return "ALIGN";
+    case PolicyKind::kAuto:
+      return "AUTO";
+    case PolicyKind::kCyclic:
+      return "CYCLIC";
+  }
+  return "?";
+}
+
+std::string DimPolicy::to_string() const {
+  switch (kind) {
+    case PolicyKind::kAlign: {
+      if (align_ratio == 1.0) return "ALIGN(" + align_target + ")";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", align_ratio);
+      return "ALIGN(" + align_target + ", " + buf + ")";
+    }
+    case PolicyKind::kCyclic:
+      return "CYCLIC(" + std::to_string(cyclic_block) + ")";
+    default:
+      return dist::to_string(kind);
+  }
+}
+
+DimPolicy parse_dim_policy(const std::string& raw) {
+  const std::string s(trim(raw));
+  if (iequals(s, "FULL")) return DimPolicy::full();
+  if (iequals(s, "BLOCK")) return DimPolicy::block();
+  if (iequals(s, "AUTO")) return DimPolicy::auto_();
+
+  auto parse_call = [&](std::string_view keyword)
+      -> std::vector<std::string> {
+    // Expects "<keyword> ( args )"; returns top-level comma-split args.
+    std::string_view v(s);
+    HOMP_ASSERT(v.size() >= keyword.size());
+    v.remove_prefix(keyword.size());
+    v = trim(v);
+    if (v.empty() || v.front() != '(' || v.back() != ')') {
+      throw ParseError("expected '(' after " + std::string(keyword) +
+                           " in policy '" + s + "'",
+                       keyword.size());
+    }
+    return split_top_level(v.substr(1, v.size() - 2), ',');
+  };
+
+  if (s.size() >= 5 && iequals(s.substr(0, 5), "ALIGN")) {
+    auto args = parse_call("ALIGN");
+    if (args.empty() || args[0].empty() ||
+        (args.size() == 2 && args[1].empty()) || args.size() > 2) {
+      throw ParseError("ALIGN takes (target[, ratio]) in '" + s + "'", 0);
+    }
+    double ratio = 1.0;
+    if (args.size() == 2) {
+      try {
+        std::size_t pos = 0;
+        ratio = std::stod(args[1], &pos);
+        if (pos != args[1].size()) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        throw ParseError("ALIGN ratio is not a number: '" + args[1] + "'", 0);
+      }
+      if (ratio <= 0.0) {
+        throw ParseError("ALIGN ratio must be positive in '" + s + "'", 0);
+      }
+    }
+    return DimPolicy::align(args[0], ratio);
+  }
+
+  if (s.size() >= 6 && iequals(s.substr(0, 6), "CYCLIC")) {
+    auto args = parse_call("CYCLIC");
+    if (args.size() != 1 || args[0].empty()) {
+      throw ParseError("CYCLIC takes (block_size) in '" + s + "'", 0);
+    }
+    const long long block = parse_scaled_int(args[0]);
+    if (block <= 0) {
+      throw ParseError("CYCLIC block size must be positive in '" + s + "'", 0);
+    }
+    return DimPolicy::cyclic(block);
+  }
+
+  throw ParseError("unknown distribution policy: '" + s + "'", 0);
+}
+
+}  // namespace homp::dist

@@ -1,0 +1,60 @@
+#ifndef HOMP_DIST_POLICY_H
+#define HOMP_DIST_POLICY_H
+
+/// \file policy.h
+/// Distribution policies from the paper's Table I, applicable uniformly to
+/// array dimensions and loop iteration spaces:
+///
+///   FULL               whole range on every device (default)
+///   BLOCK              contiguous even blocks
+///   ALIGN(dist,ratio)  copy another distribution's ranges, scaled by ratio
+///   AUTO               runtime-decided (loop distribution only)
+///   CYCLIC(b)          block-cyclic (our extension; paper lists it as the
+///                      natural next policy but evaluates only the above)
+
+#include <string>
+
+namespace homp::dist {
+
+enum class PolicyKind { kFull, kBlock, kAlign, kAuto, kCyclic };
+
+const char* to_string(PolicyKind k) noexcept;
+
+/// Policy for one dimension of an array or one loop in a nest.
+struct DimPolicy {
+  PolicyKind kind = PolicyKind::kFull;
+
+  /// For kAlign: the name of the distribution to align with (an array name
+  /// or a loop label, e.g. ALIGN(loop1)).
+  std::string align_target;
+
+  /// For kAlign: index scaling factor (Table I, default 1).
+  double align_ratio = 1.0;
+
+  /// For kCyclic: block size.
+  long long cyclic_block = 1;
+
+  static DimPolicy full() { return {}; }
+  static DimPolicy block() { return {PolicyKind::kBlock, {}, 1.0, 1}; }
+  static DimPolicy auto_() { return {PolicyKind::kAuto, {}, 1.0, 1}; }
+  static DimPolicy align(std::string target, double ratio = 1.0) {
+    return {PolicyKind::kAlign, std::move(target), ratio, 1};
+  }
+  static DimPolicy cyclic(long long block) {
+    return {PolicyKind::kCyclic, {}, 1.0, block};
+  }
+
+  bool operator==(const DimPolicy& o) const noexcept = default;
+
+  /// Renders in pragma syntax: "BLOCK", "ALIGN(loop1, 2)", "CYCLIC(4)".
+  std::string to_string() const;
+};
+
+/// Parse one policy token in pragma syntax (case-insensitive keyword).
+/// Accepts: FULL | BLOCK | AUTO | ALIGN(name[,ratio]) | CYCLIC(block).
+/// Throws ParseError on malformed input (offset is relative to `s`).
+DimPolicy parse_dim_policy(const std::string& s);
+
+}  // namespace homp::dist
+
+#endif  // HOMP_DIST_POLICY_H

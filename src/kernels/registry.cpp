@@ -1,0 +1,44 @@
+#include "common/error.h"
+#include "kernels/axpy.h"
+#include "kernels/bm2d.h"
+#include "kernels/case.h"
+#include "kernels/matmul.h"
+#include "kernels/matvec.h"
+#include "kernels/stencil2d.h"
+#include "kernels/sum.h"
+
+namespace homp::kern {
+
+std::unique_ptr<KernelCase> make_case(const std::string& name, long long n,
+                                      bool materialize) {
+  HOMP_REQUIRE(n > 0, "kernel problem size must be positive");
+  if (name == "axpy") return std::make_unique<AxpyCase>(n, materialize);
+  if (name == "matvec") return std::make_unique<MatVecCase>(n, materialize);
+  if (name == "matmul") return std::make_unique<MatMulCase>(n, materialize);
+  if (name == "stencil2d") {
+    return std::make_unique<Stencil2DCase>(n, materialize);
+  }
+  if (name == "sum") return std::make_unique<SumCase>(n, materialize);
+  if (name == "bm2d") return std::make_unique<Bm2dCase>(n, materialize);
+  throw ConfigError("unknown kernel case: '" + name + "'");
+}
+
+const std::vector<std::string>& all_kernel_names() {
+  static const std::vector<std::string> names = {
+      "axpy", "matvec", "matmul", "stencil2d", "sum", "bm2d"};
+  return names;
+}
+
+long long paper_size(const std::string& name) {
+  // Sizes from Table V (axpy-10M, bm2d-256, matmul-6144, matvec-48k,
+  // stencil2d-256, sum-300M), used consistently for all figures.
+  if (name == "axpy") return 10'000'000;
+  if (name == "matvec") return 48'000;
+  if (name == "matmul") return 6'144;
+  if (name == "stencil2d") return 256;
+  if (name == "sum") return 300'000'000;
+  if (name == "bm2d") return 256;
+  throw ConfigError("unknown kernel case: '" + name + "'");
+}
+
+}  // namespace homp::kern

@@ -1,0 +1,144 @@
+#include "lang/analyze.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace homp::lang {
+
+namespace {
+
+bool is_arithmetic(BinOp op) {
+  return op == BinOp::kAdd || op == BinOp::kSub || op == BinOp::kMul ||
+         op == BinOp::kDiv;
+}
+
+/// Recursive cost of evaluating `e` once. `in_subscript` suppresses FLOP
+/// counting (index arithmetic is integer ALU work).
+void count_expr(const Expr& e, bool in_subscript, CostCounts* out) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kVar:
+      return;
+    case Expr::Kind::kArrayRef:
+      out->mem_bytes += 8.0;
+      for (const auto& idx : e.args) count_expr(*idx, true, out);
+      return;
+    case Expr::Kind::kBinary:
+      if (!in_subscript && is_arithmetic(e.op)) out->flops += 1.0;
+      count_expr(*e.lhs, in_subscript, out);
+      count_expr(*e.rhs, in_subscript, out);
+      return;
+    case Expr::Kind::kUnary:
+      if (!in_subscript && !e.is_not) out->flops += 1.0;
+      count_expr(*e.lhs, in_subscript, out);
+      return;
+    case Expr::Kind::kCall:
+      if (!in_subscript) out->flops += 1.0;
+      for (const auto& a : e.args) count_expr(*a, in_subscript, out);
+      return;
+  }
+}
+
+void count_stmt(const Stmt& s, const std::map<std::string, double>& symbols,
+                CostCounts* out);
+
+void count_block(const std::vector<StmtPtr>& body,
+                 const std::map<std::string, double>& symbols,
+                 CostCounts* out) {
+  for (const auto& s : body) count_stmt(*s, symbols, out);
+}
+
+long long trip_count(const ForLoop& loop,
+                     const std::map<std::string, double>& symbols) {
+  const double init = eval_const_expr(*loop.init, symbols);
+  const double bound = eval_const_expr(*loop.bound, symbols);
+  const double trips =
+      std::ceil((bound - init) / static_cast<double>(loop.step));
+  return trips > 0.0 ? static_cast<long long>(trips) : 0;
+}
+
+void count_stmt(const Stmt& s, const std::map<std::string, double>& symbols,
+                CostCounts* out) {
+  switch (s.kind) {
+    case Stmt::Kind::kAssign: {
+      count_expr(*s.value, false, out);
+      if (s.target->kind == Expr::Kind::kArrayRef) {
+        out->mem_bytes += 8.0;  // the store
+        for (const auto& idx : s.target->args) {
+          count_expr(*idx, true, out);
+        }
+        if (s.compound) out->mem_bytes += 8.0;  // the read of +=
+      }
+      if (s.compound) out->flops += 1.0;
+      return;
+    }
+    case Stmt::Kind::kIfContinue:
+      // SIMD assumption: the guard costs its condition, the guarded code
+      // is counted in full by the surrounding walk.
+      count_expr(*s.cond, false, out);
+      return;
+    case Stmt::Kind::kContinue:
+      return;
+    case Stmt::Kind::kFor: {
+      CostCounts inner;
+      count_block(s.loop->body, symbols, &inner);
+      const double trips = static_cast<double>(trip_count(*s.loop, symbols));
+      out->flops += inner.flops * trips;
+      out->mem_bytes += inner.mem_bytes * trips;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+double eval_const_expr(const Expr& e,
+                       const std::map<std::string, double>& symbols) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return e.number;
+    case Expr::Kind::kVar: {
+      auto it = symbols.find(e.name);
+      HOMP_REQUIRE(it != symbols.end(),
+                   "loop bound references '" + e.name +
+                       "', which has no bound value (declare it with "
+                       "Bindings::let / Scalars)");
+      return it->second;
+    }
+    case Expr::Kind::kBinary: {
+      const double a = eval_const_expr(*e.lhs, symbols);
+      const double b = eval_const_expr(*e.rhs, symbols);
+      switch (e.op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv:
+          HOMP_REQUIRE(b != 0.0, "division by zero in loop bound");
+          return a / b;
+        default:
+          throw ConfigError("comparisons are not allowed in loop bounds");
+      }
+    }
+    case Expr::Kind::kUnary:
+      HOMP_REQUIRE(!e.is_not, "'!' is not allowed in loop bounds");
+      return -eval_const_expr(*e.lhs, symbols);
+    default:
+      throw ConfigError(
+          "loop bounds must be constant expressions over size symbols");
+  }
+}
+
+CostCounts analyze_body(const ForLoop& outer,
+                        const std::map<std::string, double>& symbols) {
+  CostCounts out;
+  count_block(outer.body, symbols, &out);
+  return out;
+}
+
+long long outer_trip_count(const ForLoop& outer,
+                           const std::map<std::string, double>& symbols) {
+  return trip_count(outer, symbols);
+}
+
+}  // namespace homp::lang

@@ -1,0 +1,53 @@
+#ifndef HOMP_LANG_ANALYZE_H
+#define HOMP_LANG_ANALYZE_H
+
+/// \file analyze.h
+/// Static cost analysis of a parsed kernel — the "parameters ... collected
+/// through compiler analysis" of §IV-B2. Counts floating-point operations
+/// and memory references *per iteration of the distributed (outer) loop*,
+/// which is exactly what the analytical models and Table IV consume.
+///
+/// Counting rules (documented deviations are deliberate simplifications
+/// shared with the paper's accounting):
+///  * each arithmetic +,-,*,/ and unary minus on values = 1 FLOP; calls
+///    (fabs, sqrt, sin, cos, min, max) = 1 FLOP;
+///  * comparisons/logical operators = 0 FLOPs (branch handling);
+///  * integer arithmetic inside array subscripts = 0 FLOPs;
+///  * every array-element read or write = one 8-byte memory reference;
+///    `a[i] += e` counts a read and a write;
+///  * `if (...) continue;` guards do not discount the guarded body — the
+///    SIMD assumption of §IV-B2 ("execute all the branches even [if]
+///    there is divergence");
+///  * inner-loop trip counts must be compile-time constants after symbol
+///    substitution (dense rectangular nests, as in every Table IV kernel).
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace homp::lang {
+
+struct CostCounts {
+  double flops = 0.0;
+  double mem_bytes = 0.0;
+};
+
+/// Evaluate an expression that must be constant given `symbols` (loop
+/// bounds): numbers, bound symbols and arithmetic only. Throws ConfigError
+/// if it references arrays or unknown names.
+double eval_const_expr(const Expr& e,
+                       const std::map<std::string, double>& symbols);
+
+/// Per-outer-iteration cost of the loop body. `symbols` supplies values
+/// for the size symbols appearing in inner-loop bounds (n, m, ...).
+CostCounts analyze_body(const ForLoop& outer,
+                        const std::map<std::string, double>& symbols);
+
+/// Outer-loop trip count (bound - init) / step, from constant bounds.
+long long outer_trip_count(const ForLoop& outer,
+                           const std::map<std::string, double>& symbols);
+
+}  // namespace homp::lang
+
+#endif  // HOMP_LANG_ANALYZE_H

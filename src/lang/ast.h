@@ -1,0 +1,84 @@
+#ifndef HOMP_LANG_AST_H
+#define HOMP_LANG_AST_H
+
+/// \file ast.h
+/// AST of the HOMP kernel language (a C loop-nest subset): arithmetic and
+/// comparison expressions over scalars and dense array references,
+/// assignments (= and +=), `if (...) continue;` guards, and (possibly
+/// nested) canonical for-loops.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace homp::lang {
+
+// ---- expressions ----
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kOr, kAnd,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kNumber, kVar, kArrayRef, kBinary, kUnary, kCall };
+  Kind kind;
+  std::size_t offset = 0;  // source position for diagnostics
+
+  // kNumber
+  double number = 0.0;
+  // kVar / kArrayRef / kCall
+  std::string name;
+  // kArrayRef subscripts / kCall arguments
+  std::vector<ExprPtr> args;
+  // kBinary / kUnary
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;  // kUnary uses lhs only (negation / logical not)
+  bool is_not = false;  // kUnary: true = !, false = unary minus
+};
+
+// ---- statements ----
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ForLoop {
+  std::string var;
+  ExprPtr init;   ///< initial value of var
+  ExprPtr bound;  ///< loop runs while var < bound
+  long long step = 1;
+  std::vector<StmtPtr> body;
+  std::size_t offset = 0;
+};
+
+struct Stmt {
+  enum class Kind { kAssign, kIfContinue, kFor, kContinue };
+  Kind kind;
+  std::size_t offset = 0;
+
+  // kAssign
+  ExprPtr target;  ///< kVar or kArrayRef expression
+  bool compound = false;  ///< +=
+  ExprPtr value;
+
+  // kIfContinue: `if (cond) continue;` — the only conditional form, used
+  // for boundary guards as in the paper's Jacobi (Fig. 3 line 21).
+  ExprPtr cond;
+
+  // kFor (nested sequential loop)
+  std::unique_ptr<ForLoop> loop;
+};
+
+/// A parsed kernel: the HOMP pragmas plus the distributed outer loop.
+struct KernelSource {
+  std::vector<std::string> pragmas;  ///< raw directive strings, in order
+  ForLoop outer;
+};
+
+}  // namespace homp::lang
+
+#endif  // HOMP_LANG_AST_H

@@ -1,0 +1,95 @@
+#ifndef HOMP_LANG_COMPILE_H
+#define HOMP_LANG_COMPILE_H
+
+/// \file compile.h
+/// Front door of the HOMP mini-compiler: turn annotated loop-nest source
+/// (the paper's Fig. 1/2/3 shape — HOMP pragmas followed by a canonical
+/// for-loop) into a runnable offload. This substitutes for the paper's
+/// ROSE-based source-to-source translator (§V-A): the pragmas are parsed
+/// by pragma/parse.h, the loop body is outlined into an interpreted
+/// kernel (lang/interp.h), and the cost profile the analytical models
+/// need is derived from the body by static analysis (lang/analyze.h) —
+/// "through compiler analysis", exactly as §IV-B2 describes.
+///
+///   homp::lang::Scalars consts;
+///   consts.let("a", 2.0);
+///   auto compiled = homp::lang::compile_kernel(R"(
+///     #pragma omp parallel target device(0:*)
+///         map(tofrom: y[0:n] partition([ALIGN(loop)]))
+///         map(to: x[0:n] partition([ALIGN(loop)]), a, n)
+///     #pragma omp parallel for distribute dist_schedule(target:[AUTO])
+///     for (i = 0; i < n; i++)
+///       y[i] = y[i] + a * x[i];
+///   )", bindings, consts, rt.machine());
+///   (in real source the pragma spans lines with '\' continuations)
+///   auto result = rt.offload(compiled.kernel, compiled.maps,
+///                            compiled.options);
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "machine/device.h"
+#include "pragma/parse.h"
+#include "runtime/data_region.h"
+#include "runtime/kernel.h"
+#include "runtime/options.h"
+
+namespace homp::lang {
+
+/// Captured constant scalars referenced by the kernel body (the `a`,
+/// `omega`, ... that OpenMP would firstprivate).
+struct Scalars {
+  std::map<std::string, double> values;
+  void let(const std::string& name, double v) { values[name] = v; }
+};
+
+struct CompiledKernel {
+  rt::LoopKernel kernel;          ///< cost profile filled by analysis
+  std::vector<mem::MapSpec> maps;
+  rt::OffloadOptions options;     ///< device list, policies, label, ...
+  /// Owning handles keeping the interpreted body alive.
+  std::shared_ptr<void> retained;
+};
+
+/// Compile annotated source against array/symbol bindings and scalar
+/// constants. Throws ParseError / ConfigError on bad input.
+CompiledKernel compile_kernel(const std::string& source,
+                              const pragma::Bindings& bindings,
+                              const Scalars& scalars,
+                              const mach::MachineDescriptor& machine,
+                              const std::string& name = "compiled");
+
+// ---- data-region programs (the full Fig. 3 shape) ----
+
+/// Result of compiling a `target data` directive: everything
+/// Runtime::map_data needs. `options.loop_domain` is derived from
+/// `loop_domain_symbol` (e.g. "n" for loops over [0, n)).
+struct CompiledRegion {
+  std::vector<mem::MapSpec> maps;
+  rt::RegionOptions options;
+};
+
+CompiledRegion compile_data_region(
+    const std::string& pragma_text, const pragma::Bindings& bindings,
+    const mach::MachineDescriptor& machine,
+    const std::string& loop_domain_symbol,
+    sched::AlgorithmKind dist_algorithm = sched::AlgorithmKind::kBlock);
+
+/// A loop to run inside a data region: only the kernel (the region fixed
+/// the distribution and owns the data). Map clauses and device lists in
+/// the loop's pragmas are tolerated and ignored — Fig. 3's inner loops
+/// repeat `target device(*)`, but inside a region the data is resident.
+struct CompiledLoop {
+  rt::LoopKernel kernel;
+  std::shared_ptr<void> retained;
+};
+
+CompiledLoop compile_region_loop(const std::string& source,
+                                 const pragma::Bindings& bindings,
+                                 const Scalars& scalars,
+                                 const std::string& name = "region-loop");
+
+}  // namespace homp::lang
+
+#endif  // HOMP_LANG_COMPILE_H

@@ -1,0 +1,198 @@
+#include "lang/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace homp::lang {
+
+struct BodyInterpreter::Frame {
+  mem::DeviceDataEnv* env = nullptr;
+  /// Loop variables and body-local temporaries.
+  std::map<std::string, double> locals;
+  /// Views are fetched lazily per chunk and cached by array name.
+  std::map<std::string, mem::ArrayView<double>> views;
+  double reduction = 0.0;
+};
+
+BodyInterpreter::BodyInterpreter(const ForLoop* outer,
+                                 std::map<std::string, double> scalars,
+                                 std::string reduction_var)
+    : outer_(outer),
+      scalars_(std::move(scalars)),
+      reduction_var_(std::move(reduction_var)) {
+  HOMP_ASSERT(outer_ != nullptr);
+}
+
+double BodyInterpreter::run_chunk(const dist::Range& chunk,
+                                  mem::DeviceDataEnv& env) const {
+  Frame f;
+  f.env = &env;
+  if (!reduction_var_.empty()) f.locals[reduction_var_] = 0.0;
+  for (long long i = chunk.lo; i < chunk.hi; i += outer_->step) {
+    f.locals[outer_->var] = static_cast<double>(i);
+    exec_block(outer_->body, f);  // kContinue here ends this iteration
+  }
+  return reduction_var_.empty() ? 0.0 : f.locals[reduction_var_];
+}
+
+BodyInterpreter::Flow BodyInterpreter::exec_block(
+    const std::vector<StmtPtr>& body, Frame& f) const {
+  for (const auto& s : body) {
+    if (exec(*s, f) == Flow::kContinue) return Flow::kContinue;
+  }
+  return Flow::kNormal;
+}
+
+BodyInterpreter::Flow BodyInterpreter::exec(const Stmt& s, Frame& f) const {
+  switch (s.kind) {
+    case Stmt::Kind::kAssign:
+      assign(*s.target, s.compound, eval(*s.value, f), f);
+      return Flow::kNormal;
+    case Stmt::Kind::kIfContinue:
+      return eval(*s.cond, f) != 0.0 ? Flow::kContinue : Flow::kNormal;
+    case Stmt::Kind::kContinue:
+      return Flow::kContinue;
+    case Stmt::Kind::kFor:
+      run_loop(*s.loop, f);
+      return Flow::kNormal;
+  }
+  return Flow::kNormal;
+}
+
+void BodyInterpreter::run_loop(const ForLoop& loop, Frame& f) const {
+  const double init = eval(*loop.init, f);
+  for (double v = init;; v += static_cast<double>(loop.step)) {
+    f.locals[loop.var] = v;
+    if (v >= eval(*loop.bound, f)) break;
+    exec_block(loop.body, f);  // continue targets this loop
+  }
+}
+
+void BodyInterpreter::assign(const Expr& target, bool compound, double value,
+                             Frame& f) const {
+  if (target.kind == Expr::Kind::kVar) {
+    double& slot = f.locals[target.name];  // creates temporaries on demand
+    slot = compound ? slot + value : value;
+    return;
+  }
+  HOMP_ASSERT(target.kind == Expr::Kind::kArrayRef);
+  auto view_it = f.views.find(target.name);
+  if (view_it == f.views.end()) {
+    view_it = f.views.emplace(target.name,
+                              f.env->view<double>(target.name)).first;
+  }
+  auto& view = view_it->second;
+  if (target.args.size() == 1) {
+    double& slot = view(eval_index(*target.args[0], f));
+    slot = compound ? slot + value : value;
+  } else if (target.args.size() == 2) {
+    double& slot = view(eval_index(*target.args[0], f),
+                        eval_index(*target.args[1], f));
+    slot = compound ? slot + value : value;
+  } else {
+    throw ExecutionError("arrays of rank > 2 are not supported in the "
+                         "kernel language");
+  }
+}
+
+long long BodyInterpreter::eval_index(const Expr& e, Frame& f) const {
+  const double v = eval(e, f);
+  const long long i = static_cast<long long>(std::llround(v));
+  if (static_cast<double>(i) != v) {
+    throw ExecutionError("array subscript is not an integer");
+  }
+  return i;
+}
+
+double BodyInterpreter::eval(const Expr& e, Frame& f) const {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return e.number;
+    case Expr::Kind::kVar: {
+      if (auto it = f.locals.find(e.name); it != f.locals.end()) {
+        return it->second;
+      }
+      if (auto it = scalars_.find(e.name); it != scalars_.end()) {
+        return it->second;
+      }
+      throw ExecutionError("unknown identifier '" + e.name +
+                           "' in kernel body (bind scalars via "
+                           "lang::Scalars)");
+    }
+    case Expr::Kind::kArrayRef: {
+      auto view_it = f.views.find(e.name);
+      if (view_it == f.views.end()) {
+        view_it =
+            f.views.emplace(e.name, f.env->view<double>(e.name)).first;
+      }
+      auto& view = view_it->second;
+      if (e.args.size() == 1) return view(eval_index(*e.args[0], f));
+      if (e.args.size() == 2) {
+        return view(eval_index(*e.args[0], f), eval_index(*e.args[1], f));
+      }
+      throw ExecutionError("arrays of rank > 2 are not supported");
+    }
+    case Expr::Kind::kBinary: {
+      const double a = eval(*e.lhs, f);
+      // Short-circuit the logical operators.
+      if (e.op == BinOp::kOr) {
+        return (a != 0.0 || eval(*e.rhs, f) != 0.0) ? 1.0 : 0.0;
+      }
+      if (e.op == BinOp::kAnd) {
+        return (a != 0.0 && eval(*e.rhs, f) != 0.0) ? 1.0 : 0.0;
+      }
+      const double b = eval(*e.rhs, f);
+      switch (e.op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv: return a / b;
+        case BinOp::kLt: return a < b ? 1.0 : 0.0;
+        case BinOp::kGt: return a > b ? 1.0 : 0.0;
+        case BinOp::kLe: return a <= b ? 1.0 : 0.0;
+        case BinOp::kGe: return a >= b ? 1.0 : 0.0;
+        case BinOp::kEq: return a == b ? 1.0 : 0.0;
+        case BinOp::kNe: return a != b ? 1.0 : 0.0;
+        default: break;
+      }
+      throw ExecutionError("unhandled binary operator");
+    }
+    case Expr::Kind::kUnary:
+      return e.is_not ? (eval(*e.lhs, f) == 0.0 ? 1.0 : 0.0)
+                      : -eval(*e.lhs, f);
+    case Expr::Kind::kCall: {
+      auto arg = [&](std::size_t i) { return eval(*e.args[i], f); };
+      if (e.name == "fabs" || e.name == "abs") {
+        HOMP_REQUIRE(e.args.size() == 1, "fabs takes one argument");
+        return std::abs(arg(0));
+      }
+      if (e.name == "sqrt") {
+        HOMP_REQUIRE(e.args.size() == 1, "sqrt takes one argument");
+        return std::sqrt(arg(0));
+      }
+      if (e.name == "sin") {
+        HOMP_REQUIRE(e.args.size() == 1, "sin takes one argument");
+        return std::sin(arg(0));
+      }
+      if (e.name == "cos") {
+        HOMP_REQUIRE(e.args.size() == 1, "cos takes one argument");
+        return std::cos(arg(0));
+      }
+      if (e.name == "min") {
+        HOMP_REQUIRE(e.args.size() == 2, "min takes two arguments");
+        return std::min(arg(0), arg(1));
+      }
+      if (e.name == "max") {
+        HOMP_REQUIRE(e.args.size() == 2, "max takes two arguments");
+        return std::max(arg(0), arg(1));
+      }
+      throw ExecutionError("unknown function '" + e.name +
+                           "' (supported: fabs, sqrt, sin, cos, min, max)");
+    }
+  }
+  throw ExecutionError("unhandled expression kind");
+}
+
+}  // namespace homp::lang

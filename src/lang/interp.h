@@ -1,0 +1,55 @@
+#ifndef HOMP_LANG_INTERP_H
+#define HOMP_LANG_INTERP_H
+
+/// \file interp.h
+/// Tree-walking interpreter for kernel-language loop bodies. This is the
+/// "multi-target code generation" substitution (DESIGN.md §2): instead of
+/// emitting CUDA/OpenMP/MIC variants, one interpreter executes the body
+/// against each device's data environment through global-index views —
+/// the index translation the paper's compiler guarantees happens in
+/// ArrayView. Intended for correctness runs, not throughput.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dist/range.h"
+#include "lang/ast.h"
+#include "memory/data_env.h"
+
+namespace homp::lang {
+
+class BodyInterpreter {
+ public:
+  /// \param outer        the distributed loop (body is interpreted; the
+  ///                     outer induction variable is driven by chunks)
+  /// \param scalars      captured constant scalars (a, omega, ...)
+  /// \param reduction_var name from reduction(+:var), empty if none
+  BodyInterpreter(const ForLoop* outer,
+                  std::map<std::string, double> scalars,
+                  std::string reduction_var);
+
+  /// Execute iterations [chunk.lo, chunk.hi) of the outer loop against
+  /// `env`; returns the chunk's partial reduction value.
+  double run_chunk(const dist::Range& chunk, mem::DeviceDataEnv& env) const;
+
+ private:
+  struct Frame;
+  enum class Flow { kNormal, kContinue };
+
+  double eval(const Expr& e, Frame& f) const;
+  long long eval_index(const Expr& e, Frame& f) const;
+  Flow exec(const Stmt& s, Frame& f) const;
+  Flow exec_block(const std::vector<StmtPtr>& body, Frame& f) const;
+  void run_loop(const ForLoop& loop, Frame& f) const;
+  void assign(const Expr& target, bool compound, double value,
+              Frame& f) const;
+
+  const ForLoop* outer_;
+  std::map<std::string, double> scalars_;
+  std::string reduction_var_;
+};
+
+}  // namespace homp::lang
+
+#endif  // HOMP_LANG_INTERP_H

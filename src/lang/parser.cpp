@@ -1,0 +1,341 @@
+#include "lang/parser.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "lang/token.h"
+
+namespace homp::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  ForLoop parse_outer() {
+    ForLoop loop = parse_for();
+    expect(Tok::kEnd, "trailing input after the loop nest");
+    return loop;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+
+  Token advance() { return toks_[pos_++]; }
+
+  bool accept(Tok k) {
+    if (cur().kind != k) return false;
+    ++pos_;
+    return true;
+  }
+
+  Token expect(Tok k, const std::string& what) {
+    if (cur().kind != k) {
+      throw ParseError("expected " + std::string(to_string(k)) + " (" +
+                           what + "), found " +
+                           std::string(to_string(cur().kind)),
+                       cur().offset);
+    }
+    return advance();
+  }
+
+  ForLoop parse_for() {
+    ForLoop loop;
+    loop.offset = cur().offset;
+    expect(Tok::kFor, "loop");
+    expect(Tok::kLParen, "loop header");
+    loop.var = expect(Tok::kIdent, "loop variable").text;
+    expect(Tok::kAssign, "loop initialization");
+    loop.init = parse_expr();
+    expect(Tok::kSemi, "loop header");
+    const std::string cmp_var = expect(Tok::kIdent, "loop condition").text;
+    if (cmp_var != loop.var) {
+      throw ParseError("loop condition must test the loop variable '" +
+                           loop.var + "'",
+                       cur().offset);
+    }
+    expect(Tok::kLt, "canonical loops use 'var < bound'");
+    loop.bound = parse_expr();
+    expect(Tok::kSemi, "loop header");
+    parse_increment(&loop);
+    expect(Tok::kRParen, "loop header");
+    loop.body = parse_body();
+    return loop;
+  }
+
+  void parse_increment(ForLoop* loop) {
+    const std::string var = expect(Tok::kIdent, "loop increment").text;
+    if (var != loop->var) {
+      throw ParseError("loop increment must update '" + loop->var + "'",
+                       cur().offset);
+    }
+    if (accept(Tok::kPlusPlus)) {
+      loop->step = 1;
+      return;
+    }
+    if (accept(Tok::kPlusAssign)) {
+      loop->step = expect_int("loop step");
+      return;
+    }
+    expect(Tok::kAssign, "loop increment");
+    const std::string again = expect(Tok::kIdent, "loop increment").text;
+    if (again != loop->var) {
+      throw ParseError("loop increment must be var = var + step",
+                       cur().offset);
+    }
+    expect(Tok::kPlus, "loop increment");
+    loop->step = expect_int("loop step");
+  }
+
+  long long expect_int(const std::string& what) {
+    const Token t = expect(Tok::kNumber, what);
+    const long long v = static_cast<long long>(t.number);
+    if (static_cast<double>(v) != t.number || v <= 0) {
+      throw ParseError(what + " must be a positive integer", t.offset);
+    }
+    return v;
+  }
+
+  std::vector<StmtPtr> parse_body() {
+    std::vector<StmtPtr> body;
+    if (accept(Tok::kLBrace)) {
+      while (!accept(Tok::kRBrace)) {
+        if (cur().kind == Tok::kEnd) {
+          throw ParseError("unterminated '{'", cur().offset);
+        }
+        body.push_back(parse_stmt());
+      }
+    } else {
+      body.push_back(parse_stmt());
+    }
+    return body;
+  }
+
+  StmtPtr parse_stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->offset = cur().offset;
+    if (cur().kind == Tok::kFor) {
+      s->kind = Stmt::Kind::kFor;
+      s->loop = std::make_unique<ForLoop>(parse_for());
+      return s;
+    }
+    if (accept(Tok::kIf)) {
+      expect(Tok::kLParen, "if condition");
+      s->cond = parse_expr();
+      expect(Tok::kRParen, "if condition");
+      expect(Tok::kContinue,
+             "only 'if (...) continue;' guards are supported");
+      expect(Tok::kSemi, "continue");
+      s->kind = Stmt::Kind::kIfContinue;
+      return s;
+    }
+    if (accept(Tok::kContinue)) {
+      expect(Tok::kSemi, "continue");
+      s->kind = Stmt::Kind::kContinue;
+      return s;
+    }
+    // Assignment.
+    s->kind = Stmt::Kind::kAssign;
+    s->target = parse_postfix();
+    if (s->target->kind != Expr::Kind::kVar &&
+        s->target->kind != Expr::Kind::kArrayRef) {
+      throw ParseError("assignment target must be a variable or array "
+                       "element",
+                       s->target->offset);
+    }
+    if (accept(Tok::kPlusAssign)) {
+      s->compound = true;
+    } else {
+      expect(Tok::kAssign, "assignment");
+    }
+    s->value = parse_expr();
+    expect(Tok::kSemi, "statement");
+    return s;
+  }
+
+  // expr := or ; or := and ('||' and)* ; and := cmp ('&&' cmp)* ;
+  // cmp := add (relop add)? ; add := mul (('+'|'-') mul)* ;
+  // mul := unary (('*'|'/') unary)* ; unary := ('-'|'!') unary | postfix ;
+  // postfix := primary ('[' expr ']')* ; primary := number | ident |
+  //            ident '(' args ')' | '(' expr ')'
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    auto e = parse_and();
+    while (cur().kind == Tok::kOrOr) {
+      const std::size_t off = advance().offset;
+      e = make_binary(BinOp::kOr, std::move(e), parse_and(), off);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    auto e = parse_cmp();
+    while (cur().kind == Tok::kAndAnd) {
+      const std::size_t off = advance().offset;
+      e = make_binary(BinOp::kAnd, std::move(e), parse_cmp(), off);
+    }
+    return e;
+  }
+
+  ExprPtr parse_cmp() {
+    auto e = parse_add();
+    BinOp op;
+    switch (cur().kind) {
+      case Tok::kLt: op = BinOp::kLt; break;
+      case Tok::kGt: op = BinOp::kGt; break;
+      case Tok::kLe: op = BinOp::kLe; break;
+      case Tok::kGe: op = BinOp::kGe; break;
+      case Tok::kEq: op = BinOp::kEq; break;
+      case Tok::kNe: op = BinOp::kNe; break;
+      default:
+        return e;
+    }
+    const std::size_t off = advance().offset;
+    return make_binary(op, std::move(e), parse_add(), off);
+  }
+
+  ExprPtr parse_add() {
+    auto e = parse_mul();
+    for (;;) {
+      if (cur().kind == Tok::kPlus) {
+        const std::size_t off = advance().offset;
+        e = make_binary(BinOp::kAdd, std::move(e), parse_mul(), off);
+      } else if (cur().kind == Tok::kMinus) {
+        const std::size_t off = advance().offset;
+        e = make_binary(BinOp::kSub, std::move(e), parse_mul(), off);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_mul() {
+    auto e = parse_unary();
+    for (;;) {
+      if (cur().kind == Tok::kStar) {
+        const std::size_t off = advance().offset;
+        e = make_binary(BinOp::kMul, std::move(e), parse_unary(), off);
+      } else if (cur().kind == Tok::kSlash) {
+        const std::size_t off = advance().offset;
+        e = make_binary(BinOp::kDiv, std::move(e), parse_unary(), off);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (cur().kind == Tok::kMinus || cur().kind == Tok::kNot) {
+      auto u = std::make_unique<Expr>();
+      u->kind = Expr::Kind::kUnary;
+      u->is_not = cur().kind == Tok::kNot;
+      u->offset = advance().offset;
+      u->lhs = parse_unary();
+      return u;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    auto e = parse_primary();
+    while (accept(Tok::kLBracket)) {
+      if (e->kind == Expr::Kind::kVar) {
+        e->kind = Expr::Kind::kArrayRef;
+      } else if (e->kind != Expr::Kind::kArrayRef) {
+        throw ParseError("subscript on a non-array expression", e->offset);
+      }
+      e->args.push_back(parse_expr());
+      expect(Tok::kRBracket, "subscript");
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->offset = cur().offset;
+    if (cur().kind == Tok::kNumber) {
+      e->kind = Expr::Kind::kNumber;
+      e->number = advance().number;
+      return e;
+    }
+    if (cur().kind == Tok::kIdent) {
+      e->name = advance().text;
+      if (accept(Tok::kLParen)) {
+        e->kind = Expr::Kind::kCall;
+        if (!accept(Tok::kRParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(Tok::kComma));
+          expect(Tok::kRParen, "call arguments");
+        }
+      } else {
+        e->kind = Expr::Kind::kVar;
+      }
+      return e;
+    }
+    if (accept(Tok::kLParen)) {
+      auto inner = parse_expr();
+      expect(Tok::kRParen, "parenthesized expression");
+      return inner;
+    }
+    throw ParseError("expected an expression, found " +
+                         std::string(to_string(cur().kind)),
+                     cur().offset);
+  }
+
+  static ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b,
+                             std::size_t off) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    e->offset = off;
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+KernelSource parse_kernel(const std::string& source) {
+  KernelSource out;
+  // Peel leading "#pragma ..." lines (honouring '\' continuations).
+  std::size_t pos = 0;
+  for (;;) {
+    // Skip whitespace.
+    while (pos < source.size() &&
+           std::isspace(static_cast<unsigned char>(source[pos]))) {
+      ++pos;
+    }
+    if (pos >= source.size() || source[pos] != '#') break;
+    std::string line;
+    while (pos < source.size()) {
+      const char c = source[pos];
+      if (c == '\\' && pos + 1 < source.size() &&
+          source[pos + 1] == '\n') {
+        line += ' ';
+        pos += 2;
+        continue;
+      }
+      if (c == '\n') {
+        ++pos;
+        break;
+      }
+      line += c;
+      ++pos;
+    }
+    out.pragmas.push_back(std::string(trim(line)));
+  }
+  HOMP_REQUIRE(!out.pragmas.empty(),
+               "kernel source needs at least one HOMP #pragma before the "
+               "loop");
+  Parser p(lex(source.substr(pos)));
+  out.outer = p.parse_outer();
+  return out;
+}
+
+}  // namespace homp::lang

@@ -1,0 +1,29 @@
+#ifndef HOMP_LANG_PARSER_H
+#define HOMP_LANG_PARSER_H
+
+/// \file parser.h
+/// Recursive-descent parser for the HOMP kernel language. Input is a
+/// translation-unit fragment in the shape of the paper's examples:
+///
+///   #pragma omp parallel target device(0:*) map(...) ...
+///   #pragma omp parallel for distribute dist_schedule(target:[AUTO])
+///   for (i = 0; i < n; i++) {
+///     y[i] = y[i] + a * x[i];
+///   }
+///
+/// Pragma lines are collected verbatim (pragma/parse.h understands them);
+/// the loop nest is parsed into lang/ast.h structures.
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace homp::lang {
+
+/// Parse a kernel fragment. Throws ParseError with a source offset on
+/// malformed input.
+KernelSource parse_kernel(const std::string& source);
+
+}  // namespace homp::lang
+
+#endif  // HOMP_LANG_PARSER_H

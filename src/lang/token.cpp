@@ -1,0 +1,153 @@
+#include "lang/token.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace homp::lang {
+
+const char* to_string(Tok t) noexcept {
+  switch (t) {
+    case Tok::kEnd: return "<end>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kNot: return "'!'";
+    case Tok::kFor: return "'for'";
+    case Tok::kIf: return "'if'";
+    case Tok::kContinue: return "'continue'";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto push = [&](Tok k, std::size_t off, std::string text = {}) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.offset = off;
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
+      if (i + 1 >= n) throw ParseError("unterminated comment", start);
+      i += 2;
+      continue;
+    }
+    const std::size_t off = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ident += src[i++];
+      }
+      if (ident == "for") {
+        push(Tok::kFor, off);
+      } else if (ident == "if") {
+        push(Tok::kIf, off);
+      } else if (ident == "continue") {
+        push(Tok::kContinue, off);
+      } else if (ident == "int" || ident == "double" || ident == "long" ||
+                 ident == "REAL" || ident == "float" || ident == "const") {
+        // Type keywords in declarations are noise for this subset.
+      } else {
+        push(Tok::kIdent, off, std::move(ident));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t pos = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(src.substr(i), &pos);
+      } catch (const std::exception&) {
+        throw ParseError("malformed number literal", off);
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.text = src.substr(i, pos);
+      t.number = v;
+      t.offset = off;
+      out.push_back(std::move(t));
+      i += pos;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && src[i + 1] == b;
+    };
+    if (two('+', '+')) { push(Tok::kPlusPlus, off); i += 2; continue; }
+    if (two('+', '=')) { push(Tok::kPlusAssign, off); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::kLe, off); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe, off); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::kEq, off); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNe, off); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::kOrOr, off); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd, off); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::kLParen, off); break;
+      case ')': push(Tok::kRParen, off); break;
+      case '{': push(Tok::kLBrace, off); break;
+      case '}': push(Tok::kRBrace, off); break;
+      case '[': push(Tok::kLBracket, off); break;
+      case ']': push(Tok::kRBracket, off); break;
+      case ';': push(Tok::kSemi, off); break;
+      case ',': push(Tok::kComma, off); break;
+      case '=': push(Tok::kAssign, off); break;
+      case '+': push(Tok::kPlus, off); break;
+      case '-': push(Tok::kMinus, off); break;
+      case '*': push(Tok::kStar, off); break;
+      case '/': push(Tok::kSlash, off); break;
+      case '<': push(Tok::kLt, off); break;
+      case '>': push(Tok::kGt, off); break;
+      case '!': push(Tok::kNot, off); break;
+      default:
+        throw ParseError("unexpected character '" + std::string(1, c) +
+                             "' in kernel source",
+                         off);
+    }
+    ++i;
+  }
+  push(Tok::kEnd, n);
+  return out;
+}
+
+}  // namespace homp::lang

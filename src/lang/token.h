@@ -1,0 +1,63 @@
+#ifndef HOMP_LANG_TOKEN_H
+#define HOMP_LANG_TOKEN_H
+
+/// \file token.h
+/// Tokens of the HOMP kernel language — the C loop-nest subset the
+/// mini-compiler (src/lang) accepts. See lang/compile.h for the overview.
+
+#include <string>
+#include <vector>
+
+namespace homp::lang {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  // operators
+  kAssign,      // =
+  kPlusAssign,  // +=
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPlusPlus,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,   // ==
+  kNe,   // !=
+  kOrOr,
+  kAndAnd,
+  kNot,
+  // keywords
+  kFor,
+  kIf,
+  kContinue,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;     ///< identifier name or number literal
+  double number = 0.0;  ///< value for kNumber
+  std::size_t offset = 0;
+};
+
+const char* to_string(Tok t) noexcept;
+
+/// Tokenize kernel source. Throws ParseError on unknown characters.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace homp::lang
+
+#endif  // HOMP_LANG_TOKEN_H

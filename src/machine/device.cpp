@@ -1,0 +1,98 @@
+#include "machine/device.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace homp::mach {
+
+const char* to_string(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kHost:
+      return "host";
+    case DeviceType::kNvGpu:
+      return "nvgpu";
+    case DeviceType::kMic:
+      return "mic";
+  }
+  return "?";
+}
+
+DeviceType device_type_from_string(const std::string& s) {
+  if (iequals(s, "host") || iequals(s, "HOMP_DEVICE_HOST") ||
+      iequals(s, "cpu")) {
+    return DeviceType::kHost;
+  }
+  if (iequals(s, "nvgpu") || iequals(s, "HOMP_DEVICE_NVGPU") ||
+      iequals(s, "gpu")) {
+    return DeviceType::kNvGpu;
+  }
+  if (iequals(s, "mic") || iequals(s, "HOMP_DEVICE_ITLMIC") ||
+      iequals(s, "phi")) {
+    return DeviceType::kMic;
+  }
+  throw ConfigError("unknown device type: '" + s + "'");
+}
+
+const char* to_string(MemorySpace m) noexcept {
+  return m == MemorySpace::kShared ? "shared" : "discrete";
+}
+
+MemorySpace memory_space_from_string(const std::string& s) {
+  if (iequals(s, "shared")) return MemorySpace::kShared;
+  if (iequals(s, "discrete")) return MemorySpace::kDiscrete;
+  throw ConfigError("unknown memory space: '" + s + "'");
+}
+
+void MachineDescriptor::validate() const {
+  HOMP_REQUIRE(!devices.empty(), "machine has no devices");
+  HOMP_REQUIRE(devices.front().is_host(),
+               "device 0 must be the host device");
+  std::size_t hosts = 0;
+  for (const auto& d : devices) {
+    if (d.is_host()) ++hosts;
+    HOMP_REQUIRE(d.sustained_gflops > 0.0,
+                 "device '" + d.name + "' has no sustained_gflops");
+    HOMP_REQUIRE(d.peak_gflops >= d.sustained_gflops,
+                 "device '" + d.name + "': peak below sustained");
+    HOMP_REQUIRE(d.sustained_membw_GBps > 0.0,
+                 "device '" + d.name + "' has no sustained_membw");
+    HOMP_REQUIRE(d.launch_overhead_s >= 0.0,
+                 "device '" + d.name + "': negative launch overhead");
+    HOMP_REQUIRE(d.noise >= 0.0 && d.noise < 1.0,
+                 "device '" + d.name + "': noise must be in [0,1)");
+    HOMP_REQUIRE(d.parallel_units >= 1,
+                 "device '" + d.name + "' needs at least one parallel unit");
+    if (d.link == kNoLink) {
+      HOMP_REQUIRE(d.memory == MemorySpace::kShared,
+                   "device '" + d.name +
+                       "' has discrete memory but no interconnect link");
+    } else {
+      HOMP_REQUIRE(d.link >= 0 &&
+                       static_cast<std::size_t>(d.link) < links.size(),
+                   "device '" + d.name + "' references unknown link");
+    }
+  }
+  HOMP_REQUIRE(hosts == 1, "machine must have exactly one host device");
+  for (const auto& l : links) {
+    HOMP_REQUIRE(l.bandwidth_Bps > 0.0,
+                 "link '" + l.name + "' has no bandwidth");
+    HOMP_REQUIRE(l.latency_s >= 0.0,
+                 "link '" + l.name + "' has negative latency");
+  }
+}
+
+const DeviceDescriptor& MachineDescriptor::host() const {
+  HOMP_REQUIRE(!devices.empty() && devices.front().is_host(),
+               "machine has no host device");
+  return devices.front();
+}
+
+std::vector<int> MachineDescriptor::devices_of_type(DeviceType t) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].type == t) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace homp::mach

@@ -1,0 +1,113 @@
+#ifndef HOMP_MACHINE_DEVICE_H
+#define HOMP_MACHINE_DEVICE_H
+
+/// \file device.h
+/// Static description of one computation device and of the interconnect
+/// links between host memory and device memories.
+///
+/// Two families of numbers live here deliberately:
+///  * `peak_*`      — what the machine *advertises*; these feed the paper's
+///                    analytical models (MODEL_1_AUTO / MODEL_2_AUTO and the
+///                    CUTOFF contribution predictor).
+///  * `sustained_*` — ground truth used by the simulator to compute how long
+///                    a kernel chunk actually takes.
+/// Keeping both reproduces a real phenomenon in the paper: the models
+/// mispredict (e.g. Table V's matvec-48k row, where CUTOFF *hurts*), because
+/// advertised capability and delivered throughput diverge differently per
+/// device type.
+
+#include <string>
+#include <vector>
+
+namespace homp::mach {
+
+/// Device categories from the paper's device_specifier type filters
+/// (HOMP_DEVICE_NVGPU etc.).
+enum class DeviceType { kHost, kNvGpu, kMic };
+
+const char* to_string(DeviceType t) noexcept;
+
+/// Parse "host" / "nvgpu" / "mic" or the paper-style constants
+/// "HOMP_DEVICE_HOST" / "HOMP_DEVICE_NVGPU" / "HOMP_DEVICE_ITLMIC"
+/// (case-insensitive). Throws ConfigError on anything else.
+DeviceType device_type_from_string(const std::string& s);
+
+/// Whether the device shares the host's physical memory (mapping can be a
+/// zero-copy "share") or owns discrete memory (mapping must copy).
+enum class MemorySpace { kShared, kDiscrete };
+
+const char* to_string(MemorySpace m) noexcept;
+MemorySpace memory_space_from_string(const std::string& s);
+
+/// Sentinel link id for devices that need no interconnect (host).
+inline constexpr int kNoLink = -1;
+
+struct LinkDescriptor {
+  std::string name;        ///< e.g. "pcie0"
+  double latency_s = 0.0;  ///< Hockney alpha
+  double bandwidth_Bps = 0.0;  ///< Hockney beta, bytes/second
+};
+
+struct DeviceDescriptor {
+  std::string name;  ///< e.g. "K40-0"
+  DeviceType type = DeviceType::kHost;
+  MemorySpace memory = MemorySpace::kDiscrete;
+  int link = kNoLink;  ///< index into MachineDescriptor::links
+
+  // Advertised (model-visible) capability.
+  double peak_gflops = 0.0;
+  double peak_membw_GBps = 0.0;
+
+  // Delivered (simulation ground-truth) capability.
+  double sustained_gflops = 0.0;
+  double sustained_membw_GBps = 0.0;
+
+  /// Fixed per-kernel-launch overhead (driver + runtime), seconds.
+  double launch_overhead_s = 0.0;
+
+  /// Fixed per-array device-memory allocation overhead (cudaMalloc-like),
+  /// seconds. Zero for the host.
+  double alloc_overhead_s = 0.0;
+
+  /// Relative execution-time jitter amplitude (0.02 = +-2% 1-sigma).
+  double noise = 0.0;
+
+  /// Independent execution units inside the device (SMs on a GPU, cores
+  /// on a CPU/MIC): the "teams" of dist_schedule(teams:[...]). sustained_*
+  /// figures describe all units together; a loop whose iterations cannot
+  /// be split internally (KernelCostProfile::divisible_iterations false)
+  /// quantizes onto these units.
+  int parallel_units = 1;
+
+  bool is_host() const noexcept { return type == DeviceType::kHost; }
+
+  double peak_flops() const noexcept { return peak_gflops * 1e9; }
+  double sustained_flops() const noexcept { return sustained_gflops * 1e9; }
+  double peak_membw_Bps() const noexcept { return peak_membw_GBps * 1e9; }
+  double sustained_membw_Bps() const noexcept {
+    return sustained_membw_GBps * 1e9;
+  }
+};
+
+/// Whole-node description: the host plus its accelerators and links.
+/// The host device must be present exactly once and first (device id 0),
+/// matching the HOMP runtime convention that the host is always a potential
+/// compute device and the home of all mapped data.
+struct MachineDescriptor {
+  std::string name;
+  std::vector<DeviceDescriptor> devices;
+  std::vector<LinkDescriptor> links;
+
+  /// Validates the structural invariants listed above; throws ConfigError.
+  void validate() const;
+
+  const DeviceDescriptor& host() const;
+  std::size_t num_devices() const noexcept { return devices.size(); }
+
+  /// Ids (indices into `devices`) of all devices of a given type.
+  std::vector<int> devices_of_type(DeviceType t) const;
+};
+
+}  // namespace homp::mach
+
+#endif  // HOMP_MACHINE_DEVICE_H

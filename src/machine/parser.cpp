@@ -1,0 +1,217 @@
+#include "machine/parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace homp::mach {
+
+namespace {
+
+struct Section {
+  std::string kind;  // "machine" | "link" | "device"
+  std::string name;
+  int line = 0;
+  std::map<std::string, std::string> kv;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw ConfigError("machine description line " + std::to_string(line) +
+                    ": " + msg);
+}
+
+double get_double(const Section& s, const std::string& key) {
+  auto it = s.kv.find(key);
+  if (it == s.kv.end()) {
+    fail(s.line, "section [" + s.kind + " " + s.name + "] missing key '" +
+                     key + "'");
+  }
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    fail(s.line, "key '" + key + "' is not a number: '" + it->second + "'");
+  }
+}
+
+double get_double_or(const Section& s, const std::string& key, double dflt) {
+  return s.kv.count(key) ? get_double(s, key) : dflt;
+}
+
+std::string get_string(const Section& s, const std::string& key) {
+  auto it = s.kv.find(key);
+  if (it == s.kv.end()) {
+    fail(s.line, "section [" + s.kind + " " + s.name + "] missing key '" +
+                     key + "'");
+  }
+  return it->second;
+}
+
+std::vector<Section> tokenize(const std::string& text) {
+  std::vector<Section> sections;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view line(raw);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(lineno, "unterminated section header");
+      auto inner = trim(line.substr(1, line.size() - 2));
+      auto space = inner.find(' ');
+      Section s;
+      s.line = lineno;
+      if (space == std::string_view::npos) {
+        s.kind = std::string(inner);
+      } else {
+        s.kind = std::string(trim(inner.substr(0, space)));
+        s.name = std::string(trim(inner.substr(space + 1)));
+      }
+      if (s.kind != "machine" && s.kind != "link" && s.kind != "device") {
+        fail(lineno, "unknown section kind '" + s.kind + "'");
+      }
+      if (s.kind != "machine" && s.name.empty()) {
+        fail(lineno, "section [" + s.kind + "] needs a name");
+      }
+      sections.push_back(std::move(s));
+      continue;
+    }
+    auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(lineno, "expected 'key = value' or section header");
+    }
+    if (sections.empty()) fail(lineno, "key outside of any section");
+    auto key = std::string(trim(line.substr(0, eq)));
+    auto value = std::string(trim(line.substr(eq + 1)));
+    if (key.empty()) fail(lineno, "empty key");
+    if (!sections.back().kv.emplace(key, value).second) {
+      fail(lineno, "duplicate key '" + key + "'");
+    }
+  }
+  return sections;
+}
+
+}  // namespace
+
+MachineDescriptor parse_machine(const std::string& text) {
+  MachineDescriptor m;
+  std::map<std::string, int> link_ids;
+  std::vector<DeviceDescriptor> accelerators;
+  bool have_host = false;
+  DeviceDescriptor host;
+
+  // Links must be resolvable by the time devices reference them; collect
+  // link sections in a first pass to make file order irrelevant.
+  auto sections = tokenize(text);
+  for (const auto& s : sections) {
+    if (s.kind != "link") continue;
+    if (link_ids.count(s.name)) fail(s.line, "duplicate link '" + s.name + "'");
+    LinkDescriptor l;
+    l.name = s.name;
+    l.latency_s = get_double(s, "latency_us") * 1e-6;
+    l.bandwidth_Bps = get_double(s, "bandwidth_GBps") * 1e9;
+    link_ids.emplace(s.name, static_cast<int>(m.links.size()));
+    m.links.push_back(std::move(l));
+  }
+
+  for (const auto& s : sections) {
+    if (s.kind == "machine") {
+      if (auto it = s.kv.find("name"); it != s.kv.end()) m.name = it->second;
+      continue;
+    }
+    if (s.kind != "device") continue;
+    DeviceDescriptor d;
+    d.name = s.name;
+    d.type = device_type_from_string(get_string(s, "type"));
+    d.memory = memory_space_from_string(get_string(s, "memory"));
+    const std::string link = get_string(s, "link");
+    if (iequals(link, "none")) {
+      d.link = kNoLink;
+    } else {
+      auto it = link_ids.find(link);
+      if (it == link_ids.end()) {
+        fail(s.line, "device '" + s.name + "' references unknown link '" +
+                         link + "'");
+      }
+      d.link = it->second;
+    }
+    d.peak_gflops = get_double(s, "peak_gflops");
+    d.sustained_gflops = get_double(s, "sustained_gflops");
+    d.peak_membw_GBps = get_double(s, "peak_membw_GBps");
+    d.sustained_membw_GBps = get_double(s, "sustained_membw_GBps");
+    d.launch_overhead_s = get_double_or(s, "launch_overhead_us", 0.0) * 1e-6;
+    d.alloc_overhead_s = get_double_or(s, "alloc_overhead_us", 0.0) * 1e-6;
+    d.noise = get_double_or(s, "noise", 0.0);
+    d.parallel_units =
+        static_cast<int>(get_double_or(s, "parallel_units", 1.0));
+    if (d.is_host()) {
+      if (have_host) fail(s.line, "more than one host device");
+      have_host = true;
+      host = std::move(d);
+    } else {
+      accelerators.push_back(std::move(d));
+    }
+  }
+
+  HOMP_REQUIRE(have_host, "machine description declares no host device");
+  m.devices.push_back(std::move(host));
+  for (auto& d : accelerators) m.devices.push_back(std::move(d));
+  m.validate();
+  return m;
+}
+
+MachineDescriptor load_machine_file(const std::string& path) {
+  std::ifstream in(path);
+  HOMP_REQUIRE(in.good(), "cannot open machine description file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_machine(buf.str());
+}
+
+std::string to_text(const MachineDescriptor& m) {
+  std::ostringstream os;
+  char buf[128];
+  os << "[machine]\nname = " << m.name << "\n";
+  for (const auto& l : m.links) {
+    os << "\n[link " << l.name << "]\n";
+    std::snprintf(buf, sizeof buf, "latency_us = %.6g\nbandwidth_GBps = %.6g\n",
+                  l.latency_s * 1e6, l.bandwidth_Bps * 1e-9);
+    os << buf;
+  }
+  for (const auto& d : m.devices) {
+    os << "\n[device " << d.name << "]\n";
+    os << "type = " << to_string(d.type) << "\n";
+    os << "memory = " << to_string(d.memory) << "\n";
+    os << "link = "
+       << (d.link == kNoLink ? std::string("none") : m.links[d.link].name)
+       << "\n";
+    std::snprintf(buf, sizeof buf,
+                  "peak_gflops = %.6g\nsustained_gflops = %.6g\n",
+                  d.peak_gflops, d.sustained_gflops);
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "peak_membw_GBps = %.6g\nsustained_membw_GBps = %.6g\n",
+                  d.peak_membw_GBps, d.sustained_membw_GBps);
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "launch_overhead_us = %.6g\nalloc_overhead_us = %.6g\n"
+                  "noise = %.6g\nparallel_units = %d\n",
+                  d.launch_overhead_s * 1e6, d.alloc_overhead_s * 1e6,
+                  d.noise, d.parallel_units);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace homp::mach

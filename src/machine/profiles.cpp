@@ -1,0 +1,174 @@
+#include "machine/profiles.h"
+
+#include "common/error.h"
+
+namespace homp::mach {
+
+namespace {
+
+DeviceDescriptor haswell_host() {
+  DeviceDescriptor d;
+  d.name = "2xE5-2699v3";
+  d.type = DeviceType::kHost;
+  d.memory = MemorySpace::kShared;
+  d.link = kNoLink;
+  d.peak_gflops = 1325.0;
+  d.sustained_gflops = 850.0;
+  d.peak_membw_GBps = 136.0;
+  d.sustained_membw_GBps = 95.0;
+  d.launch_overhead_s = 5e-6;  // OpenMP parallel region fork/join
+  d.noise = 0.01;
+  d.parallel_units = 36;  // 2 x 18 Haswell cores
+  return d;
+}
+
+DeviceDescriptor k40(int index, int link) {
+  DeviceDescriptor d;
+  d.name = "K40-" + std::to_string(index);
+  d.type = DeviceType::kNvGpu;
+  d.memory = MemorySpace::kDiscrete;
+  d.link = link;
+  d.peak_gflops = 1430.0;
+  d.sustained_gflops = 1100.0;
+  d.peak_membw_GBps = 288.0;
+  d.sustained_membw_GBps = 210.0;
+  d.launch_overhead_s = 15e-6;
+  d.alloc_overhead_s = 8e-6;
+  d.noise = 0.015;
+  d.parallel_units = 15;  // SMX count of a K40 die
+  return d;
+}
+
+DeviceDescriptor phi7120(int index, int link) {
+  DeviceDescriptor d;
+  d.name = "Phi7120-" + std::to_string(index);
+  d.type = DeviceType::kMic;
+  d.memory = MemorySpace::kDiscrete;
+  d.link = link;
+  d.peak_gflops = 1208.0;
+  d.sustained_gflops = 650.0;
+  d.peak_membw_GBps = 352.0;
+  d.sustained_membw_GBps = 160.0;
+  d.launch_overhead_s = 150e-6;  // LEO offload-mode launch cost
+  d.alloc_overhead_s = 30e-6;
+  d.noise = 0.03;
+  d.parallel_units = 61;  // KNC cores
+  return d;
+}
+
+LinkDescriptor k80_pcie(int card) {
+  // One PCIe3 x16 slot per K80 card, shared by its two K40 dies.
+  return LinkDescriptor{"pcie-k80-" + std::to_string(card), 11e-6, 11e9};
+}
+
+LinkDescriptor mic_pcie(int index) {
+  return LinkDescriptor{"pcie-mic-" + std::to_string(index), 20e-6, 6e9};
+}
+
+MachineDescriptor host_only() {
+  MachineDescriptor m;
+  m.name = "host-only";
+  m.devices.push_back(haswell_host());
+  return m;
+}
+
+MachineDescriptor gpu4() {
+  MachineDescriptor m;
+  m.name = "gpu4";
+  m.devices.push_back(haswell_host());
+  m.links.push_back(k80_pcie(0));
+  m.links.push_back(k80_pcie(1));
+  for (int i = 0; i < 4; ++i) m.devices.push_back(k40(i, i / 2));
+  return m;
+}
+
+MachineDescriptor cpu_mic() {
+  MachineDescriptor m;
+  m.name = "cpu-mic";
+  m.devices.push_back(haswell_host());
+  for (int i = 0; i < 2; ++i) {
+    m.links.push_back(mic_pcie(i));
+    m.devices.push_back(phi7120(i, i));
+  }
+  return m;
+}
+
+MachineDescriptor full() {
+  MachineDescriptor m;
+  m.name = "full";
+  m.devices.push_back(haswell_host());
+  m.links.push_back(k80_pcie(0));
+  m.links.push_back(k80_pcie(1));
+  for (int i = 0; i < 4; ++i) m.devices.push_back(k40(i, i / 2));
+  for (int i = 0; i < 2; ++i) {
+    m.links.push_back(mic_pcie(i));
+    m.devices.push_back(phi7120(i, 2 + i));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_machine_names() {
+  return {"host-only", "gpu4", "cpu-mic", "full"};
+}
+
+MachineDescriptor builtin(const std::string& name) {
+  MachineDescriptor m;
+  if (name == "host-only") {
+    m = host_only();
+  } else if (name == "gpu4") {
+    m = gpu4();
+  } else if (name == "cpu-mic") {
+    m = cpu_mic();
+  } else if (name == "full") {
+    m = full();
+  } else {
+    throw ConfigError("unknown builtin machine: '" + name + "'");
+  }
+  m.validate();
+  return m;
+}
+
+MachineDescriptor testing_machine(int n_accel, bool shared_link) {
+  HOMP_REQUIRE(n_accel >= 0, "negative accelerator count");
+  MachineDescriptor m;
+  m.name = "testing-" + std::to_string(n_accel);
+  DeviceDescriptor host;
+  host.name = "test-host";
+  host.type = DeviceType::kHost;
+  host.memory = MemorySpace::kShared;
+  host.link = kNoLink;
+  host.peak_gflops = 50.0;
+  host.sustained_gflops = 50.0;
+  host.peak_membw_GBps = 50.0;
+  host.sustained_membw_GBps = 50.0;
+  host.launch_overhead_s = 0.0;
+  host.noise = 0.0;
+  m.devices.push_back(host);
+  if (shared_link && n_accel > 0) {
+    m.links.push_back(LinkDescriptor{"test-link", 1e-6, 10e9});
+  }
+  for (int i = 0; i < n_accel; ++i) {
+    if (!shared_link) {
+      m.links.push_back(
+          LinkDescriptor{"test-link-" + std::to_string(i), 1e-6, 10e9});
+    }
+    DeviceDescriptor d;
+    d.name = "test-accel-" + std::to_string(i);
+    d.type = DeviceType::kNvGpu;
+    d.memory = MemorySpace::kDiscrete;
+    d.link = shared_link ? 0 : i;
+    d.peak_gflops = 100.0;
+    d.sustained_gflops = 100.0;
+    d.peak_membw_GBps = 100.0;
+    d.sustained_membw_GBps = 100.0;
+    d.launch_overhead_s = 0.0;
+    d.noise = 0.0;
+    m.devices.push_back(d);
+  }
+  m.validate();
+  return m;
+}
+
+}  // namespace homp::mach

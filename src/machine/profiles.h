@@ -1,0 +1,44 @@
+#ifndef HOMP_MACHINE_PROFILES_H
+#define HOMP_MACHINE_PROFILES_H
+
+/// \file profiles.h
+/// Built-in machine descriptions modelled after the paper's evaluation
+/// testbed: two Xeon E5-2699 v3 (Haswell) sockets treated as one host
+/// device (as the paper does for CUTOFF accounting), four NVIDIA K40 dies
+/// in two K80 cards, and two Intel Xeon Phi SC7120P coprocessors.
+///
+/// Calibration notes (all figures are deliberately *typical published*
+/// numbers, since the point is relative behaviour, not absolute ms):
+///  * host: peak 2 x 662 GF DP; sustained ~850 GF; STREAM ~95 GB/s.
+///  * K40:  peak 1430 GF DP, sustained ~1100; GDDR5 288 GB/s peak,
+///          ~210 sustained; the two dies of a K80 card share one PCIe3 x16
+///          slot (~11 GB/s effective) — modelled as a shared link.
+///  * Phi 7120P (KNC): peak 1208 GF DP but notoriously hard to saturate
+///          (sustained ~650); PCIe ~6 GB/s effective, and LEO offload-mode
+///          launch overhead is large (~150 us).
+
+#include <string>
+#include <vector>
+
+#include "machine/device.h"
+
+namespace homp::mach {
+
+/// Names accepted by builtin(): "host-only", "gpu4", "cpu-mic", "full".
+std::vector<std::string> builtin_machine_names();
+
+/// Returns a validated built-in machine by name; throws ConfigError for an
+/// unknown name.
+MachineDescriptor builtin(const std::string& name);
+
+/// Host + `n_accel` identical idealized accelerators with round-number
+/// capabilities and zero noise — used by unit tests so expected virtual
+/// times can be computed by hand.
+///
+/// Accelerator: 100 GFLOP/s, 100 GB/s memory, own link with 10 GB/s and
+/// 1 us latency, 0 launch overhead. Host: 50 GFLOP/s, 50 GB/s, shared mem.
+MachineDescriptor testing_machine(int n_accel, bool shared_link = false);
+
+}  // namespace homp::mach
+
+#endif  // HOMP_MACHINE_PROFILES_H

@@ -1,0 +1,133 @@
+#include "memory/device_mapping.h"
+
+#include <cstring>
+
+namespace homp::mem {
+
+DeviceMapping::DeviceMapping(const MapSpec& spec, dist::Region owned,
+                             dist::Region footprint, bool shared,
+                             bool materialize)
+    : spec_(&spec),
+      owned_(std::move(owned)),
+      footprint_(std::move(footprint)),
+      shared_(shared),
+      materialized_(materialize && !shared) {
+  HOMP_REQUIRE(owned_.rank() == spec.region.rank(),
+               "owned region rank mismatch for '" + spec.name + "'");
+  HOMP_REQUIRE(footprint_.rank() == spec.region.rank(),
+               "footprint region rank mismatch for '" + spec.name + "'");
+  HOMP_REQUIRE(footprint_.contains(owned_),
+               "owned region " + owned_.to_string() +
+                   " escapes footprint " + footprint_.to_string() +
+                   " for '" + spec.name + "'");
+  HOMP_REQUIRE(spec.region.contains(footprint_),
+               "footprint " + footprint_.to_string() +
+                   " escapes mapped region " + spec.region.to_string() +
+                   " for '" + spec.name + "'");
+  local_strides_.assign(footprint_.rank(), 1);
+  for (std::size_t d = footprint_.rank(); d-- > 1;) {
+    local_strides_[d - 1] = local_strides_[d] * footprint_.dim(d).size();
+  }
+  if (materialized_) {
+    storage_.resize(static_cast<std::size_t>(footprint_.volume()) *
+                    spec.binding.elem_size);
+  }
+}
+
+double DeviceMapping::bytes_in() const noexcept {
+  if (shared_ || !copies_in(spec_->dir)) return 0.0;
+  return static_cast<double>(footprint_.volume()) *
+         static_cast<double>(spec_->binding.elem_size);
+}
+
+double DeviceMapping::bytes_out() const noexcept {
+  if (shared_ || !copies_out(spec_->dir)) return 0.0;
+  return static_cast<double>(owned_.volume()) *
+         static_cast<double>(spec_->binding.elem_size);
+}
+
+void DeviceMapping::copy_in() {
+  if (!materialized_ || !copies_in(spec_->dir)) return;
+  copy_region(footprint_, /*to_device=*/true);
+}
+
+void DeviceMapping::copy_out() {
+  if (!materialized_ || !copies_out(spec_->dir)) return;
+  copy_region(owned_, /*to_device=*/false);
+}
+
+void DeviceMapping::push_to_host(const dist::Region& r) {
+  if (!materialized_) return;
+  HOMP_REQUIRE(footprint_.contains(r),
+               "push_to_host region escapes footprint of '" + spec_->name +
+                   "'");
+  copy_region(r, /*to_device=*/false);
+}
+
+void DeviceMapping::pull_from_host(const dist::Region& r) {
+  if (!materialized_) return;
+  HOMP_REQUIRE(footprint_.contains(r),
+               "pull_from_host region escapes footprint of '" + spec_->name +
+                   "'");
+  copy_region(r, /*to_device=*/true);
+}
+
+void DeviceMapping::copy_region(const dist::Region& region, bool to_device) {
+  if (region.empty()) return;
+  const std::size_t esz = spec_->binding.elem_size;
+  auto* host = static_cast<std::byte*>(spec_->binding.base);
+  const auto& hstrides = spec_->binding.strides;
+  const std::size_t rank = region.rank();
+
+  // Innermost dimension is contiguous in both layouts (host is row-major,
+  // local storage is packed row-major over the footprint), so copy whole
+  // innermost runs with memcpy and loop over the outer dimensions.
+  const dist::Range inner = region.dim(rank - 1);
+  const std::size_t run_bytes = static_cast<std::size_t>(inner.size()) * esz;
+
+  auto host_off = [&](long long i0, long long i1, long long i2) {
+    long long off = 0;
+    const long long idx[3] = {i0, i1, i2};
+    for (std::size_t d = 0; d < rank; ++d) off += idx[d] * hstrides[d];
+    return static_cast<std::size_t>(off) * esz;
+  };
+  auto local_off = [&](long long i0, long long i1, long long i2) {
+    long long off = 0;
+    const long long idx[3] = {i0, i1, i2};
+    for (std::size_t d = 0; d < rank; ++d) {
+      off += (idx[d] - footprint_.dim(d).lo) * local_strides_[d];
+    }
+    return static_cast<std::size_t>(off) * esz;
+  };
+  auto copy_run = [&](long long i0, long long i1, long long i2) {
+    std::byte* h = host + host_off(i0, i1, i2);
+    std::byte* l = storage_.data() + local_off(i0, i1, i2);
+    if (to_device) {
+      std::memcpy(l, h, run_bytes);
+    } else {
+      std::memcpy(h, l, run_bytes);
+    }
+  };
+
+  switch (rank) {
+    case 1:
+      copy_run(inner.lo, 0, 0);
+      break;
+    case 2:
+      for (long long i = region.dim(0).lo; i < region.dim(0).hi; ++i) {
+        copy_run(i, inner.lo, 0);
+      }
+      break;
+    case 3:
+      for (long long i = region.dim(0).lo; i < region.dim(0).hi; ++i) {
+        for (long long j = region.dim(1).lo; j < region.dim(1).hi; ++j) {
+          copy_run(i, j, inner.lo);
+        }
+      }
+      break;
+    default:
+      HOMP_ASSERT(false);
+  }
+}
+
+}  // namespace homp::mem

@@ -1,0 +1,122 @@
+#ifndef HOMP_MEMORY_HOST_ARRAY_H
+#define HOMP_MEMORY_HOST_ARRAY_H
+
+/// \file host_array.h
+/// Owning host-side N-dimensional array (rank 1..3, row-major).
+///
+/// This is the "original" user data that offload regions map from: the
+/// equivalent of the plain C arrays in the paper's examples. Device-side
+/// copies are materialized by memory/device_mapping.h; kernels access both
+/// through memory/view.h with global indices.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/range.h"
+
+namespace homp::mem {
+
+template <typename T>
+class HostArray {
+ public:
+  HostArray() = default;
+
+  explicit HostArray(std::vector<long long> shape, T init = T{})
+      : shape_(std::move(shape)) {
+    HOMP_REQUIRE(!shape_.empty() && shape_.size() <= 3,
+                 "HostArray supports rank 1..3");
+    long long n = 1;
+    for (long long e : shape_) {
+      HOMP_REQUIRE(e > 0, "HostArray extents must be positive");
+      n *= e;
+    }
+    data_.assign(static_cast<std::size_t>(n), init);
+    compute_strides();
+  }
+
+  static HostArray vector(long long n, T init = T{}) {
+    return HostArray({n}, init);
+  }
+  static HostArray matrix(long long n, long long m, T init = T{}) {
+    return HostArray({n, m}, init);
+  }
+
+  std::size_t rank() const noexcept { return shape_.size(); }
+  long long extent(std::size_t d) const {
+    HOMP_ASSERT(d < shape_.size());
+    return shape_[d];
+  }
+  const std::vector<long long>& shape() const noexcept { return shape_; }
+  long long stride(std::size_t d) const {
+    HOMP_ASSERT(d < strides_.size());
+    return strides_[d];
+  }
+
+  long long size() const noexcept {
+    return static_cast<long long>(data_.size());
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  T& operator()(long long i) {
+    HOMP_ASSERT(rank() == 1 && i >= 0 && i < shape_[0]);
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& operator()(long long i) const {
+    HOMP_ASSERT(rank() == 1 && i >= 0 && i < shape_[0]);
+    return data_[static_cast<std::size_t>(i)];
+  }
+  T& operator()(long long i, long long j) {
+    HOMP_ASSERT(rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+                j < shape_[1]);
+    return data_[static_cast<std::size_t>(i * strides_[0] + j)];
+  }
+  const T& operator()(long long i, long long j) const {
+    HOMP_ASSERT(rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+                j < shape_[1]);
+    return data_[static_cast<std::size_t>(i * strides_[0] + j)];
+  }
+
+  /// Whole-array region: [0:extent) in every dimension.
+  dist::Region region() const { return dist::Region::of_shape(shape_); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fill with f(i) (rank 1) — convenience for tests and examples.
+  template <typename F>
+  void fill_with_index(F&& f) {
+    HOMP_ASSERT(rank() == 1);
+    for (long long i = 0; i < shape_[0]; ++i) {
+      data_[static_cast<std::size_t>(i)] = f(i);
+    }
+  }
+
+  /// Fill with f(i, j) (rank 2).
+  template <typename F>
+  void fill_with_indices(F&& f) {
+    HOMP_ASSERT(rank() == 2);
+    for (long long i = 0; i < shape_[0]; ++i) {
+      for (long long j = 0; j < shape_[1]; ++j) {
+        (*this)(i, j) = f(i, j);
+      }
+    }
+  }
+
+ private:
+  void compute_strides() {
+    strides_.assign(shape_.size(), 1);
+    for (std::size_t d = shape_.size(); d-- > 1;) {
+      strides_[d - 1] = strides_[d] * shape_[d];
+    }
+  }
+
+  std::vector<long long> shape_;
+  std::vector<long long> strides_;
+  std::vector<T> data_;
+};
+
+}  // namespace homp::mem
+
+#endif  // HOMP_MEMORY_HOST_ARRAY_H

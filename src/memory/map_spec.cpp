@@ -1,0 +1,83 @@
+#include "memory/map_spec.h"
+
+namespace homp::mem {
+
+const char* to_string(MapDirection d) noexcept {
+  switch (d) {
+    case MapDirection::kTo:
+      return "to";
+    case MapDirection::kFrom:
+      return "from";
+    case MapDirection::kToFrom:
+      return "tofrom";
+    case MapDirection::kAlloc:
+      return "alloc";
+  }
+  return "?";
+}
+
+ArrayBinding phantom_binding(std::size_t elem_size,
+                             std::vector<long long> shape) {
+  static char sentinel;
+  ArrayBinding b;
+  b.base = &sentinel;
+  b.elem_size = elem_size;
+  b.shape = std::move(shape);
+  b.strides.assign(b.shape.size(), 1);
+  for (std::size_t d = b.shape.size(); d-- > 1;) {
+    b.strides[d - 1] = b.strides[d] * b.shape[d];
+  }
+  return b;
+}
+
+void MapSpec::validate() const {
+  HOMP_REQUIRE(!name.empty(), "mapped variable needs a name");
+  HOMP_REQUIRE(binding.base != nullptr,
+               "mapped variable '" + name + "' has no storage bound");
+  HOMP_REQUIRE(binding.rank() == region.rank(),
+               "mapped region rank does not match array rank for '" + name +
+                   "'");
+  HOMP_REQUIRE(partition.empty() || partition.size() == region.rank(),
+               "partition([...]) must give one policy per dimension for '" +
+                   name + "'");
+  dist::Region whole = dist::Region::of_shape(binding.shape);
+  HOMP_REQUIRE(whole.contains(region),
+               "mapped region exceeds array bounds for '" + name + "'");
+  int partitioned = 0;
+  for (const auto& p : partition) {
+    HOMP_REQUIRE(p.kind != dist::PolicyKind::kAuto,
+                 "AUTO applies only to loop distribution (Table I); array '" +
+                     name + "' cannot use it");
+    HOMP_REQUIRE(p.kind != dist::PolicyKind::kCyclic,
+                 "CYCLIC applies only to loop distribution; array '" + name +
+                     "' cannot use it");
+    if (p.kind != dist::PolicyKind::kFull) ++partitioned;
+  }
+  HOMP_REQUIRE(partitioned <= 1,
+               "at most one dimension of '" + name +
+                   "' may be partitioned (multi-dim device grids are not "
+                   "supported)");
+  HOMP_REQUIRE(halo_before >= 0 && halo_after >= 0,
+               "halo widths must be non-negative for '" + name + "'");
+  if (halo_before > 0 || halo_after > 0) {
+    HOMP_REQUIRE(partitioned == 1,
+                 "halo on '" + name + "' requires a partitioned dimension");
+  }
+}
+
+int MapSpec::partitioned_dim() const {
+  for (std::size_t d = 0; d < partition.size(); ++d) {
+    if (partition[d].kind != dist::PolicyKind::kFull) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+dist::DimPolicy MapSpec::partitioned_policy() const {
+  const int d = partitioned_dim();
+  return d < 0 ? dist::DimPolicy::full()
+               : partition[static_cast<std::size_t>(d)];
+}
+
+}  // namespace homp::mem

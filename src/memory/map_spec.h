@@ -1,0 +1,99 @@
+#ifndef HOMP_MEMORY_MAP_SPEC_H
+#define HOMP_MEMORY_MAP_SPEC_H
+
+/// \file map_spec.h
+/// Declarative description of one `map(...)` clause entry with its
+/// optional `partition([...])` parameter and halo — the HOMP extension of
+/// §III-3. The runtime turns a MapSpec plus a distribution decision into
+/// per-device DeviceMappings.
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/policy.h"
+#include "dist/range.h"
+#include "memory/host_array.h"
+
+namespace homp::mem {
+
+/// OpenMP map directions (map-type in the standard).
+enum class MapDirection { kTo, kFrom, kToFrom, kAlloc };
+
+const char* to_string(MapDirection d) noexcept;
+
+inline bool copies_in(MapDirection d) noexcept {
+  return d == MapDirection::kTo || d == MapDirection::kToFrom;
+}
+inline bool copies_out(MapDirection d) noexcept {
+  return d == MapDirection::kFrom || d == MapDirection::kToFrom;
+}
+
+/// Type-erased handle on a host array's storage.
+struct ArrayBinding {
+  void* base = nullptr;
+  std::size_t elem_size = 0;
+  std::vector<long long> shape;
+  std::vector<long long> strides;  // in elements, row-major
+
+  std::size_t rank() const noexcept { return shape.size(); }
+};
+
+/// Binding for simulation-only cases: carries shape/element size for byte
+/// accounting but no real storage. Valid only with execute_bodies = false;
+/// the base pointer is a non-null sentinel that must never be dereferenced
+/// (materialize=false mappings never touch it).
+ArrayBinding phantom_binding(std::size_t elem_size,
+                             std::vector<long long> shape);
+
+template <typename T>
+ArrayBinding bind_array(HostArray<T>& a) {
+  ArrayBinding b;
+  b.base = a.data();
+  b.elem_size = sizeof(T);
+  b.shape = a.shape();
+  b.strides.resize(a.rank());
+  for (std::size_t d = 0; d < a.rank(); ++d) b.strides[d] = a.stride(d);
+  return b;
+}
+
+struct MapSpec {
+  std::string name;  ///< symbol name; ALIGN targets refer to this
+  MapDirection dir = MapDirection::kTo;
+  ArrayBinding binding;
+
+  /// Mapped subregion of the array (the `y[0:n]` part); usually the whole
+  /// array.
+  dist::Region region;
+
+  /// Per-dimension distribution policy; empty means FULL in every dim.
+  /// At most one dimension may carry a partitioning (non-FULL) policy;
+  /// that matches every use in the paper (e.g. `partition([ALIGN(loop1)],
+  /// FULL)` for 2-D arrays) and keeps device data contiguous per row block.
+  std::vector<dist::DimPolicy> partition;
+
+  /// Halo widths applied to the partitioned dimension (the `halo(1,)`
+  /// annotation on uold in Fig. 3). halo(1,) means before=1, after=1 —
+  /// an omitted side defaults to the given one.
+  long long halo_before = 0;
+  long long halo_after = 0;
+
+  /// Validates rank consistency and the single-partitioned-dim rule.
+  void validate() const;
+
+  /// Index of the dimension with a non-FULL policy, or -1 if fully
+  /// replicated.
+  int partitioned_dim() const;
+
+  /// The policy of the partitioned dimension (FULL if none).
+  dist::DimPolicy partitioned_policy() const;
+
+  double region_bytes() const {
+    return static_cast<double>(region.volume()) *
+           static_cast<double>(binding.elem_size);
+  }
+};
+
+}  // namespace homp::mem
+
+#endif  // HOMP_MEMORY_MAP_SPEC_H

@@ -1,0 +1,93 @@
+#ifndef HOMP_MEMORY_VIEW_H
+#define HOMP_MEMORY_VIEW_H
+
+/// \file view.h
+/// Global-indexed view over a device-local array slice.
+///
+/// Kernels are written once against global indices, exactly like the loop
+/// bodies in the paper's examples (`y[i] += a * x[i]` with the original i).
+/// The paper's compiler "guarantees array references to its original array
+/// index spaces are properly translated to references to the array
+/// subregion that is mapped to each device" (§V-C); ArrayView is that
+/// translation. Out-of-footprint accesses are hard errors — they mean the
+/// distribution/alignment machinery mapped too little data, which is
+/// precisely the bug class the tests must catch.
+
+#include <array>
+#include <cstddef>
+
+#include "common/error.h"
+#include "dist/range.h"
+
+namespace homp::mem {
+
+template <typename T>
+class ArrayView {
+ public:
+  ArrayView() = default;
+
+  /// \param base    first element of the local storage, which holds the
+  ///                (contiguous, row-major) elements of `footprint`
+  /// \param footprint global region present in local storage
+  ArrayView(T* base, dist::Region footprint)
+      : base_(base), footprint_(std::move(footprint)) {
+    HOMP_ASSERT(footprint_.rank() >= 1 && footprint_.rank() <= 3);
+    local_strides_.fill(1);
+    for (std::size_t d = footprint_.rank(); d-- > 1;) {
+      local_strides_[d - 1] =
+          local_strides_[d] * footprint_.dim(d).size();
+    }
+  }
+
+  const dist::Region& footprint() const noexcept { return footprint_; }
+  T* local_data() noexcept { return base_; }
+
+  T& operator()(long long i) const {
+    HOMP_ASSERT(footprint_.rank() == 1);
+    check(0, i);
+    return base_[i - footprint_.dim(0).lo];
+  }
+
+  T& operator()(long long i, long long j) const {
+    HOMP_ASSERT(footprint_.rank() == 2);
+    check(0, i);
+    check(1, j);
+    return base_[(i - footprint_.dim(0).lo) * local_strides_[0] +
+                 (j - footprint_.dim(1).lo)];
+  }
+
+  T& operator()(long long i, long long j, long long k) const {
+    HOMP_ASSERT(footprint_.rank() == 3);
+    check(0, i);
+    check(1, j);
+    check(2, k);
+    return base_[(i - footprint_.dim(0).lo) * local_strides_[0] +
+                 (j - footprint_.dim(1).lo) * local_strides_[1] +
+                 (k - footprint_.dim(2).lo)];
+  }
+
+  /// True if global index i (dim 0) is present in the footprint; kernels
+  /// with neighbourhood access use this to probe halo availability.
+  bool covers(long long i) const noexcept {
+    return footprint_.rank() >= 1 && footprint_.dim(0).contains(i);
+  }
+
+ private:
+  void check(std::size_t d, long long i) const {
+    if (!footprint_.dim(d).contains(i)) {
+      throw ExecutionError(
+          "kernel accessed global index " + std::to_string(i) + " in dim " +
+          std::to_string(d) + " outside mapped footprint " +
+          footprint_.to_string() +
+          " — data distribution/alignment mapped too little data");
+    }
+  }
+
+  T* base_ = nullptr;
+  dist::Region footprint_;
+  std::array<long long, 3> local_strides_{1, 1, 1};
+};
+
+}  // namespace homp::mem
+
+#endif  // HOMP_MEMORY_VIEW_H

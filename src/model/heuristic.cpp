@@ -1,0 +1,24 @@
+#include "model/heuristic.h"
+
+namespace homp::model {
+
+const char* to_string(KernelClass c) noexcept {
+  switch (c) {
+    case KernelClass::kComputeIntensive:
+      return "compute-intensive";
+    case KernelClass::kBalanced:
+      return "balanced";
+    case KernelClass::kDataIntensive:
+      return "data-intensive";
+  }
+  return "?";
+}
+
+KernelClass classify(const KernelCostProfile& k) noexcept {
+  const double data_comp = k.data_comp();
+  if (data_comp >= 0.9) return KernelClass::kDataIntensive;
+  if (data_comp >= 0.07) return KernelClass::kBalanced;
+  return KernelClass::kComputeIntensive;
+}
+
+}  // namespace homp::model

@@ -1,0 +1,31 @@
+#ifndef HOMP_MODEL_HEURISTIC_H
+#define HOMP_MODEL_HEURISTIC_H
+
+/// \file heuristic.h
+/// Kernel classification by computational intensity (§IV-D).
+///
+/// The paper's heuristic for picking a loop-distribution algorithm keys on
+/// roofline-style intensity "to capture the computation and data movement
+/// behavior of an application". We classify on DataComp (transferred
+/// elements per FLOP, Table IV):
+///
+///   DataComp >= 0.9   data-intensive       (axpy 1.5, sum 1.0)
+///   0.07 <= DataComp  balanced             (mv ~0.5, stencil ~0.077)
+///   DataComp < 0.07   compute-intensive    (mm 1.5/N, bm 0.06)
+///
+/// The thresholds sit between the Table IV clusters; §VI-D's summary maps
+/// each class to an algorithm (see sched/selector.h).
+
+#include "model/kernel_profile.h"
+
+namespace homp::model {
+
+enum class KernelClass { kComputeIntensive, kBalanced, kDataIntensive };
+
+const char* to_string(KernelClass c) noexcept;
+
+KernelClass classify(const KernelCostProfile& k) noexcept;
+
+}  // namespace homp::model
+
+#endif  // HOMP_MODEL_HEURISTIC_H

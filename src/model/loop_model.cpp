@@ -1,0 +1,155 @@
+#include "model/loop_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "model/cost.h"
+
+namespace homp::model {
+
+std::vector<DevicePredictionInput> prediction_inputs(
+    const mach::MachineDescriptor& machine, const std::vector<int>& devices) {
+  std::vector<DevicePredictionInput> out;
+  out.reserve(devices.size());
+  for (int id : devices) {
+    HOMP_REQUIRE(id >= 0 &&
+                     static_cast<std::size_t>(id) < machine.devices.size(),
+                 "device id " + std::to_string(id) + " out of range");
+    const auto& d = machine.devices[static_cast<std::size_t>(id)];
+    DevicePredictionInput in;
+    in.peak_flops = d.peak_flops();
+    in.peak_membw_Bps = d.peak_membw_Bps();
+    in.launch_overhead_s = d.launch_overhead_s;
+    if (d.link != mach::kNoLink && d.memory == mach::MemorySpace::kDiscrete) {
+      const auto& l = machine.links[static_cast<std::size_t>(d.link)];
+      in.has_link = true;
+      in.link_latency_s = l.latency_s;
+      in.link_bandwidth_Bps = l.bandwidth_Bps;
+    }
+    out.push_back(in);
+  }
+  return out;
+}
+
+double model1_iter_time(const KernelCostProfile& k,
+                        const DevicePredictionInput& d) {
+  HOMP_REQUIRE(d.peak_flops > 0.0, "device has no peak performance");
+  // "Considering only computation capability": rate proportional to Perf.
+  // Guard kernels with no FLOPs (pure data movement) with a nominal one
+  // operation per iteration so the weights stay proportional to Perf.
+  const double flops = std::max(k.flops_per_iter, 1.0);
+  return flops / d.peak_flops;
+}
+
+double model2_iter_time(const KernelCostProfile& k,
+                        const DevicePredictionInput& d) {
+  const double exec =
+      roofline_time(std::max(k.flops_per_iter, 1.0), k.mem_bytes_per_iter,
+                    d.peak_flops, d.peak_membw_Bps)
+          .seconds;
+  double data = 0.0;
+  if (d.has_link) {
+    // Per-iteration share of the bulk transfer; the alpha term is a
+    // per-offload constant and is accounted in launch costs, not here.
+    data = k.transfer_bytes_per_iter / d.link_bandwidth_Bps;
+  }
+  return exec + data;
+}
+
+std::vector<double> weights_from_rates(const std::vector<double>& rates) {
+  HOMP_REQUIRE(!rates.empty(), "no devices to weight");
+  double total = 0.0;
+  for (double r : rates) {
+    HOMP_REQUIRE(r >= 0.0 && std::isfinite(r),
+                 "rates must be finite and non-negative");
+    total += r;
+  }
+  HOMP_REQUIRE(total > 0.0, "all device rates are zero");
+  std::vector<double> w(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) w[i] = rates[i] / total;
+  return w;
+}
+
+namespace {
+std::vector<double> weights_from_iter_times(
+    const KernelCostProfile& k,
+    const std::vector<DevicePredictionInput>& devices,
+    double (*iter_time)(const KernelCostProfile&,
+                        const DevicePredictionInput&)) {
+  std::vector<double> rates;
+  rates.reserve(devices.size());
+  for (const auto& d : devices) rates.push_back(1.0 / iter_time(k, d));
+  return weights_from_rates(rates);
+}
+}  // namespace
+
+std::vector<double> model1_weights(
+    const KernelCostProfile& k,
+    const std::vector<DevicePredictionInput>& devices) {
+  return weights_from_iter_times(k, devices, model1_iter_time);
+}
+
+std::vector<double> model2_weights(
+    const KernelCostProfile& k,
+    const std::vector<DevicePredictionInput>& devices) {
+  return weights_from_iter_times(k, devices, model2_iter_time);
+}
+
+double predicted_completion_time(long long n_iters,
+                                 const std::vector<double>& weights,
+                                 const std::vector<double>& iter_times) {
+  HOMP_REQUIRE(weights.size() == iter_times.size(),
+               "weights/iter_times size mismatch");
+  double t0 = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    t0 = std::max(t0, static_cast<double>(n_iters) * weights[i] *
+                          iter_times[i]);
+  }
+  return t0;
+}
+
+CutoffResult apply_cutoff(const std::vector<double>& weights,
+                          double cutoff_ratio) {
+  HOMP_REQUIRE(!weights.empty(), "no devices for cutoff selection");
+  HOMP_REQUIRE(cutoff_ratio >= 0.0 && cutoff_ratio < 1.0,
+               "cutoff ratio must be in [0, 1)");
+  CutoffResult res;
+  res.selected.assign(weights.size(), true);
+  res.weights = weights;
+
+  auto renormalize = [&res] {
+    double total = 0.0;
+    for (std::size_t i = 0; i < res.weights.size(); ++i) {
+      if (res.selected[i]) total += res.weights[i];
+    }
+    HOMP_ASSERT(total > 0.0);
+    for (std::size_t i = 0; i < res.weights.size(); ++i) {
+      res.weights[i] = res.selected[i] ? res.weights[i] / total : 0.0;
+    }
+  };
+  renormalize();
+
+  for (;;) {
+    // Find the smallest selected contribution; tie -> higher index.
+    int victim = -1;
+    double smallest = 2.0;
+    int remaining = 0;
+    for (std::size_t i = 0; i < res.weights.size(); ++i) {
+      if (!res.selected[i]) continue;
+      ++remaining;
+      if (res.weights[i] <= smallest) {
+        smallest = res.weights[i];
+        victim = static_cast<int>(i);
+      }
+    }
+    if (remaining <= 1 || smallest >= cutoff_ratio) {
+      res.num_selected = remaining;
+      return res;
+    }
+    res.selected[static_cast<std::size_t>(victim)] = false;
+    renormalize();
+  }
+}
+
+}  // namespace homp::model

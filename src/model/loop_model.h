@@ -1,0 +1,87 @@
+#ifndef HOMP_MODEL_LOOP_MODEL_H
+#define HOMP_MODEL_LOOP_MODEL_H
+
+/// \file loop_model.h
+/// The paper's analytical loop-distribution models (§IV-B) and the CUTOFF
+/// device-selection heuristic (§IV-E).
+///
+/// Both models reduce to computing a per-iteration cost c_i for each
+/// device and solving the linear system of Eq. (3): find chunk sizes N_i
+/// with sum N_i = N such that every device finishes at the same time T0.
+/// With per-iteration costs, N_i * c_i = T0 for all i, so
+/// N_i = N * (1/c_i) / sum_j (1/c_j) — proportional to rates. The solver
+/// returns the weight vector (1/c_i normalized); Distribution::by_weights
+/// turns it into chunk ranges.
+
+#include <vector>
+
+#include "machine/device.h"
+#include "model/kernel_profile.h"
+
+namespace homp::model {
+
+/// Model-visible description of one device for prediction purposes,
+/// extracted from the machine description (peak numbers + link constants —
+/// the "machine characteristics obtained through microbenchmark profiling"
+/// of §IV-B2).
+struct DevicePredictionInput {
+  double peak_flops = 0.0;      ///< FLOP/s
+  double peak_membw_Bps = 0.0;  ///< bytes/s of device memory
+  bool has_link = false;        ///< false for host / shared-memory devices
+  double link_latency_s = 0.0;
+  double link_bandwidth_Bps = 0.0;
+  double launch_overhead_s = 0.0;
+};
+
+/// Build prediction inputs for a device list on a machine.
+std::vector<DevicePredictionInput> prediction_inputs(
+    const mach::MachineDescriptor& machine, const std::vector<int>& devices);
+
+/// MODEL_1_AUTO per-iteration time: computation capability only (§IV-B1).
+double model1_iter_time(const KernelCostProfile& k,
+                        const DevicePredictionInput& d);
+
+/// MODEL_2_AUTO per-iteration time: computation plus data movement
+/// (§IV-B2): Hockney transfer of the iteration's data slice plus roofline
+/// execution time.
+double model2_iter_time(const KernelCostProfile& k,
+                        const DevicePredictionInput& d);
+
+/// Normalize per-device rates (iterations/second) into weights summing
+/// to 1. Zero rates are allowed (weight 0) unless all are zero.
+std::vector<double> weights_from_rates(const std::vector<double>& rates);
+
+std::vector<double> model1_weights(
+    const KernelCostProfile& k,
+    const std::vector<DevicePredictionInput>& devices);
+
+std::vector<double> model2_weights(
+    const KernelCostProfile& k,
+    const std::vector<DevicePredictionInput>& devices);
+
+/// Predicted completion time T0 of Eq. (3) for `n_iters` distributed by
+/// `weights` over devices with the given per-iteration times.
+double predicted_completion_time(long long n_iters,
+                                 const std::vector<double>& weights,
+                                 const std::vector<double>& iter_times);
+
+/// CUTOFF device selection (§IV-E): drop devices whose predicted
+/// contribution falls below `cutoff_ratio` (e.g. 0.15).
+///
+/// The paper computes contributions once; applied literally to a machine
+/// of identical devices that would drop *every* device (each contributes
+/// 1/M < cutoff). We therefore drop iteratively — remove the smallest
+/// contributor below the cutoff, renormalize, repeat — and always keep at
+/// least one device. Ties drop the higher index (the "farther" device).
+struct CutoffResult {
+  std::vector<bool> selected;    ///< per input position
+  std::vector<double> weights;   ///< renormalized; 0 for dropped devices
+  int num_selected = 0;
+};
+
+CutoffResult apply_cutoff(const std::vector<double>& weights,
+                          double cutoff_ratio);
+
+}  // namespace homp::model
+
+#endif  // HOMP_MODEL_LOOP_MODEL_H

@@ -1,0 +1,113 @@
+#ifndef HOMP_PRAGMA_PARSE_H
+#define HOMP_PRAGMA_PARSE_H
+
+/// \file parse.h
+/// Front-end for the HOMP directive syntax of §III. In the paper these
+/// pragmas are lowered by a ROSE-based source-to-source compiler; here the
+/// same clause grammar is parsed from strings at runtime and bound to
+/// arrays/scalars through an explicit Bindings table (DESIGN.md §2).
+///
+/// Supported directives (leading "#pragma omp" optional):
+///
+///   [parallel] target [data] device(...) map(...)...
+///       [distribute] [dist_schedule(target: ...)] [collapse(k)]
+///       [reduction(+:var)] [label(loop1)]
+///   halo_exchange(array)
+///
+/// Clause grammar highlights:
+///   device(0:*), device(0,2,3,5), device(0:2,4:2),
+///       device(0:*:HOMP_DEVICE_NVGPU)
+///   map(tofrom: y[0:n] partition([BLOCK]), a, n)
+///   map(to: f[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))
+///   dist_schedule(target:[AUTO]) | dist_schedule(target:[ALIGN(x)])
+///     | dist_schedule(target: SCHED_DYNAMIC(2%))      (extension)
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/policy.h"
+#include "machine/device.h"
+#include "memory/map_spec.h"
+#include "runtime/options.h"
+
+namespace homp::pragma {
+
+/// Values for symbolic array-section bounds (the n, m in y[0:n]).
+struct Symbols {
+  std::map<std::string, long long> values;
+
+  long long resolve(const std::string& expr) const;
+};
+
+struct ParsedMapEntry {
+  mem::MapDirection dir = mem::MapDirection::kTo;
+  std::string name;
+  bool is_scalar = false;
+  /// Array sections as (lower, length) expression strings, one per dim.
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::vector<dist::DimPolicy> partition;
+  long long halo_before = 0;
+  long long halo_after = 0;
+};
+
+struct ParsedDirective {
+  enum class Kind { kTarget, kTargetData, kHaloExchange };
+  Kind kind = Kind::kTarget;
+
+  bool parallel = false;  ///< the `parallel target` composite (§III-4)
+  std::string device_clause;
+  std::vector<ParsedMapEntry> maps;
+
+  bool has_dist_schedule = false;
+  dist::DimPolicy loop_policy = dist::DimPolicy::auto_();
+
+  /// dist_schedule(teams:[...]) — within-device distribution (BLOCK or
+  /// CYCLIC).
+  dist::PolicyKind teams_policy = dist::PolicyKind::kBlock;
+  sched::SchedulerConfig sched;  ///< when an algorithm name was given
+  bool sched_given = false;
+
+  int collapse = 1;
+  bool has_reduction = false;
+  std::string reduction_var;
+  std::string loop_label = "loop";
+  std::string halo_array;  ///< for Kind::kHaloExchange
+};
+
+/// Parse one directive string. Throws ParseError on malformed input.
+ParsedDirective parse_directive(const std::string& text);
+
+/// Resolve a device clause against a machine: "0:*", "0,2,3,5", "0:2,4:2",
+/// "0:*:HOMP_DEVICE_NVGPU", "*" (shorthand for 0:*). Throws ConfigError on
+/// out-of-range ids or empty results.
+std::vector<int> resolve_device_clause(const std::string& clause,
+                                       const mach::MachineDescriptor& m);
+
+/// Storage bindings for the parsed map entries.
+struct Bindings {
+  std::map<std::string, mem::ArrayBinding> arrays;
+  Symbols symbols;
+
+  template <typename T>
+  void bind(const std::string& name, mem::HostArray<T>& a) {
+    arrays[name] = mem::bind_array(a);
+  }
+  void let(const std::string& name, long long value) {
+    symbols.values[name] = value;
+  }
+};
+
+/// Materialize MapSpecs from the directive's map clauses (scalars are
+/// skipped — they travel by value with the kernel).
+std::vector<mem::MapSpec> build_map_specs(const ParsedDirective& d,
+                                          const Bindings& b);
+
+/// Derive OffloadOptions (device list, loop policy, scheduler config,
+/// label, parallel flag) from a parsed target directive.
+rt::OffloadOptions to_offload_options(const ParsedDirective& d,
+                                      const mach::MachineDescriptor& m);
+
+}  // namespace homp::pragma
+
+#endif  // HOMP_PRAGMA_PARSE_H

@@ -1,0 +1,50 @@
+#ifndef HOMP_RUNTIME_KERNEL_H
+#define HOMP_RUNTIME_KERNEL_H
+
+/// \file kernel.h
+/// An offloadable parallel loop: the runtime-facing form of the outlined
+/// multi-target function the paper's compiler generates (§V-A).
+///
+/// The body is written once against global indices and DeviceDataEnv views
+/// (the "single kernel, multiple targets" substitution of DESIGN.md §2).
+/// The cost profile drives the simulator's ground-truth timing and the
+/// analytical models.
+
+#include <functional>
+#include <string>
+
+#include "dist/range.h"
+#include "memory/data_env.h"
+#include "model/kernel_profile.h"
+
+namespace homp::rt {
+
+struct LoopKernel {
+  /// Diagnostic name ("axpy", "jacobi-copy", ...).
+  std::string name;
+
+  /// Distributed (outermost / collapsed) loop iteration domain.
+  dist::Range iterations;
+
+  /// Per-iteration cost characteristics (Table IV inputs).
+  model::KernelCostProfile cost;
+
+  /// Compute `chunk` against the device's mapped data; returns the chunk's
+  /// partial reduction value (0.0 when the loop has no reduction clause).
+  /// Invoked only when OffloadOptions::execute_bodies is set; pure
+  /// simulation runs skip it and rely on `cost` alone.
+  std::function<double(const dist::Range& chunk, mem::DeviceDataEnv& env)>
+      body;
+
+  /// Optional per-chunk work-variability factor (>= 0) multiplying the
+  /// modelled compute time of a chunk; identity when unset. Lets tests and
+  /// ablations inject irregular workloads, the case where dynamic/guided
+  /// chunking earns its overhead (§IV-A2).
+  std::function<double(const dist::Range& chunk)> work_factor;
+
+  bool has_reduction = false;
+};
+
+}  // namespace homp::rt
+
+#endif  // HOMP_RUNTIME_KERNEL_H

@@ -1,0 +1,792 @@
+#include "runtime/offload_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/prng.h"
+#include "model/cost.h"
+#include "sched/partition_sched.h"
+#include "sched/selector.h"
+#include "sim/sync.h"
+
+namespace homp::rt {
+
+namespace {
+/// Cost of one chunk acquisition (shared-cursor CAS plus bookkeeping on
+/// the proxy thread).
+constexpr double kChunkSchedOverheadS = 1e-6;
+}  // namespace
+
+/// How one mapped array participates in the distribution.
+struct OffloadExecution::SpecPlan {
+  const mem::MapSpec* spec = nullptr;
+  int pdim = -1;            ///< partitioned dimension, -1 = FULL
+  bool follows_loop = false;  ///< owned region derived from loop chunks
+  double ratio = 1.0;       ///< composite ALIGN ratio to the loop / root
+  dist::Distribution static_dist;  ///< for partitioned non-following arrays
+};
+
+/// A chunk moving through a proxy's pipeline.
+struct OffloadExecution::PendingChunk {
+  dist::Range range;
+  std::vector<mem::DeviceMapping*> chunk_maps;
+  mem::DeviceDataEnv env;      ///< statics + chunk slices
+  double fetch_start = 0.0;    ///< virtual time the chunk was acquired
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+};
+
+/// Per-device proxy actor state.
+struct OffloadExecution::Proxy {
+  int slot = -1;
+  int device_id = -1;
+  const mach::DeviceDescriptor* desc = nullptr;
+  sim::SharedLink* down = nullptr;  ///< host -> device lane
+  sim::SharedLink* up = nullptr;    ///< device -> host lane
+  Prng noise{0};
+
+  mem::MappingStore store;
+  mem::DeviceDataEnv static_env;
+  bool statics_loaded = false;
+  bool alloc_paid = false;
+  bool setup_signalled = false;  ///< for serialized (!parallel) offloading
+
+  bool fetching = false;
+  std::optional<PendingChunk> inflight;   ///< input transfer in progress
+  std::optional<PendingChunk> ready;      ///< resident, awaiting compute
+  std::optional<PendingChunk> computing;  ///< kernel in progress
+  double compute_started = 0.0;
+  int outstanding_outputs = 0;
+
+  bool waiting_stage = false;
+  double stage_wait_start = 0.0;
+  bool finalizing = false;
+  bool done = false;
+
+  double partial_reduction = 0.0;
+  DeviceStats stats;
+  std::vector<TraceSpan> spans;
+
+  void record_span(bool enabled, Phase phase, double t0, double t1,
+                   std::string label = {}) {
+    if (!enabled || t1 <= t0) return;
+    spans.push_back(TraceSpan{slot, desc->name, phase, t0, t1,
+                              std::move(label)});
+  }
+};
+
+OffloadExecution::~OffloadExecution() = default;
+
+OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
+                                   const LoopKernel& kernel,
+                                   const std::vector<mem::MapSpec>& maps,
+                                   const OffloadOptions& opts,
+                                   const dist::Distribution* forced_loop_dist,
+                                   const std::vector<mem::DeviceDataEnv>*
+                                       region_envs)
+    : machine_(machine),
+      kernel_(kernel),
+      maps_(maps),
+      opts_(opts),
+      region_envs_(region_envs) {
+  if (region_envs_ != nullptr) {
+    HOMP_REQUIRE(maps_.empty(),
+                 "offloads inside a data region use the region's mappings; "
+                 "per-offload map clauses are not supported");
+    HOMP_REQUIRE(forced_loop_dist != nullptr,
+                 "offloads inside a data region must use the region's loop "
+                 "distribution");
+    HOMP_REQUIRE(region_envs_->size() == opts_.device_ids.size(),
+                 "region environment count does not match device list");
+  }
+  validate_and_plan();
+
+  // Prediction context (model-visible peak numbers).
+  loop_context_.loop = kernel_.iterations;
+  loop_context_.devices =
+      model::prediction_inputs(machine_, opts_.device_ids);
+  loop_context_.kernel = effective_profile_;
+
+  // Resolve the loop scheduler.
+  if (forced_loop_dist != nullptr) {
+    HOMP_REQUIRE(forced_loop_dist->domain() == kernel_.iterations,
+                 "data-region loop distribution does not cover this loop");
+    HOMP_REQUIRE(forced_loop_dist->num_parts() == opts_.device_ids.size(),
+                 "data-region device count mismatch");
+    scheduler_ = sched::PartitionScheduler::from_distribution(
+        *forced_loop_dist);
+    algorithm_used_ = opts_.sched.kind;
+  } else if (opts_.loop_policy.kind == dist::PolicyKind::kAlign) {
+    // Align computation with data: copy the target array's distribution.
+    const SpecPlan* root = nullptr;
+    for (const auto& p : plans_) {
+      if (p.spec->name == opts_.loop_policy.align_target) root = &p;
+    }
+    HOMP_REQUIRE(root != nullptr, "dist_schedule ALIGN target '" +
+                                      opts_.loop_policy.align_target +
+                                      "' is not a mapped array");
+    HOMP_REQUIRE(!root->follows_loop,
+                 "circular alignment: loop aligns to '" + root->spec->name +
+                     "' which aligns back to the loop");
+    HOMP_REQUIRE(root->pdim >= 0,
+                 "loop cannot align to non-partitioned array '" +
+                     root->spec->name + "'");
+    dist::Distribution d =
+        root->static_dist.aligned(opts_.loop_policy.align_ratio);
+    HOMP_REQUIRE(d.domain() == kernel_.iterations,
+                 "aligned loop distribution " + d.domain().to_string() +
+                     " does not match loop domain " +
+                     kernel_.iterations.to_string());
+    scheduler_ = sched::PartitionScheduler::from_distribution(std::move(d));
+    algorithm_used_ = sched::AlgorithmKind::kBlock;
+  } else {
+    sched::SchedulerConfig cfg = opts_.sched;
+    if (opts_.loop_policy.kind == dist::PolicyKind::kBlock) {
+      cfg.kind = sched::AlgorithmKind::kBlock;
+    } else if (opts_.loop_policy.kind == dist::PolicyKind::kCyclic) {
+      cfg.kind = sched::AlgorithmKind::kCyclic;
+      cfg.cyclic_absolute_block = opts_.loop_policy.cyclic_block;
+    } else if (opts_.auto_select_algorithm) {
+      cfg.kind = sched::select_algorithm(effective_profile_,
+                                         loop_context_.devices);
+      HOMP_INFO << "AUTO selected " << sched::to_string(cfg.kind) << " for "
+                << kernel_.name;
+    }
+    algorithm_used_ = cfg.kind;
+    scheduler_ = sched::make_scheduler(cfg, loop_context_);
+  }
+
+  build_proxies();
+}
+
+void OffloadExecution::validate_and_plan() {
+  HOMP_REQUIRE(!opts_.device_ids.empty(), "offload has no target devices");
+  for (int id : opts_.device_ids) {
+    HOMP_REQUIRE(id >= 0 &&
+                     static_cast<std::size_t>(id) < machine_.devices.size(),
+                 "device id " + std::to_string(id) + " out of range");
+  }
+  for (std::size_t i = 0; i < opts_.device_ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < opts_.device_ids.size(); ++j) {
+      HOMP_REQUIRE(opts_.device_ids[i] != opts_.device_ids[j],
+                   "device " + std::to_string(opts_.device_ids[i]) +
+                       " listed twice");
+    }
+  }
+  HOMP_REQUIRE(!kernel_.iterations.empty(), "offloaded loop is empty");
+  HOMP_REQUIRE(kernel_.cost.flops_per_iter >= 0.0 &&
+                   kernel_.cost.mem_bytes_per_iter >= 0.0,
+               "kernel cost profile has negative entries");
+  if (opts_.execute_bodies) {
+    HOMP_REQUIRE(kernel_.body != nullptr,
+                 "execute_bodies requested but kernel '" + kernel_.name +
+                     "' has no body");
+  }
+
+  const std::size_t m = opts_.device_ids.size();
+  std::map<std::string, const mem::MapSpec*> by_name;
+  for (const auto& s : maps_) {
+    s.validate();
+    HOMP_REQUIRE(by_name.emplace(s.name, &s).second,
+                 "variable '" + s.name + "' mapped twice");
+  }
+
+  plans_.clear();
+  plans_.reserve(maps_.size());
+  const bool single_shot =
+      scheduler_ == nullptr;  // plans built before scheduler; decided below
+  (void)single_shot;
+
+  for (const auto& s : maps_) {
+    SpecPlan plan;
+    plan.spec = &s;
+    plan.pdim = s.partitioned_dim();
+    if (plan.pdim < 0) {
+      // FULL replication: multi-device copy-out of a replicated array is
+      // ill-defined (every device would write the whole array).
+      HOMP_REQUIRE(!mem::copies_out(s.dir) || m == 1,
+                   "array '" + s.name +
+                       "' is replicated (FULL) but mapped '" +
+                       to_string(s.dir) +
+                       "' on multiple devices; partition it or use a "
+                       "reduction");
+      plans_.push_back(std::move(plan));
+      continue;
+    }
+    const dist::DimPolicy pol = s.partitioned_policy();
+    if (pol.kind == dist::PolicyKind::kBlock) {
+      plan.static_dist = dist::Distribution::block(
+          s.region.dim(static_cast<std::size_t>(plan.pdim)), m);
+      plans_.push_back(std::move(plan));
+      continue;
+    }
+    HOMP_ASSERT(pol.kind == dist::PolicyKind::kAlign);
+    // Walk the ALIGN chain to its root: the loop label or a BLOCK array.
+    double ratio = pol.align_ratio;
+    std::string target = pol.align_target;
+    std::map<std::string, bool> seen;
+    seen[s.name] = true;
+    for (;;) {
+      if (target == opts_.loop_label) {
+        plan.follows_loop = true;
+        plan.ratio = ratio;
+        break;
+      }
+      auto it = by_name.find(target);
+      HOMP_REQUIRE(it != by_name.end(),
+                   "ALIGN target '" + target + "' of '" + s.name +
+                       "' is neither the loop label '" + opts_.loop_label +
+                       "' nor a mapped array");
+      HOMP_REQUIRE(seen.emplace(target, true).second,
+                   "alignment cycle involving '" + target + "'");
+      const mem::MapSpec* t = it->second;
+      const int tp = t->partitioned_dim();
+      HOMP_REQUIRE(tp >= 0, "ALIGN target '" + target +
+                                "' is not partitioned");
+      const dist::DimPolicy tpol = t->partitioned_policy();
+      if (tpol.kind == dist::PolicyKind::kBlock) {
+        plan.ratio = ratio;
+        plan.static_dist =
+            dist::Distribution::block(
+                t->region.dim(static_cast<std::size_t>(tp)), m)
+                .aligned(ratio);
+        break;
+      }
+      HOMP_ASSERT(tpol.kind == dist::PolicyKind::kAlign);
+      ratio *= tpol.align_ratio;
+      target = tpol.align_target;
+    }
+    // Domain sanity for static aligned arrays.
+    if (!plan.follows_loop) {
+      HOMP_REQUIRE(
+          plan.static_dist.domain() ==
+              s.region.dim(static_cast<std::size_t>(plan.pdim)),
+          "aligned distribution domain mismatch for '" + s.name + "'");
+    }
+    plans_.push_back(std::move(plan));
+  }
+
+  // Chunk schedulers re-slice data per chunk, which requires every
+  // partitioned array to follow the loop; pinned (BLOCK) arrays force an
+  // aligned single-shot loop distribution.
+  const bool loop_is_aligned =
+      opts_.loop_policy.kind == dist::PolicyKind::kAlign;
+  for (const auto& p : plans_) {
+    if (p.pdim >= 0 && !p.follows_loop && !loop_is_aligned) {
+      throw ConfigError(
+          "array '" + p.spec->name +
+          "' has a pinned (BLOCK) distribution; the loop must use "
+          "dist_schedule(target:[ALIGN(" +
+          p.spec->name + ")]) so computation follows the data");
+    }
+  }
+
+  // Effective per-iteration transfer bytes, derived from the real maps.
+  const double n = static_cast<double>(kernel_.iterations.size());
+  double bytes_per_iter = 0.0;
+  for (const auto& p : plans_) {
+    const auto& s = *p.spec;
+    const double dir_factor = (mem::copies_in(s.dir) ? 1.0 : 0.0) +
+                              (mem::copies_out(s.dir) ? 1.0 : 0.0);
+    if (dir_factor == 0.0) continue;
+    if (p.pdim < 0) {
+      // Replicated: amortize one full copy over the loop (the models treat
+      // transfer as a per-iteration characteristic; see DESIGN.md).
+      bytes_per_iter += s.region_bytes() * (mem::copies_in(s.dir) ? 1 : 0) / n;
+    } else {
+      const double vol = static_cast<double>(s.region.volume());
+      const double pdim_size = static_cast<double>(
+          s.region.dim(static_cast<std::size_t>(p.pdim)).size());
+      const double per_index =
+          vol / pdim_size * static_cast<double>(s.binding.elem_size);
+      bytes_per_iter += per_index * p.ratio * dir_factor;
+    }
+  }
+  effective_profile_ = kernel_.cost;
+  effective_profile_.transfer_bytes_per_iter = bytes_per_iter;
+}
+
+void OffloadExecution::build_proxies() {
+  // One pair of full-duplex lanes per machine link.
+  down_links_.resize(machine_.links.size());
+  up_links_.resize(machine_.links.size());
+  for (std::size_t i = 0; i < machine_.links.size(); ++i) {
+    const auto& l = machine_.links[i];
+    down_links_[i] = std::make_unique<sim::SharedLink>(
+        engine_, l.name + ".down", l.latency_s, l.bandwidth_Bps);
+    up_links_[i] = std::make_unique<sim::SharedLink>(
+        engine_, l.name + ".up", l.latency_s, l.bandwidth_Bps);
+  }
+
+  proxies_.clear();
+  for (std::size_t slot = 0; slot < opts_.device_ids.size(); ++slot) {
+    auto p = std::make_unique<Proxy>();
+    p->slot = static_cast<int>(slot);
+    p->device_id = opts_.device_ids[slot];
+    p->desc = &machine_.devices[static_cast<std::size_t>(p->device_id)];
+    const bool transfers = p->desc->memory == mach::MemorySpace::kDiscrete &&
+                           !opts_.use_unified_memory &&
+                           p->desc->link != mach::kNoLink;
+    if (transfers) {
+      p->down = down_links_[static_cast<std::size_t>(p->desc->link)].get();
+      p->up = up_links_[static_cast<std::size_t>(p->desc->link)].get();
+    }
+    p->noise = Prng(opts_.noise_seed ^ (0x9e37u * (slot + 1)));
+    p->stats.device_name = p->desc->name;
+    p->stats.device_id = p->device_id;
+    proxies_.push_back(std::move(p));
+  }
+}
+
+void OffloadExecution::make_static_mappings(Proxy& p) {
+  const bool shared_with_host =
+      p.desc->memory == mach::MemorySpace::kShared || opts_.use_unified_memory;
+  for (const auto& plan : plans_) {
+    if (plan.follows_loop) continue;
+    const auto& s = *plan.spec;
+    dist::Region owned = s.region;
+    dist::Region footprint = s.region;
+    if (plan.pdim >= 0) {
+      const auto d = static_cast<std::size_t>(plan.pdim);
+      const dist::Range part =
+          plan.static_dist.part(static_cast<std::size_t>(p.slot));
+      owned = s.region.with_dim(d, part.clamped_to(s.region.dim(d)));
+      footprint = s.region.with_dim(
+          d, part.widened(s.halo_before, s.halo_after)
+                 .clamped_to(s.region.dim(d)));
+      if (part.empty()) footprint = owned;  // no data for this device
+    }
+    auto& m = p.store.create(s, owned, footprint, shared_with_host,
+                             opts_.execute_bodies);
+    p.static_env.add(s.name, &m);
+  }
+}
+
+void OffloadExecution::make_chunk_mappings(
+    Proxy& p, const dist::Range& chunk,
+    std::vector<mem::DeviceMapping*>* out) const {
+  const bool shared_with_host =
+      p.desc->memory == mach::MemorySpace::kShared || opts_.use_unified_memory;
+  for (const auto& plan : plans_) {
+    if (!plan.follows_loop) continue;
+    const auto& s = *plan.spec;
+    const auto d = static_cast<std::size_t>(plan.pdim);
+    const dist::Range owned_dim =
+        chunk.scaled(plan.ratio).clamped_to(s.region.dim(d));
+    const dist::Range fp_dim = owned_dim.widened(s.halo_before, s.halo_after)
+                                   .clamped_to(s.region.dim(d));
+    auto& m = p.store.create(s, s.region.with_dim(d, owned_dim),
+                             s.region.with_dim(d, fp_dim), shared_with_host,
+                             opts_.execute_bodies);
+    out->push_back(&m);
+  }
+}
+
+double OffloadExecution::compute_seconds(Proxy& p,
+                                         const dist::Range& chunk) const {
+  const double iters = static_cast<double>(chunk.size());
+  const double flops = kernel_.cost.flops_per_iter * iters;
+  const double mem = kernel_.cost.mem_bytes_per_iter * iters;
+  double t = model::roofline_time(flops, mem, p.desc->sustained_flops(),
+                                  p.desc->sustained_membw_Bps())
+                 .seconds;
+
+  // Within-device (teams) distribution across the device's parallel
+  // units. The sustained_* rates describe all units running flat out, so
+  // the base roofline above *is* the perfectly-divisible case; the two
+  // effects modelled on top are
+  //  (a) quantization: indivisible iterations leave units idle when the
+  //      chunk is small (critical path = ceil(size/units) iterations),
+  //  (b) skew: with a work_factor, teams BLOCK puts a whole contiguous
+  //      subrange on one unit (critical path = heaviest subrange) while
+  //      teams CYCLIC interleaves iterations and averages the skew out.
+  const int units = p.desc->parallel_units;
+  if (!kernel_.cost.divisible_iterations && units > 1 && chunk.size() > 0) {
+    const double per_unit =
+        std::ceil(iters / static_cast<double>(units));
+    t *= per_unit * static_cast<double>(units) / iters;
+  }
+  if (kernel_.work_factor) {
+    if (opts_.teams_policy == dist::PolicyKind::kBlock && units > 1) {
+      // Critical path: the heaviest contiguous per-unit subrange.
+      const auto parts = dist::Distribution::block(chunk, units).parts();
+      double worst = 0.0;
+      for (const auto& part : parts) {
+        if (part.empty()) continue;
+        worst = std::max(worst, kernel_.work_factor(part));
+      }
+      t *= worst;
+    } else {
+      t *= kernel_.work_factor(chunk);
+    }
+  }
+  if (opts_.use_unified_memory &&
+      p.desc->memory == mach::MemorySpace::kDiscrete &&
+      p.desc->link != mach::kNoLink) {
+    // On-demand page migration of the chunk's data slice instead of bulk
+    // DMA: pay the transfer at a page-fault-degraded rate inside the
+    // kernel (§V-C).
+    const double slice_bytes =
+        effective_profile_.transfer_bytes_per_iter * iters;
+    const auto& l =
+        machine_.links[static_cast<std::size_t>(p.desc->link)];
+    t += model::kUnifiedMemoryFaultFactor * slice_bytes / l.bandwidth_Bps;
+  }
+  if (p.desc->noise > 0.0) {
+    const double factor =
+        std::clamp(1.0 + p.desc->noise * p.noise.next_gaussian(), 0.5, 1.5);
+    t *= factor;
+  }
+  return t;
+}
+
+void OffloadExecution::try_fetch(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.done || p.finalizing || p.fetching || p.inflight || p.ready ||
+      p.waiting_stage) {
+    return;
+  }
+  if (!opts_.parallel_offload && slot > serial_token_) return;
+
+  auto chunk_opt = scheduler_->next_chunk(slot);
+  if (!chunk_opt) {
+    if (scheduler_->finished(slot)) {
+      check_completion(slot);
+    } else if (!p.computing && p.outstanding_outputs == 0) {
+      // Two-stage scheduler: wait for the others at the stage barrier.
+      p.waiting_stage = true;
+      p.stage_wait_start = engine_.now();
+      check_stage_barrier();
+    }
+    return;
+  }
+
+  p.stats.phase_time[static_cast<int>(Phase::kScheduling)] +=
+      kChunkSchedOverheadS;
+  ++p.stats.chunks;
+
+  PendingChunk chunk;
+  chunk.range = *chunk_opt;
+  chunk.fetch_start = engine_.now();
+
+  // Inside a data region the data is already resident on the devices:
+  // no allocation, no transfers — just compute against the region's
+  // environment.
+  double alloc_delay = 0.0;
+  if (region_envs_ != nullptr) {
+    p.alloc_paid = true;
+    p.statics_loaded = true;
+    chunk.env = (*region_envs_)[static_cast<std::size_t>(slot)].fork();
+  } else if (!p.alloc_paid) {
+    p.alloc_paid = true;
+    if (p.desc->memory == mach::MemorySpace::kDiscrete &&
+        !opts_.use_unified_memory) {
+      alloc_delay = p.desc->alloc_overhead_s *
+                    static_cast<double>(maps_.size());
+    }
+    p.stats.phase_time[static_cast<int>(Phase::kAlloc)] += alloc_delay;
+    make_static_mappings(p);
+  }
+
+  if (region_envs_ == nullptr) {
+    make_chunk_mappings(p, chunk.range, &chunk.chunk_maps);
+    chunk.env = p.static_env.fork();
+    for (auto* m : chunk.chunk_maps) chunk.env.add(m->spec().name, m);
+
+    for (auto* m : chunk.chunk_maps) {
+      chunk.bytes_in += m->bytes_in();
+      chunk.bytes_out += m->bytes_out();
+    }
+    // Every chunk is an independent offload transaction: read-only static
+    // data (replicated FULL inputs, pinned 'to' arrays) is staged per
+    // chunk. This is the "more stages need more memory movement
+    // transactions" overhead of Table II, and it is why BLOCK beats
+    // SCHED_DYNAMIC on matmul (B is re-shipped with every chunk) while
+    // data-intensive kernels with no replicated inputs still profit from
+    // dynamic chunking's transfer/compute overlap. Statics the device
+    // writes (tofrom) are staged once — restaging would clobber earlier
+    // chunk results. Persistent residency across offloads is what data
+    // regions are for.
+    for (const auto& name : p.static_env.names()) {
+      const auto& m = p.static_env.mapping(name);
+      const bool writes_back = mem::copies_out(m.spec().dir);
+      if (!p.statics_loaded || !writes_back) chunk.bytes_in += m.bytes_in();
+    }
+  }
+
+  p.fetching = true;
+  if (!p.setup_signalled) {
+    p.setup_signalled = true;
+    if (!opts_.parallel_offload && slot == serial_token_) {
+      ++serial_token_;
+      if (static_cast<std::size_t>(serial_token_) < proxies_.size()) {
+        const int next = serial_token_;
+        engine_.schedule_after(0.0, [this, next] { try_fetch(next); });
+      }
+    }
+  }
+
+  const double bytes = chunk.bytes_in;
+  auto issue = [this, slot, bytes, c = std::make_shared<PendingChunk>(
+                                       std::move(chunk))]() mutable {
+    Proxy& pr = *proxies_[static_cast<std::size_t>(slot)];
+    pr.inflight = std::move(*c);
+    if (pr.down != nullptr && bytes > 0.0) {
+      const double start = engine_.now();
+      // Per-transfer jitter (DMA setup, switch arbitration): without it,
+      // same-size transfers on sibling links complete in exact lockstep
+      // and the FIFO tie-break systematically hands consecutive tail
+      // chunks to one link pair — a knife-edge a real machine never sits
+      // on. The jitter lets dynamic chunking self-balance across links.
+      const double jitter =
+          pr.desc->noise > 0.0
+              ? bytes / pr.down->bandwidth() * pr.desc->noise *
+                    std::abs(pr.noise.next_gaussian())
+              : 0.0;
+      pr.down->transfer(bytes, [this, slot, start, jitter] {
+        engine_.schedule_after(jitter, [this, slot, start] {
+          Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+          q.stats.phase_time[static_cast<int>(Phase::kCopyIn)] +=
+              engine_.now() - start;
+          q.record_span(opts_.collect_trace, Phase::kCopyIn, start,
+                        engine_.now(),
+                        q.inflight ? q.inflight->range.to_string() : "");
+          on_input_done(slot);
+        });
+      });
+    } else {
+      on_input_done(slot);
+    }
+  };
+  if (alloc_delay > 0.0 || kChunkSchedOverheadS > 0.0) {
+    engine_.schedule_after(alloc_delay + kChunkSchedOverheadS,
+                           std::move(issue));
+  } else {
+    issue();
+  }
+}
+
+void OffloadExecution::on_input_done(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  HOMP_ASSERT(p.inflight.has_value());
+  p.fetching = false;
+
+  // Perform the real copies now that the transfer has (virtually)
+  // completed. Read-only statics are restaged with every chunk (matching
+  // the byte accounting — idempotent copies); writable statics only once.
+  if (region_envs_ == nullptr) {
+    if (opts_.execute_bodies) {
+      for (const auto& name : p.static_env.names()) {
+        auto& m = p.static_env.mapping(name);
+        if (!p.statics_loaded || !mem::copies_out(m.spec().dir)) {
+          m.copy_in();
+        }
+      }
+    }
+    p.statics_loaded = true;
+  }
+  if (opts_.execute_bodies) {
+    for (auto* m : p.inflight->chunk_maps) m->copy_in();
+  }
+  p.stats.bytes_in += p.inflight->bytes_in;
+
+  p.ready = std::move(p.inflight);
+  p.inflight.reset();
+  try_start_compute(slot);
+}
+
+void OffloadExecution::try_start_compute(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.computing || !p.ready || !p.statics_loaded) return;
+  p.computing = std::move(p.ready);
+  p.ready.reset();
+  p.compute_started = engine_.now();
+
+  const double launch = p.desc->launch_overhead_s;
+  const double compute = compute_seconds(p, p.computing->range);
+  p.stats.phase_time[static_cast<int>(Phase::kLaunch)] += launch;
+  p.stats.phase_time[static_cast<int>(Phase::kCompute)] += compute;
+
+  // Prefetch the next chunk while this one computes (double buffering).
+  try_fetch(slot);
+
+  engine_.schedule_after(launch + compute,
+                         [this, slot] { on_compute_done(slot); });
+}
+
+void OffloadExecution::on_compute_done(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  HOMP_ASSERT(p.computing.has_value());
+  PendingChunk chunk = std::move(*p.computing);
+  p.computing.reset();
+
+  if (opts_.execute_bodies) {
+    p.partial_reduction += kernel_.body(chunk.range, chunk.env);
+  }
+  p.record_span(opts_.collect_trace, Phase::kCompute, p.compute_started,
+                engine_.now(), chunk.range.to_string());
+  p.stats.iterations += chunk.range.size();
+  scheduler_->report(slot, chunk.range, engine_.now() - chunk.fetch_start);
+
+  if (p.up != nullptr && chunk.bytes_out > 0.0) {
+    ++p.outstanding_outputs;
+    const double start = engine_.now();
+    const double bytes = chunk.bytes_out;
+    auto maps = chunk.chunk_maps;
+    const std::string out_label = chunk.range.to_string();
+    p.up->transfer(bytes, [this, slot, start, bytes, out_label,
+                           maps = std::move(maps)] {
+      Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+      q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
+          engine_.now() - start;
+      q.record_span(opts_.collect_trace, Phase::kCopyOut, start,
+                    engine_.now(), out_label);
+      q.stats.bytes_out += bytes;
+      if (opts_.execute_bodies) {
+        for (auto* m : maps) m->copy_out();
+      }
+      --q.outstanding_outputs;
+      // Draining the last output may let this proxy enter (and possibly
+      // release) the stage barrier, or finish the offload.
+      try_fetch(slot);
+      check_completion(slot);
+    });
+  } else if (opts_.execute_bodies) {
+    // Shared memory: results are already in place; still mark the owned
+    // regions written for symmetry (copy_out is a no-op when shared).
+    for (auto* m : chunk.chunk_maps) m->copy_out();
+  }
+
+  try_start_compute(slot);
+  try_fetch(slot);
+  check_completion(slot);
+}
+
+void OffloadExecution::check_stage_barrier() {
+  if (!scheduler_->stage_barrier_pending()) return;
+  std::size_t waiting = 0;
+  std::size_t active = 0;
+  for (const auto& p : proxies_) {
+    if (p->done) continue;
+    ++active;
+    if (p->waiting_stage && p->outstanding_outputs == 0) ++waiting;
+  }
+  if (waiting != active || active == 0) return;
+
+  scheduler_->advance_stage();
+  for (const auto& p : proxies_) {
+    if (!p->waiting_stage) continue;
+    p->waiting_stage = false;
+    p->stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+        engine_.now() - p->stage_wait_start;
+    p->record_span(opts_.collect_trace, Phase::kBarrier,
+                   p->stage_wait_start, engine_.now(), "stage");
+    const int slot = p->slot;
+    engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
+  }
+}
+
+void OffloadExecution::check_completion(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.done || p.finalizing) return;
+  if (!scheduler_->finished(slot)) return;
+  if (p.fetching || p.inflight || p.ready || p.computing ||
+      p.outstanding_outputs > 0) {
+    return;
+  }
+  finalize_device(slot);
+}
+
+void OffloadExecution::finalize_device(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  p.finalizing = true;
+
+  // A device that got work earlier still has its static (pinned/FULL)
+  // output regions to write back; one that never computed has nothing.
+  double bytes = p.statics_loaded ? p.static_env.total_bytes_out() : 0.0;
+  if (kernel_.has_reduction && p.up != nullptr && p.stats.iterations > 0) {
+    bytes += 8.0;  // the device's partial reduction value
+  }
+  auto complete = [this, slot] {
+    Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+    if (opts_.execute_bodies && q.statics_loaded) {
+      q.static_env.copy_out_all();
+    }
+    q.done = true;
+    q.stats.finish_time = engine_.now();
+    // Releasing this device may unblock a stage barrier (it cannot: done
+    // devices are excluded) — but it may complete the offload; nothing to
+    // do here, run() drains the engine.
+  };
+  if (p.up != nullptr && bytes > 0.0) {
+    const double start = engine_.now();
+    const double b = bytes;
+    p.up->transfer(bytes, [this, slot, start, b, complete] {
+      Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+      q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
+          engine_.now() - start;
+      q.stats.bytes_out += b;
+      complete();
+    });
+  } else {
+    complete();
+  }
+
+  if (!opts_.parallel_offload && slot == serial_token_) {
+    // A device that finished without ever fetching must pass the token on.
+    ++serial_token_;
+    if (static_cast<std::size_t>(serial_token_) < proxies_.size()) {
+      const int next = serial_token_;
+      engine_.schedule_after(0.0, [this, next] { try_fetch(next); });
+    }
+  }
+}
+
+OffloadResult OffloadExecution::run() {
+  HOMP_REQUIRE(!ran_, "OffloadExecution::run() called twice");
+  ran_ = true;
+
+  for (std::size_t slot = 0; slot < proxies_.size(); ++slot) {
+    const int s = static_cast<int>(slot);
+    engine_.schedule_at(0.0, [this, s] { try_fetch(s); });
+  }
+  engine_.run();
+
+  OffloadResult res;
+  res.algorithm_used = algorithm_used_;
+  res.planned_weights = scheduler_->planned_weights();
+  if (const auto* cut = scheduler_->cutoff()) {
+    res.cutoff = *cut;
+    res.has_cutoff = true;
+  }
+  res.chunks_issued = scheduler_->chunks_issued();
+
+  double end = 0.0;
+  long long covered = 0;
+  for (auto& p : proxies_) {
+    HOMP_REQUIRE(p->done, "device '" + p->desc->name +
+                              "' never completed — scheduler deadlock");
+    end = std::max(end, p->stats.finish_time);
+    covered += p->stats.iterations;
+  }
+  HOMP_ASSERT(covered == kernel_.iterations.size());
+  res.total_time = end;
+
+  for (auto& p : proxies_) {
+    p->stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+        end - p->stats.finish_time;
+    p->record_span(opts_.collect_trace, Phase::kBarrier,
+                   p->stats.finish_time, end, "final");
+    res.reduction += p->partial_reduction;
+    res.devices.push_back(p->stats);
+    if (opts_.collect_trace) {
+      res.trace.insert(res.trace.end(), p->spans.begin(), p->spans.end());
+    }
+  }
+  return res;
+}
+
+}  // namespace homp::rt

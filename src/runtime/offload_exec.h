@@ -1,0 +1,115 @@
+#ifndef HOMP_RUNTIME_OFFLOAD_EXEC_H
+#define HOMP_RUNTIME_OFFLOAD_EXEC_H
+
+/// \file offload_exec.h
+/// Execution of one multi-device offload on the discrete-event engine.
+///
+/// Each participating device is driven by a proxy actor — the simulated
+/// counterpart of the paper's per-device host pthread proxies (§V, Fig. 4).
+/// A proxy walks the offloading pipeline:
+///
+///   acquire chunk -> (alloc +) copy-in -> launch + compute -> copy-out
+///        ^                                    |
+///        +--------- prefetch next chunk ------+   (double buffering)
+///
+/// Input transfer of chunk k+1 overlaps computation of chunk k, which is
+/// the mechanism behind the paper's observation that SCHED_DYNAMIC wins on
+/// data-intensive kernels (§VI-A). Host->device and device->host
+/// directions are independent full-duplex PCIe lanes; dies sharing a card
+/// contend on the same lane pair.
+///
+/// Data movement is real: unless `execute_bodies` is off, mapped
+/// subregions are memcpy'd between host arrays and per-device storage and
+/// kernel bodies run against the device copies, so distribution bugs
+/// corrupt results instead of hiding in the timing model.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "machine/device.h"
+#include "memory/data_env.h"
+#include "memory/map_spec.h"
+#include "runtime/kernel.h"
+#include "runtime/options.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "sim/link.h"
+
+namespace homp::rt {
+
+class OffloadExecution {
+ public:
+  /// \param forced_loop_dist non-null inside a `target data` region whose
+  ///        entry already fixed the loop distribution (DataRegion).
+  /// \param region_envs per-slot data environments of an enclosing data
+  ///        region; when given, data is already device-resident, so the
+  ///        offload moves no bytes (entry/halo/exit transfers are the
+  ///        region's) and `maps` should be empty.
+  OffloadExecution(const mach::MachineDescriptor& machine,
+                   const LoopKernel& kernel,
+                   const std::vector<mem::MapSpec>& maps,
+                   const OffloadOptions& opts,
+                   const dist::Distribution* forced_loop_dist = nullptr,
+                   const std::vector<mem::DeviceDataEnv>* region_envs =
+                       nullptr);
+
+  ~OffloadExecution();  // out-of-line: Proxy/SpecPlan are private types
+
+  /// Run the offload to completion; single use.
+  OffloadResult run();
+
+  /// The effective cost profile (kernel FLOPs/memory plus transfer bytes
+  /// per iteration derived from the actual map footprints) used for model
+  /// predictions.
+  const model::KernelCostProfile& effective_profile() const noexcept {
+    return effective_profile_;
+  }
+
+ private:
+  struct SpecPlan;
+  struct PendingChunk;
+  struct Proxy;
+
+  void validate_and_plan();
+  void build_proxies();
+  double compute_seconds(Proxy& p, const dist::Range& chunk) const;
+  void make_chunk_mappings(Proxy& p, const dist::Range& chunk,
+                           std::vector<mem::DeviceMapping*>* out) const;
+  void make_static_mappings(Proxy& p);
+
+  // Proxy state machine.
+  void try_fetch(int slot);
+  void issue_input(int slot, PendingChunk&& chunk);
+  void on_input_done(int slot);
+  void try_start_compute(int slot);
+  void on_compute_done(int slot);
+  void check_stage_barrier();
+  void check_completion(int slot);
+  void finalize_device(int slot);
+
+  const mach::MachineDescriptor& machine_;
+  const LoopKernel& kernel_;
+  const std::vector<mem::MapSpec>& maps_;
+  OffloadOptions opts_;
+
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<sim::SharedLink>> down_links_;  // per machine link
+  std::vector<std::unique_ptr<sim::SharedLink>> up_links_;
+
+  std::vector<SpecPlan> plans_;
+  model::KernelCostProfile effective_profile_;
+  sched::LoopContext loop_context_;
+  std::unique_ptr<sched::LoopScheduler> scheduler_;
+  sched::AlgorithmKind algorithm_used_ = sched::AlgorithmKind::kBlock;
+
+  std::vector<std::unique_ptr<Proxy>> proxies_;
+  const std::vector<mem::DeviceDataEnv>* region_envs_ = nullptr;
+  int serial_token_ = 0;  // !parallel_offload: next slot allowed to set up
+  bool ran_ = false;
+};
+
+}  // namespace homp::rt
+
+#endif  // HOMP_RUNTIME_OFFLOAD_EXEC_H

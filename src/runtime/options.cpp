@@ -1,0 +1,52 @@
+#include "runtime/options.h"
+
+namespace homp::rt {
+
+const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kScheduling:
+      return "scheduling";
+    case Phase::kAlloc:
+      return "alloc";
+    case Phase::kCopyIn:
+      return "copy-in";
+    case Phase::kLaunch:
+      return "launch";
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kCopyOut:
+      return "copy-out";
+    case Phase::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+Imbalance OffloadResult::imbalance() const {
+  std::vector<double> finish;
+  finish.reserve(devices.size());
+  for (const auto& d : devices) {
+    // Devices that did no work (CUTOFF-dropped) do not skew the balance
+    // figure; the paper reports imbalance over participating devices.
+    if (d.iterations > 0) finish.push_back(d.finish_time);
+  }
+  return imbalance_of(finish);
+}
+
+double OffloadResult::phase_fraction(Phase p) const {
+  double phase = 0.0;
+  double total = 0.0;
+  for (const auto& d : devices) {
+    phase += d.phase_time[static_cast<int>(p)];
+    for (int i = 0; i < kNumPhases; ++i) total += d.phase_time[i];
+  }
+  return total > 0.0 ? phase / total : 0.0;
+}
+
+long long OffloadResult::total_iterations() const {
+  long long n = 0;
+  for (const auto& d : devices) n += d.iterations;
+  return n;
+}
+
+}  // namespace homp::rt

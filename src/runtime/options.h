@@ -1,0 +1,149 @@
+#ifndef HOMP_RUNTIME_OPTIONS_H
+#define HOMP_RUNTIME_OPTIONS_H
+
+/// \file options.h
+/// Offload configuration and result/telemetry types.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "dist/policy.h"
+#include "model/loop_model.h"
+#include "sched/scheduler.h"
+
+namespace homp::rt {
+
+/// Phases of the offloading procedure a proxy thread walks through
+/// (paper Fig. 4); the accumulated per-phase times are the Figure 6
+/// breakdown.
+enum class Phase : int {
+  kScheduling = 0,  ///< loop-distribution bookkeeping, chunk acquisition
+  kAlloc,           ///< device buffer allocation
+  kCopyIn,          ///< host -> device transfers
+  kLaunch,          ///< kernel-launch overhead
+  kCompute,         ///< kernel execution
+  kCopyOut,         ///< device -> host transfers
+  kBarrier,         ///< waiting for other devices (stage + final barriers)
+};
+
+inline constexpr int kNumPhases = 7;
+
+const char* to_string(Phase p) noexcept;
+
+struct OffloadOptions {
+  /// Global device ids participating in the offload (the `device(...)`
+  /// list). Must be non-empty; id 0 is the host.
+  std::vector<int> device_ids;
+
+  /// Loop-distribution algorithm and tuning.
+  sched::SchedulerConfig sched;
+
+  /// Loop distribution policy from dist_schedule(target:[...]):
+  ///  - kAuto: resolve via `sched.kind` (or the selector when
+  ///    `auto_select_algorithm`)
+  ///  - kAlign: copy the named array's distribution onto the loop
+  ///  - kBlock: force BLOCK regardless of sched.kind
+  dist::DimPolicy loop_policy = dist::DimPolicy::auto_();
+
+  /// Label under which the loop's distribution is registered for
+  /// ALIGN(label) references from map clauses (e.g. "loop1").
+  std::string loop_label = "loop";
+
+  /// Resolve AUTO through the §IV-D heuristic instead of sched.kind.
+  bool auto_select_algorithm = false;
+
+  /// Execute kernel bodies and perform real copies (tests/examples); when
+  /// false, run the pure discrete-event simulation (benchmarks at paper
+  /// scale).
+  bool execute_bodies = true;
+
+  /// The `parallel target` composite construct (§III-4): offload setup on
+  /// all devices concurrently. When false, device setup (alloc + copy-in
+  /// issue) is serialized in device order, as plain multi-device target
+  /// offloading would be.
+  bool parallel_offload = true;
+
+  /// Map data through unified memory instead of explicit transfers
+  /// (§V-C ablation).
+  bool use_unified_memory = false;
+
+  /// Within-device distribution of a chunk across the device's parallel
+  /// units — the dist_schedule(teams:[...]) level of the HOMP extension.
+  /// Only BLOCK and CYCLIC are meaningful here. It matters when the
+  /// kernel's iterations are indivisible (quantization onto units) or
+  /// carry a work_factor skew: BLOCK gives each unit a contiguous
+  /// subrange (imbalanced under skew), CYCLIC interleaves (mean-field
+  /// balanced).
+  dist::PolicyKind teams_policy = dist::PolicyKind::kBlock;
+
+  /// Seed for the per-device execution-time noise streams.
+  std::uint64_t noise_seed = 42;
+
+  /// Record per-activity spans into OffloadResult::trace (see
+  /// runtime/trace.h for the chrome://tracing exporter).
+  bool collect_trace = false;
+};
+
+/// One pipeline activity on one device, in virtual time.
+struct TraceSpan {
+  int slot = -1;      ///< device slot within the offload
+  std::string device;
+  Phase phase = Phase::kCompute;
+  double t0 = 0.0;    ///< virtual seconds
+  double t1 = 0.0;
+  std::string label;  ///< e.g. the chunk range
+};
+
+/// Per-device telemetry for one offload.
+struct DeviceStats {
+  std::string device_name;
+  int device_id = -1;
+  double phase_time[kNumPhases] = {};
+  std::size_t chunks = 0;
+  long long iterations = 0;
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  /// Virtual time the device arrived at the final barrier.
+  double finish_time = 0.0;
+
+  double busy_time() const noexcept {
+    double t = 0.0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      if (p != static_cast<int>(Phase::kBarrier)) t += phase_time[p];
+    }
+    return t;
+  }
+};
+
+struct OffloadResult {
+  /// Offload wall time in virtual seconds (start to last device done).
+  double total_time = 0.0;
+
+  std::vector<DeviceStats> devices;  ///< per slot, in device_ids order
+
+  double reduction = 0.0;
+
+  /// Scheduler introspection.
+  std::vector<double> planned_weights;
+  model::CutoffResult cutoff;
+  bool has_cutoff = false;
+  sched::AlgorithmKind algorithm_used = sched::AlgorithmKind::kBlock;
+  std::size_t chunks_issued = 0;
+
+  /// Per-activity spans (only when OffloadOptions::collect_trace).
+  std::vector<TraceSpan> trace;
+
+  /// Load imbalance over per-device finish times (Figure 6 curve).
+  Imbalance imbalance() const;
+
+  /// Aggregate fraction of device-seconds spent in `p` across devices.
+  double phase_fraction(Phase p) const;
+
+  long long total_iterations() const;
+};
+
+}  // namespace homp::rt
+
+#endif  // HOMP_RUNTIME_OPTIONS_H

@@ -1,0 +1,71 @@
+#include "runtime/runtime.h"
+
+#include "common/error.h"
+#include "machine/parser.h"
+#include "machine/profiles.h"
+#include "runtime/offload_exec.h"
+
+namespace homp::rt {
+
+Runtime::Runtime(mach::MachineDescriptor machine)
+    : machine_(std::move(machine)) {
+  machine_.validate();
+}
+
+Runtime Runtime::from_builtin(const std::string& name) {
+  return Runtime(mach::builtin(name));
+}
+
+Runtime Runtime::from_machine_file(const std::string& path) {
+  return Runtime(mach::load_machine_file(path));
+}
+
+std::vector<int> Runtime::all_devices() const {
+  std::vector<int> out(machine_.devices.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<int>(i);
+  return out;
+}
+
+std::vector<int> Runtime::accelerators() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < machine_.devices.size(); ++i) {
+    if (!machine_.devices[i].is_host()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Runtime::devices_of_type(mach::DeviceType t) const {
+  return machine_.devices_of_type(t);
+}
+
+OffloadResult Runtime::offload(const LoopKernel& kernel,
+                               const std::vector<mem::MapSpec>& maps,
+                               const OffloadOptions& opts) const {
+  OffloadOptions o = opts;
+  if (o.sched.kind == sched::AlgorithmKind::kHistoryAuto) {
+    o.sched.history = &history_;
+    o.sched.history_kernel = kernel.name;
+    o.sched.history_device_ids = o.device_ids;
+  }
+  OffloadExecution exec(machine_, kernel, maps, o);
+  OffloadResult res = exec.run();
+
+  // Feed observed throughput back for HISTORY_AUTO. The rate is the
+  // device's end-to-end iteration rate for this offload (including its
+  // data movement), which is exactly what a proportional split needs.
+  for (const auto& d : res.devices) {
+    if (d.iterations > 0 && d.finish_time > 0.0) {
+      history_.record(kernel.name, d.device_id,
+                      static_cast<double>(d.iterations) / d.finish_time);
+    }
+  }
+  return res;
+}
+
+std::unique_ptr<DataRegion> Runtime::map_data(std::vector<mem::MapSpec> maps,
+                                              RegionOptions opts) const {
+  return std::make_unique<DataRegion>(machine_, std::move(maps),
+                                      std::move(opts));
+}
+
+}  // namespace homp::rt

@@ -1,0 +1,75 @@
+#include "runtime/trace.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace homp::rt {
+
+namespace {
+void json_escape_into(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+}  // namespace
+
+void write_chrome_trace(const std::vector<TraceSpan>& spans,
+                        std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"(  {"name": ")";
+    json_escape_into(os, std::string(to_string(s.phase)) +
+                             (s.label.empty() ? "" : " " + s.label));
+    os << R"(", "cat": "homp", "ph": "X", "pid": 0, "tid": )" << s.slot
+       << R"(, "ts": )" << s.t0 * 1e6 << R"(, "dur": )"
+       << (s.t1 - s.t0) * 1e6 << R"(, "args": {"device": ")";
+    json_escape_into(os, s.device);
+    os << R"("}})";
+  }
+  // Thread-name metadata rows so devices are labelled in the viewer.
+  std::vector<std::pair<int, std::string>> seen;
+  for (const auto& s : spans) {
+    bool dup = false;
+    for (const auto& [slot, _] : seen) {
+      if (slot == s.slot) dup = true;
+    }
+    if (!dup) seen.emplace_back(s.slot, s.device);
+  }
+  for (const auto& [slot, device] : seen) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"(  {"name": "thread_name", "ph": "M", "pid": 0, "tid": )"
+       << slot << R"(, "args": {"name": ")";
+    json_escape_into(os, device);
+    os << R"("}})";
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace_file(const OffloadResult& result,
+                             const std::string& path) {
+  HOMP_REQUIRE(!result.trace.empty(),
+               "offload carries no trace; set OffloadOptions::collect_trace");
+  std::ofstream out(path);
+  HOMP_REQUIRE(out.good(), "cannot open trace file: " + path);
+  write_chrome_trace(result.trace, out);
+}
+
+}  // namespace homp::rt

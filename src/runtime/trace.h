@@ -1,0 +1,34 @@
+#ifndef HOMP_RUNTIME_TRACE_H
+#define HOMP_RUNTIME_TRACE_H
+
+/// \file trace.h
+/// Offload execution traces.
+///
+/// With OffloadOptions::collect_trace set, the runtime records one span
+/// per pipeline activity (copy-in, launch+compute, copy-out, barrier
+/// waits) per device, in virtual time. write_chrome_trace() serializes
+/// them in the Chrome trace-event format ("catapult"), loadable in
+/// chrome://tracing or Perfetto — one row per device, so the overlap of
+/// transfers with computation and the barrier skew are directly visible.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/options.h"
+
+namespace homp::rt {
+
+/// Serialize spans as a Chrome trace-event JSON array. Virtual seconds
+/// are mapped to microseconds (the format's native unit).
+void write_chrome_trace(const std::vector<TraceSpan>& spans,
+                        std::ostream& os);
+
+/// Convenience: write a result's trace to a file. Throws ConfigError if
+/// the file cannot be opened or the result carries no trace.
+void write_chrome_trace_file(const OffloadResult& result,
+                             const std::string& path);
+
+}  // namespace homp::rt
+
+#endif  // HOMP_RUNTIME_TRACE_H

@@ -1,0 +1,102 @@
+#include "sched/algorithm.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace homp::sched {
+
+namespace {
+constexpr AlgorithmKind kAll[kNumAlgorithms] = {
+    AlgorithmKind::kBlock,          AlgorithmKind::kDynamic,
+    AlgorithmKind::kGuided,         AlgorithmKind::kModel1Auto,
+    AlgorithmKind::kModel2Auto,     AlgorithmKind::kSchedProfileAuto,
+    AlgorithmKind::kModelProfileAuto,
+};
+
+constexpr AlgorithmKind kExtended[kNumExtendedAlgorithms] = {
+    AlgorithmKind::kCyclic,
+    AlgorithmKind::kWorkStealing,
+    AlgorithmKind::kHistoryAuto,
+};
+
+constexpr AlgorithmInfo kInfo[kNumAlgorithms + kNumExtendedAlgorithms] = {
+    {AlgorithmKind::kBlock, "Chunk Scheduling", "BLOCK", 1, "Low",
+     "Poor to good", false},
+    {AlgorithmKind::kDynamic, "Chunk Scheduling", "SCHED_DYNAMIC,2%", 0,
+     "High", "Good", false},
+    {AlgorithmKind::kGuided, "Chunk Scheduling", "SCHED_GUIDED,20%", 0,
+     "High", "Good", false},
+    {AlgorithmKind::kModel1Auto, "Analytical Modeling", "MODEL_1_AUTO,-1,15%",
+     1, "Low", "Medium", true},
+    {AlgorithmKind::kModel2Auto, "Analytical Modeling", "MODEL_2_AUTO,-1,15%",
+     1, "Low", "Medium to good", true},
+    {AlgorithmKind::kSchedProfileAuto, "Sample Profiling",
+     "SCHED_PROFILE_AUTO,10%,15%", 2, "Medium", "Medium to good", true},
+    {AlgorithmKind::kModelProfileAuto, "Sample Profiling",
+     "MODEL_PROFILE_AUTO,10%,15%", 2, "Medium", "Medium to good", true},
+    // Extensions (not part of the paper's Table II).
+    {AlgorithmKind::kCyclic, "Chunk Scheduling", "CYCLIC,2%", 1, "Low",
+     "Poor to good", false},
+    {AlgorithmKind::kWorkStealing, "Work Stealing", "WORK_STEALING", 0,
+     "Medium", "Good", false},
+    {AlgorithmKind::kHistoryAuto, "Historical Modeling", "HISTORY_AUTO", 1,
+     "Low", "Medium to good", true},
+};
+}  // namespace
+
+const AlgorithmKind* all_algorithms() noexcept { return kAll; }
+
+const AlgorithmKind* extended_algorithms() noexcept { return kExtended; }
+
+const char* to_string(AlgorithmKind k) noexcept {
+  switch (k) {
+    case AlgorithmKind::kBlock:
+      return "BLOCK";
+    case AlgorithmKind::kDynamic:
+      return "SCHED_DYNAMIC";
+    case AlgorithmKind::kGuided:
+      return "SCHED_GUIDED";
+    case AlgorithmKind::kModel1Auto:
+      return "MODEL_1_AUTO";
+    case AlgorithmKind::kModel2Auto:
+      return "MODEL_2_AUTO";
+    case AlgorithmKind::kSchedProfileAuto:
+      return "SCHED_PROFILE_AUTO";
+    case AlgorithmKind::kModelProfileAuto:
+      return "MODEL_PROFILE_AUTO";
+    case AlgorithmKind::kCyclic:
+      return "CYCLIC";
+    case AlgorithmKind::kWorkStealing:
+      return "WORK_STEALING";
+    case AlgorithmKind::kHistoryAuto:
+      return "HISTORY_AUTO";
+  }
+  return "?";
+}
+
+AlgorithmKind algorithm_from_string(const std::string& raw) {
+  const std::string s(trim(raw));
+  for (AlgorithmKind k : kAll) {
+    if (iequals(s, to_string(k))) return k;
+  }
+  for (AlgorithmKind k : kExtended) {
+    if (iequals(s, to_string(k))) return k;
+  }
+  // Tolerate the paper's Table II spellings with a single C:
+  // SCED_DYNAMIC / SCED_GUIDED / SCED_PROFILE_AUTO.
+  if (iequals(s, "SCED_DYNAMIC")) return AlgorithmKind::kDynamic;
+  if (iequals(s, "SCED_GUIDED")) return AlgorithmKind::kGuided;
+  if (iequals(s, "SCED_PROFILE_AUTO")) return AlgorithmKind::kSchedProfileAuto;
+  // AUTO alone means "let the runtime pick" and is resolved by the
+  // selector, not here.
+  throw ConfigError("unknown loop-distribution algorithm: '" + s + "'");
+}
+
+const AlgorithmInfo& algorithm_info(AlgorithmKind k) noexcept {
+  for (const auto& info : kInfo) {
+    if (info.kind == k) return info;
+  }
+  return kInfo[0];  // unreachable; enum is exhaustive
+}
+
+}  // namespace homp::sched

@@ -1,0 +1,64 @@
+#ifndef HOMP_SCHED_ALGORITHM_H
+#define HOMP_SCHED_ALGORITHM_H
+
+/// \file algorithm.h
+/// The seven loop-distribution algorithms of the paper (Table II) as an
+/// enumeration, plus their static metadata. Notation strings follow the
+/// paper's evaluation figures ("SCHED_DYNAMIC,2%" etc.).
+
+#include <string>
+
+namespace homp::sched {
+
+enum class AlgorithmKind {
+  kBlock,             ///< static chunking (even blocks)
+  kDynamic,           ///< dynamic chunking, fixed chunk size
+  kGuided,            ///< guided chunking, shrinking chunk size
+  kModel1Auto,        ///< analytical, compute capability only
+  kModel2Auto,        ///< analytical, compute + data movement
+  kSchedProfileAuto,  ///< 2-stage, constant sample size
+  kModelProfileAuto,  ///< 2-stage, model-chosen sample sizes
+
+  // ---- extensions beyond the paper's Table II ----
+  kCyclic,        ///< block-cyclic static chunking (Table I lists the
+                  ///< policy; the paper evaluates only the above)
+  kWorkStealing,  ///< per-device deques + steal-half — the related-work
+                  ///< baseline family (StarPU/Harmony/XKaapi, refs [2],
+                  ///< [7], [20])
+  kHistoryAuto,   ///< partition by throughput observed in *previous*
+                  ///< offloads (Qilin-like, ref [21]; the paper's
+                  ///< "improving prediction models" future work)
+};
+
+inline constexpr int kNumAlgorithms = 7;
+inline constexpr int kNumExtendedAlgorithms = 3;
+
+/// The paper's seven, in Table II order.
+const AlgorithmKind* all_algorithms() noexcept;
+
+/// The extension algorithms (kCyclic, kWorkStealing, kHistoryAuto).
+const AlgorithmKind* extended_algorithms() noexcept;
+
+const char* to_string(AlgorithmKind k) noexcept;
+
+/// Parse "BLOCK", "SCHED_DYNAMIC", "MODEL_1_AUTO", ... (case-insensitive;
+/// also accepts the paper's "SCED_" typo variants). Throws ConfigError.
+AlgorithmKind algorithm_from_string(const std::string& s);
+
+/// Static Table II metadata.
+struct AlgorithmInfo {
+  AlgorithmKind kind;
+  const char* approach;    ///< "Chunk Scheduling" | "Analytical Modeling" |
+                           ///< "Sample Profiling"
+  const char* notation;    ///< evaluation notation, e.g. "SCHED_DYNAMIC,2%"
+  int stages;              ///< 0 = multiple (dynamic/guided)
+  const char* overhead;    ///< Low | Medium | High
+  const char* balance;     ///< qualitative load-balancing rating
+  bool supports_cutoff;    ///< CUTOFF applies to the last four algorithms
+};
+
+const AlgorithmInfo& algorithm_info(AlgorithmKind k) noexcept;
+
+}  // namespace homp::sched
+
+#endif  // HOMP_SCHED_ALGORITHM_H

@@ -1,0 +1,68 @@
+#include "sched/chunk_sched.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace homp::sched {
+
+DynamicScheduler::DynamicScheduler(const LoopContext& ctx,
+                                   double chunk_fraction, long long min_chunk)
+    : domain_(ctx.loop), cursor_(ctx.loop.lo) {
+  HOMP_REQUIRE(chunk_fraction > 0.0 && chunk_fraction <= 1.0,
+               "dynamic chunk fraction must be in (0, 1]");
+  HOMP_REQUIRE(min_chunk >= 1, "min_chunk must be at least 1");
+  chunk_ = std::max(
+      min_chunk,
+      static_cast<long long>(std::llround(
+          chunk_fraction * static_cast<double>(domain_.size()))));
+}
+
+std::optional<dist::Range> DynamicScheduler::next_chunk(int slot) {
+  (void)slot;
+  if (cursor_ >= domain_.hi) return std::nullopt;
+  const long long hi = std::min(cursor_ + chunk_, domain_.hi);
+  dist::Range r(cursor_, hi);
+  cursor_ = hi;
+  ++issued_;
+  return r;
+}
+
+bool DynamicScheduler::finished(int slot) const {
+  (void)slot;
+  return cursor_ >= domain_.hi;
+}
+
+GuidedScheduler::GuidedScheduler(const LoopContext& ctx,
+                                 double chunk_fraction, long long min_chunk)
+    : domain_(ctx.loop),
+      cursor_(ctx.loop.lo),
+      fraction_(chunk_fraction),
+      min_chunk_(min_chunk) {
+  HOMP_REQUIRE(chunk_fraction > 0.0 && chunk_fraction <= 1.0,
+               "guided chunk fraction must be in (0, 1]");
+  HOMP_REQUIRE(min_chunk >= 1, "min_chunk must be at least 1");
+}
+
+std::optional<dist::Range> GuidedScheduler::next_chunk(int slot) {
+  (void)slot;
+  if (cursor_ >= domain_.hi) return std::nullopt;
+  const long long remaining = domain_.hi - cursor_;
+  const long long size = std::min(
+      remaining,
+      std::max(min_chunk_,
+               static_cast<long long>(std::ceil(
+                   fraction_ * static_cast<double>(remaining)))));
+  dist::Range r(cursor_, cursor_ + size);
+  cursor_ += size;
+  ++issued_;
+  return r;
+}
+
+bool GuidedScheduler::finished(int slot) const {
+  (void)slot;
+  return cursor_ >= domain_.hi;
+}
+
+}  // namespace homp::sched

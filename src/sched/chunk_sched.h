@@ -1,0 +1,58 @@
+#ifndef HOMP_SCHED_CHUNK_SCHED_H
+#define HOMP_SCHED_CHUNK_SCHED_H
+
+/// \file chunk_sched.h
+/// Multi-stage chunk schedulers (§IV-A2, §IV-A3): devices repeatedly
+/// acquire chunks from the shared remaining range until it is exhausted.
+/// In the real runtime this is a compare-and-swap on a shared cursor; on
+/// the single-threaded DES engine a plain cursor gives identical
+/// semantics, with FIFO event order standing in for CAS arbitration.
+
+#include "sched/scheduler.h"
+
+namespace homp::sched {
+
+/// SCHED_DYNAMIC: every chunk has the same size (a fraction of the loop).
+class DynamicScheduler : public LoopScheduler {
+ public:
+  DynamicScheduler(const LoopContext& ctx, double chunk_fraction,
+                   long long min_chunk);
+
+  std::optional<dist::Range> next_chunk(int slot) override;
+  bool finished(int slot) const override;
+  int num_stages() const override { return 0; }  // "Multiple" in Table II
+  std::size_t chunks_issued() const override { return issued_; }
+
+  long long chunk_size() const noexcept { return chunk_; }
+
+ private:
+  dist::Range domain_;
+  long long cursor_;
+  long long chunk_;
+  std::size_t issued_ = 0;
+};
+
+/// SCHED_GUIDED: each chunk is a fraction of the *remaining* iterations,
+/// so sizes shrink as the loop drains (large chunks first, small chunks
+/// near the end to polish the balance).
+class GuidedScheduler : public LoopScheduler {
+ public:
+  GuidedScheduler(const LoopContext& ctx, double chunk_fraction,
+                  long long min_chunk);
+
+  std::optional<dist::Range> next_chunk(int slot) override;
+  bool finished(int slot) const override;
+  int num_stages() const override { return 0; }
+  std::size_t chunks_issued() const override { return issued_; }
+
+ private:
+  dist::Range domain_;
+  long long cursor_;
+  double fraction_;
+  long long min_chunk_;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace homp::sched
+
+#endif  // HOMP_SCHED_CHUNK_SCHED_H

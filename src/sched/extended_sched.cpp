@@ -1,0 +1,241 @@
+#include "sched/extended_sched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace homp::sched {
+
+CyclicScheduler::CyclicScheduler(const LoopContext& ctx,
+                                 double block_fraction, long long min_chunk,
+                                 long long absolute_block)
+    : domain_(ctx.loop), parties_(ctx.num_devices()) {
+  HOMP_REQUIRE(parties_ > 0, "no devices to schedule onto");
+  HOMP_REQUIRE(min_chunk >= 1, "min_chunk must be at least 1");
+  if (absolute_block > 0) {
+    block_ = absolute_block;
+  } else {
+    HOMP_REQUIRE(block_fraction > 0.0 && block_fraction <= 1.0,
+                 "cyclic block fraction must be in (0, 1]");
+    block_ = std::max(min_chunk,
+                      static_cast<long long>(std::llround(
+                          block_fraction *
+                          static_cast<double>(domain_.size()))));
+  }
+  next_block_.assign(parties_, 0);
+  for (std::size_t s = 0; s < parties_; ++s) {
+    next_block_[s] = static_cast<long long>(s);
+  }
+}
+
+std::optional<dist::Range> CyclicScheduler::next_chunk(int slot) {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < parties_);
+  auto& idx = next_block_[static_cast<std::size_t>(slot)];
+  const long long lo = domain_.lo + idx * block_;
+  if (lo >= domain_.hi) return std::nullopt;
+  const long long hi = std::min(lo + block_, domain_.hi);
+  idx += static_cast<long long>(parties_);
+  ++issued_;
+  return dist::Range(lo, hi);
+}
+
+bool CyclicScheduler::finished(int slot) const {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < parties_);
+  const long long lo =
+      domain_.lo + next_block_[static_cast<std::size_t>(slot)] * block_;
+  return lo >= domain_.hi;
+}
+
+WorkStealingScheduler::WorkStealingScheduler(const LoopContext& ctx,
+                                             double grain_fraction,
+                                             long long min_chunk) {
+  HOMP_REQUIRE(ctx.num_devices() > 0, "no devices to schedule onto");
+  HOMP_REQUIRE(grain_fraction > 0.0 && grain_fraction <= 1.0,
+               "grain fraction must be in (0, 1]");
+  HOMP_REQUIRE(min_chunk >= 1, "min_chunk must be at least 1");
+  deque_ = dist::Distribution::block(ctx.loop, ctx.num_devices()).parts();
+  grain_ = std::max(min_chunk,
+                    static_cast<long long>(std::llround(
+                        grain_fraction *
+                        static_cast<double>(ctx.loop.size()))));
+}
+
+std::optional<dist::Range> WorkStealingScheduler::next_chunk(int slot) {
+  HOMP_ASSERT(slot >= 0 &&
+              static_cast<std::size_t>(slot) < deque_.size());
+  auto& own = deque_[static_cast<std::size_t>(slot)];
+  if (own.empty()) {
+    // Steal the back half of the largest victim deque. Ties pick the
+    // lowest victim index — deterministic on the single-threaded engine.
+    std::size_t victim = deque_.size();
+    long long best = 0;
+    for (std::size_t v = 0; v < deque_.size(); ++v) {
+      if (v == static_cast<std::size_t>(slot)) continue;
+      if (deque_[v].size() > best) {
+        best = deque_[v].size();
+        victim = v;
+      }
+    }
+    if (victim == deque_.size() || best == 0) return std::nullopt;
+    auto& loot = deque_[victim];
+    const long long half = (loot.size() + 1) / 2;
+    own = dist::Range(loot.hi - half, loot.hi);
+    loot.hi -= half;
+    ++steals_;
+  }
+  const long long take = std::min(grain_, own.size());
+  dist::Range chunk(own.lo, own.lo + take);
+  own.lo += take;
+  ++issued_;
+  return chunk;
+}
+
+bool WorkStealingScheduler::finished(int slot) const {
+  (void)slot;
+  for (const auto& d : deque_) {
+    if (!d.empty()) return false;
+  }
+  return true;
+}
+
+void ThroughputHistory::record(const std::string& kernel, int device_id,
+                               double rate, double alpha) {
+  HOMP_REQUIRE(rate >= 0.0 && std::isfinite(rate),
+               "throughput must be finite and non-negative");
+  HOMP_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+  auto key = std::make_pair(kernel, device_id);
+  auto it = rates_.find(key);
+  if (it == rates_.end()) {
+    rates_.emplace(std::move(key), rate);
+  } else {
+    it->second = alpha * rate + (1.0 - alpha) * it->second;
+  }
+}
+
+double ThroughputHistory::rate(const std::string& kernel,
+                               int device_id) const {
+  auto it = rates_.find({kernel, device_id});
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+bool ThroughputHistory::has(const std::string& kernel, int device_id) const {
+  return rates_.count({kernel, device_id}) != 0;
+}
+
+std::string ThroughputHistory::to_text() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [key, rate] : rates_) {
+    std::snprintf(buf, sizeof buf, "\t%d\t%.17g\n", key.second, rate);
+    out += key.first;
+    out += buf;
+  }
+  return out;
+}
+
+void ThroughputHistory::merge_text(const std::string& text) {
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    const auto t1 = line.find('\t');
+    const auto t2 = line.find('\t', t1 + 1);
+    HOMP_REQUIRE(t1 != std::string::npos && t2 != std::string::npos,
+                 "throughput history line " + std::to_string(lineno) +
+                     " is not kernel<TAB>device<TAB>rate");
+    try {
+      const std::string kernel = line.substr(0, t1);
+      HOMP_REQUIRE(!kernel.empty(), "empty kernel name in history line " +
+                                        std::to_string(lineno));
+      const int device = std::stoi(line.substr(t1 + 1, t2 - t1 - 1));
+      const double rate = std::stod(line.substr(t2 + 1));
+      HOMP_REQUIRE(rate >= 0.0 && std::isfinite(rate),
+                   "bad rate in history line " + std::to_string(lineno));
+      rates_[{kernel, device}] = rate;
+    } catch (const std::invalid_argument&) {
+      throw ConfigError("malformed throughput history line " +
+                        std::to_string(lineno));
+    } catch (const std::out_of_range&) {
+      throw ConfigError("out-of-range value in throughput history line " +
+                        std::to_string(lineno));
+    }
+  }
+}
+
+void ThroughputHistory::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  HOMP_REQUIRE(out.good(), "cannot open history file for writing: " + path);
+  out << to_text();
+}
+
+void ThroughputHistory::load_file(const std::string& path) {
+  std::ifstream in(path);
+  HOMP_REQUIRE(in.good(), "cannot open history file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  merge_text(buf.str());
+}
+
+HistoryScheduler::HistoryScheduler(const LoopContext& ctx,
+                                   const ThroughputHistory& history,
+                                   std::string kernel_name,
+                                   std::vector<int> device_ids,
+                                   double cutoff_ratio) {
+  HOMP_REQUIRE(ctx.num_devices() > 0, "no devices to schedule onto");
+  HOMP_REQUIRE(device_ids.size() == ctx.num_devices(),
+               "device id list does not match context");
+
+  // Rates from history; model-predicted rates fill the gaps so a fresh
+  // device is not starved (and can therefore earn history).
+  std::vector<double> rates(ctx.num_devices(), 0.0);
+  for (std::size_t s = 0; s < rates.size(); ++s) {
+    if (history.has(kernel_name, device_ids[s])) {
+      rates[s] = history.rate(kernel_name, device_ids[s]);
+    } else {
+      fully_informed_ = false;
+      rates[s] = 1.0 / model::model2_iter_time(ctx.kernel, ctx.devices[s]);
+    }
+  }
+  if (!fully_informed_) {
+    HOMP_DEBUG << "history incomplete for '" << kernel_name
+               << "'; MODEL_2 fills " << ctx.num_devices() << " slots";
+  }
+  std::vector<double> w = model::weights_from_rates(rates);
+  if (cutoff_ratio > 0.0) {
+    cutoff_ = model::apply_cutoff(w, cutoff_ratio);
+    has_cutoff_ = true;
+    w = cutoff_.weights;
+  }
+  weights_ = w;
+  dist_ = dist::Distribution::by_weights(ctx.loop, w);
+  consumed_.assign(ctx.num_devices(), false);
+}
+
+std::optional<dist::Range> HistoryScheduler::next_chunk(int slot) {
+  HOMP_ASSERT(slot >= 0 &&
+              static_cast<std::size_t>(slot) < consumed_.size());
+  const auto s = static_cast<std::size_t>(slot);
+  if (consumed_[s]) return std::nullopt;
+  consumed_[s] = true;
+  const dist::Range part = dist_.part(s);
+  if (part.empty()) return std::nullopt;
+  ++issued_;
+  return part;
+}
+
+bool HistoryScheduler::finished(int slot) const {
+  const auto s = static_cast<std::size_t>(slot);
+  return consumed_[s] || dist_.part(s).empty();
+}
+
+}  // namespace homp::sched

@@ -1,0 +1,141 @@
+#ifndef HOMP_SCHED_EXTENDED_SCHED_H
+#define HOMP_SCHED_EXTENDED_SCHED_H
+
+/// \file extended_sched.h
+/// Schedulers beyond the paper's Table II:
+///
+///  * CyclicScheduler — block-cyclic static chunking. Table I names the
+///    policy family; the paper evaluates only BLOCK. Device i receives
+///    chunks i, i+M, i+2M, ... of a fixed block size. Single "stage"
+///    (the assignment is static) but multiple chunks per device.
+///
+///  * WorkStealingScheduler — the related-work baseline (StarPU, Harmony,
+///    XKaapi-style, refs [2], [7], [20]): each device owns a contiguous
+///    deque seeded by BLOCK and serves itself small grains from its front;
+///    an idle device steals the *back half* of the largest remaining
+///    victim deque. Deterministic on the DES engine.
+///
+///  * HistoryScheduler — Qilin-like ([21]; the paper's "improving
+///    prediction models" future work): partition proportionally to the
+///    throughput each device *demonstrated on this kernel in previous
+///    offloads* (EWMA), falling back to MODEL_2 weights for devices with
+///    no history. The runtime records observed rates into a
+///    ThroughputHistory after every offload that ran with history enabled.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "sched/scheduler.h"
+
+namespace homp::sched {
+
+class CyclicScheduler : public LoopScheduler {
+ public:
+  /// \param block_fraction each cyclic block is this fraction of the loop
+  ///        (mirrors SCHED_DYNAMIC's chunk sizing; a CYCLIC(b) policy can
+  ///        instead pass an absolute block via `absolute_block`)
+  CyclicScheduler(const LoopContext& ctx, double block_fraction,
+                  long long min_chunk, long long absolute_block = 0);
+
+  std::optional<dist::Range> next_chunk(int slot) override;
+  bool finished(int slot) const override;
+  std::size_t chunks_issued() const override { return issued_; }
+
+  long long block_size() const noexcept { return block_; }
+
+ private:
+  dist::Range domain_;
+  long long block_;
+  std::size_t parties_;
+  std::vector<long long> next_block_;  // per slot: index of its next block
+  std::size_t issued_ = 0;
+};
+
+class WorkStealingScheduler : public LoopScheduler {
+ public:
+  /// \param grain_fraction self-service grain as a fraction of the loop
+  WorkStealingScheduler(const LoopContext& ctx, double grain_fraction,
+                        long long min_chunk);
+
+  std::optional<dist::Range> next_chunk(int slot) override;
+  bool finished(int slot) const override;
+  int num_stages() const override { return 0; }
+  std::size_t chunks_issued() const override { return issued_; }
+
+  std::size_t steals() const noexcept { return steals_; }
+
+ private:
+  std::vector<dist::Range> deque_;  // per slot: remaining contiguous work
+  long long grain_;
+  std::size_t issued_ = 0;
+  std::size_t steals_ = 0;
+};
+
+/// Persistent per-(kernel, device) observed throughput store, owned by
+/// whoever wants history to span offloads (the Runtime facade exposes
+/// one).
+class ThroughputHistory {
+ public:
+  /// Record an observed rate (iterations/second) for kernel x device;
+  /// blended into an EWMA with weight `alpha` on the new sample.
+  void record(const std::string& kernel, int device_id, double rate,
+              double alpha = 0.5);
+
+  /// Observed rate, or 0 when unseen.
+  double rate(const std::string& kernel, int device_id) const;
+
+  bool has(const std::string& kernel, int device_id) const;
+  std::size_t size() const noexcept { return rates_.size(); }
+  void clear() { rates_.clear(); }
+
+  /// Serialize as "kernel<TAB>device_id<TAB>rate" lines (Qilin keeps its
+  /// per-program model across runs; so can we).
+  std::string to_text() const;
+
+  /// Parse the to_text() format, merging into this store (existing
+  /// entries are overwritten). Throws ConfigError on malformed input.
+  void merge_text(const std::string& text);
+
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  std::map<std::pair<std::string, int>, double> rates_;
+};
+
+class HistoryScheduler : public LoopScheduler {
+ public:
+  /// \param kernel_name history key
+  /// \param device_ids  global device ids per slot (history is keyed by
+  ///        device id, not slot, so it survives device-list changes)
+  HistoryScheduler(const LoopContext& ctx, const ThroughputHistory& history,
+                   std::string kernel_name, std::vector<int> device_ids,
+                   double cutoff_ratio);
+
+  std::optional<dist::Range> next_chunk(int slot) override;
+  bool finished(int slot) const override;
+  std::vector<double> planned_weights() const override { return weights_; }
+  const model::CutoffResult* cutoff() const override {
+    return has_cutoff_ ? &cutoff_ : nullptr;
+  }
+  std::size_t chunks_issued() const override { return issued_; }
+
+  /// True if every device had history (no model fallback needed).
+  bool fully_informed() const noexcept { return fully_informed_; }
+
+ private:
+  dist::Distribution dist_;
+  std::vector<double> weights_;
+  std::vector<bool> consumed_;
+  model::CutoffResult cutoff_;
+  bool has_cutoff_ = false;
+  bool fully_informed_ = true;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace homp::sched
+
+#endif  // HOMP_SCHED_EXTENDED_SCHED_H

@@ -1,0 +1,86 @@
+#include "sched/partition_sched.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace homp::sched {
+
+PartitionScheduler::PartitionScheduler(dist::Distribution d,
+                                       std::vector<double> weights)
+    : dist_(std::move(d)),
+      weights_(std::move(weights)),
+      consumed_(dist_.num_parts(), false) {}
+
+std::unique_ptr<PartitionScheduler> PartitionScheduler::block(
+    const LoopContext& ctx) {
+  HOMP_REQUIRE(ctx.num_devices() > 0, "no devices to schedule onto");
+  auto d = dist::Distribution::block(ctx.loop, ctx.num_devices());
+  std::vector<double> w(ctx.num_devices(),
+                        1.0 / static_cast<double>(ctx.num_devices()));
+  return std::unique_ptr<PartitionScheduler>(
+      new PartitionScheduler(std::move(d), std::move(w)));
+}
+
+std::unique_ptr<PartitionScheduler> PartitionScheduler::from_model(
+    const LoopContext& ctx, AlgorithmKind kind, double cutoff_ratio) {
+  HOMP_REQUIRE(ctx.num_devices() > 0, "no devices to schedule onto");
+  HOMP_REQUIRE(kind == AlgorithmKind::kModel1Auto ||
+                   kind == AlgorithmKind::kModel2Auto,
+               "from_model expects an analytical-model algorithm");
+  std::vector<double> w =
+      kind == AlgorithmKind::kModel1Auto
+          ? model::model1_weights(ctx.kernel, ctx.devices)
+          : model::model2_weights(ctx.kernel, ctx.devices);
+
+  std::unique_ptr<PartitionScheduler> sched;
+  if (cutoff_ratio > 0.0) {
+    model::CutoffResult cut = model::apply_cutoff(w, cutoff_ratio);
+    if (cut.num_selected < static_cast<int>(w.size())) {
+      HOMP_INFO << "CUTOFF(" << cutoff_ratio << ") kept "
+                << cut.num_selected << "/" << w.size() << " devices";
+    }
+    auto d = dist::Distribution::by_weights(ctx.loop, cut.weights);
+    sched.reset(new PartitionScheduler(std::move(d), cut.weights));
+    sched->cutoff_ = std::move(cut);
+    sched->has_cutoff_ = true;
+  } else {
+    auto d = dist::Distribution::by_weights(ctx.loop, w);
+    sched.reset(new PartitionScheduler(std::move(d), std::move(w)));
+  }
+  return sched;
+}
+
+std::unique_ptr<PartitionScheduler> PartitionScheduler::from_distribution(
+    dist::Distribution d) {
+  HOMP_REQUIRE(d.num_parts() > 0, "empty distribution for loop scheduling");
+  const double total = static_cast<double>(d.domain().size());
+  std::vector<double> w(d.num_parts(), 0.0);
+  if (total > 0.0) {
+    for (std::size_t i = 0; i < d.num_parts(); ++i) {
+      w[i] = static_cast<double>(d.part(i).size()) / total;
+    }
+  }
+  return std::unique_ptr<PartitionScheduler>(
+      new PartitionScheduler(std::move(d), std::move(w)));
+}
+
+std::optional<dist::Range> PartitionScheduler::next_chunk(int slot) {
+  HOMP_ASSERT(slot >= 0 &&
+              static_cast<std::size_t>(slot) < consumed_.size());
+  const auto s = static_cast<std::size_t>(slot);
+  if (consumed_[s]) return std::nullopt;
+  consumed_[s] = true;
+  const dist::Range part = dist_.part(s);
+  if (part.empty()) return std::nullopt;
+  ++issued_;
+  return part;
+}
+
+bool PartitionScheduler::finished(int slot) const {
+  HOMP_ASSERT(slot >= 0 &&
+              static_cast<std::size_t>(slot) < consumed_.size());
+  const auto s = static_cast<std::size_t>(slot);
+  return consumed_[s] || dist_.part(s).empty();
+}
+
+}  // namespace homp::sched

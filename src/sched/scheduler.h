@@ -1,0 +1,127 @@
+#ifndef HOMP_SCHED_SCHEDULER_H
+#define HOMP_SCHED_SCHEDULER_H
+
+/// \file scheduler.h
+/// Incremental loop-scheduler interface driven by the runtime's per-device
+/// proxies, plus the configuration shared by all seven algorithms.
+///
+/// Protocol (single-threaded — proxies are actors on the DES engine):
+///   1. proxy calls next_chunk(slot);
+///      - a range: execute it, then report(slot, range, seconds), repeat;
+///      - nullopt and finished(slot): device is done, go to final barrier;
+///      - nullopt and !finished(slot): two-stage scheduler waiting for the
+///        other devices; the proxy arrives at the stage barrier, and the
+///        runtime calls advance_stage() exactly once when all proxies
+///        are waiting, then releases them to call next_chunk again.
+///   2. report() feeds measured chunk times back (profiling algorithms
+///      use them; others ignore them).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dist/range.h"
+#include "model/kernel_profile.h"
+#include "model/loop_model.h"
+#include "sched/algorithm.h"
+
+namespace homp::sched {
+
+class ThroughputHistory;  // extended_sched.h
+
+/// Everything a scheduler may consult about the loop being distributed.
+struct LoopContext {
+  dist::Range loop;  ///< full iteration domain
+  model::KernelCostProfile kernel;
+  /// Participating devices in slot order (slot i of the scheduler is
+  /// devices[i] of the offload's device list).
+  std::vector<model::DevicePredictionInput> devices;
+
+  std::size_t num_devices() const noexcept { return devices.size(); }
+};
+
+/// Tuning parameters; defaults follow the paper's evaluation notation
+/// (SCHED_DYNAMIC,2% / SCHED_GUIDED,20% / *_PROFILE_AUTO,10%,15%).
+struct SchedulerConfig {
+  AlgorithmKind kind = AlgorithmKind::kBlock;
+
+  /// DYNAMIC: each chunk is this fraction of the full loop.
+  double dynamic_chunk_fraction = 0.02;
+
+  /// GUIDED: each chunk is this fraction of the *remaining* iterations.
+  double guided_chunk_fraction = 0.20;
+
+  /// Two-stage profiling: total fraction of the loop sampled in stage 1.
+  double sample_fraction = 0.10;
+
+  /// CUTOFF ratio (§IV-E); 0 disables device selection. Applies to the
+  /// model and profiling algorithms only (Table II note).
+  double cutoff_ratio = 0.0;
+
+  /// Smallest chunk any algorithm will hand out.
+  long long min_chunk = 1;
+
+  // ---- extension algorithms (see extended_sched.h) ----
+
+  /// CYCLIC: block size as a fraction of the loop; an explicit
+  /// CYCLIC(b) loop policy overrides it with an absolute block.
+  double cyclic_block_fraction = 0.02;
+  long long cyclic_absolute_block = 0;
+
+  /// WORK_STEALING: self-service grain as a fraction of the loop.
+  double steal_grain_fraction = 0.01;
+
+  /// HISTORY_AUTO: observed-throughput store and its keys. The Runtime
+  /// facade fills these automatically; set them only when driving
+  /// make_scheduler() directly.
+  const ThroughputHistory* history = nullptr;
+  std::string history_kernel;
+  std::vector<int> history_device_ids;
+};
+
+class LoopScheduler {
+ public:
+  virtual ~LoopScheduler() = default;
+
+  virtual std::optional<dist::Range> next_chunk(int slot) = 0;
+
+  /// True when `slot` will never receive another chunk.
+  virtual bool finished(int slot) const = 0;
+
+  /// Feed back the measured (virtual) duration of a completed chunk,
+  /// inclusive of its data movement — what a proxy thread would time.
+  virtual void report(int slot, const dist::Range& chunk, double seconds) {
+    (void)slot;
+    (void)chunk;
+    (void)seconds;
+  }
+
+  /// Number of distribution stages (Table II; 0 = "multiple").
+  virtual int num_stages() const { return 1; }
+
+  /// True while devices must rendezvous before more chunks can be handed
+  /// out (between profiling stage 1 and stage 2).
+  virtual bool stage_barrier_pending() const { return false; }
+
+  /// Called once by the runtime when every proxy is waiting at the stage
+  /// barrier.
+  virtual void advance_stage() {}
+
+  /// The up-front weights this scheduler planned with (empty for chunk
+  /// schedulers; profiling schedulers report stage-2 weights once known).
+  virtual std::vector<double> planned_weights() const { return {}; }
+
+  /// CUTOFF selection outcome, if the algorithm applied one.
+  virtual const model::CutoffResult* cutoff() const { return nullptr; }
+
+  /// Total chunks handed out so far (scheduling-transaction count).
+  virtual std::size_t chunks_issued() const = 0;
+};
+
+/// Instantiate the scheduler for `config.kind`.
+std::unique_ptr<LoopScheduler> make_scheduler(const SchedulerConfig& config,
+                                              const LoopContext& context);
+
+}  // namespace homp::sched
+
+#endif  // HOMP_SCHED_SCHEDULER_H

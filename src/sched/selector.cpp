@@ -1,0 +1,51 @@
+#include "sched/selector.h"
+
+#include <algorithm>
+
+namespace homp::sched {
+
+bool devices_homogeneous(
+    const std::vector<model::DevicePredictionInput>& devices,
+    double tolerance) {
+  if (devices.size() <= 1) return true;
+  auto spread_ok = [&](auto field) {
+    double lo = field(devices.front());
+    double hi = lo;
+    for (const auto& d : devices) {
+      lo = std::min(lo, field(d));
+      hi = std::max(hi, field(d));
+    }
+    return hi <= lo * (1.0 + tolerance);
+  };
+  // A host among accelerators (no link vs link) is heterogeneous by
+  // construction.
+  for (const auto& d : devices) {
+    if (d.has_link != devices.front().has_link) return false;
+  }
+  return spread_ok([](const auto& d) { return d.peak_flops; }) &&
+         spread_ok([](const auto& d) { return d.peak_membw_Bps; }) &&
+         (!devices.front().has_link ||
+          spread_ok([](const auto& d) { return d.link_bandwidth_Bps; }));
+}
+
+AlgorithmKind select_algorithm(const model::KernelCostProfile& kernel,
+                               bool homogeneous_devices) {
+  switch (model::classify(kernel)) {
+    case model::KernelClass::kComputeIntensive:
+      return homogeneous_devices ? AlgorithmKind::kBlock
+                                 : AlgorithmKind::kModel1Auto;
+    case model::KernelClass::kBalanced:
+      return AlgorithmKind::kDynamic;
+    case model::KernelClass::kDataIntensive:
+      return AlgorithmKind::kModel2Auto;
+  }
+  return AlgorithmKind::kBlock;
+}
+
+AlgorithmKind select_algorithm(
+    const model::KernelCostProfile& kernel,
+    const std::vector<model::DevicePredictionInput>& devices) {
+  return select_algorithm(kernel, devices_homogeneous(devices));
+}
+
+}  // namespace homp::sched

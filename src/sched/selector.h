@@ -1,0 +1,39 @@
+#ifndef HOMP_SCHED_SELECTOR_H
+#define HOMP_SCHED_SELECTOR_H
+
+/// \file selector.h
+/// Automatic algorithm selection (§IV-D, validated in §VI-D):
+///
+///  1. compute-intensive kernels: BLOCK on identical devices,
+///     MODEL_1_AUTO on heterogeneous ones — both single-stage and cheap;
+///  2. compute/data-balanced kernels: SCHED_DYNAMIC, whose multiple chunks
+///     per device overlap data movement with computation;
+///  3. data-intensive kernels: MODEL_2_AUTO, which prices data movement.
+///
+/// This is what `dist_schedule(target:[AUTO])` resolves to when the user
+/// does not name an algorithm.
+
+#include "model/heuristic.h"
+#include "model/loop_model.h"
+#include "sched/algorithm.h"
+
+namespace homp::sched {
+
+/// True when all devices advertise (near-)identical capability — within
+/// `tolerance` relative spread on peak FLOPs and link bandwidth.
+bool devices_homogeneous(
+    const std::vector<model::DevicePredictionInput>& devices,
+    double tolerance = 0.05);
+
+/// Pick the algorithm for a kernel per the §VI-D heuristics.
+AlgorithmKind select_algorithm(const model::KernelCostProfile& kernel,
+                               bool homogeneous_devices);
+
+/// Convenience overload deriving homogeneity from the device list.
+AlgorithmKind select_algorithm(
+    const model::KernelCostProfile& kernel,
+    const std::vector<model::DevicePredictionInput>& devices);
+
+}  // namespace homp::sched
+
+#endif  // HOMP_SCHED_SELECTOR_H

@@ -1,0 +1,61 @@
+#include "sim/engine.h"
+
+#include "common/error.h"
+
+namespace homp::sim {
+
+std::uint64_t Engine::schedule_at(Time t, Callback fn) {
+  HOMP_ASSERT(t >= now_);
+  HOMP_ASSERT(fn != nullptr);
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Entry{t, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+bool Engine::cancel(std::uint64_t id) {
+  if (id >= next_seq_) return false;
+  // The queue cannot be searched; tombstone the id and skip it on pop.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_events_ > 0) --live_events_;
+  return inserted;
+}
+
+bool Engine::pop_one() {
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // tombstoned; live_events_ already decremented by cancel()
+    }
+    HOMP_ASSERT(e.t >= now_);
+    now_ = e.t;
+    --live_events_;
+    ++processed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_one()) {
+  }
+}
+
+std::size_t Engine::run_until(Time deadline) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past tombstones without consuming live entries beyond deadline.
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.seq) == 0 && top.t > deadline) break;
+    if (pop_one()) ++n;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return n;
+}
+
+}  // namespace homp::sim

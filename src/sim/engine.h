@@ -1,0 +1,91 @@
+#ifndef HOMP_SIM_ENGINE_H
+#define HOMP_SIM_ENGINE_H
+
+/// \file engine.h
+/// Single-threaded discrete-event simulation engine.
+///
+/// The HOMP runtime's per-device proxy threads are modelled as actors that
+/// schedule continuation callbacks on this engine. Running on virtual time
+/// makes multi-device scheduling experiments deterministic and independent
+/// of the host's actual core count (see DESIGN.md §2).
+///
+/// The engine is deliberately minimal: an ordered queue of (time, seq,
+/// callback). Events scheduled for the same instant run in scheduling
+/// order (FIFO), which gives dynamic-chunk acquisition a well-defined,
+/// reproducible winner on ties.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace homp::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time. Valid inside and outside callbacks.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t`. `t` must be >= now().
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule_at(Time t, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  std::uint64_t schedule_after(Time dt, Callback fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled. Cancellation is O(1): the entry is tombstoned and skipped.
+  bool cancel(std::uint64_t id);
+
+  /// Run until the queue is empty (or stop() is called from a callback).
+  void run();
+
+  /// Run until virtual time would exceed `deadline`; events at exactly
+  /// `deadline` are processed. Returns the number of events processed.
+  std::size_t run_until(Time deadline);
+
+  /// Request run()/run_until() to return after the current callback.
+  void stop() noexcept { stopped_ = true; }
+
+  /// True when no pending (non-cancelled) events remain.
+  bool idle() const noexcept { return live_events_ == 0; }
+
+  std::size_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;  // FIFO tie-break and cancellation id
+    Callback fn;
+    bool operator>(const Entry& o) const noexcept {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  bool pop_one();  // runs the next event; false if queue exhausted
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t live_events_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace homp::sim
+
+#endif  // HOMP_SIM_ENGINE_H

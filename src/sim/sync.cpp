@@ -1,0 +1,53 @@
+#include "sim/sync.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace homp::sim {
+
+Latch::Latch(Engine& engine, std::size_t count)
+    : engine_(engine), remaining_(count) {}
+
+void Latch::count_down() {
+  HOMP_ASSERT(remaining_ > 0);
+  if (--remaining_ == 0) release_all();
+}
+
+void Latch::wait(std::function<void()> fn) {
+  HOMP_ASSERT(fn != nullptr);
+  if (remaining_ == 0) {
+    engine_.schedule_after(0.0, std::move(fn));
+  } else {
+    waiters_.push_back(std::move(fn));
+  }
+}
+
+void Latch::release_all() {
+  for (auto& w : waiters_) engine_.schedule_after(0.0, std::move(w));
+  waiters_.clear();
+}
+
+Barrier::Barrier(Engine& engine, std::size_t parties)
+    : engine_(engine), parties_(parties) {
+  HOMP_REQUIRE(parties > 0, "barrier needs at least one party");
+}
+
+void Barrier::arrive(std::function<void()> fn) {
+  HOMP_ASSERT(fn != nullptr);
+  pending_.push_back(std::move(fn));
+  arrivals_.push_back(engine_.now());
+  HOMP_ASSERT(pending_.size() <= parties_);
+  if (pending_.size() == parties_) {
+    const Time release = engine_.now();
+    for (Time t : arrivals_) total_wait_ += release - t;
+    last_arrivals_ = std::move(arrivals_);
+    arrivals_.clear();
+    ++generations_;
+    auto batch = std::move(pending_);
+    pending_.clear();
+    for (auto& f : batch) engine_.schedule_after(0.0, std::move(f));
+  }
+}
+
+}  // namespace homp::sim

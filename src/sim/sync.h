@@ -1,0 +1,83 @@
+#ifndef HOMP_SIM_SYNC_H
+#define HOMP_SIM_SYNC_H
+
+/// \file sync.h
+/// Virtual-time synchronization primitives for simulated proxy actors.
+///
+/// These mirror what the HOMP runtime's pthread proxies do with real
+/// barriers/broadcasts, but on the discrete-event engine: a callback fires
+/// at the virtual instant the synchronization would release.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace homp::sim {
+
+/// Count-down latch: fires all registered waiters once count reaches zero.
+/// Waiters registered after the latch is already open fire immediately
+/// (at the current virtual time, via a zero-delay event to preserve
+/// run-to-completion semantics).
+class Latch {
+ public:
+  Latch(Engine& engine, std::size_t count);
+
+  /// Decrement; must not be called more times than `count`.
+  void count_down();
+
+  /// Invoke `fn` when the latch opens.
+  void wait(std::function<void()> fn);
+
+  bool open() const noexcept { return remaining_ == 0; }
+  std::size_t remaining() const noexcept { return remaining_; }
+
+ private:
+  void release_all();
+
+  Engine& engine_;
+  std::size_t remaining_;
+  std::vector<std::function<void()>> waiters_;
+};
+
+/// Cyclic barrier for `n` participants. Each participant calls arrive()
+/// with its continuation; when the n-th arrives, all continuations are
+/// scheduled at the current virtual time and the barrier resets for the
+/// next generation (the runtime reuses one barrier across pipeline stages).
+///
+/// Also records, per generation, the arrival times — the raw data behind
+/// the paper's Figure 6 load-imbalance curve.
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::size_t parties);
+
+  void arrive(std::function<void()> fn);
+
+  std::size_t parties() const noexcept { return parties_; }
+
+  /// Arrival times of the most recently completed generation
+  /// (empty until one generation has completed).
+  const std::vector<Time>& last_generation_arrivals() const noexcept {
+    return last_arrivals_;
+  }
+
+  /// Total waiting time accumulated at this barrier across all completed
+  /// generations: sum over participants of (release_time - arrival_time).
+  Time total_wait_time() const noexcept { return total_wait_; }
+
+  std::size_t generations() const noexcept { return generations_; }
+
+ private:
+  Engine& engine_;
+  std::size_t parties_;
+  std::vector<std::function<void()>> pending_;
+  std::vector<Time> arrivals_;
+  std::vector<Time> last_arrivals_;
+  Time total_wait_ = 0.0;
+  std::size_t generations_ = 0;
+};
+
+}  // namespace homp::sim
+
+#endif  // HOMP_SIM_SYNC_H

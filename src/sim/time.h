@@ -1,0 +1,24 @@
+#ifndef HOMP_SIM_TIME_H
+#define HOMP_SIM_TIME_H
+
+/// \file time.h
+/// Virtual time for the discrete-event engine.
+///
+/// All simulated durations are in seconds (double). The paper reports
+/// offloading time in milliseconds; harnesses convert at the edge via
+/// homp::format_seconds / explicit *1e3.
+
+namespace homp::sim {
+
+/// Virtual time in seconds since engine start.
+using Time = double;
+
+/// Sentinel for "no deadline".
+inline constexpr Time kTimeInfinity = 1e300;
+
+inline constexpr Time microseconds(double us) { return us * 1e-6; }
+inline constexpr Time milliseconds(double ms) { return ms * 1e-3; }
+
+}  // namespace homp::sim
+
+#endif  // HOMP_SIM_TIME_H

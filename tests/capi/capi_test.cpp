@@ -1,0 +1,199 @@
+// The C-style API shim: handles, error codes, string directives.
+
+#include "capi/homp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace homp::capi {
+namespace {
+
+struct AxpyCtx {
+  double a;
+};
+
+double axpy_body(long long lo, long long hi, void* ctx) {
+  const double a = static_cast<AxpyCtx*>(ctx)->a;
+  homp_view_t x{}, y{};
+  EXPECT_EQ(homp_view("x", &x), HOMP_OK);
+  EXPECT_EQ(homp_view("y", &y), HOMP_OK);
+  for (long long i = lo; i < hi; ++i) {
+    y.base[i - y.lo0] += a * x.base[i - x.lo0];
+  }
+  return 0.0;
+}
+
+double sum_body(long long lo, long long hi, void*) {
+  homp_view_t x{};
+  EXPECT_EQ(homp_view("x", &x), HOMP_OK);
+  double s = 0.0;
+  for (long long i = lo; i < hi; ++i) s += x.base[i - x.lo0];
+  return s;
+}
+
+TEST(CApi, LifecycleAndErrors) {
+  homp_runtime_t rt = nullptr;
+  EXPECT_EQ(homp_init("no-such-machine.ini", &rt), HOMP_ERR_INVALID);
+  EXPECT_NE(std::strlen(homp_last_error()), 0u);
+  ASSERT_EQ(homp_init("full", &rt), HOMP_OK);
+  EXPECT_EQ(homp_num_devices(rt), 7);
+  EXPECT_EQ(homp_fini(rt), HOMP_OK);
+  EXPECT_EQ(homp_fini(nullptr), HOMP_ERR_INVALID);
+  EXPECT_EQ(homp_init(nullptr, &rt), HOMP_ERR_INVALID);
+}
+
+TEST(CApi, AxpyEndToEnd) {
+  constexpr long long kN = 10'000;
+  std::vector<double> x(kN), y(kN, 1.0);
+  for (long long i = 0; i < kN; ++i) x[i] = static_cast<double>(i % 100);
+
+  homp_runtime_t rt = nullptr;
+  ASSERT_EQ(homp_init("gpu4", &rt), HOMP_OK);
+  ASSERT_EQ(homp_register_array(rt, "x", x.data(), kN, 0), HOMP_OK);
+  ASSERT_EQ(homp_register_array(rt, "y", y.data(), kN, 0), HOMP_OK);
+  ASSERT_EQ(homp_let(rt, "n", kN), HOMP_OK);
+
+  AxpyCtx ctx{2.0};
+  homp_kernel_desc k{};
+  k.name = "axpy";
+  k.iterations = kN;
+  k.flops_per_iter = 2.0;
+  k.mem_bytes_per_iter = 24.0;
+  k.transfer_bytes_per_iter = 24.0;
+  k.body = axpy_body;
+  k.ctx = &ctx;
+  k.execute_bodies = 1;
+
+  homp_result res{};
+  ASSERT_EQ(homp_offload(rt,
+                         "parallel target device(0:*) "
+                         "map(tofrom: y[0:n] partition([ALIGN(loop)])) "
+                         "map(to: x[0:n] partition([ALIGN(loop)])) "
+                         "distribute dist_schedule(target: BLOCK)",
+                         &k, &res),
+            HOMP_OK)
+      << homp_last_error();
+  EXPECT_GT(res.total_time_s, 0.0);
+  EXPECT_EQ(res.chunks, 5);  // one per device with work
+  for (long long i = 0; i < kN; ++i) {
+    ASSERT_EQ(y[i], 1.0 + 2.0 * (i % 100)) << i;
+  }
+  homp_fini(rt);
+}
+
+TEST(CApi, ReductionAndSimulationMode) {
+  constexpr long long kN = 5'000;
+  std::vector<double> x(kN, 0.5);
+  homp_runtime_t rt = nullptr;
+  ASSERT_EQ(homp_init("full", &rt), HOMP_OK);
+  ASSERT_EQ(homp_register_array(rt, "x", x.data(), kN, 0), HOMP_OK);
+  ASSERT_EQ(homp_let(rt, "n", kN), HOMP_OK);
+
+  homp_kernel_desc k{};
+  k.name = "sum";
+  k.iterations = kN;
+  k.flops_per_iter = 1.0;
+  k.mem_bytes_per_iter = 8.0;
+  k.transfer_bytes_per_iter = 8.0;
+  k.has_reduction = 1;
+  k.body = sum_body;
+  k.ctx = nullptr;
+  k.execute_bodies = 1;
+
+  const char* directive =
+      "parallel target device(0:*) "
+      "map(to: x[0:n] partition([ALIGN(loop)])) "
+      "distribute dist_schedule(target: SCHED_DYNAMIC(5%))";
+  homp_result res{};
+  ASSERT_EQ(homp_offload(rt, directive, &k, &res), HOMP_OK)
+      << homp_last_error();
+  EXPECT_NEAR(res.reduction, 0.5 * kN, 1e-9);
+
+  // Simulation-only: no body needed, reduction is 0.
+  k.body = nullptr;
+  k.execute_bodies = 0;
+  ASSERT_EQ(homp_offload(rt, directive, &k, &res), HOMP_OK)
+      << homp_last_error();
+  EXPECT_EQ(res.reduction, 0.0);
+  EXPECT_GT(res.total_time_s, 0.0);
+  homp_fini(rt);
+}
+
+TEST(CApi, ParseAndExecErrorsAreDistinguished) {
+  homp_runtime_t rt = nullptr;
+  ASSERT_EQ(homp_init("gpu4", &rt), HOMP_OK);
+  homp_kernel_desc k{};
+  k.name = "k";
+  k.iterations = 10;
+  k.flops_per_iter = 1.0;
+  k.mem_bytes_per_iter = 8.0;
+  k.execute_bodies = 0;
+  homp_result res{};
+  EXPECT_EQ(homp_offload(rt, "target frobnicate(1) device(*)", &k, &res),
+            HOMP_ERR_PARSE);
+  EXPECT_EQ(homp_offload(rt, "target device(*) map(to: ghost[0:10])", &k,
+                         &res),
+            HOMP_ERR_INVALID);  // unbound array
+  homp_fini(rt);
+}
+
+TEST(CApi, ViewOutsideKernelFails) {
+  homp_view_t v{};
+  EXPECT_EQ(homp_view("x", &v), HOMP_ERR_INVALID);
+}
+
+TEST(CApi, TwoDimensionalViews) {
+  constexpr long long kN = 32, kM = 8;
+  std::vector<double> a(kN * kM);
+  for (long long i = 0; i < kN * kM; ++i) a[i] = static_cast<double>(i);
+  std::vector<double> out(kN, 0.0);
+
+  homp_runtime_t rt = nullptr;
+  ASSERT_EQ(homp_init("gpu4", &rt), HOMP_OK);
+  ASSERT_EQ(homp_register_array(rt, "A", a.data(), kN, kM), HOMP_OK);
+  ASSERT_EQ(homp_register_array(rt, "out", out.data(), kN, 0), HOMP_OK);
+  ASSERT_EQ(homp_let(rt, "n", kN), HOMP_OK);
+  ASSERT_EQ(homp_let(rt, "m", kM), HOMP_OK);
+
+  homp_kernel_desc k{};
+  k.name = "rowsum";
+  k.iterations = kN;
+  k.flops_per_iter = kM;
+  k.mem_bytes_per_iter = kM * 8.0;
+  k.execute_bodies = 1;
+  k.body = +[](long long lo, long long hi, void*) {
+    homp_view_t av{}, ov{};
+    EXPECT_EQ(homp_view("A", &av), HOMP_OK);
+    EXPECT_EQ(homp_view("out", &ov), HOMP_OK);
+    for (long long i = lo; i < hi; ++i) {
+      double s = 0.0;
+      for (long long j = av.lo1; j < av.hi1; ++j) {
+        s += av.base[(i - av.lo0) * av.stride0 + (j - av.lo1)];
+      }
+      ov.base[i - ov.lo0] = s;
+    }
+    return 0.0;
+  };
+
+  homp_result res{};
+  ASSERT_EQ(homp_offload(rt,
+                         "parallel target device(0:*) "
+                         "map(to: A[0:n][0:m] partition([ALIGN(loop)], "
+                         "FULL)) "
+                         "map(from: out[0:n] partition([ALIGN(loop)])) "
+                         "distribute dist_schedule(target: BLOCK)",
+                         &k, &res),
+            HOMP_OK)
+      << homp_last_error();
+  for (long long i = 0; i < kN; ++i) {
+    double expect = 0.0;
+    for (long long j = 0; j < kM; ++j) expect += a[i * kM + j];
+    ASSERT_EQ(out[i], expect) << i;
+  }
+  homp_fini(rt);
+}
+
+}  // namespace
+}  // namespace homp::capi

@@ -1,0 +1,60 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+namespace homp {
+namespace {
+
+TEST(Prng, DeterministicGivenSeed) {
+  Prng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Prng a2(123);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Prng, DoublesInUnitInterval) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = p.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, UniformRespectsBounds) {
+  Prng p(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = p.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Prng, BelowIsInRange) {
+  Prng p(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(p.below(17), 17u);
+  }
+}
+
+TEST(Prng, GaussianHasSaneMoments) {
+  Prng p(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = p.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace homp

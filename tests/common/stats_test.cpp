@@ -1,0 +1,50 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace homp {
+namespace {
+
+TEST(Accumulator, WelfordMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_NEAR(a.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.sum(), 40.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Imbalance, PerfectBalanceIsZero) {
+  auto im = imbalance_of({3.0, 3.0, 3.0});
+  EXPECT_EQ(im.fraction(), 0.0);
+}
+
+TEST(Imbalance, MatchesDefinition) {
+  // max 10, mean 7.5 -> (10-7.5)/10 = 25%.
+  auto im = imbalance_of({5.0, 10.0});
+  EXPECT_NEAR(im.percent(), 25.0, 1e-12);
+}
+
+TEST(Imbalance, EmptyIsZero) {
+  EXPECT_EQ(imbalance_of({}).fraction(), 0.0);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({5.0}), 5.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+  // Non-positive entries are skipped.
+  EXPECT_NEAR(geomean({0.0, 4.0}), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace homp

@@ -1,0 +1,66 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a, b ,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitTopLevelRespectsNesting) {
+  EXPECT_EQ(split_top_level("x[0:n] partition([BLOCK]), a, n", ','),
+            (std::vector<std::string>{"x[0:n] partition([BLOCK])", "a", "n"}));
+  EXPECT_EQ(split_top_level("ALIGN(a,b), FULL", ','),
+            (std::vector<std::string>{"ALIGN(a,b)", "FULL"}));
+  EXPECT_EQ(split_top_level("f(g(x,y),z)", ','),
+            (std::vector<std::string>{"f(g(x,y),z)"}));
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("BLOCK", "block"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("block", "bloc"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(Strings, ParseScaledInt) {
+  EXPECT_EQ(parse_scaled_int("42"), 42);
+  EXPECT_EQ(parse_scaled_int("48k"), 48000);
+  EXPECT_EQ(parse_scaled_int("10M"), 10'000'000);
+  EXPECT_EQ(parse_scaled_int("2G"), 2'000'000'000);
+  EXPECT_EQ(parse_scaled_int(" 300M "), 300'000'000);
+  EXPECT_THROW(parse_scaled_int(""), ConfigError);
+  EXPECT_THROW(parse_scaled_int("k"), ConfigError);
+  EXPECT_THROW(parse_scaled_int("12x"), ConfigError);
+  EXPECT_THROW(parse_scaled_int("-5"), ConfigError);
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(Strings, FormatSeconds) {
+  EXPECT_EQ(format_seconds(2.5e-9), "2.5 ns");
+  EXPECT_EQ(format_seconds(12.3e-6), "12.30 us");
+  EXPECT_EQ(format_seconds(4.56e-3), "4.560 ms");
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+}
+
+}  // namespace
+}  // namespace homp

@@ -1,0 +1,44 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace homp {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "ms"});
+  t.row().cell("axpy").cell(12.345, 1);
+  t.row().cell("mm").cell(3.0, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("12.3"), std::string::npos);
+  // Column alignment: both data rows start their second column at the
+  // same offset.
+  auto lines_at = [&](int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) pos = s.find('\n', pos) + 1;
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  const std::string r1 = lines_at(2);
+  const std::string r2 = lines_at(3);
+  EXPECT_EQ(r1.find("12.3"), r2.find("3.0"));
+}
+
+TEST(TextTable, NumericFormatting) {
+  TextTable t({"a", "b", "c"});
+  t.row().cell(static_cast<long long>(-7)).cell(std::size_t{42}).cell(0.5, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("-7"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("0.500"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTable, ShortRowsAreTolerated) {
+  TextTable t({"x", "y"});
+  t.row().cell("only-one");
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace homp

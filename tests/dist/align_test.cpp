@@ -1,0 +1,77 @@
+#include "dist/align.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::dist {
+namespace {
+
+TEST(AlignmentGraph, ResolvesConcreteDirectly) {
+  AlignmentGraph g;
+  g.set_concrete("x", Distribution::block(Range(0, 10), 2));
+  EXPECT_EQ(g.resolve("x").part(0), Range(0, 5));
+  EXPECT_EQ(g.root_of("x"), "x");
+  EXPECT_EQ(g.ratio_to_root("x"), 1.0);
+}
+
+TEST(AlignmentGraph, FollowsChainToRoot) {
+  AlignmentGraph g;
+  g.set_concrete("loop", Distribution::block(Range(0, 8), 2));
+  g.set_aligned("x", "loop");
+  g.set_aligned("y", "x");
+  EXPECT_EQ(g.root_of("y"), "loop");
+  EXPECT_EQ(g.resolve("y").part(1), Range(4, 8));
+}
+
+TEST(AlignmentGraph, ComposesRatiosAlongChain) {
+  AlignmentGraph g;
+  g.set_concrete("loop", Distribution::block(Range(0, 4), 2));
+  g.set_aligned("blocks", "loop", 4.0);
+  g.set_aligned("pixels", "blocks", 4.0);
+  EXPECT_EQ(g.ratio_to_root("pixels"), 16.0);
+  EXPECT_EQ(g.resolve("pixels").domain(), Range(0, 64));
+  EXPECT_EQ(g.resolve("pixels").part(0), Range(0, 32));
+}
+
+TEST(AlignmentGraph, DetectsCycles) {
+  AlignmentGraph g;
+  g.set_aligned("a", "b");
+  g.set_aligned("b", "a");
+  EXPECT_THROW(g.resolve("a"), homp::ConfigError);
+  EXPECT_THROW(g.root_of("b"), homp::ConfigError);
+}
+
+TEST(AlignmentGraph, DanglingTargetThrows) {
+  AlignmentGraph g;
+  g.set_aligned("a", "ghost");
+  EXPECT_THROW(g.resolve("a"), homp::ConfigError);
+  EXPECT_THROW(g.resolve("never-registered"), homp::ConfigError);
+}
+
+TEST(AlignmentGraph, SelfAlignmentRejected) {
+  AlignmentGraph g;
+  EXPECT_THROW(g.set_aligned("a", "a"), homp::ConfigError);
+}
+
+TEST(AlignmentGraph, RebindOverwrites) {
+  AlignmentGraph g;
+  g.set_concrete("loop", Distribution::block(Range(0, 10), 2));
+  g.set_aligned("x", "loop");
+  // Re-encountering the region rebinds the label.
+  g.set_concrete("loop", Distribution::block(Range(0, 20), 2));
+  EXPECT_EQ(g.resolve("x").domain(), Range(0, 20));
+}
+
+TEST(AlignmentGraph, NamesSorted) {
+  AlignmentGraph g;
+  g.set_concrete("zeta", Distribution::block(Range(0, 2), 1));
+  g.set_aligned("alpha", "zeta");
+  auto names = g.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace homp::dist

@@ -1,0 +1,97 @@
+#include "dist/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::dist {
+namespace {
+
+TEST(Distribution, BlockEvenAndRemnant) {
+  // Matches the axpy_omp_mdev remnant logic: first (n % m) parts get one
+  // extra iteration.
+  auto d = Distribution::block(Range(0, 10), 4);
+  EXPECT_EQ(d.part(0), Range(0, 3));
+  EXPECT_EQ(d.part(1), Range(3, 6));
+  EXPECT_EQ(d.part(2), Range(6, 8));
+  EXPECT_EQ(d.part(3), Range(8, 10));
+  EXPECT_TRUE(d.is_partition());
+  EXPECT_FALSE(d.is_replication());
+}
+
+TEST(Distribution, BlockMoreDevicesThanWork) {
+  auto d = Distribution::block(Range(0, 2), 5);
+  EXPECT_EQ(d.part(0).size(), 1);
+  EXPECT_EQ(d.part(1).size(), 1);
+  for (std::size_t i = 2; i < 5; ++i) EXPECT_TRUE(d.part(i).empty());
+  EXPECT_TRUE(d.is_partition());
+}
+
+TEST(Distribution, FullReplicates) {
+  auto d = Distribution::full(Range(0, 8), 3);
+  EXPECT_TRUE(d.is_replication());
+  EXPECT_FALSE(d.is_partition());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(d.part(i), Range(0, 8));
+}
+
+TEST(Distribution, ByWeightsProportionalAndExact) {
+  auto d = Distribution::by_weights(Range(0, 100), {3.0, 1.0});
+  EXPECT_EQ(d.part(0).size(), 75);
+  EXPECT_EQ(d.part(1).size(), 25);
+  EXPECT_TRUE(d.is_partition());
+}
+
+TEST(Distribution, ByWeightsLargestRemainder) {
+  // 10 over weights {1,1,1}: 4,3,3 (first gets the remainder).
+  auto d = Distribution::by_weights(Range(0, 10), {1.0, 1.0, 1.0});
+  EXPECT_EQ(d.part(0).size(), 4);
+  EXPECT_EQ(d.part(1).size(), 3);
+  EXPECT_EQ(d.part(2).size(), 3);
+  EXPECT_TRUE(d.is_partition());
+}
+
+TEST(Distribution, ByWeightsZeroWeightGetsNothing) {
+  auto d = Distribution::by_weights(Range(0, 10), {1.0, 0.0, 1.0});
+  EXPECT_EQ(d.part(1).size(), 0);
+  EXPECT_EQ(d.part(0).size() + d.part(2).size(), 10);
+  EXPECT_TRUE(d.is_partition());
+}
+
+TEST(Distribution, ByWeightsRejectsBadInput) {
+  EXPECT_THROW(Distribution::by_weights(Range(0, 10), {}), homp::ConfigError);
+  EXPECT_THROW(Distribution::by_weights(Range(0, 10), {0.0, 0.0}),
+               homp::ConfigError);
+  EXPECT_THROW(Distribution::by_weights(Range(0, 10), {-1.0, 2.0}),
+               homp::ConfigError);
+}
+
+TEST(Distribution, ByCountsValidatesTotal) {
+  EXPECT_THROW(Distribution::by_counts(Range(0, 10), {3, 3}),
+               homp::ConfigError);
+  auto d = Distribution::by_counts(Range(5, 15), {4, 0, 6});
+  EXPECT_EQ(d.part(0), Range(5, 9));
+  EXPECT_EQ(d.part(2), Range(9, 15));
+}
+
+TEST(Distribution, AlignedScalesParts) {
+  auto d = Distribution::block(Range(0, 4), 2).aligned(16.0);
+  EXPECT_EQ(d.domain(), Range(0, 64));
+  EXPECT_EQ(d.part(0), Range(0, 32));
+  EXPECT_EQ(d.part(1), Range(32, 64));
+  EXPECT_TRUE(d.is_partition());
+}
+
+TEST(Distribution, WidenedClampsToDomain) {
+  auto d = Distribution::block(Range(0, 30), 3).widened(2, 2);
+  EXPECT_EQ(d.part(0), Range(0, 12));   // clamped low
+  EXPECT_EQ(d.part(1), Range(8, 22));
+  EXPECT_EQ(d.part(2), Range(18, 30));  // clamped high
+  EXPECT_FALSE(d.is_partition());       // halos overlap
+}
+
+TEST(Distribution, PartsOutsideDomainRejected) {
+  EXPECT_THROW(Distribution(Range(0, 5), {Range(3, 7)}), homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::dist

@@ -1,0 +1,65 @@
+#include "dist/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::dist {
+namespace {
+
+TEST(PolicyParse, Keywords) {
+  EXPECT_EQ(parse_dim_policy("FULL").kind, PolicyKind::kFull);
+  EXPECT_EQ(parse_dim_policy("block").kind, PolicyKind::kBlock);
+  EXPECT_EQ(parse_dim_policy(" Auto ").kind, PolicyKind::kAuto);
+}
+
+TEST(PolicyParse, Align) {
+  auto p = parse_dim_policy("ALIGN(loop1)");
+  EXPECT_EQ(p.kind, PolicyKind::kAlign);
+  EXPECT_EQ(p.align_target, "loop1");
+  EXPECT_EQ(p.align_ratio, 1.0);
+
+  auto q = parse_dim_policy("align(x, 16)");
+  EXPECT_EQ(q.align_target, "x");
+  EXPECT_EQ(q.align_ratio, 16.0);
+}
+
+TEST(PolicyParse, Cyclic) {
+  auto p = parse_dim_policy("CYCLIC(4)");
+  EXPECT_EQ(p.kind, PolicyKind::kCyclic);
+  EXPECT_EQ(p.cyclic_block, 4);
+  EXPECT_EQ(parse_dim_policy("cyclic(2k)").cyclic_block, 2000);
+}
+
+TEST(PolicyParse, Malformed) {
+  EXPECT_THROW(parse_dim_policy(""), ParseError);
+  EXPECT_THROW(parse_dim_policy("BLOK"), ParseError);
+  EXPECT_THROW(parse_dim_policy("ALIGN"), ParseError);
+  EXPECT_THROW(parse_dim_policy("ALIGN()"), ParseError);
+  EXPECT_THROW(parse_dim_policy("ALIGN(x, y)"), ParseError);
+  EXPECT_THROW(parse_dim_policy("ALIGN(x, -2)"), ParseError);
+  EXPECT_THROW(parse_dim_policy("CYCLIC()"), ParseError);
+  EXPECT_THROW(parse_dim_policy("CYCLIC(0)"), ParseError);
+  EXPECT_THROW(parse_dim_policy("CYCLIC(a)"), homp::Error);
+}
+
+TEST(PolicyPrint, RoundTrips) {
+  for (const char* text :
+       {"FULL", "BLOCK", "AUTO", "ALIGN(loop1)", "CYCLIC(8)"}) {
+    auto p = parse_dim_policy(text);
+    EXPECT_EQ(p.to_string(), text);
+    EXPECT_EQ(parse_dim_policy(p.to_string()), p);
+  }
+  // Non-unit ratio prints with the ratio.
+  auto p = parse_dim_policy("ALIGN(x, 16)");
+  EXPECT_EQ(p.to_string(), "ALIGN(x, 16)");
+}
+
+TEST(PolicyFactories, MatchParsed) {
+  EXPECT_EQ(DimPolicy::block(), parse_dim_policy("BLOCK"));
+  EXPECT_EQ(DimPolicy::align("a", 2.0), parse_dim_policy("ALIGN(a, 2)"));
+  EXPECT_EQ(DimPolicy::cyclic(3), parse_dim_policy("CYCLIC(3)"));
+}
+
+}  // namespace
+}  // namespace homp::dist

@@ -1,0 +1,104 @@
+// CUTOFF device selection end-to-end (§IV-E, Table V).
+
+#include <gtest/gtest.h>
+
+#include "kernels/case.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+TEST(Cutoff, DropsSlowDevicesAndKeepsResultsCorrect) {
+  auto rt = rt::Runtime::from_builtin("full");
+  auto c = kern::make_case("matmul", 40, /*materialize=*/true);
+  c->init();
+
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.sched.kind = sched::AlgorithmKind::kModel1Auto;
+  o.sched.cutoff_ratio = 0.15;  // the paper's 100/7 ~ 15%
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  ASSERT_TRUE(res.has_cutoff);
+  EXPECT_LT(res.cutoff.num_selected, 7);
+  EXPECT_GE(res.cutoff.num_selected, 1);
+  // Dropped devices did no iterations and moved no bytes.
+  for (std::size_t i = 0; i < res.devices.size(); ++i) {
+    if (!res.cutoff.selected[i]) {
+      EXPECT_EQ(res.devices[i].iterations, 0);
+      EXPECT_EQ(res.devices[i].bytes_in, 0.0);
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(c->verify(&why)) << why;
+}
+
+TEST(Cutoff, ProfilingSchedulerDropsAfterStage1) {
+  auto rt = rt::Runtime::from_builtin("full");
+  auto c = kern::make_case("matmul", 64, /*materialize=*/true);
+  c->init();
+
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.sched.kind = sched::AlgorithmKind::kSchedProfileAuto;
+  o.sched.cutoff_ratio = 0.15;
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  ASSERT_TRUE(res.has_cutoff);
+  EXPECT_GE(res.cutoff.num_selected, 1);
+  // Every device computed in stage 1 (constant samples) even if dropped
+  // for stage 2.
+  for (const auto& d : res.devices) EXPECT_GT(d.iterations, 0);
+  std::string why;
+  EXPECT_TRUE(c->verify(&why)) << why;
+}
+
+TEST(Cutoff, CutoffCanOnlyHelpOrMildlyHurt) {
+  // Compare total time with and without CUTOFF on a compute-intensive
+  // kernel: dropping the slow MICs should speed up matmul (Table V:
+  // matmul-6144 -> 4 GPUs, 2.68x).
+  auto rt = rt::Runtime::from_builtin("full");
+  auto c = kern::make_case("matmul", 2048, /*materialize=*/false);
+  auto run = [&](double cutoff) {
+    rt::OffloadOptions o;
+    o.device_ids = rt.all_devices();
+    o.sched.kind = sched::AlgorithmKind::kModel2Auto;
+    o.sched.cutoff_ratio = cutoff;
+    o.execute_bodies = false;
+    auto maps = c->maps();
+    auto kernel = c->kernel();
+    return rt.offload(kernel, maps, o).total_time;
+  };
+  const double with = run(0.15);
+  const double without = run(0.0);
+  EXPECT_LT(with, without * 1.5) << "cutoff should not catastrophically hurt";
+}
+
+TEST(Cutoff, NeverDropsEveryDevice) {
+  // Identical devices each contribute 1/M < 15% for M = 7; the iterative
+  // cutoff must still keep a usable device set.
+  auto machine = mach::testing_machine(6);
+  rt::Runtime rt{machine};
+  auto c = kern::make_case("axpy", 10'000, /*materialize=*/true);
+  c->init();
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.sched.kind = sched::AlgorithmKind::kModel1Auto;
+  o.sched.cutoff_ratio = 0.15;
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+  ASSERT_TRUE(res.has_cutoff);
+  EXPECT_GE(res.cutoff.num_selected, 1);
+  EXPECT_EQ(res.total_iterations(), kernel.iterations.size());
+  std::string why;
+  EXPECT_TRUE(c->verify(&why)) << why;
+}
+
+}  // namespace
+}  // namespace homp

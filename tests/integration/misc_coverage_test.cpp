@@ -1,0 +1,168 @@
+// Cross-cutting coverage: region CUTOFF, serialized chunked offloads,
+// registry errors, directive-merge conflicts, CYCLIC end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "kernels/case.h"
+#include "kernels/sum.h"
+#include "lang/compile.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+TEST(MiscCoverage, RegionEntryCutoffDropsWeakDevices) {
+  // A MODEL_1 entry distribution with a 15% cutoff on the full machine
+  // must leave some devices without rows, and the region must still
+  // produce correct results (including halo exchange around empty parts).
+  auto rt = rt::Runtime::from_builtin("full");
+  constexpr long long kN = 200;
+  auto a = mem::HostArray<double>::matrix(kN, 4, 1.0);
+  mem::MapSpec s;
+  s.name = "a";
+  s.dir = mem::MapDirection::kToFrom;
+  s.binding = mem::bind_array(a);
+  s.region = a.region();
+  s.partition = {dist::DimPolicy::align("L"), dist::DimPolicy::full()};
+  s.halo_before = 1;
+  s.halo_after = 1;
+
+  rt::RegionOptions ro;
+  ro.device_ids = rt.all_devices();
+  ro.loop_label = "L";
+  ro.loop_domain = dist::Range::of_size(kN);
+  ro.dist_algorithm = sched::AlgorithmKind::kModel1Auto;
+  ro.cost_hint.flops_per_iter = 1000.0;
+  ro.cost_hint.mem_bytes_per_iter = 8.0;
+  ro.cutoff_ratio = 0.15;
+  std::vector<mem::MapSpec> maps{s};
+  auto region = rt.map_data(std::move(maps), ro);
+
+  int empty_parts = 0;
+  for (std::size_t i = 0; i < region->loop_distribution().num_parts(); ++i) {
+    if (region->loop_distribution().part(i).empty()) ++empty_parts;
+  }
+  EXPECT_GT(empty_parts, 0);
+  EXPECT_TRUE(region->loop_distribution().is_partition());
+
+  rt::LoopKernel k;
+  k.name = "inc";
+  k.iterations = dist::Range::of_size(kN);
+  k.cost.flops_per_iter = 4.0;
+  k.cost.mem_bytes_per_iter = 64.0;
+  k.body = [](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    auto v = env.view<double>("a");
+    for (long long i = chunk.lo; i < chunk.hi; ++i) {
+      for (long long j = 0; j < 4; ++j) v(i, j) += 1.0;
+    }
+    return 0.0;
+  };
+  region->offload(k);
+  EXPECT_GT(region->halo_exchange("a"), 0.0);
+  region->close();
+  for (long long i = 0; i < kN; ++i) {
+    ASSERT_EQ(a(i, 0), 2.0) << i;
+  }
+}
+
+TEST(MiscCoverage, SerializedOffloadWithChunkSchedulerIsCorrect) {
+  auto rt = rt::Runtime::from_builtin("cpu-mic");
+  auto c = kern::make_case("sum", 5000, /*materialize=*/true);
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.sched.kind = sched::AlgorithmKind::kDynamic;
+  o.parallel_offload = false;  // serialized device setup
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+  dynamic_cast<kern::SumCase&>(*c).set_result(res.reduction);
+  std::string why;
+  EXPECT_TRUE(c->verify(&why)) << why;
+  EXPECT_EQ(res.total_iterations(), 5000);
+}
+
+TEST(MiscCoverage, CyclicLoopPolicyEndToEnd) {
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("axpy", 1000, /*materialize=*/true);
+  rt::OffloadOptions o;
+  o.device_ids = rt.accelerators();
+  o.loop_policy = dist::DimPolicy::cyclic(100);
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+  EXPECT_EQ(res.algorithm_used, sched::AlgorithmKind::kCyclic);
+  EXPECT_EQ(res.chunks_issued, 10u);
+  std::string why;
+  EXPECT_TRUE(c->verify(&why)) << why;
+}
+
+TEST(MiscCoverage, RegistryRejectsUnknownKernelAndBadSizes) {
+  EXPECT_THROW(kern::make_case("fft", 128, false), ConfigError);
+  EXPECT_THROW(kern::make_case("axpy", 0, false), ConfigError);
+  EXPECT_THROW(kern::paper_size("fft"), ConfigError);
+  EXPECT_THROW(kern::make_case("bm2d", 40, false), ConfigError);  // !16x
+  EXPECT_THROW(kern::make_case("stencil2d", 4, false), ConfigError);
+}
+
+TEST(MiscCoverage, DirectiveMergeConflictsAreDiagnosed) {
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  pragma::Bindings b;
+  auto x = mem::HostArray<double>::vector(8, 0.0);
+  b.bind("x", x);
+  b.let("n", 8);
+  // Two device clauses across the pragma block.
+  EXPECT_THROW(lang::compile_kernel(
+                   "#pragma omp target device(*) map(to: x[0:n])\n"
+                   "#pragma omp target device(0:2)\n"
+                   "for (i = 0; i < n; i++) x[i] = 1;",
+                   b, lang::Scalars{}, rt.machine()),
+               ConfigError);
+  // Two dist_schedule(target:) clauses.
+  EXPECT_THROW(lang::compile_kernel(
+                   "#pragma omp target device(*) map(to: x[0:n]) "
+                   "dist_schedule(target:[AUTO])\n"
+                   "#pragma omp parallel for distribute "
+                   "dist_schedule(target: BLOCK)\n"
+                   "for (i = 0; i < n; i++) x[i] = 1;",
+                   b, lang::Scalars{}, rt.machine()),
+               ConfigError);
+}
+
+TEST(MiscCoverage, HistoryRecordsFromEveryOffload) {
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  EXPECT_EQ(rt.history().size(), 0u);
+  auto c = kern::make_case("matvec", 512, /*materialize=*/false);
+  rt::OffloadOptions o;
+  o.device_ids = rt.accelerators();
+  o.sched.kind = sched::AlgorithmKind::kGuided;
+  o.execute_bodies = false;
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  rt.offload(kernel, maps, o);
+  // Every device that did work now has a recorded rate.
+  int recorded = 0;
+  for (int id : o.device_ids) {
+    if (rt.history().has("matvec", id)) ++recorded;
+  }
+  EXPECT_GT(recorded, 0);
+}
+
+TEST(MiscCoverage, UnifiedMemoryInsideHaloKernels) {
+  // Unified mapping + halo'd stencil: shared aliasing must still verify.
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("stencil2d", 40, /*materialize=*/true);
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.use_unified_memory = true;
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+  EXPECT_EQ(res.total_iterations(), 40);
+  std::string why;
+  EXPECT_TRUE(c->verify(&why)) << why;
+}
+
+}  // namespace
+}  // namespace homp

@@ -1,0 +1,100 @@
+// Static cost analysis: the mini-compiler must derive the Table IV
+// characteristics from kernel source.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "lang/analyze.h"
+#include "lang/parser.h"
+
+namespace homp::lang {
+namespace {
+
+CostCounts analyze(const std::string& body_src,
+                   std::map<std::string, double> symbols) {
+  auto k = parse_kernel("#pragma omp target device(*)\n" + body_src);
+  return analyze_body(k.outer, symbols);
+}
+
+TEST(Analyze, AxpyMatchesTableIV) {
+  // y[i] = y[i] + a*x[i]: 2 FLOPs, 3 element accesses = 24 bytes.
+  auto c = analyze("for (i = 0; i < n; i++) y[i] = y[i] + a * x[i];",
+                   {{"n", 1000}});
+  EXPECT_DOUBLE_EQ(c.flops, 2.0);
+  EXPECT_DOUBLE_EQ(c.mem_bytes, 24.0);
+}
+
+TEST(Analyze, CompoundAssignCountsReadAndFlop) {
+  // y[i] += a*x[i]: same as axpy.
+  auto c = analyze("for (i = 0; i < n; i++) y[i] += a * x[i];",
+                   {{"n", 10}});
+  EXPECT_DOUBLE_EQ(c.flops, 2.0);
+  EXPECT_DOUBLE_EQ(c.mem_bytes, 24.0);
+}
+
+TEST(Analyze, SubscriptArithmeticIsFree) {
+  // Index math (i+1, 2*i) costs no FLOPs; two loads + one store.
+  auto c = analyze("for (i = 0; i < n; i++) y[i] = x[i + 1] + x[2 * i];",
+                   {{"n", 10}});
+  EXPECT_DOUBLE_EQ(c.flops, 1.0);  // the one value '+'
+  EXPECT_DOUBLE_EQ(c.mem_bytes, 24.0);
+}
+
+TEST(Analyze, MatVecScalesWithInnerTripCount) {
+  // Per row: N mul + N add (the acc += counts 1 add + the mul), N loads
+  // of A, N loads of x, one store of y.
+  auto c = analyze(
+      "for (i = 0; i < n; i++) {\n"
+      "  acc = 0;\n"
+      "  for (j = 0; j < m; j++) acc += A[i][j] * x[j];\n"
+      "  y[i] = acc;\n"
+      "}",
+      {{"n", 100}, {"m", 64}});
+  EXPECT_DOUBLE_EQ(c.flops, 2.0 * 64);
+  EXPECT_DOUBLE_EQ(c.mem_bytes, (2.0 * 64 + 1) * 8.0);
+}
+
+TEST(Analyze, GuardedBodyCountsInFull) {
+  // SIMD assumption: the guard doesn't discount the following work.
+  auto guarded = analyze(
+      "for (i = 0; i < n; i++) {\n"
+      "  if (i == 0 || i == n - 1) continue;\n"
+      "  y[i] = 2 * x[i];\n"
+      "}",
+      {{"n", 10}});
+  auto plain = analyze("for (i = 0; i < n; i++) y[i] = 2 * x[i];",
+                       {{"n", 10}});
+  // The guard's condition adds one '-' FLOP (n - 1); comparisons are free.
+  EXPECT_DOUBLE_EQ(guarded.flops, plain.flops + 1.0);
+  EXPECT_DOUBLE_EQ(guarded.mem_bytes, plain.mem_bytes);
+}
+
+TEST(Analyze, CallsCostOneFlop) {
+  auto c = analyze("for (i = 0; i < n; i++) y[i] = fabs(x[i]);",
+                   {{"n", 4}});
+  EXPECT_DOUBLE_EQ(c.flops, 1.0);
+}
+
+TEST(Analyze, OuterTripCount) {
+  auto k = parse_kernel(
+      "#pragma omp target device(*)\n"
+      "for (i = 2; i < n - 1; i++) y[i] = 0;");
+  EXPECT_EQ(outer_trip_count(k.outer, {{"n", 100}}), 97);
+}
+
+TEST(Analyze, UnboundSymbolInBoundThrows) {
+  auto k = parse_kernel(
+      "#pragma omp target device(*)\n"
+      "for (i = 0; i < n; i++) { for (j = 0; j < mystery; j++) y[j] = 0; }");
+  EXPECT_THROW(analyze_body(k.outer, {{"n", 10}}), homp::ConfigError);
+}
+
+TEST(Analyze, ArrayRefInBoundThrows) {
+  auto k = parse_kernel(
+      "#pragma omp target device(*)\n"
+      "for (i = 0; i < n; i++) { for (j = 0; j < y[0]; j++) x[j] = 0; }");
+  EXPECT_THROW(analyze_body(k.outer, {{"n", 10}}), homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::lang

@@ -1,0 +1,101 @@
+#include "machine/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::mach {
+namespace {
+
+TEST(DeviceType, RoundTripsThroughStrings) {
+  EXPECT_EQ(device_type_from_string("host"), DeviceType::kHost);
+  EXPECT_EQ(device_type_from_string("NVGPU"), DeviceType::kNvGpu);
+  EXPECT_EQ(device_type_from_string("mic"), DeviceType::kMic);
+  // Paper-style constants.
+  EXPECT_EQ(device_type_from_string("HOMP_DEVICE_NVGPU"), DeviceType::kNvGpu);
+  EXPECT_EQ(device_type_from_string("HOMP_DEVICE_ITLMIC"), DeviceType::kMic);
+  EXPECT_THROW(device_type_from_string("fpga"), ConfigError);
+  for (auto t : {DeviceType::kHost, DeviceType::kNvGpu, DeviceType::kMic}) {
+    EXPECT_EQ(device_type_from_string(to_string(t)), t);
+  }
+}
+
+TEST(MemorySpace, Parses) {
+  EXPECT_EQ(memory_space_from_string("shared"), MemorySpace::kShared);
+  EXPECT_EQ(memory_space_from_string("DISCRETE"), MemorySpace::kDiscrete);
+  EXPECT_THROW(memory_space_from_string("unified"), ConfigError);
+}
+
+DeviceDescriptor valid_host() {
+  DeviceDescriptor d;
+  d.name = "h";
+  d.type = DeviceType::kHost;
+  d.memory = MemorySpace::kShared;
+  d.link = kNoLink;
+  d.peak_gflops = 100;
+  d.sustained_gflops = 80;
+  d.peak_membw_GBps = 50;
+  d.sustained_membw_GBps = 40;
+  return d;
+}
+
+TEST(MachineValidate, RequiresHostFirst) {
+  MachineDescriptor m;
+  EXPECT_THROW(m.validate(), ConfigError);  // empty
+
+  m.devices.push_back(valid_host());
+  m.devices[0].type = DeviceType::kNvGpu;
+  m.devices[0].memory = MemorySpace::kDiscrete;
+  m.links.push_back({"l", 1e-6, 1e9});
+  m.devices[0].link = 0;
+  EXPECT_THROW(m.validate(), ConfigError);  // no host
+}
+
+TEST(MachineValidate, RejectsDiscreteWithoutLink) {
+  MachineDescriptor m;
+  m.devices.push_back(valid_host());
+  auto d = valid_host();
+  d.name = "g";
+  d.type = DeviceType::kNvGpu;
+  d.memory = MemorySpace::kDiscrete;
+  d.link = kNoLink;
+  m.devices.push_back(d);
+  EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(MachineValidate, RejectsPeakBelowSustained) {
+  MachineDescriptor m;
+  m.devices.push_back(valid_host());
+  m.devices[0].sustained_gflops = 200;  // above peak 100
+  EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(MachineValidate, RejectsTwoHosts) {
+  MachineDescriptor m;
+  m.devices.push_back(valid_host());
+  m.devices.push_back(valid_host());
+  EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(Machine, DevicesOfType) {
+  MachineDescriptor m;
+  m.devices.push_back(valid_host());
+  m.links.push_back({"l", 1e-6, 1e9});
+  for (int i = 0; i < 2; ++i) {
+    auto d = valid_host();
+    d.name = "g" + std::to_string(i);
+    d.type = DeviceType::kNvGpu;
+    d.memory = MemorySpace::kDiscrete;
+    d.link = 0;
+    m.devices.push_back(d);
+  }
+  m.validate();
+  EXPECT_EQ(m.devices_of_type(DeviceType::kNvGpu),
+            (std::vector<int>{1, 2}));
+  EXPECT_EQ(m.devices_of_type(DeviceType::kHost), (std::vector<int>{0}));
+  EXPECT_TRUE(m.devices_of_type(DeviceType::kMic).empty());
+  EXPECT_EQ(m.host().name, "h");
+}
+
+}  // namespace
+}  // namespace homp::mach

@@ -1,0 +1,59 @@
+// The shipped machines/*.ini files must load and agree with the built-in
+// profiles they document.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "machine/parser.h"
+#include "machine/profiles.h"
+
+namespace homp::mach {
+namespace {
+
+std::string repo_machine_path(const std::string& name) {
+  // Tests run from the build tree; the files live in <repo>/machines.
+  for (const char* prefix : {"machines/", "../machines/", "../../machines/",
+                             "../../../machines/"}) {
+    const std::string p = prefix + name + ".ini";
+    if (std::ifstream(p).good()) return p;
+  }
+  return {};
+}
+
+class MachineFiles : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MachineFiles, LoadsAndMatchesBuiltin) {
+  const std::string path = repo_machine_path(GetParam());
+  if (path.empty()) GTEST_SKIP() << "machines/ not found from cwd";
+  auto from_file = load_machine_file(path);
+  auto builtin_m = builtin(GetParam());
+  ASSERT_EQ(from_file.devices.size(), builtin_m.devices.size());
+  ASSERT_EQ(from_file.links.size(), builtin_m.links.size());
+  for (std::size_t i = 0; i < from_file.devices.size(); ++i) {
+    const auto& a = from_file.devices[i];
+    const auto& b = builtin_m.devices[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.memory, b.memory);
+    EXPECT_EQ(a.link, b.link);
+    EXPECT_NEAR(a.peak_gflops, b.peak_gflops, 1e-6);
+    EXPECT_NEAR(a.sustained_gflops, b.sustained_gflops, 1e-6);
+    EXPECT_NEAR(a.launch_overhead_s, b.launch_overhead_s, 1e-12);
+    EXPECT_NEAR(a.noise, b.noise, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, MachineFiles,
+                         ::testing::Values("host-only", "gpu4", "cpu-mic",
+                                           "full"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace homp::mach

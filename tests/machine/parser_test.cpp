@@ -1,0 +1,130 @@
+#include "machine/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "machine/profiles.h"
+
+namespace homp::mach {
+namespace {
+
+constexpr const char* kSample = R"(
+# A two-device machine.
+[machine]
+name = sample
+
+[link pcie0]
+latency_us = 10
+bandwidth_GBps = 12
+
+[device gpu0]
+type = nvgpu
+memory = discrete
+link = pcie0
+peak_gflops = 1430
+sustained_gflops = 1100
+peak_membw_GBps = 288
+sustained_membw_GBps = 210
+launch_overhead_us = 15
+noise = 0.01
+
+[device cpu]
+type = host
+memory = shared
+link = none
+peak_gflops = 1000
+sustained_gflops = 800
+peak_membw_GBps = 100
+sustained_membw_GBps = 90
+)";
+
+TEST(MachineParser, ParsesSample) {
+  auto m = parse_machine(kSample);
+  EXPECT_EQ(m.name, "sample");
+  ASSERT_EQ(m.devices.size(), 2u);
+  // Host is reordered first regardless of file order.
+  EXPECT_EQ(m.devices[0].name, "cpu");
+  EXPECT_TRUE(m.devices[0].is_host());
+  EXPECT_EQ(m.devices[1].name, "gpu0");
+  EXPECT_EQ(m.devices[1].link, 0);
+  EXPECT_NEAR(m.links[0].latency_s, 10e-6, 1e-12);
+  EXPECT_NEAR(m.links[0].bandwidth_Bps, 12e9, 1.0);
+  EXPECT_NEAR(m.devices[1].launch_overhead_s, 15e-6, 1e-12);
+}
+
+TEST(MachineParser, RoundTripsThroughText) {
+  for (const auto& name : builtin_machine_names()) {
+    auto m = builtin(name);
+    auto m2 = parse_machine(to_text(m));
+    ASSERT_EQ(m2.devices.size(), m.devices.size()) << name;
+    for (std::size_t i = 0; i < m.devices.size(); ++i) {
+      EXPECT_EQ(m2.devices[i].name, m.devices[i].name);
+      EXPECT_EQ(m2.devices[i].type, m.devices[i].type);
+      EXPECT_EQ(m2.devices[i].link, m.devices[i].link);
+      EXPECT_NEAR(m2.devices[i].sustained_gflops,
+                  m.devices[i].sustained_gflops, 1e-9);
+      EXPECT_NEAR(m2.devices[i].alloc_overhead_s,
+                  m.devices[i].alloc_overhead_s, 1e-15);
+    }
+    ASSERT_EQ(m2.links.size(), m.links.size());
+  }
+}
+
+TEST(MachineParser, DiagnosesLineNumbers) {
+  try {
+    parse_machine("[machine]\nname = x\nbogus line without equals\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MachineParser, RejectsUnknownSection) {
+  EXPECT_THROW(parse_machine("[gadget g]\nfoo = 1\n"), ConfigError);
+}
+
+TEST(MachineParser, RejectsDuplicateKey) {
+  EXPECT_THROW(parse_machine("[machine]\nname = a\nname = b\n"), ConfigError);
+}
+
+TEST(MachineParser, RejectsUnknownLinkReference) {
+  EXPECT_THROW(parse_machine(R"(
+[device g]
+type = nvgpu
+memory = discrete
+link = missing
+peak_gflops = 10
+sustained_gflops = 5
+peak_membw_GBps = 10
+sustained_membw_GBps = 5
+)"),
+               ConfigError);
+}
+
+TEST(MachineParser, RejectsMissingRequiredKey) {
+  EXPECT_THROW(parse_machine(R"(
+[device h]
+type = host
+memory = shared
+link = none
+peak_gflops = 10
+)"),
+               ConfigError);
+}
+
+TEST(MachineParser, RejectsNonNumericValue) {
+  EXPECT_THROW(parse_machine(R"(
+[link l]
+latency_us = fast
+bandwidth_GBps = 12
+)"),
+               ConfigError);
+}
+
+TEST(MachineParser, FileNotFoundThrows) {
+  EXPECT_THROW(load_machine_file("/nonexistent/machine.ini"), ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::mach

@@ -1,0 +1,67 @@
+#include "machine/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::mach {
+namespace {
+
+TEST(Profiles, AllBuiltinsValidate) {
+  for (const auto& name : builtin_machine_names()) {
+    auto m = builtin(name);  // validate() runs inside
+    EXPECT_EQ(m.name, name);
+    EXPECT_TRUE(m.devices.front().is_host());
+  }
+  EXPECT_THROW(builtin("quantum"), ConfigError);
+}
+
+TEST(Profiles, Gpu4MatchesPaperTopology) {
+  auto m = builtin("gpu4");
+  // 1 host + 4 K40s in 2 K80 cards sharing 2 PCIe links.
+  ASSERT_EQ(m.devices.size(), 5u);
+  ASSERT_EQ(m.links.size(), 2u);
+  EXPECT_EQ(m.devices[1].link, m.devices[2].link);
+  EXPECT_EQ(m.devices[3].link, m.devices[4].link);
+  EXPECT_NE(m.devices[1].link, m.devices[3].link);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(m.devices[i].type, DeviceType::kNvGpu);
+    EXPECT_EQ(m.devices[i].memory, MemorySpace::kDiscrete);
+  }
+}
+
+TEST(Profiles, FullMachineHasSevenDevices) {
+  auto m = builtin("full");
+  // The paper's CUTOFF accounting: 7 devices (host counts once).
+  EXPECT_EQ(m.devices.size(), 7u);
+  EXPECT_EQ(m.devices_of_type(DeviceType::kNvGpu).size(), 4u);
+  EXPECT_EQ(m.devices_of_type(DeviceType::kMic).size(), 2u);
+}
+
+TEST(Profiles, MicHasHigherLaunchOverheadThanGpu) {
+  auto m = builtin("full");
+  const auto gpus = m.devices_of_type(DeviceType::kNvGpu);
+  const auto mics = m.devices_of_type(DeviceType::kMic);
+  EXPECT_GT(m.devices[mics[0]].launch_overhead_s,
+            m.devices[gpus[0]].launch_overhead_s);
+  // And a slower PCIe link (KNC offload era).
+  EXPECT_LT(m.links[m.devices[mics[0]].link].bandwidth_Bps,
+            m.links[m.devices[gpus[0]].link].bandwidth_Bps);
+}
+
+TEST(Profiles, TestingMachineIsIdealized) {
+  auto m = testing_machine(3);
+  ASSERT_EQ(m.devices.size(), 4u);
+  for (const auto& d : m.devices) {
+    EXPECT_EQ(d.noise, 0.0);
+    EXPECT_EQ(d.launch_overhead_s, 0.0);
+    EXPECT_EQ(d.peak_gflops, d.sustained_gflops);
+  }
+  // Separate links by default, one shared link on request.
+  EXPECT_EQ(m.links.size(), 3u);
+  EXPECT_EQ(testing_machine(3, /*shared_link=*/true).links.size(), 1u);
+  EXPECT_THROW(testing_machine(-1), ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::mach

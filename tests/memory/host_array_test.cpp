@@ -1,0 +1,57 @@
+#include "memory/host_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::mem {
+namespace {
+
+TEST(HostArray, VectorBasics) {
+  auto v = HostArray<double>::vector(5, 1.5);
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v.extent(0), 5);
+  EXPECT_EQ(v.size(), 5);
+  EXPECT_EQ(v(3), 1.5);
+  v(3) = 9.0;
+  EXPECT_EQ(v(3), 9.0);
+  EXPECT_EQ(v.region().dim(0).size(), 5);
+}
+
+TEST(HostArray, MatrixRowMajorLayout) {
+  auto m = HostArray<double>::matrix(3, 4);
+  EXPECT_EQ(m.stride(0), 4);
+  EXPECT_EQ(m.stride(1), 1);
+  m(2, 3) = 7.0;
+  EXPECT_EQ(m.data()[2 * 4 + 3], 7.0);
+}
+
+TEST(HostArray, FillHelpers) {
+  auto v = HostArray<double>::vector(4);
+  v.fill_with_index([](long long i) { return i * 2.0; });
+  EXPECT_EQ(v(3), 6.0);
+  auto m = HostArray<double>::matrix(2, 2);
+  m.fill_with_indices([](long long i, long long j) {
+    return static_cast<double>(10 * i + j);
+  });
+  EXPECT_EQ(m(1, 1), 11.0);
+  m.fill(0.5);
+  EXPECT_EQ(m(0, 1), 0.5);
+}
+
+TEST(HostArray, Rank3) {
+  HostArray<float> a({2, 3, 4});
+  EXPECT_EQ(a.rank(), 3u);
+  EXPECT_EQ(a.stride(0), 12);
+  EXPECT_EQ(a.stride(1), 4);
+  EXPECT_EQ(a.size(), 24);
+}
+
+TEST(HostArray, RejectsBadShapes) {
+  EXPECT_THROW(HostArray<double>(std::vector<long long>{}), ConfigError);
+  EXPECT_THROW(HostArray<double>({3, 0}), ConfigError);
+  EXPECT_THROW(HostArray<double>({1, 2, 3, 4}), ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::mem

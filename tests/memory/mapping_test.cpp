@@ -1,0 +1,203 @@
+// DeviceMapping: real subregion copies, footprint bookkeeping, views.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "memory/data_env.h"
+#include "memory/device_mapping.h"
+#include "memory/host_array.h"
+
+namespace homp::mem {
+namespace {
+
+MapSpec spec_1d(HostArray<double>& a, MapDirection dir) {
+  MapSpec s;
+  s.name = "a";
+  s.dir = dir;
+  s.binding = bind_array(a);
+  s.region = a.region();
+  s.partition = {dist::DimPolicy::align("loop")};
+  return s;
+}
+
+TEST(DeviceMapping, CopyInOutRoundTrips1D) {
+  auto a = HostArray<double>::vector(10);
+  a.fill_with_index([](long long i) { return static_cast<double>(i); });
+  auto s = spec_1d(a, MapDirection::kToFrom);
+
+  dist::Region owned({dist::Range(3, 7)});
+  DeviceMapping m(s, owned, owned, /*shared=*/false, /*materialize=*/true);
+  m.copy_in();
+  auto v = m.view<double>();
+  EXPECT_EQ(v(3), 3.0);
+  EXPECT_EQ(v(6), 6.0);
+  v(4) = 44.0;
+  m.copy_out();
+  EXPECT_EQ(a(4), 44.0);
+  EXPECT_EQ(a(2), 2.0);  // outside owned: untouched
+  EXPECT_EQ(a(7), 7.0);
+}
+
+TEST(DeviceMapping, HaloFootprintCopiedButNotWrittenBack) {
+  auto a = HostArray<double>::vector(10);
+  a.fill_with_index([](long long i) { return static_cast<double>(i); });
+  auto s = spec_1d(a, MapDirection::kToFrom);
+  s.halo_before = 1;
+  s.halo_after = 1;
+
+  dist::Region owned({dist::Range(4, 6)});
+  dist::Region fp({dist::Range(3, 7)});
+  DeviceMapping m(s, owned, fp, false, true);
+  m.copy_in();
+  auto v = m.view<double>();
+  EXPECT_EQ(v(3), 3.0);  // halo readable
+  v(3) = -1.0;           // scribble on halo
+  v(5) = 55.0;
+  m.copy_out();
+  EXPECT_EQ(a(3), 3.0);  // halo NOT written back
+  EXPECT_EQ(a(5), 55.0);
+  EXPECT_EQ(m.bytes_in(), 4 * 8.0);   // footprint
+  EXPECT_EQ(m.bytes_out(), 2 * 8.0);  // owned only
+}
+
+TEST(DeviceMapping, TwoDimensionalRowSlices) {
+  auto a = HostArray<double>::matrix(6, 4);
+  a.fill_with_indices([](long long i, long long j) {
+    return static_cast<double>(i * 10 + j);
+  });
+  MapSpec s;
+  s.name = "m";
+  s.dir = MapDirection::kToFrom;
+  s.binding = bind_array(a);
+  s.region = a.region();
+  s.partition = {dist::DimPolicy::align("loop"), dist::DimPolicy::full()};
+
+  dist::Region owned({dist::Range(2, 4), dist::Range(0, 4)});
+  DeviceMapping m(s, owned, owned, false, true);
+  m.copy_in();
+  auto v = m.view<double>();
+  EXPECT_EQ(v(2, 0), 20.0);
+  EXPECT_EQ(v(3, 3), 33.0);
+  v(2, 1) = 99.0;
+  m.copy_out();
+  EXPECT_EQ(a(2, 1), 99.0);
+  EXPECT_EQ(a(1, 1), 11.0);
+  EXPECT_EQ(a(4, 1), 41.0);
+}
+
+TEST(DeviceMapping, SharedAliasesHostStorage) {
+  auto a = HostArray<double>::vector(8, 1.0);
+  auto s = spec_1d(a, MapDirection::kToFrom);
+  dist::Region owned({dist::Range(0, 8)});
+  DeviceMapping m(s, owned, owned, /*shared=*/true, true);
+  EXPECT_EQ(m.bytes_in(), 0.0);
+  EXPECT_EQ(m.bytes_out(), 0.0);
+  auto v = m.view<double>();
+  v(5) = 7.0;
+  EXPECT_EQ(a(5), 7.0);  // no copy needed
+}
+
+TEST(DeviceMapping, DirectionsGateTransfers) {
+  auto a = HostArray<double>::vector(4, 2.0);
+  dist::Region whole({dist::Range(0, 4)});
+  {
+    auto s = spec_1d(a, MapDirection::kTo);
+    DeviceMapping m(s, whole, whole, false, true);
+    EXPECT_GT(m.bytes_in(), 0.0);
+    EXPECT_EQ(m.bytes_out(), 0.0);
+  }
+  {
+    auto s = spec_1d(a, MapDirection::kFrom);
+    DeviceMapping m(s, whole, whole, false, true);
+    EXPECT_EQ(m.bytes_in(), 0.0);
+    EXPECT_GT(m.bytes_out(), 0.0);
+    m.copy_in();  // no-op
+    auto v = m.view<double>();
+    EXPECT_EQ(v(0), 0.0);  // storage zero-initialized, not copied from host
+  }
+  {
+    auto s = spec_1d(a, MapDirection::kAlloc);
+    DeviceMapping m(s, whole, whole, false, true);
+    EXPECT_EQ(m.bytes_in(), 0.0);
+    EXPECT_EQ(m.bytes_out(), 0.0);
+  }
+}
+
+TEST(DeviceMapping, ViewOutsideFootprintThrows) {
+  auto a = HostArray<double>::vector(10, 0.0);
+  auto s = spec_1d(a, MapDirection::kTo);
+  dist::Region owned({dist::Range(2, 5)});
+  DeviceMapping m(s, owned, owned, false, true);
+  auto v = m.view<double>();
+  EXPECT_THROW(v(1), ExecutionError);
+  EXPECT_THROW(v(5), ExecutionError);
+  EXPECT_NO_THROW(v(4));
+}
+
+TEST(DeviceMapping, OwnedMustBeInsideFootprint) {
+  auto a = HostArray<double>::vector(10, 0.0);
+  auto s = spec_1d(a, MapDirection::kTo);
+  EXPECT_THROW(DeviceMapping(s, dist::Region({dist::Range(0, 8)}),
+                             dist::Region({dist::Range(2, 5)}), false, true),
+               ConfigError);
+}
+
+TEST(DeviceMapping, PushPullSubregions) {
+  auto a = HostArray<double>::vector(10);
+  a.fill_with_index([](long long i) { return static_cast<double>(i); });
+  auto s = spec_1d(a, MapDirection::kAlloc);
+  dist::Region owned({dist::Range(2, 8)});
+  DeviceMapping m(s, owned, owned, false, true);
+  auto v = m.view<double>();
+  for (long long i = 2; i < 8; ++i) v(i) = 100.0 + i;
+  m.push_to_host(dist::Region({dist::Range(2, 4)}));
+  EXPECT_EQ(a(2), 102.0);
+  EXPECT_EQ(a(4), 4.0);  // outside pushed band
+  a(7) = -7.0;
+  m.pull_from_host(dist::Region({dist::Range(7, 8)}));
+  EXPECT_EQ(v(7), -7.0);
+  EXPECT_THROW(m.push_to_host(dist::Region({dist::Range(0, 3)})),
+               ConfigError);
+}
+
+TEST(DataEnv, LookupAndTotals) {
+  auto a = HostArray<double>::vector(6, 1.0);
+  auto b = HostArray<double>::vector(4, 2.0);
+  auto sa = spec_1d(a, MapDirection::kTo);
+  auto sb = spec_1d(b, MapDirection::kToFrom);
+  sb.name = "b";
+  sb.region = b.region();
+
+  MappingStore store;
+  dist::Region ra({dist::Range(0, 6)});
+  dist::Region rb({dist::Range(0, 4)});
+  auto& ma = store.create(sa, ra, ra, false, true);
+  auto& mb = store.create(sb, rb, rb, false, true);
+  DeviceDataEnv env;
+  env.add("a", &ma);
+  env.add("b", &mb);
+  EXPECT_TRUE(env.contains("a"));
+  EXPECT_FALSE(env.contains("c"));
+  EXPECT_THROW(env.mapping("c"), ConfigError);
+  EXPECT_EQ(env.total_bytes_in(), 6 * 8.0 + 4 * 8.0);
+  EXPECT_EQ(env.total_bytes_out(), 4 * 8.0);
+  EXPECT_THROW(env.add("a", &ma), ConfigError);
+  auto fork = env.fork();
+  EXPECT_TRUE(fork.contains("b"));
+  EXPECT_EQ(fork.size(), 2u);
+}
+
+TEST(DataEnv, ViewTypeSizeMismatchThrows) {
+  auto a = HostArray<double>::vector(4, 0.0);
+  auto s = spec_1d(a, MapDirection::kTo);
+  dist::Region r({dist::Range(0, 4)});
+  MappingStore store;
+  auto& m = store.create(s, r, r, false, true);
+  DeviceDataEnv env;
+  env.add("a", &m);
+  EXPECT_THROW(env.view<float>("a"), ConfigError);
+  EXPECT_NO_THROW(env.view<double>("a"));
+}
+
+}  // namespace
+}  // namespace homp::mem

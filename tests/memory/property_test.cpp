@@ -1,0 +1,167 @@
+// Property tests on the memory layer: for randomized regions, halos and
+// device counts, copies must round-trip exactly and footprints must cover
+// every legal access of an aligned kernel.
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "dist/distribution.h"
+#include "memory/data_env.h"
+#include "memory/device_mapping.h"
+#include "memory/host_array.h"
+
+namespace homp::mem {
+namespace {
+
+TEST(MappingProperty, RandomSubregionCopiesRoundTrip1D) {
+  Prng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    const long long n = 1 + static_cast<long long>(rng.below(500));
+    auto a = HostArray<double>::vector(n);
+    a.fill_with_index([](long long i) { return static_cast<double>(i); });
+
+    const long long lo = static_cast<long long>(rng.below(n));
+    const long long hi =
+        lo + 1 + static_cast<long long>(rng.below(n - lo));
+    MapSpec s;
+    s.name = "a";
+    s.dir = MapDirection::kToFrom;
+    s.binding = bind_array(a);
+    s.region = a.region();
+    s.partition = {dist::DimPolicy::align("loop")};
+
+    dist::Region owned({dist::Range(lo, hi)});
+    DeviceMapping m(s, owned, owned, false, true);
+    m.copy_in();
+    auto v = m.view<double>();
+    for (long long i = lo; i < hi; ++i) {
+      ASSERT_EQ(v(i), static_cast<double>(i));
+      v(i) = -v(i);
+    }
+    m.copy_out();
+    for (long long i = 0; i < n; ++i) {
+      const double expect = (i >= lo && i < hi) ? -static_cast<double>(i)
+                                                : static_cast<double>(i);
+      ASSERT_EQ(a(i), expect) << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(MappingProperty, RandomSubregionCopiesRoundTrip2D) {
+  Prng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const long long n = 2 + static_cast<long long>(rng.below(40));
+    const long long mcols = 2 + static_cast<long long>(rng.below(40));
+    auto a = HostArray<double>::matrix(n, mcols);
+    a.fill_with_indices([&](long long i, long long j) {
+      return static_cast<double>(i * 1000 + j);
+    });
+
+    const long long lo = static_cast<long long>(rng.below(n));
+    // Randomly partition dim 0 or dim 1 — column blocks must work too.
+    const std::size_t pd = rng.below(2);
+    MapSpec s;
+    s.name = "a";
+    s.dir = MapDirection::kToFrom;
+    s.binding = bind_array(a);
+    s.region = a.region();
+    s.partition = {dist::DimPolicy::full(), dist::DimPolicy::full()};
+    s.partition[pd] = dist::DimPolicy::align("loop");
+
+    const long long extent = pd == 0 ? n : mcols;
+    const long long plo = lo % extent;
+    const long long phi = plo + 1 + static_cast<long long>(
+                                        rng.below(extent - plo));
+    dist::Region owned = s.region.with_dim(pd, dist::Range(plo, phi));
+    DeviceMapping m(s, owned, owned, false, true);
+    m.copy_in();
+    auto v = m.view<double>();
+    for (long long i = owned.dim(0).lo; i < owned.dim(0).hi; ++i) {
+      for (long long j = owned.dim(1).lo; j < owned.dim(1).hi; ++j) {
+        ASSERT_EQ(v(i, j), static_cast<double>(i * 1000 + j));
+        v(i, j) += 0.5;
+      }
+    }
+    m.copy_out();
+    for (long long i = 0; i < n; ++i) {
+      for (long long j = 0; j < mcols; ++j) {
+        const bool inside = owned.dim(0).contains(i) &&
+                            owned.dim(1).contains(j);
+        ASSERT_EQ(a(i, j), static_cast<double>(i * 1000 + j) +
+                               (inside ? 0.5 : 0.0))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MappingProperty, HaloFootprintsCoverStencilReads) {
+  // For random device counts and halo widths, a kernel reading i +- halo
+  // within its owned rows must always stay inside the footprint.
+  Prng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const long long n = 8 + static_cast<long long>(rng.below(200));
+    const std::size_t devs = 1 + rng.below(6);
+    const long long halo = static_cast<long long>(rng.below(4));
+    auto a = HostArray<double>::vector(n, 1.0);
+    MapSpec s;
+    s.name = "a";
+    s.dir = MapDirection::kTo;
+    s.binding = bind_array(a);
+    s.region = a.region();
+    s.partition = {dist::DimPolicy::align("loop")};
+    s.halo_before = halo;
+    s.halo_after = halo;
+
+    auto d = dist::Distribution::block(dist::Range::of_size(n), devs);
+    for (std::size_t slot = 0; slot < devs; ++slot) {
+      const auto part = d.part(slot);
+      if (part.empty()) continue;
+      dist::Region owned({part});
+      dist::Region fp({part.widened(halo, halo).clamped_to(
+          dist::Range::of_size(n))});
+      DeviceMapping m(s, owned, fp, false, true);
+      m.copy_in();
+      auto v = m.view<double>();
+      for (long long i = part.lo; i < part.hi; ++i) {
+        for (long long off = -halo; off <= halo; ++off) {
+          const long long j = i + off;
+          if (j < 0 || j >= n) continue;  // frame edge, kernel skips
+          if (j >= part.lo - halo && j < part.hi + halo) {
+            ASSERT_NO_THROW(v(std::max(0LL, std::min(j, n - 1))));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MappingProperty, BytesMatchRegionVolumes) {
+  Prng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const long long n = 1 + static_cast<long long>(rng.below(300));
+    auto a = HostArray<double>::vector(n);
+    MapSpec s;
+    s.name = "a";
+    s.dir = rng.next_double() < 0.5 ? MapDirection::kTo
+                                    : MapDirection::kToFrom;
+    s.binding = bind_array(a);
+    s.region = a.region();
+    s.partition = {dist::DimPolicy::align("loop")};
+
+    const long long lo = static_cast<long long>(rng.below(n));
+    const long long hi = lo + static_cast<long long>(rng.below(n - lo + 1));
+    const long long flo = std::max(0LL, lo - 2);
+    const long long fhi = std::min(n, hi + 2);
+    dist::Region owned({dist::Range(lo, hi)});
+    dist::Region fp({dist::Range(std::min(flo, lo), std::max(fhi, hi))});
+    DeviceMapping m(s, owned, fp, false, false);  // accounting only
+    EXPECT_EQ(m.bytes_in(), 8.0 * static_cast<double>(fp.volume()));
+    EXPECT_EQ(m.bytes_out(), copies_out(s.dir)
+                                 ? 8.0 * static_cast<double>(owned.volume())
+                                 : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace homp::mem

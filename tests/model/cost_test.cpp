@@ -1,0 +1,45 @@
+#include "model/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "model/kernel_profile.h"
+
+namespace homp::model {
+namespace {
+
+TEST(Hockney, LatencyPlusBandwidth) {
+  EXPECT_NEAR(hockney_time(1e6, 1e-5, 1e9), 1e-5 + 1e-3, 1e-12);
+  EXPECT_NEAR(hockney_time(0.0, 2e-6, 1e9), 2e-6, 1e-15);
+}
+
+TEST(Roofline, PicksTheBindingResource) {
+  // Compute-bound: lots of flops per byte.
+  auto c = roofline_time(1e9, 1e3, 1e12, 1e11);
+  EXPECT_FALSE(c.memory_bound);
+  EXPECT_NEAR(c.seconds, 1e-3, 1e-9);
+  // Memory-bound: streaming kernel.
+  auto m = roofline_time(1e6, 1e9, 1e12, 1e11);
+  EXPECT_TRUE(m.memory_bound);
+  EXPECT_NEAR(m.seconds, 1e-2, 1e-9);
+}
+
+TEST(KernelProfile, TableIVRatios) {
+  KernelCostProfile axpy;
+  axpy.flops_per_iter = 2.0;
+  axpy.mem_bytes_per_iter = 24.0;
+  axpy.transfer_bytes_per_iter = 24.0;
+  EXPECT_NEAR(axpy.mem_comp(), 1.5, 1e-12);
+  EXPECT_NEAR(axpy.data_comp(), 1.5, 1e-12);
+  EXPECT_NEAR(axpy.flops_per_transfer_byte(), 2.0 / 24.0, 1e-12);
+}
+
+TEST(KernelProfile, DegenerateProfilesAreSafe) {
+  KernelCostProfile p;  // all zeros
+  EXPECT_EQ(p.mem_comp(), 0.0);
+  EXPECT_EQ(p.data_comp(), 0.0);
+  p.flops_per_iter = 10.0;
+  EXPECT_GT(p.flops_per_transfer_byte(), 1e20);  // no transfers: "infinite"
+}
+
+}  // namespace
+}  // namespace homp::model

@@ -1,0 +1,42 @@
+#include "model/heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/case.h"
+
+namespace homp::model {
+namespace {
+
+TEST(Classify, TableIVKernelsLandInTheirClasses) {
+  auto cls = [](const char* name, long long n) {
+    return classify(kern::make_case(name, n, false)->kernel().cost);
+  };
+  EXPECT_EQ(cls("axpy", 1'000'000), KernelClass::kDataIntensive);
+  EXPECT_EQ(cls("sum", 1'000'000), KernelClass::kDataIntensive);
+  EXPECT_EQ(cls("matvec", 4096), KernelClass::kBalanced);
+  EXPECT_EQ(cls("stencil2d", 256), KernelClass::kBalanced);
+  EXPECT_EQ(cls("matmul", 6144), KernelClass::kComputeIntensive);
+  EXPECT_EQ(cls("bm2d", 256), KernelClass::kComputeIntensive);
+}
+
+TEST(Classify, ThresholdsSitBetweenClusters) {
+  KernelCostProfile k;
+  k.flops_per_iter = 1.0;
+  k.elem_bytes = 8.0;
+  k.transfer_bytes_per_iter = 8.0 * 1.0;  // DataComp 1.0
+  EXPECT_EQ(classify(k), KernelClass::kDataIntensive);
+  k.transfer_bytes_per_iter = 8.0 * 0.5;  // 0.5 — matvec-like
+  EXPECT_EQ(classify(k), KernelClass::kBalanced);
+  k.transfer_bytes_per_iter = 8.0 * 0.06;  // bm-like
+  EXPECT_EQ(classify(k), KernelClass::kComputeIntensive);
+}
+
+TEST(Classify, NamesAreReadable) {
+  EXPECT_STREQ(to_string(KernelClass::kBalanced), "balanced");
+  EXPECT_STREQ(to_string(KernelClass::kDataIntensive), "data-intensive");
+  EXPECT_STREQ(to_string(KernelClass::kComputeIntensive),
+               "compute-intensive");
+}
+
+}  // namespace
+}  // namespace homp::model

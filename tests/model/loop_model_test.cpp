@@ -1,0 +1,128 @@
+#include "model/loop_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "machine/profiles.h"
+
+namespace homp::model {
+namespace {
+
+DevicePredictionInput fast_gpu() {
+  DevicePredictionInput d;
+  d.peak_flops = 1000e9;
+  d.peak_membw_Bps = 200e9;
+  d.has_link = true;
+  d.link_latency_s = 1e-5;
+  d.link_bandwidth_Bps = 10e9;
+  return d;
+}
+
+DevicePredictionInput slow_host() {
+  DevicePredictionInput d;
+  d.peak_flops = 250e9;
+  d.peak_membw_Bps = 100e9;
+  d.has_link = false;
+  return d;
+}
+
+KernelCostProfile compute_heavy() {
+  KernelCostProfile k;
+  k.flops_per_iter = 1e6;
+  k.mem_bytes_per_iter = 100.0;
+  k.transfer_bytes_per_iter = 100.0;
+  return k;
+}
+
+KernelCostProfile data_heavy() {
+  KernelCostProfile k;
+  k.flops_per_iter = 2.0;
+  k.mem_bytes_per_iter = 24.0;
+  k.transfer_bytes_per_iter = 24.0;
+  return k;
+}
+
+TEST(Model1, WeightsProportionalToPeakFlops) {
+  auto w = model1_weights(compute_heavy(), {fast_gpu(), slow_host()});
+  EXPECT_NEAR(w[0], 0.8, 1e-9);  // 1000 / (1000 + 250)
+  EXPECT_NEAR(w[1], 0.2, 1e-9);
+}
+
+TEST(Model2, PenalizesTransferBoundDevices) {
+  // For a data-heavy kernel the GPU's PCIe link dominates; the host (no
+  // link) must get relatively more work than MODEL_1 would give it.
+  auto w1 = model1_weights(data_heavy(), {fast_gpu(), slow_host()});
+  auto w2 = model2_weights(data_heavy(), {fast_gpu(), slow_host()});
+  EXPECT_GT(w2[1], w1[1]);
+  EXPECT_LT(w2[0], w1[0]);
+}
+
+TEST(Model2, ComputeHeavyKernelsBarelyNoticeTheLink) {
+  auto w1 = model1_weights(compute_heavy(), {fast_gpu(), slow_host()});
+  auto w2 = model2_weights(compute_heavy(), {fast_gpu(), slow_host()});
+  EXPECT_NEAR(w1[0], w2[0], 0.01);
+}
+
+TEST(WeightsFromRates, NormalizesAndValidates) {
+  auto w = weights_from_rates({3.0, 1.0, 0.0});
+  EXPECT_NEAR(w[0], 0.75, 1e-12);
+  EXPECT_NEAR(w[2], 0.0, 1e-12);
+  EXPECT_THROW(weights_from_rates({}), homp::ConfigError);
+  EXPECT_THROW(weights_from_rates({0.0, 0.0}), homp::ConfigError);
+  EXPECT_THROW(weights_from_rates({-1.0, 1.0}), homp::ConfigError);
+}
+
+TEST(PredictedCompletion, IsTheSlowestDevice) {
+  // 100 iters, 60/40 split, iter times 1 ms and 2 ms.
+  const double t =
+      predicted_completion_time(100, {0.6, 0.4}, {1e-3, 2e-3});
+  EXPECT_NEAR(t, 0.08, 1e-12);  // 40 iters x 2 ms
+}
+
+TEST(Cutoff, DropsBelowThresholdIteratively) {
+  // 50/30/12/8: at 15%, drop 8 -> renorm {54,33,13} -> drop 13 ->
+  // renorm {60,37} (within rounding) -> done.
+  auto r = apply_cutoff({0.50, 0.30, 0.12, 0.08}, 0.15);
+  EXPECT_EQ(r.num_selected, 2);
+  EXPECT_TRUE(r.selected[0]);
+  EXPECT_TRUE(r.selected[1]);
+  EXPECT_FALSE(r.selected[2]);
+  EXPECT_FALSE(r.selected[3]);
+  EXPECT_NEAR(r.weights[0] + r.weights[1], 1.0, 1e-12);
+  EXPECT_EQ(r.weights[3], 0.0);
+}
+
+TEST(Cutoff, EqualDevicesKeepAUsableSet) {
+  // 7 equal devices at 15%: each 1/7 < 0.15; the iterative rule drops the
+  // highest index once, leaving 6 at 1/6 > 0.15.
+  std::vector<double> w(7, 1.0 / 7.0);
+  auto r = apply_cutoff(w, 0.15);
+  EXPECT_EQ(r.num_selected, 6);
+  EXPECT_FALSE(r.selected[6]);  // tie drops the "farthest" device
+}
+
+TEST(Cutoff, ZeroRatioSelectsEveryone) {
+  auto r = apply_cutoff({0.9, 0.05, 0.05}, 0.0);
+  EXPECT_EQ(r.num_selected, 3);
+}
+
+TEST(Cutoff, NeverEmptiesTheSet) {
+  auto r = apply_cutoff({0.5, 0.5}, 0.99);
+  EXPECT_GE(r.num_selected, 1);
+  EXPECT_THROW(apply_cutoff({}, 0.15), homp::ConfigError);
+  EXPECT_THROW(apply_cutoff({1.0}, 1.5), homp::ConfigError);
+}
+
+TEST(PredictionInputs, ExtractedFromMachine) {
+  auto m = mach::builtin("full");
+  auto in = prediction_inputs(m, {0, 1, 5});
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_FALSE(in[0].has_link);  // host
+  EXPECT_TRUE(in[1].has_link);   // K40
+  EXPECT_TRUE(in[2].has_link);   // Phi
+  EXPECT_GT(in[1].link_bandwidth_Bps, in[2].link_bandwidth_Bps);
+  EXPECT_THROW(prediction_inputs(m, {99}), homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::model

@@ -1,0 +1,94 @@
+// Device-clause resolution: the paper's §III-1 examples.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "machine/profiles.h"
+#include "pragma/parse.h"
+#include "runtime/runtime.h"
+
+namespace homp::pragma {
+namespace {
+
+TEST(DeviceClause, PaperExamples) {
+  auto m = mach::builtin("full");  // host, 4 GPUs (1-4), 2 MICs (5-6)
+
+  EXPECT_EQ(resolve_device_clause("0:*", m),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(resolve_device_clause("0, 2, 3, 5", m),
+            (std::vector<int>{0, 2, 3, 5}));
+  EXPECT_EQ(resolve_device_clause("0:2, 4:2", m),
+            (std::vector<int>{0, 1, 4, 5}));
+  EXPECT_EQ(resolve_device_clause("0:*:HOMP_DEVICE_NVGPU", m),
+            (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(resolve_device_clause("*", m),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(DeviceClause, TypeFilterWithCount) {
+  auto m = mach::builtin("full");
+  EXPECT_EQ(resolve_device_clause("0:2:mic", m), (std::vector<int>{5, 6}));
+  EXPECT_EQ(resolve_device_clause("2:2:nvgpu", m), (std::vector<int>{2, 3}));
+  EXPECT_EQ(resolve_device_clause("0:1:host", m), (std::vector<int>{0}));
+}
+
+TEST(DeviceClause, DefaultCountIsOne) {
+  auto m = mach::builtin("full");
+  EXPECT_EQ(resolve_device_clause("3", m), (std::vector<int>{3}));
+}
+
+TEST(DeviceClause, Errors) {
+  auto m = mach::builtin("gpu4");  // 5 devices
+  EXPECT_THROW(resolve_device_clause("9", m), ConfigError);
+  EXPECT_THROW(resolve_device_clause("0:9", m), ConfigError);  // too few
+  EXPECT_THROW(resolve_device_clause("1, 1", m), ConfigError); // duplicate
+  EXPECT_THROW(resolve_device_clause("0:2:mic", m), ConfigError);  // no MICs
+  EXPECT_THROW(resolve_device_clause("", m), ConfigError);
+  EXPECT_THROW(resolve_device_clause("0:1:quantum", m), ConfigError);
+}
+
+TEST(DeviceClause, EndToEndOffloadFromPragma) {
+  // The whole front-end path: parse, bind, run, verify — axpy_homp_v2.
+  rt::Runtime rt{mach::testing_machine(2)};
+  constexpr long long kN = 512;
+  auto x = mem::HostArray<double>::vector(kN);
+  auto y = mem::HostArray<double>::vector(kN);
+  x.fill_with_index([](long long i) { return static_cast<double>(i); });
+  y.fill(1.0);
+
+  auto d = parse_directive(
+      "#pragma omp parallel target device(0:*) "
+      "map(tofrom: y[0:n] partition([ALIGN(loop)])) "
+      "map(to: x[0:n] partition([ALIGN(loop)]), a, n) "
+      "distribute dist_schedule(target:[AUTO])");
+  Bindings b;
+  b.bind("x", x);
+  b.bind("y", y);
+  b.let("n", kN);
+  auto maps = build_map_specs(d, b);
+  auto opts = to_offload_options(d, rt.machine());
+  EXPECT_EQ(opts.device_ids.size(), 3u);
+  EXPECT_TRUE(opts.auto_select_algorithm);
+  EXPECT_TRUE(opts.parallel_offload);
+
+  rt::LoopKernel k;
+  k.name = "axpy";
+  k.iterations = dist::Range::of_size(kN);
+  k.cost.flops_per_iter = 2.0;
+  k.cost.mem_bytes_per_iter = 24.0;
+  k.cost.transfer_bytes_per_iter = 24.0;
+  k.body = [](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    auto xv = env.view<double>("x");
+    auto yv = env.view<double>("y");
+    for (long long i = chunk.lo; i < chunk.hi; ++i) yv(i) += 2.0 * xv(i);
+    return 0.0;
+  };
+  auto res = rt.offload(k, maps, opts);
+  EXPECT_EQ(res.total_iterations(), kN);
+  for (long long i = 0; i < kN; ++i) {
+    ASSERT_EQ(y(i), 1.0 + 2.0 * i) << "y[" << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace homp::pragma

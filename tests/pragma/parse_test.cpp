@@ -1,0 +1,168 @@
+// Directive parser: the paper's own pragma examples must parse.
+
+#include "pragma/parse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "memory/host_array.h"
+
+namespace homp::pragma {
+namespace {
+
+TEST(ParseDirective, AxpyHompV1FromFigure2) {
+  auto d = parse_directive(
+      "#pragma omp parallel target device (*) "
+      "map(tofrom: y[0:n] partition([BLOCK])) "
+      "map(to: x[0:n] partition([BLOCK]),a,n)");
+  EXPECT_EQ(d.kind, ParsedDirective::Kind::kTarget);
+  EXPECT_TRUE(d.parallel);
+  EXPECT_EQ(d.device_clause, "*");
+  ASSERT_EQ(d.maps.size(), 4u);
+  EXPECT_EQ(d.maps[0].name, "y");
+  EXPECT_EQ(d.maps[0].dir, mem::MapDirection::kToFrom);
+  ASSERT_EQ(d.maps[0].partition.size(), 1u);
+  EXPECT_EQ(d.maps[0].partition[0].kind, dist::PolicyKind::kBlock);
+  EXPECT_EQ(d.maps[1].name, "x");
+  EXPECT_EQ(d.maps[1].dir, mem::MapDirection::kTo);
+  EXPECT_TRUE(d.maps[2].is_scalar);  // a
+  EXPECT_TRUE(d.maps[3].is_scalar);  // n
+}
+
+TEST(ParseDirective, DistScheduleAlign) {
+  auto d = parse_directive(
+      "omp parallel for distribute dist_schedule(target:[ALIGN(x)])");
+  EXPECT_TRUE(d.has_dist_schedule);
+  EXPECT_EQ(d.loop_policy.kind, dist::PolicyKind::kAlign);
+  EXPECT_EQ(d.loop_policy.align_target, "x");
+  EXPECT_FALSE(d.sched_given);
+}
+
+TEST(ParseDirective, DistScheduleAuto) {
+  auto d = parse_directive(
+      "parallel target device(0:*) map(to: x[0:n] partition([ALIGN(loop)])) "
+      "distribute dist_schedule(target:[AUTO])");
+  EXPECT_EQ(d.loop_policy.kind, dist::PolicyKind::kAuto);
+}
+
+TEST(ParseDirective, JacobiDataRegionFromFigure3) {
+  auto d = parse_directive(
+      "#pragma omp parallel target data device(*) "
+      "map(to:n, m, omega, ax, ay, b, "
+      "f[0:n][0:m] partition([ALIGN(loop1)], FULL)) "
+      "map(tofrom:u[0:n][0:m] partition([ALIGN(loop1)], FULL)) "
+      "map(alloc:uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))");
+  EXPECT_EQ(d.kind, ParsedDirective::Kind::kTargetData);
+  // 6 scalars + 3 arrays.
+  int scalars = 0, arrays = 0;
+  for (const auto& m : d.maps) (m.is_scalar ? scalars : arrays)++;
+  EXPECT_EQ(scalars, 6);
+  EXPECT_EQ(arrays, 3);
+  const auto& uold = d.maps.back();
+  EXPECT_EQ(uold.name, "uold");
+  EXPECT_EQ(uold.dir, mem::MapDirection::kAlloc);
+  EXPECT_EQ(uold.halo_before, 1);
+  EXPECT_EQ(uold.halo_after, 1);
+  ASSERT_EQ(uold.partition.size(), 2u);
+  EXPECT_EQ(uold.partition[0].kind, dist::PolicyKind::kAlign);
+  EXPECT_EQ(uold.partition[0].align_target, "loop1");
+  EXPECT_EQ(uold.partition[1].kind, dist::PolicyKind::kFull);
+}
+
+TEST(ParseDirective, ReductionAndCollapse) {
+  auto d = parse_directive(
+      "parallel for target device(*) reduction(+:error) collapse(2) "
+      "distribute dist_schedule(target:[AUTO]) label(loop1)");
+  EXPECT_TRUE(d.has_reduction);
+  EXPECT_EQ(d.reduction_var, "error");
+  EXPECT_EQ(d.collapse, 2);
+  EXPECT_EQ(d.loop_label, "loop1");
+}
+
+TEST(ParseDirective, HaloExchange) {
+  auto d = parse_directive("#pragma omp halo_exchange (uold)");
+  EXPECT_EQ(d.kind, ParsedDirective::Kind::kHaloExchange);
+  EXPECT_EQ(d.halo_array, "uold");
+}
+
+TEST(ParseDirective, AlgorithmExtensionSyntax) {
+  auto d = parse_directive(
+      "target device(*) dist_schedule(target: SCHED_DYNAMIC(2%))");
+  EXPECT_TRUE(d.sched_given);
+  EXPECT_EQ(d.sched.kind, sched::AlgorithmKind::kDynamic);
+  EXPECT_NEAR(d.sched.dynamic_chunk_fraction, 0.02, 1e-12);
+
+  auto p = parse_directive(
+      "target device(*) dist_schedule(target: MODEL_PROFILE_AUTO(10%, 15%))");
+  EXPECT_EQ(p.sched.kind, sched::AlgorithmKind::kModelProfileAuto);
+  EXPECT_NEAR(p.sched.sample_fraction, 0.10, 1e-12);
+  EXPECT_NEAR(p.sched.cutoff_ratio, 0.15, 1e-12);
+
+  auto m = parse_directive(
+      "target device(*) dist_schedule(target: MODEL_2_AUTO(15%))");
+  EXPECT_EQ(m.sched.kind, sched::AlgorithmKind::kModel2Auto);
+  EXPECT_NEAR(m.sched.cutoff_ratio, 0.15, 1e-12);
+}
+
+TEST(ParseDirective, LineContinuationsAreTolerated) {
+  auto d = parse_directive(
+      "#pragma omp parallel target device (*) \\\n"
+      "  map(tofrom: y[0:n] partition([BLOCK]))");
+  EXPECT_EQ(d.maps.size(), 1u);
+}
+
+TEST(ParseDirective, Malformed) {
+  EXPECT_THROW(parse_directive(""), homp::Error);
+  EXPECT_THROW(parse_directive("target map(sideways: x[0:n])"), ParseError);
+  EXPECT_THROW(parse_directive("target map(to: x[0:n)"), ParseError);
+  EXPECT_THROW(parse_directive("target frobnicate(3)"), ParseError);
+  EXPECT_THROW(parse_directive("parallel for"), homp::Error);  // no target
+  EXPECT_THROW(parse_directive("target map(to: x[n])"), ParseError);
+  EXPECT_THROW(
+      parse_directive("target map(to: x[0:n] partition([BLOCK],[FULL]))"),
+      ParseError);  // 2 policies, 1 dim
+  EXPECT_THROW(parse_directive("target reduction(*:x)"), ParseError);
+  EXPECT_THROW(parse_directive("target dist_schedule(teams: AUTO)"),
+               ParseError);
+}
+
+TEST(BuildMapSpecs, BindsStorageAndResolvesSymbols) {
+  auto d = parse_directive(
+      "parallel target device(*) "
+      "map(tofrom: y[0:n] partition([ALIGN(loop)])) "
+      "map(to: x[0:n] partition([ALIGN(loop)]), a, n)");
+  mem::HostArray<double> x = mem::HostArray<double>::vector(64);
+  mem::HostArray<double> y = mem::HostArray<double>::vector(64);
+  Bindings b;
+  b.bind("x", x);
+  b.bind("y", y);
+  b.let("n", 64);
+  auto specs = build_map_specs(d, b);
+  ASSERT_EQ(specs.size(), 2u);  // scalars skipped
+  EXPECT_EQ(specs[0].name, "y");
+  EXPECT_EQ(specs[0].region.dim(0), dist::Range(0, 64));
+  EXPECT_EQ(specs[1].dir, mem::MapDirection::kTo);
+}
+
+TEST(BuildMapSpecs, UnboundSymbolOrArrayThrows) {
+  auto d = parse_directive("target device(*) map(to: x[0:n])");
+  Bindings b;
+  EXPECT_THROW(build_map_specs(d, b), homp::ConfigError);
+  mem::HostArray<double> x = mem::HostArray<double>::vector(8);
+  b.bind("x", x);
+  EXPECT_THROW(build_map_specs(d, b), homp::ConfigError);  // n unbound
+  b.let("n", 8);
+  EXPECT_EQ(build_map_specs(d, b).size(), 1u);
+}
+
+TEST(BuildMapSpecs, SectionExceedingArrayThrows) {
+  auto d = parse_directive("target device(*) map(to: x[0:n])");
+  mem::HostArray<double> x = mem::HostArray<double>::vector(8);
+  Bindings b;
+  b.bind("x", x);
+  b.let("n", 16);  // larger than the array
+  EXPECT_THROW(build_map_specs(d, b), homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::pragma

@@ -1,0 +1,107 @@
+// Per-phase breakdown telemetry (the Figure 6 data) must be internally
+// consistent and show the paper's <5% scheduling/imbalance overhead on
+// identical devices.
+
+#include <gtest/gtest.h>
+
+#include "kernels/case.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+TEST(Breakdown, PhaseTimesArePositiveAndConsistent) {
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("matvec", 2048, /*materialize=*/false);
+  rt::OffloadOptions o;
+  o.device_ids = rt.accelerators();
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  o.execute_bodies = false;
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  for (const auto& d : res.devices) {
+    for (int p = 0; p < rt::kNumPhases; ++p) {
+      EXPECT_GE(d.phase_time[p], 0.0) << to_string(static_cast<rt::Phase>(p));
+    }
+    EXPECT_GT(d.phase_time[static_cast<int>(rt::Phase::kCompute)], 0.0);
+    EXPECT_GT(d.phase_time[static_cast<int>(rt::Phase::kCopyIn)], 0.0);
+    // Busy time cannot exceed the offload wall time... except transfers
+    // overlapping compute; but for single-shot BLOCK they are serial.
+    EXPECT_LE(d.busy_time(), res.total_time * 1.0001);
+    EXPECT_LE(d.finish_time, res.total_time + 1e-12);
+  }
+  // Phase fractions over all phases sum to ~1.
+  double total = 0.0;
+  for (int p = 0; p < rt::kNumPhases; ++p) {
+    total += res.phase_fraction(static_cast<rt::Phase>(p));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Breakdown, ImbalanceOnIdenticalGpusIsSmall) {
+  // Figure 6: "the percentage of the incurred load imbalance is below 5%
+  // in average" on the 4 identical K40s.
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  double total_imbalance = 0.0;
+  int n = 0;
+  for (const auto& name : kern::all_kernel_names()) {
+    auto c = kern::make_case(name, 4096, /*materialize=*/false);
+    rt::OffloadOptions o;
+    o.device_ids = rt.accelerators();
+    o.sched.kind = sched::AlgorithmKind::kDynamic;
+    o.execute_bodies = false;
+    auto maps = c->maps();
+    auto kernel = c->kernel();
+    auto res = rt.offload(kernel, maps, o);
+    total_imbalance += res.imbalance().percent();
+    ++n;
+  }
+  EXPECT_LT(total_imbalance / n, 5.0);
+}
+
+TEST(Breakdown, SchedulingOverheadGrowsWithChunkCount) {
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("axpy", 1'000'000, /*materialize=*/false);
+  auto sched_time = [&](double frac) {
+    rt::OffloadOptions o;
+    o.device_ids = rt.accelerators();
+    o.sched.kind = sched::AlgorithmKind::kDynamic;
+    o.sched.dynamic_chunk_fraction = frac;
+    o.execute_bodies = false;
+    auto maps = c->maps();
+    auto kernel = c->kernel();
+    auto res = rt.offload(kernel, maps, o);
+    double t = 0.0;
+    for (const auto& d : res.devices) {
+      t += d.phase_time[static_cast<int>(rt::Phase::kScheduling)];
+    }
+    return t;
+  };
+  EXPECT_GT(sched_time(0.005), sched_time(0.05));
+}
+
+TEST(Breakdown, GuidedIssuesFewerChunksThanDynamic) {
+  // Table II: guided "reduc[es] the total amount of chunks" vs dynamic at
+  // comparable balance.
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("axpy", 1'000'000, /*materialize=*/false);
+  auto chunks = [&](sched::AlgorithmKind k) {
+    rt::OffloadOptions o;
+    o.device_ids = rt.accelerators();
+    o.sched.kind = k;
+    o.sched.dynamic_chunk_fraction = 0.02;
+    o.sched.guided_chunk_fraction = 0.20;
+    o.execute_bodies = false;
+    o.sched.min_chunk = 2000;
+    auto maps = c->maps();
+    auto kernel = c->kernel();
+    return rt.offload(kernel, maps, o).chunks_issued;
+  };
+  EXPECT_LT(chunks(sched::AlgorithmKind::kGuided),
+            chunks(sched::AlgorithmKind::kDynamic));
+}
+
+}  // namespace
+}  // namespace homp

@@ -1,0 +1,169 @@
+// DataRegion mechanics: entry distribution, residency, halo exchange and
+// close-time write-back.
+
+#include <gtest/gtest.h>
+
+#include "machine/profiles.h"
+#include "memory/host_array.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+mem::MapSpec aligned_spec(const char* name, mem::HostArray<double>& a,
+                          mem::MapDirection dir, long long halo = 0) {
+  mem::MapSpec s;
+  s.name = name;
+  s.dir = dir;
+  s.binding = mem::bind_array(a);
+  s.region = a.region();
+  s.partition.assign(a.rank(), dist::DimPolicy::full());
+  s.partition[0] = dist::DimPolicy::align("L");
+  s.halo_before = halo;
+  s.halo_after = halo;
+  return s;
+}
+
+rt::RegionOptions region_opts(const rt::Runtime& rt, long long n) {
+  rt::RegionOptions ro;
+  ro.device_ids = rt.all_devices();
+  ro.loop_label = "L";
+  ro.loop_domain = dist::Range::of_size(n);
+  return ro;
+}
+
+TEST(DataRegion, EntryDistributesAndCopiesIn) {
+  rt::Runtime rt{mach::testing_machine(3)};
+  constexpr long long kN = 120;
+  auto a = mem::HostArray<double>::matrix(kN, 8);
+  a.fill_with_indices([](long long i, long long j) {
+    return static_cast<double>(i * 100 + j);
+  });
+
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kTo));
+  auto region = rt.map_data(std::move(maps), region_opts(rt, kN));
+
+  EXPECT_GT(region->entry_time(), 0.0);
+  EXPECT_EQ(region->loop_distribution().num_parts(), 4u);
+  EXPECT_TRUE(region->loop_distribution().is_partition());
+
+  // Device copies hold the right slices: probe an element owned by
+  // accelerator slot 2.
+  const auto part = region->loop_distribution().part(2);
+  ASSERT_FALSE(part.empty());
+  auto view = const_cast<mem::DeviceDataEnv&>(region->env(2))
+                  .view<double>("a");
+  EXPECT_EQ(view(part.lo, 3), static_cast<double>(part.lo * 100 + 3));
+}
+
+TEST(DataRegion, OffloadsReuseResidentDataWithoutTransfers) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  constexpr long long kN = 64;
+  auto a = mem::HostArray<double>::vector(kN, 1.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom));
+  auto region = rt.map_data(std::move(maps), region_opts(rt, kN));
+
+  rt::LoopKernel k;
+  k.name = "inc";
+  k.iterations = dist::Range::of_size(kN);
+  k.cost.flops_per_iter = 1.0;
+  k.cost.mem_bytes_per_iter = 16.0;
+  k.body = [](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    auto v = env.view<double>("a");
+    for (long long i = chunk.lo; i < chunk.hi; ++i) v(i) += 1.0;
+    return 0.0;
+  };
+
+  for (int rep = 0; rep < 3; ++rep) {
+    auto res = region->offload(k);
+    for (const auto& d : res.devices) {
+      EXPECT_EQ(d.bytes_in, 0.0);
+      EXPECT_EQ(d.bytes_out, 0.0);
+    }
+  }
+  region->close();
+  for (long long i = 0; i < kN; ++i) {
+    ASSERT_EQ(a(i), 4.0) << "a[" << i << "]";
+  }
+}
+
+TEST(DataRegion, HaloExchangeRefreshesNeighbourRows) {
+  rt::Runtime rt{mach::testing_machine(3)};
+  constexpr long long kN = 40;
+  auto a = mem::HostArray<double>::matrix(kN, 4);
+  a.fill(0.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom, 1));
+  auto region = rt.map_data(std::move(maps), region_opts(rt, kN));
+
+  // Each device stamps its owned rows with its slot id...
+  rt::LoopKernel stamp;
+  stamp.name = "stamp";
+  stamp.iterations = dist::Range::of_size(kN);
+  stamp.cost.flops_per_iter = 1.0;
+  stamp.cost.mem_bytes_per_iter = 32.0;
+  stamp.body = [](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    auto v = env.view<double>("a");
+    for (long long i = chunk.lo; i < chunk.hi; ++i) {
+      for (long long j = 0; j < 4; ++j) v(i, j) = 10.0 + chunk.lo;
+    }
+    return 0.0;
+  };
+  region->offload(stamp);
+  const double t = region->halo_exchange("a");
+  EXPECT_GT(t, 0.0);
+
+  // ...then each device must see its neighbour's stamp in the halo row.
+  const auto& d = region->loop_distribution();
+  for (std::size_t slot = 0; slot + 1 < d.num_parts(); ++slot) {
+    const auto mine = d.part(slot);
+    const auto next = d.part(slot + 1);
+    if (mine.empty() || next.empty()) continue;
+    auto view = const_cast<mem::DeviceDataEnv&>(region->env(slot))
+                    .view<double>("a");
+    // Row next.lo is slot+1's first owned row, visible in slot's halo.
+    EXPECT_EQ(view(next.lo, 0), 10.0 + next.lo)
+        << "slot " << slot << " halo row " << next.lo;
+  }
+}
+
+TEST(DataRegion, ModelBasedEntryDistributionSkewsWork) {
+  rt::Runtime rt{mach::builtin("full")};
+  constexpr long long kN = 700;
+  auto a = mem::HostArray<double>::vector(kN, 0.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kTo));
+  auto ro = region_opts(rt, kN);
+  ro.dist_algorithm = sched::AlgorithmKind::kModel1Auto;
+  ro.cost_hint.flops_per_iter = 100.0;
+  ro.cost_hint.mem_bytes_per_iter = 8.0;
+  auto region = rt.map_data(std::move(maps), ro);
+  const auto& d = region->loop_distribution();
+  // GPU slots (1..4) should get more than MIC slots (5..6).
+  EXPECT_GT(d.part(1).size(), d.part(5).size());
+}
+
+TEST(DataRegion, CloseIsIdempotent) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  auto a = mem::HostArray<double>::vector(16, 2.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom));
+  auto region = rt.map_data(std::move(maps), region_opts(rt, 16));
+  EXPECT_GT(region->close(), 0.0);
+  EXPECT_EQ(region->close(), 0.0);
+}
+
+TEST(DataRegion, RejectsChunkSchedulerEntryDistribution) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  auto a = mem::HostArray<double>::vector(16, 0.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kTo));
+  auto ro = region_opts(rt, 16);
+  ro.dist_algorithm = sched::AlgorithmKind::kDynamic;
+  EXPECT_THROW(rt.map_data(std::move(maps), ro), ConfigError);
+}
+
+}  // namespace
+}  // namespace homp

@@ -1,0 +1,186 @@
+// Failure injection: misconfigured offloads must fail loudly with
+// ConfigError/ExecutionError, never silently compute wrong schedules.
+
+#include <gtest/gtest.h>
+
+#include "kernels/axpy.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+rt::LoopKernel trivial_kernel(long long n) {
+  rt::LoopKernel k;
+  k.name = "trivial";
+  k.iterations = dist::Range::of_size(n);
+  k.cost.flops_per_iter = 1.0;
+  k.cost.mem_bytes_per_iter = 8.0;
+  k.body = [](const dist::Range&, mem::DeviceDataEnv&) { return 0.0; };
+  return k;
+}
+
+TEST(OffloadFailures, RejectsEmptyDeviceList) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  kern::AxpyCase c(100, true);
+  rt::OffloadOptions o;  // no devices
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsOutOfRangeDevice) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  kern::AxpyCase c(100, true);
+  rt::OffloadOptions o;
+  o.device_ids = {0, 9};
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsDuplicateDevice) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(100, true);
+  rt::OffloadOptions o;
+  o.device_ids = {1, 1};
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsEmptyLoop) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  kern::AxpyCase c(100, true);
+  rt::OffloadOptions o;
+  o.device_ids = {0};
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  kernel.iterations = dist::Range(5, 5);
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsReplicatedOutputOnMultipleDevices) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  auto a = mem::HostArray<double>::vector(64, 0.0);
+  mem::MapSpec s;
+  s.name = "a";
+  s.dir = mem::MapDirection::kToFrom;
+  s.binding = mem::bind_array(a);
+  s.region = a.region();  // FULL (no partition)
+  std::vector<mem::MapSpec> maps{s};
+  rt::OffloadOptions o;
+  o.device_ids = {0, 1};
+  auto kernel = trivial_kernel(64);
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsPinnedArrayWithDynamicScheduler) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(128, true);
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = sched::AlgorithmKind::kDynamic;  // loop roams, data pinned
+  auto maps = c.maps_v1_block();
+  auto kernel = c.kernel();
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsAlignmentCycle) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  auto a = mem::HostArray<double>::vector(32, 0.0);
+  auto b = mem::HostArray<double>::vector(32, 0.0);
+  mem::MapSpec sa, sb;
+  sa.name = "a";
+  sa.dir = mem::MapDirection::kTo;
+  sa.binding = mem::bind_array(a);
+  sa.region = a.region();
+  sa.partition = {dist::DimPolicy::align("b")};
+  sb = sa;
+  sb.name = "b";
+  sb.binding = mem::bind_array(b);
+  sb.partition = {dist::DimPolicy::align("a")};
+  std::vector<mem::MapSpec> maps{sa, sb};
+  rt::OffloadOptions o;
+  o.device_ids = {0, 1};
+  auto kernel = trivial_kernel(32);
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, RejectsDanglingAlignTarget) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  auto a = mem::HostArray<double>::vector(32, 0.0);
+  mem::MapSpec s;
+  s.name = "a";
+  s.dir = mem::MapDirection::kTo;
+  s.binding = mem::bind_array(a);
+  s.region = a.region();
+  s.partition = {dist::DimPolicy::align("nonexistent")};
+  std::vector<mem::MapSpec> maps{s};
+  rt::OffloadOptions o;
+  o.device_ids = {0};
+  auto kernel = trivial_kernel(32);
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, KernelEscapingFootprintThrowsExecutionError) {
+  // A body reading outside its chunk's aligned footprint means the
+  // distribution mapped too little data — must be a hard error.
+  rt::Runtime rt{mach::testing_machine(2)};
+  auto a = mem::HostArray<double>::vector(64, 1.0);
+  mem::MapSpec s;
+  s.name = "a";
+  s.dir = mem::MapDirection::kTo;
+  s.binding = mem::bind_array(a);
+  s.region = a.region();
+  s.partition = {dist::DimPolicy::align("loop")};
+  std::vector<mem::MapSpec> maps{s};
+
+  rt::LoopKernel k = trivial_kernel(64);
+  k.body = [](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    auto v = env.view<double>("a");
+    return v((chunk.hi + 5) % 64);  // out of the chunk's slice
+  };
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  EXPECT_THROW(rt.offload(k, maps, o), ExecutionError);
+}
+
+TEST(OffloadFailures, ExecuteBodiesWithoutBodyIsRejected) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  kern::AxpyCase c(100, /*materialize=*/false);  // no body
+  rt::OffloadOptions o;
+  o.device_ids = {0};
+  o.execute_bodies = true;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  EXPECT_THROW(rt.offload(kernel, maps, o), ConfigError);
+}
+
+TEST(OffloadFailures, MoreDevicesThanIterationsStillCompletes) {
+  rt::Runtime rt{mach::testing_machine(6)};
+  kern::AxpyCase c(3, /*materialize=*/true);  // 3 iterations, 7 devices
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+  EXPECT_EQ(res.total_iterations(), 3);
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+}
+
+TEST(OffloadFailures, RejectsHaloOnUnpartitionedArray) {
+  mem::MapSpec s;
+  auto a = mem::HostArray<double>::vector(32, 0.0);
+  s.name = "a";
+  s.binding = mem::bind_array(a);
+  s.region = a.region();
+  s.halo_before = 1;
+  s.halo_after = 1;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace homp

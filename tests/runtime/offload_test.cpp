@@ -1,0 +1,185 @@
+// Offload mechanics on the idealized testing machine, where expected
+// virtual times can be computed by hand.
+
+#include <gtest/gtest.h>
+
+#include "kernels/axpy.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+// testing_machine accelerator: 100 GF, 100 GB/s mem, link 10 GB/s + 1 us.
+// host: 50 GF, 50 GB/s, shared memory.
+
+TEST(Offload, SingleAcceleratorTimeMatchesHandComputation) {
+  rt::Runtime rt{mach::testing_machine(1)};
+  constexpr long long kN = 1'000'000;
+  kern::AxpyCase c(kN, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1};  // just the accelerator
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  // Expected: copy-in 16 MB @ 10 GB/s = 1.6 ms (+1 us latency),
+  // compute roofline max(2 Mflop / 100 GF, 24 MB / 100 GB/s) = 240 us,
+  // copy-out 8 MB @ 10 GB/s = 0.8 ms (+1 us).
+  const double t_in = 1e-6 + 16e6 / 10e9;
+  const double t_comp = 24e6 / 100e9;
+  const double t_out = 1e-6 + 8e6 / 10e9;
+  EXPECT_NEAR(res.total_time, t_in + t_comp + t_out, 5e-5);
+
+  EXPECT_EQ(res.devices[0].bytes_in, 16e6);
+  EXPECT_EQ(res.devices[0].bytes_out, 8e6);
+  EXPECT_EQ(res.devices[0].iterations, kN);
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+}
+
+TEST(Offload, TwoIdenticalAcceleratorsHalveTheWork) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  constexpr long long kN = 1'000'000;
+  kern::AxpyCase c(kN, true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  EXPECT_EQ(res.devices[0].iterations, kN / 2);
+  EXPECT_EQ(res.devices[1].iterations, kN / 2);
+  // Separate links: both finish (near-)simultaneously at half the
+  // single-device time.
+  EXPECT_NEAR(res.devices[0].finish_time, res.devices[1].finish_time, 1e-9);
+  EXPECT_LT(res.imbalance().percent(), 0.1);
+}
+
+TEST(Offload, SharedLinkContentionSlowsTransfers) {
+  rt::Runtime rt_shared{mach::testing_machine(2, /*shared_link=*/true)};
+  rt::Runtime rt_sep{mach::testing_machine(2, /*shared_link=*/false)};
+  kern::AxpyCase c(1'000'000, /*materialize=*/false);
+
+  auto run = [&](rt::Runtime& r) {
+    rt::OffloadOptions o;
+    o.device_ids = {1, 2};
+    o.sched.kind = sched::AlgorithmKind::kBlock;
+    o.execute_bodies = false;
+    auto maps = c.maps();
+    auto kernel = c.kernel();
+    return r.offload(kernel, maps, o).total_time;
+  };
+  const double t_shared = run(rt_shared);
+  const double t_sep = run(rt_sep);
+  EXPECT_GT(t_shared, t_sep * 1.5);  // transfers dominate axpy
+}
+
+TEST(Offload, SerializedOffloadIsSlowerThanParallel) {
+  rt::Runtime rt{mach::testing_machine(4)};
+  kern::AxpyCase c(4'000'000, /*materialize=*/false);
+  auto run = [&](bool parallel) {
+    rt::OffloadOptions o;
+    o.device_ids = {1, 2, 3, 4};
+    o.sched.kind = sched::AlgorithmKind::kBlock;
+    o.parallel_offload = parallel;
+    o.execute_bodies = false;
+    auto maps = c.maps();
+    auto kernel = c.kernel();
+    return rt.offload(kernel, maps, o).total_time;
+  };
+  // `parallel target` (§III-4) offloads concurrently; the serialized path
+  // staggers device setup and must not be faster.
+  EXPECT_GE(run(false), run(true) * 0.999);
+}
+
+TEST(Offload, UnifiedMemoryIsMuchSlowerThanExplicitCopies) {
+  // §V-C: "maximum of 10 and 18 times slowdown in our BLAS examples".
+  rt::Runtime rt{mach::testing_machine(1)};
+  kern::AxpyCase c(4'000'000, /*materialize=*/false);
+  auto run = [&](bool unified) {
+    rt::OffloadOptions o;
+    o.device_ids = {1};
+    o.sched.kind = sched::AlgorithmKind::kBlock;
+    o.use_unified_memory = unified;
+    o.execute_bodies = false;
+    auto maps = c.maps();
+    auto kernel = c.kernel();
+    return rt.offload(kernel, maps, o).total_time;
+  };
+  const double slowdown = run(true) / run(false);
+  EXPECT_GT(slowdown, 4.0);
+  EXPECT_LT(slowdown, 30.0);
+}
+
+TEST(Offload, UnifiedMemoryStillComputesCorrectResults) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(10'000, /*materialize=*/true);
+  rt::OffloadOptions o;
+  o.device_ids = {0, 1, 2};
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  o.use_unified_memory = true;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+  EXPECT_EQ(res.total_iterations(), 10'000);
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+}
+
+TEST(Offload, AlignedLoopFollowsBlockArrays) {
+  // v1 style (Fig. 2 axpy_homp_v1): x/y are BLOCK, the loop aligns to x.
+  rt::Runtime rt{mach::testing_machine(3)};
+  kern::AxpyCase c(999, /*materialize=*/true);  // odd size exercises remnant
+  rt::OffloadOptions o;
+  o.device_ids = rt.all_devices();
+  o.loop_policy = dist::DimPolicy::align("x");
+  auto maps = c.maps_v1_block();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+  // BLOCK over 999 with 4 parts: 250, 250, 250, 249.
+  EXPECT_EQ(res.devices[0].iterations, 250);
+  EXPECT_EQ(res.devices[3].iterations, 249);
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+}
+
+TEST(Offload, NoiseIsDeterministicGivenSeed) {
+  auto machine = mach::builtin("gpu4");
+  rt::Runtime rt{machine};
+  kern::AxpyCase c(1'000'000, /*materialize=*/false);
+  auto run = [&](std::uint64_t seed) {
+    rt::OffloadOptions o;
+    o.device_ids = rt.accelerators();
+    o.sched.kind = sched::AlgorithmKind::kDynamic;
+    o.noise_seed = seed;
+    o.execute_bodies = false;
+    auto maps = c.maps();
+    auto kernel = c.kernel();
+    return rt.offload(kernel, maps, o).total_time;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Offload, DynamicChunkCountMatchesChunkFraction) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(100'000, /*materialize=*/false);
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = sched::AlgorithmKind::kDynamic;
+  o.sched.dynamic_chunk_fraction = 0.02;  // the paper's SCHED_DYNAMIC,2%
+  o.execute_bodies = false;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+  EXPECT_EQ(res.chunks_issued, 50u);  // 1/0.02 equal chunks
+  EXPECT_EQ(res.total_iterations(), 100'000);
+}
+
+}  // namespace
+}  // namespace homp

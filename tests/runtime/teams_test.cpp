@@ -1,0 +1,115 @@
+// Within-device (teams) distribution: quantization of indivisible
+// iterations onto parallel units, and BLOCK-vs-CYCLIC team scheduling
+// under skewed per-iteration work.
+
+#include <gtest/gtest.h>
+
+#include "kernels/axpy.h"
+#include "machine/profiles.h"
+#include "pragma/parse.h"
+#include "runtime/runtime.h"
+
+namespace homp::rt {
+namespace {
+
+mach::MachineDescriptor machine_with_units(int units) {
+  auto m = mach::testing_machine(1);
+  m.devices[1].parallel_units = units;
+  m.validate();
+  return m;
+}
+
+LoopKernel compute_kernel(long long n, bool divisible) {
+  LoopKernel k;
+  k.name = "teams-probe";
+  k.iterations = dist::Range::of_size(n);
+  k.cost.flops_per_iter = 1e6;  // compute-bound
+  k.cost.mem_bytes_per_iter = 8.0;
+  k.cost.transfer_bytes_per_iter = 8.0;
+  k.cost.divisible_iterations = divisible;
+  return k;
+}
+
+double run_on(const mach::MachineDescriptor& m, const LoopKernel& k,
+              OffloadOptions o) {
+  Runtime rt{m};
+  kern::AxpyCase storage(k.iterations.size(), /*materialize=*/false);
+  auto maps = storage.maps();
+  o.device_ids = {1};
+  o.execute_bodies = false;
+  auto res = rt.offload(k, maps, o);
+  // Compare the compute phase alone: transfer latencies would otherwise
+  // dilute the quantization ratios these tests pin down.
+  return res.devices[0].phase_time[static_cast<int>(Phase::kCompute)];
+}
+
+TEST(Teams, DivisibleIterationsSeeNoQuantization) {
+  // 4 iterations on a 16-unit device: with inner parallelism the device's
+  // full rate applies regardless of unit count.
+  auto k = compute_kernel(4, /*divisible=*/true);
+  const double t16 = run_on(machine_with_units(16), k, {});
+  const double t1 = run_on(machine_with_units(1), k, {});
+  EXPECT_NEAR(t16, t1, t1 * 1e-9);
+}
+
+TEST(Teams, IndivisibleIterationsQuantizeOntoUnits) {
+  // 4 indivisible iterations on a 16-unit device: only 4 units work, so
+  // the chunk takes 16/4 = 4x the perfectly-divisible time.
+  auto k = compute_kernel(4, /*divisible=*/false);
+  const double t_div = run_on(machine_with_units(16),
+                              compute_kernel(4, true), {});
+  const double t_indiv = run_on(machine_with_units(16), k, {});
+  EXPECT_NEAR(t_indiv / t_div, 4.0, 0.01);
+}
+
+TEST(Teams, CeilingEffect) {
+  // 17 indivisible iterations on 16 units: two waves -> 32/17 ~ 1.88x.
+  const double t_div =
+      run_on(machine_with_units(16), compute_kernel(17, true), {});
+  const double t_indiv =
+      run_on(machine_with_units(16), compute_kernel(17, false), {});
+  EXPECT_NEAR(t_indiv / t_div, 32.0 / 17.0, 0.01);
+}
+
+TEST(Teams, CyclicBeatsBlockUnderSkew) {
+  // Per-iteration work rises linearly: teams BLOCK's last unit owns the
+  // heaviest contiguous subrange (critical path ~ the end of the chunk),
+  // CYCLIC interleaves and sees the average.
+  auto k = compute_kernel(1600, /*divisible=*/true);
+  k.work_factor = [](const dist::Range& r) {
+    const double mid = 0.5 * static_cast<double>(r.lo + r.hi);
+    return 0.1 + mid / 1600.0;  // ~0.1 at the start, ~1.1 at the end
+  };
+  OffloadOptions block;
+  block.teams_policy = dist::PolicyKind::kBlock;
+  OffloadOptions cyclic;
+  cyclic.teams_policy = dist::PolicyKind::kCyclic;
+  const auto m = machine_with_units(16);
+  const double t_block = run_on(m, k, block);
+  const double t_cyclic = run_on(m, k, cyclic);
+  EXPECT_LT(t_cyclic, t_block);
+  // The block critical path is roughly the last 1/16th's factor (~1.07)
+  // vs the chunk average (~0.6).
+  EXPECT_GT(t_block / t_cyclic, 1.5);
+}
+
+TEST(Teams, PragmaTeamsModifierSelectsPolicy) {
+  auto d = pragma::parse_directive(
+      "parallel target device(0:*) distribute "
+      "dist_schedule(target:[AUTO]) dist_schedule(teams:[CYCLIC(1)])");
+  EXPECT_EQ(d.teams_policy, dist::PolicyKind::kCyclic);
+  auto m = mach::testing_machine(1);
+  auto o = pragma::to_offload_options(d, m);
+  EXPECT_EQ(o.teams_policy, dist::PolicyKind::kCyclic);
+
+  auto d2 = pragma::parse_directive(
+      "target device(*) dist_schedule(teams: BLOCK)");
+  EXPECT_EQ(d2.teams_policy, dist::PolicyKind::kBlock);
+
+  EXPECT_THROW(
+      pragma::parse_directive("target device(*) dist_schedule(teams: AUTO)"),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace homp::rt

@@ -1,0 +1,68 @@
+#include "sched/algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::sched {
+namespace {
+
+TEST(Algorithm, RoundTripsThroughStrings) {
+  for (int i = 0; i < kNumAlgorithms; ++i) {
+    const AlgorithmKind k = all_algorithms()[i];
+    EXPECT_EQ(algorithm_from_string(to_string(k)), k);
+  }
+}
+
+TEST(Algorithm, AcceptsPaperTypoSpellings) {
+  // Table II writes SCED_DYNAMIC / SCED_GUIDED / SCED_PROFILE_AUTO.
+  EXPECT_EQ(algorithm_from_string("SCED_DYNAMIC"), AlgorithmKind::kDynamic);
+  EXPECT_EQ(algorithm_from_string("SCED_GUIDED"), AlgorithmKind::kGuided);
+  EXPECT_EQ(algorithm_from_string("SCED_PROFILE_AUTO"),
+            AlgorithmKind::kSchedProfileAuto);
+  EXPECT_EQ(algorithm_from_string("sched_dynamic"), AlgorithmKind::kDynamic);
+}
+
+TEST(Algorithm, UnknownNameThrows) {
+  EXPECT_THROW(algorithm_from_string("ROUND_ROBIN"), homp::ConfigError);
+  EXPECT_THROW(algorithm_from_string(""), homp::ConfigError);
+}
+
+TEST(Algorithm, ExtendedAlgorithmsRoundTrip) {
+  for (int i = 0; i < kNumExtendedAlgorithms; ++i) {
+    const AlgorithmKind k = extended_algorithms()[i];
+    EXPECT_EQ(algorithm_from_string(to_string(k)), k);
+    // Extended kinds are not in the paper's seven.
+    for (int j = 0; j < kNumAlgorithms; ++j) {
+      EXPECT_NE(all_algorithms()[j], k);
+    }
+  }
+  const auto& ws = algorithm_info(AlgorithmKind::kWorkStealing);
+  EXPECT_STREQ(ws.approach, "Work Stealing");
+  EXPECT_EQ(ws.stages, 0);
+  const auto& hist = algorithm_info(AlgorithmKind::kHistoryAuto);
+  EXPECT_TRUE(hist.supports_cutoff);
+}
+
+TEST(Algorithm, TableIIMetadata) {
+  const auto& block = algorithm_info(AlgorithmKind::kBlock);
+  EXPECT_STREQ(block.approach, "Chunk Scheduling");
+  EXPECT_EQ(block.stages, 1);
+  EXPECT_FALSE(block.supports_cutoff);
+
+  const auto& dyn = algorithm_info(AlgorithmKind::kDynamic);
+  EXPECT_EQ(dyn.stages, 0);  // "Multiple"
+  EXPECT_STREQ(dyn.overhead, "High");
+
+  const auto& m2 = algorithm_info(AlgorithmKind::kModel2Auto);
+  EXPECT_STREQ(m2.approach, "Analytical Modeling");
+  EXPECT_TRUE(m2.supports_cutoff);
+
+  const auto& prof = algorithm_info(AlgorithmKind::kModelProfileAuto);
+  EXPECT_EQ(prof.stages, 2);
+  EXPECT_STREQ(prof.overhead, "Medium");
+  EXPECT_TRUE(prof.supports_cutoff);
+}
+
+}  // namespace
+}  // namespace homp::sched

@@ -1,0 +1,89 @@
+#include "sched/chunk_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::sched {
+namespace {
+
+LoopContext ctx(long long n, std::size_t m) {
+  LoopContext c;
+  c.loop = dist::Range::of_size(n);
+  c.devices.resize(m);
+  for (auto& d : c.devices) {
+    d.peak_flops = 1e9;
+    d.peak_membw_Bps = 1e9;
+  }
+  return c;
+}
+
+TEST(DynamicScheduler, FixedSizeChunksInOrder) {
+  DynamicScheduler s(ctx(100, 2), /*chunk_fraction=*/0.1, /*min_chunk=*/1);
+  EXPECT_EQ(s.chunk_size(), 10);
+  EXPECT_EQ(*s.next_chunk(0), dist::Range(0, 10));
+  EXPECT_EQ(*s.next_chunk(1), dist::Range(10, 20));
+  EXPECT_EQ(*s.next_chunk(0), dist::Range(20, 30));
+  EXPECT_FALSE(s.finished(0));
+  for (int i = 0; i < 7; ++i) s.next_chunk(i % 2);
+  EXPECT_TRUE(s.finished(0));
+  EXPECT_TRUE(s.finished(1));
+  EXPECT_FALSE(s.next_chunk(0).has_value());
+  EXPECT_EQ(s.chunks_issued(), 10u);
+}
+
+TEST(DynamicScheduler, LastChunkIsTruncated) {
+  DynamicScheduler s(ctx(25, 1), 0.4, 1);  // chunks of 10
+  EXPECT_EQ(s.next_chunk(0)->size(), 10);
+  EXPECT_EQ(s.next_chunk(0)->size(), 10);
+  EXPECT_EQ(s.next_chunk(0)->size(), 5);
+  EXPECT_TRUE(s.finished(0));
+}
+
+TEST(DynamicScheduler, MinChunkFloorsTheSize) {
+  DynamicScheduler s(ctx(1000, 1), 0.0001, 16);
+  EXPECT_EQ(s.chunk_size(), 16);
+}
+
+TEST(DynamicScheduler, RejectsBadFractions) {
+  EXPECT_THROW(DynamicScheduler(ctx(10, 1), 0.0, 1), homp::ConfigError);
+  EXPECT_THROW(DynamicScheduler(ctx(10, 1), 1.5, 1), homp::ConfigError);
+  EXPECT_THROW(DynamicScheduler(ctx(10, 1), 0.5, 0), homp::ConfigError);
+}
+
+TEST(GuidedScheduler, ChunksShrinkGeometrically) {
+  GuidedScheduler s(ctx(1000, 2), /*fraction=*/0.5, /*min_chunk=*/1);
+  EXPECT_EQ(s.next_chunk(0)->size(), 500);
+  EXPECT_EQ(s.next_chunk(1)->size(), 250);
+  EXPECT_EQ(s.next_chunk(0)->size(), 125);
+  long long remaining = 125;
+  long long consumed = 875;
+  while (auto c = s.next_chunk(0)) {
+    EXPECT_LE(c->size(), remaining);
+    remaining -= c->size();
+    consumed += c->size();
+  }
+  EXPECT_EQ(consumed, 1000);
+  EXPECT_TRUE(s.finished(1));
+}
+
+TEST(GuidedScheduler, MinChunkStopsTheTail) {
+  GuidedScheduler s(ctx(100, 1), 0.5, /*min_chunk=*/20);
+  EXPECT_EQ(s.next_chunk(0)->size(), 50);
+  EXPECT_EQ(s.next_chunk(0)->size(), 25);
+  EXPECT_EQ(s.next_chunk(0)->size(), 20);  // floored
+  EXPECT_EQ(s.next_chunk(0)->size(), 5);   // truncated remainder
+  EXPECT_TRUE(s.finished(0));
+}
+
+TEST(GuidedScheduler, IssuesFarFewerChunksThanDynamicAtSameMinimum) {
+  DynamicScheduler d(ctx(100000, 4), 0.01, 1);
+  GuidedScheduler g(ctx(100000, 4), 0.2, 250);
+  std::size_t nd = 0, ng = 0;
+  while (d.next_chunk(0)) ++nd;
+  while (g.next_chunk(0)) ++ng;
+  EXPECT_GT(nd, 2 * ng);
+}
+
+}  // namespace
+}  // namespace homp::sched

@@ -1,0 +1,228 @@
+// Extended schedulers: CYCLIC, WORK_STEALING, HISTORY_AUTO.
+
+#include "sched/extended_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "kernels/axpy.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+
+namespace homp::sched {
+namespace {
+
+LoopContext ctx(long long n, std::size_t m) {
+  LoopContext c;
+  c.loop = dist::Range::of_size(n);
+  c.devices.resize(m);
+  for (auto& d : c.devices) {
+    d.peak_flops = 1e9;
+    d.peak_membw_Bps = 1e9;
+  }
+  c.kernel.flops_per_iter = 1.0;
+  c.kernel.mem_bytes_per_iter = 8.0;
+  return c;
+}
+
+TEST(CyclicScheduler, RoundRobinBlocks) {
+  CyclicScheduler s(ctx(100, 3), /*fraction=*/0.1, 1);  // blocks of 10
+  EXPECT_EQ(s.block_size(), 10);
+  EXPECT_EQ(*s.next_chunk(0), dist::Range(0, 10));
+  EXPECT_EQ(*s.next_chunk(1), dist::Range(10, 20));
+  EXPECT_EQ(*s.next_chunk(2), dist::Range(20, 30));
+  EXPECT_EQ(*s.next_chunk(0), dist::Range(30, 40));  // slot 0's 2nd block
+  EXPECT_EQ(*s.next_chunk(2), dist::Range(50, 60));
+  EXPECT_FALSE(s.finished(1));
+}
+
+TEST(CyclicScheduler, AssignmentIsStaticPerSlot) {
+  // Unlike dynamic chunking, slot k's blocks are fixed: k, k+M, k+2M, ...
+  CyclicScheduler a(ctx(90, 3), 0.1, 1);
+  long long covered = 0;
+  for (int slot = 0; slot < 3; ++slot) {
+    long long expect_lo = slot * 9;  // block = 9
+    while (auto c = a.next_chunk(slot)) {
+      EXPECT_EQ(c->lo, expect_lo);
+      expect_lo += 3 * 9;
+      covered += c->size();
+    }
+    EXPECT_TRUE(a.finished(slot));
+  }
+  EXPECT_EQ(covered, 90);
+}
+
+TEST(CyclicScheduler, AbsoluteBlockOverridesFraction) {
+  CyclicScheduler s(ctx(100, 2), 0.5, 1, /*absolute_block=*/7);
+  EXPECT_EQ(s.block_size(), 7);
+  EXPECT_EQ(*s.next_chunk(1), dist::Range(7, 14));
+  // Tail block is truncated.
+  CyclicScheduler t(ctx(10, 1), 0.5, 1, 7);
+  EXPECT_EQ(t.next_chunk(0)->size(), 7);
+  EXPECT_EQ(t.next_chunk(0)->size(), 3);
+}
+
+TEST(WorkStealingScheduler, ServesOwnDequeFirst) {
+  WorkStealingScheduler s(ctx(100, 2), /*grain=*/0.1, 1);
+  EXPECT_EQ(*s.next_chunk(0), dist::Range(0, 10));
+  EXPECT_EQ(*s.next_chunk(0), dist::Range(10, 20));
+  EXPECT_EQ(*s.next_chunk(1), dist::Range(50, 60));
+  EXPECT_EQ(s.steals(), 0u);
+}
+
+TEST(WorkStealingScheduler, IdleDeviceStealsHalf) {
+  WorkStealingScheduler s(ctx(100, 2), 0.1, 1);
+  // Drain slot 0's own half entirely.
+  for (int i = 0; i < 5; ++i) s.next_chunk(0);
+  EXPECT_EQ(s.steals(), 0u);
+  // Next request steals the back half of slot 1's untouched [50,100).
+  auto stolen = *s.next_chunk(0);
+  EXPECT_EQ(s.steals(), 1u);
+  EXPECT_EQ(stolen, dist::Range(75, 85));
+  // Victim keeps its front.
+  EXPECT_EQ(*s.next_chunk(1), dist::Range(50, 60));
+}
+
+TEST(WorkStealingScheduler, TerminatesAndCoversExactly) {
+  WorkStealingScheduler s(ctx(997, 3), 0.03, 1);
+  std::vector<dist::Range> chunks;
+  int slot = 0;
+  int idle_rounds = 0;
+  while (!s.finished(0)) {
+    auto c = s.next_chunk(slot % 3);
+    ++slot;
+    if (c) {
+      chunks.push_back(*c);
+      idle_rounds = 0;
+    } else {
+      ASSERT_LT(++idle_rounds, 10) << "no progress";
+    }
+  }
+  EXPECT_TRUE(exactly_covers(dist::Range(0, 997), chunks));
+}
+
+TEST(ThroughputHistory, EwmaBlending) {
+  ThroughputHistory h;
+  EXPECT_FALSE(h.has("axpy", 1));
+  EXPECT_EQ(h.rate("axpy", 1), 0.0);
+  h.record("axpy", 1, 100.0);
+  EXPECT_EQ(h.rate("axpy", 1), 100.0);
+  h.record("axpy", 1, 200.0, 0.5);
+  EXPECT_EQ(h.rate("axpy", 1), 150.0);
+  // Keys are (kernel, device).
+  h.record("axpy", 2, 50.0);
+  h.record("sum", 1, 7.0);
+  EXPECT_EQ(h.rate("axpy", 2), 50.0);
+  EXPECT_EQ(h.rate("sum", 1), 7.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_THROW(h.record("x", 0, -1.0), homp::ConfigError);
+}
+
+TEST(ThroughputHistory, TextRoundTrip) {
+  ThroughputHistory h;
+  h.record("axpy", 0, 123.456);
+  h.record("axpy", 3, 1e9);
+  h.record("mat mul", 1, 0.25);  // names may contain spaces
+  ThroughputHistory h2;
+  h2.merge_text(h.to_text());
+  EXPECT_EQ(h2.size(), 3u);
+  EXPECT_EQ(h2.rate("axpy", 0), h.rate("axpy", 0));
+  EXPECT_EQ(h2.rate("axpy", 3), h.rate("axpy", 3));
+  EXPECT_EQ(h2.rate("mat mul", 1), 0.25);
+}
+
+TEST(ThroughputHistory, MergeOverwritesExisting) {
+  ThroughputHistory h;
+  h.record("k", 0, 1.0);
+  h.merge_text("k\t0\t99\nother\t2\t5\n");
+  EXPECT_EQ(h.rate("k", 0), 99.0);
+  EXPECT_EQ(h.rate("other", 2), 5.0);
+}
+
+TEST(ThroughputHistory, MalformedTextRejected) {
+  ThroughputHistory h;
+  EXPECT_THROW(h.merge_text("no tabs here"), homp::ConfigError);
+  EXPECT_THROW(h.merge_text("k\tx\t1.0\n"), homp::ConfigError);
+  EXPECT_THROW(h.merge_text("k\t0\tfast\n"), homp::ConfigError);
+  EXPECT_THROW(h.merge_text("k\t0\t-3\n"), homp::ConfigError);
+  EXPECT_THROW(h.merge_text("\t0\t3\n"), homp::ConfigError);
+}
+
+TEST(ThroughputHistory, FileRoundTrip) {
+  ThroughputHistory h;
+  h.record("sum", 5, 42.5);
+  const std::string path = "/tmp/homp_history_test.tsv";
+  h.save_file(path);
+  ThroughputHistory h2;
+  h2.load_file(path);
+  EXPECT_EQ(h2.rate("sum", 5), 42.5);
+  EXPECT_THROW(h2.load_file("/nonexistent/h.tsv"), homp::ConfigError);
+}
+
+TEST(HistoryScheduler, SplitsByRecordedRates) {
+  ThroughputHistory h;
+  h.record("k", 10, 300.0);
+  h.record("k", 11, 100.0);
+  HistoryScheduler s(ctx(100, 2), h, "k", {10, 11}, 0.0);
+  EXPECT_TRUE(s.fully_informed());
+  EXPECT_EQ(s.next_chunk(0)->size(), 75);
+  EXPECT_EQ(s.next_chunk(1)->size(), 25);
+  EXPECT_TRUE(s.finished(0));
+}
+
+TEST(HistoryScheduler, FallsBackToModelForUnseenDevices) {
+  ThroughputHistory h;
+  h.record("k", 10, 300.0);
+  HistoryScheduler s(ctx(100, 2), h, "k", {10, 99}, 0.0);
+  EXPECT_FALSE(s.fully_informed());
+  // The unseen device still gets a share (model fallback), so it can earn
+  // history.
+  EXPECT_GT(s.next_chunk(1)->size(), 0);
+}
+
+TEST(HistoryScheduler, CutoffApplies) {
+  ThroughputHistory h;
+  h.record("k", 1, 100.0);
+  h.record("k", 2, 100.0);
+  h.record("k", 3, 1.0);
+  HistoryScheduler s(ctx(100, 3), h, "k", {1, 2, 3}, 0.15);
+  ASSERT_NE(s.cutoff(), nullptr);
+  EXPECT_EQ(s.cutoff()->num_selected, 2);
+  EXPECT_FALSE(s.next_chunk(2).has_value());
+}
+
+TEST(HistoryIntegration, SecondOffloadUsesObservedRates) {
+  // End-to-end: a first offload (any algorithm) trains the runtime's
+  // history; a HISTORY_AUTO offload then splits by what devices actually
+  // delivered — on the heterogeneous machine that beats a BLOCK split.
+  auto rt = rt::Runtime::from_builtin("full");
+  kern::AxpyCase c(4'000'000, /*materialize=*/false);
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+
+  rt::OffloadOptions warm;
+  warm.device_ids = rt.all_devices();
+  warm.sched.kind = sched::AlgorithmKind::kBlock;
+  warm.execute_bodies = false;
+  const double t_block = rt.offload(kernel, maps, warm).total_time;
+  EXPECT_TRUE(rt.history().has("axpy", 0));
+
+  rt::OffloadOptions hist;
+  hist.device_ids = rt.all_devices();
+  hist.sched.kind = sched::AlgorithmKind::kHistoryAuto;
+  hist.execute_bodies = false;
+  const auto res = rt.offload(kernel, maps, hist);
+  EXPECT_LT(res.total_time, t_block);
+  // And the second history run refines further (or at least holds).
+  const auto res2 = rt.offload(kernel, maps, hist);
+  EXPECT_LT(res2.total_time, t_block);
+}
+
+TEST(HistoryIntegration, WithoutRuntimeFacadeRequiresStore) {
+  SchedulerConfig cfg;
+  cfg.kind = AlgorithmKind::kHistoryAuto;
+  EXPECT_THROW(make_scheduler(cfg, ctx(10, 1)), homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::sched

@@ -1,0 +1,84 @@
+#include "sched/partition_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::sched {
+namespace {
+
+LoopContext ctx_with(long long n, std::vector<model::DevicePredictionInput> d) {
+  LoopContext c;
+  c.loop = dist::Range::of_size(n);
+  c.devices = std::move(d);
+  c.kernel.flops_per_iter = 100.0;
+  c.kernel.mem_bytes_per_iter = 8.0;
+  c.kernel.transfer_bytes_per_iter = 8.0;
+  return c;
+}
+
+model::DevicePredictionInput dev(double gflops) {
+  model::DevicePredictionInput d;
+  d.peak_flops = gflops * 1e9;
+  d.peak_membw_Bps = 100e9;
+  return d;
+}
+
+TEST(PartitionScheduler, BlockHandsOneChunkPerSlot) {
+  auto s = PartitionScheduler::block(ctx_with(10, {dev(1), dev(1), dev(1)}));
+  EXPECT_EQ(s->num_stages(), 1);
+  auto c0 = s->next_chunk(0);
+  ASSERT_TRUE(c0.has_value());
+  EXPECT_EQ(*c0, dist::Range(0, 4));
+  EXPECT_TRUE(s->finished(0));
+  EXPECT_FALSE(s->next_chunk(0).has_value());
+  EXPECT_EQ(*s->next_chunk(2), dist::Range(7, 10));
+  EXPECT_FALSE(s->finished(1));
+  s->next_chunk(1);
+  EXPECT_TRUE(s->finished(1));
+  EXPECT_EQ(s->chunks_issued(), 3u);
+}
+
+TEST(PartitionScheduler, EmptyPartIsFinishedImmediately) {
+  auto s = PartitionScheduler::block(ctx_with(2, {dev(1), dev(1), dev(1)}));
+  EXPECT_TRUE(s->finished(2));  // 2 iterations over 3 devices
+  EXPECT_FALSE(s->next_chunk(2).has_value());
+}
+
+TEST(PartitionScheduler, ModelWeightsSkewChunks) {
+  auto s = PartitionScheduler::from_model(
+      ctx_with(100, {dev(3), dev(1)}), AlgorithmKind::kModel1Auto, 0.0);
+  EXPECT_EQ(s->next_chunk(0)->size(), 75);
+  EXPECT_EQ(s->next_chunk(1)->size(), 25);
+  auto w = s->planned_weights();
+  EXPECT_NEAR(w[0], 0.75, 1e-9);
+  EXPECT_EQ(s->cutoff(), nullptr);
+}
+
+TEST(PartitionScheduler, CutoffZeroesSmallContributors) {
+  auto s = PartitionScheduler::from_model(
+      ctx_with(100, {dev(10), dev(10), dev(1)}),
+      AlgorithmKind::kModel1Auto, 0.15);
+  ASSERT_NE(s->cutoff(), nullptr);
+  EXPECT_EQ(s->cutoff()->num_selected, 2);
+  EXPECT_FALSE(s->next_chunk(2).has_value());
+  EXPECT_TRUE(s->finished(2));
+  EXPECT_EQ(s->next_chunk(0)->size() + s->next_chunk(1)->size(), 100);
+}
+
+TEST(PartitionScheduler, FromDistributionCopiesParts) {
+  auto d = dist::Distribution::by_counts(dist::Range(0, 12), {2, 10});
+  auto s = PartitionScheduler::from_distribution(d);
+  EXPECT_EQ(*s->next_chunk(1), dist::Range(2, 12));
+  auto w = s->planned_weights();
+  EXPECT_NEAR(w[1], 10.0 / 12.0, 1e-12);
+}
+
+TEST(PartitionScheduler, FromModelRejectsWrongKind) {
+  EXPECT_THROW(PartitionScheduler::from_model(ctx_with(10, {dev(1)}),
+                                              AlgorithmKind::kDynamic, 0.0),
+               homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::sched

@@ -1,0 +1,127 @@
+// Two-stage profiling schedulers, driven through the runtime protocol by
+// hand: stage-1 samples, reports, barrier, stage-2 distribution.
+
+#include "sched/profile_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace homp::sched {
+namespace {
+
+LoopContext ctx(long long n, std::size_t m) {
+  LoopContext c;
+  c.loop = dist::Range::of_size(n);
+  c.devices.resize(m);
+  for (auto& d : c.devices) {
+    d.peak_flops = 1e9;
+    d.peak_membw_Bps = 1e9;
+  }
+  return c;
+}
+
+TEST(ProfileScheduler, ConstantSamplesAreEqual) {
+  ProfileScheduler s(ctx(1000, 4), /*model_based=*/false,
+                     /*sample_fraction=*/0.1, /*cutoff=*/0.0, 1);
+  EXPECT_EQ(s.num_stages(), 2);
+  EXPECT_TRUE(s.stage_barrier_pending());
+  long long total = 0;
+  for (int slot = 0; slot < 4; ++slot) {
+    auto c = s.next_chunk(slot);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->size(), 25);  // 10% of 1000 split evenly
+    total += c->size();
+    EXPECT_FALSE(s.finished(slot));
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_FALSE(s.next_chunk(0).has_value());  // one sample each
+}
+
+TEST(ProfileScheduler, Stage2FollowsObservedThroughput) {
+  ProfileScheduler s(ctx(1000, 2), false, 0.1, 0.0, 1);
+  auto c0 = *s.next_chunk(0);
+  auto c1 = *s.next_chunk(1);
+  // Device 0 is 3x faster.
+  s.report(0, c0, 1.0);
+  s.report(1, c1, 3.0);
+  s.advance_stage();
+  EXPECT_FALSE(s.stage_barrier_pending());
+  auto f0 = *s.next_chunk(0);
+  auto f1 = *s.next_chunk(1);
+  EXPECT_EQ(f0.size(), 675);  // 75% of the remaining 900
+  EXPECT_EQ(f1.size(), 225);
+  EXPECT_TRUE(s.finished(0));
+  EXPECT_TRUE(s.finished(1));
+  auto w = s.planned_weights();
+  EXPECT_NEAR(w[0], 0.75, 1e-9);
+  EXPECT_EQ(s.observed_rates()[0], 50.0);
+}
+
+TEST(ProfileScheduler, AdvanceBeforeAllReportsIsAnError) {
+  ProfileScheduler s(ctx(100, 2), false, 0.1, 0.0, 1);
+  s.next_chunk(0);
+  s.next_chunk(1);
+  s.report(0, dist::Range(0, 5), 1.0);
+  EXPECT_THROW(s.advance_stage(), homp::ConfigError);
+}
+
+TEST(ProfileScheduler, ModelBasedSamplesAreWeighted) {
+  auto c = ctx(1000, 2);
+  c.devices[0].peak_flops = 3e9;  // 3x the peak of device 1
+  c.kernel.flops_per_iter = 1000.0;
+  c.kernel.mem_bytes_per_iter = 8.0;
+  ProfileScheduler s(c, /*model_based=*/true, 0.1, 0.0, 1);
+  auto s0 = *s.next_chunk(0);
+  auto s1 = *s.next_chunk(1);
+  EXPECT_EQ(s0.size(), 75);
+  EXPECT_EQ(s1.size(), 25);
+}
+
+TEST(ProfileScheduler, CutoffAppliesToStage2Only) {
+  ProfileScheduler s(ctx(1000, 3), false, 0.1, /*cutoff=*/0.2, 1);
+  std::vector<dist::Range> samples;
+  for (int slot = 0; slot < 3; ++slot) {
+    samples.push_back(*s.next_chunk(slot));
+  }
+  // Device 2 is 20x slower than the others.
+  s.report(0, samples[0], 1.0);
+  s.report(1, samples[1], 1.0);
+  s.report(2, samples[2], 20.0);
+  s.advance_stage();
+  ASSERT_NE(s.cutoff(), nullptr);
+  EXPECT_EQ(s.cutoff()->num_selected, 2);
+  EXPECT_FALSE(s.next_chunk(2).has_value());
+  EXPECT_TRUE(s.finished(2));
+  EXPECT_EQ(s.next_chunk(0)->size() + s.next_chunk(1)->size(), 900);
+}
+
+TEST(ProfileScheduler, SampleLargerThanLoopStillWorks) {
+  // min_chunk * devices exceeds the sample fraction; the whole loop may be
+  // consumed by stage 1.
+  ProfileScheduler s(ctx(8, 4), false, 0.1, 0.0, /*min_chunk=*/2);
+  long long total = 0;
+  for (int slot = 0; slot < 4; ++slot) {
+    auto c = s.next_chunk(slot);
+    if (c) total += c->size();
+    s.report(slot, c.value_or(dist::Range()), 1e-6);
+  }
+  EXPECT_EQ(total, 8);
+  s.advance_stage();
+  for (int slot = 0; slot < 4; ++slot) {
+    EXPECT_FALSE(s.next_chunk(slot).has_value());
+    EXPECT_TRUE(s.finished(slot));
+  }
+}
+
+TEST(ProfileScheduler, RejectsBadParameters) {
+  EXPECT_THROW(ProfileScheduler(ctx(10, 1), false, 0.0, 0.0, 1),
+               homp::ConfigError);
+  EXPECT_THROW(ProfileScheduler(ctx(10, 1), false, 1.0, 0.0, 1),
+               homp::ConfigError);
+  EXPECT_THROW(ProfileScheduler(ctx(10, 1), false, 0.1, 0.0, 0),
+               homp::ConfigError);
+}
+
+}  // namespace
+}  // namespace homp::sched

@@ -1,0 +1,171 @@
+// Property-based scheduler tests: for randomized loop sizes, device
+// counts and capabilities, every algorithm must hand out chunks that tile
+// the iteration space exactly once (no gaps, no overlaps), terminate, and
+// respect the scheduler protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/prng.h"
+#include "sched/extended_sched.h"
+#include "sched/scheduler.h"
+
+namespace homp::sched {
+namespace {
+
+/// Drive a scheduler through the full protocol with synthetic chunk
+/// timings; returns every chunk handed out.
+std::vector<dist::Range> drive(LoopScheduler& s, std::size_t m,
+                               Prng& rng) {
+  std::vector<dist::Range> chunks;
+  std::vector<bool> done(m, false);
+  // Round-robin with random skips, emulating devices finishing in any
+  // order.
+  int guard = 0;
+  for (;;) {
+    bool all_done = true;
+    bool any_progress = false;
+    std::size_t waiting = 0;
+    for (std::size_t slot = 0; slot < m; ++slot) {
+      if (done[slot]) continue;
+      all_done = false;
+      if (rng.next_double() < 0.3) continue;  // device "busy"
+      auto c = s.next_chunk(static_cast<int>(slot));
+      if (c.has_value()) {
+        any_progress = true;
+        chunks.push_back(*c);
+        // Report a random positive duration (profiling uses these).
+        s.report(static_cast<int>(slot), *c, 1e-6 + rng.next_double());
+      } else if (s.finished(static_cast<int>(slot))) {
+        done[slot] = true;
+        any_progress = true;
+      } else {
+        ++waiting;
+      }
+    }
+    if (all_done) break;
+    if (waiting > 0 && s.stage_barrier_pending()) {
+      // Only advance when every live slot is waiting.
+      std::size_t live = 0;
+      for (std::size_t slot = 0; slot < m; ++slot) {
+        if (!done[slot]) ++live;
+      }
+      if (waiting == live) {
+        s.advance_stage();
+        any_progress = true;
+      }
+    }
+    if (!any_progress && ++guard > 10000) {
+      ADD_FAILURE() << "scheduler made no progress (deadlock)";
+      break;
+    }
+  }
+  return chunks;
+}
+
+using Param = std::tuple<AlgorithmKind, int /*seed*/>;
+
+class SchedulerProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchedulerProperty, ChunksTileTheLoopExactly) {
+  const auto [kind, seed] = GetParam();
+  Prng rng(static_cast<std::uint64_t>(seed) * 7919u + 13u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const long long n = 1 + static_cast<long long>(rng.below(5000));
+    const std::size_t m = 1 + rng.below(8);
+    LoopContext ctx;
+    ctx.loop = dist::Range(static_cast<long long>(rng.below(100)), 0);
+    ctx.loop.hi = ctx.loop.lo + n;
+    ctx.devices.resize(m);
+    for (auto& d : ctx.devices) {
+      d.peak_flops = 1e9 * (1.0 + rng.next_double() * 15.0);
+      d.peak_membw_Bps = 1e9 * (1.0 + rng.next_double() * 30.0);
+      if (rng.next_double() < 0.5) {
+        d.has_link = true;
+        d.link_latency_s = 1e-6;
+        d.link_bandwidth_Bps = 1e9 * (0.5 + rng.next_double() * 10.0);
+      }
+    }
+    ctx.kernel.flops_per_iter = 1.0 + rng.next_double() * 1000.0;
+    ctx.kernel.mem_bytes_per_iter = 8.0 + rng.next_double() * 100.0;
+    ctx.kernel.transfer_bytes_per_iter = rng.next_double() * 100.0;
+
+    SchedulerConfig cfg;
+    cfg.kind = kind;
+    cfg.cutoff_ratio = rng.next_double() < 0.5 ? 0.15 : 0.0;
+    if (kind == AlgorithmKind::kHistoryAuto) {
+      // Random partial history; unseen devices fall back to the model.
+      static ThroughputHistory h;
+      cfg.history = &h;
+      cfg.history_kernel = "prop";
+      for (std::size_t i = 0; i < m; ++i) {
+        cfg.history_device_ids.push_back(static_cast<int>(i));
+        if (rng.next_double() < 0.6) {
+          h.record("prop", static_cast<int>(i),
+                   1.0 + rng.next_double() * 100.0);
+        }
+      }
+    }
+    auto s = make_scheduler(cfg, ctx);
+    auto chunks = drive(*s, m, rng);
+
+    ASSERT_TRUE(exactly_covers(ctx.loop, chunks))
+        << to_string(kind) << " trial " << trial << ": n=" << n
+        << " m=" << m << " chunks=" << chunks.size();
+    EXPECT_EQ(s->chunks_issued(), chunks.size());
+    for (const auto& c : chunks) {
+      EXPECT_FALSE(c.empty());
+      EXPECT_TRUE(ctx.loop.contains(c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SchedulerProperty,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmKind::kBlock, AlgorithmKind::kDynamic,
+                          AlgorithmKind::kGuided,
+                          AlgorithmKind::kModel1Auto,
+                          AlgorithmKind::kModel2Auto,
+                          AlgorithmKind::kSchedProfileAuto,
+                          AlgorithmKind::kModelProfileAuto,
+                          AlgorithmKind::kCyclic,
+                          AlgorithmKind::kWorkStealing,
+                          AlgorithmKind::kHistoryAuto),
+        ::testing::Range(0, 3)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SchedulerProperty, WeightsSumToOneWhenPlanned) {
+  Prng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    LoopContext ctx;
+    ctx.loop = dist::Range::of_size(1000);
+    ctx.devices.resize(2 + rng.below(6));
+    for (auto& d : ctx.devices) {
+      d.peak_flops = 1e9 * (1.0 + rng.next_double() * 20.0);
+      d.peak_membw_Bps = 1e11;
+    }
+    ctx.kernel.flops_per_iter = 10.0;
+    ctx.kernel.mem_bytes_per_iter = 8.0;
+    SchedulerConfig cfg;
+    cfg.kind = trial % 2 ? AlgorithmKind::kModel1Auto
+                         : AlgorithmKind::kModel2Auto;
+    auto s = make_scheduler(cfg, ctx);
+    auto w = s->planned_weights();
+    double sum = 0.0;
+    for (double x : w) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace homp::sched

@@ -1,0 +1,66 @@
+#include "sched/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/case.h"
+#include "machine/profiles.h"
+
+namespace homp::sched {
+namespace {
+
+model::KernelCostProfile profile_of(const char* name, long long n) {
+  return kern::make_case(name, n, false)->kernel().cost;
+}
+
+TEST(Selector, PaperSectionVIDHeuristics) {
+  // 1. compute-intensive: BLOCK on identical devices, MODEL_1 otherwise.
+  EXPECT_EQ(select_algorithm(profile_of("matmul", 6144), true),
+            AlgorithmKind::kBlock);
+  EXPECT_EQ(select_algorithm(profile_of("matmul", 6144), false),
+            AlgorithmKind::kModel1Auto);
+  EXPECT_EQ(select_algorithm(profile_of("bm2d", 256), true),
+            AlgorithmKind::kBlock);
+  // 2. balanced: SCHED_DYNAMIC.
+  EXPECT_EQ(select_algorithm(profile_of("matvec", 48000), true),
+            AlgorithmKind::kDynamic);
+  EXPECT_EQ(select_algorithm(profile_of("stencil2d", 256), false),
+            AlgorithmKind::kDynamic);
+  // 3. data-intensive: MODEL_2.
+  EXPECT_EQ(select_algorithm(profile_of("axpy", 100'000'000), true),
+            AlgorithmKind::kModel2Auto);
+  EXPECT_EQ(select_algorithm(profile_of("sum", 300'000'000), false),
+            AlgorithmKind::kModel2Auto);
+}
+
+TEST(Selector, HomogeneityDetection) {
+  auto gpus = model::prediction_inputs(mach::builtin("gpu4"), {1, 2, 3, 4});
+  EXPECT_TRUE(devices_homogeneous(gpus));
+
+  auto mixed =
+      model::prediction_inputs(mach::builtin("full"), {0, 1, 2, 3, 4, 5, 6});
+  EXPECT_FALSE(devices_homogeneous(mixed));
+
+  auto gpu_and_mic = model::prediction_inputs(mach::builtin("full"), {1, 5});
+  EXPECT_FALSE(devices_homogeneous(gpu_and_mic));
+
+  EXPECT_TRUE(devices_homogeneous({}));
+  EXPECT_TRUE(devices_homogeneous(
+      model::prediction_inputs(mach::builtin("full"), {1})));
+}
+
+TEST(Selector, HostAmongAcceleratorsIsHeterogeneous) {
+  auto host_gpu = model::prediction_inputs(mach::builtin("gpu4"), {0, 1});
+  EXPECT_FALSE(devices_homogeneous(host_gpu));
+}
+
+TEST(Selector, DeviceListOverloadAgrees) {
+  auto gpus = model::prediction_inputs(mach::builtin("gpu4"), {1, 2, 3, 4});
+  EXPECT_EQ(select_algorithm(profile_of("matmul", 2048), gpus),
+            AlgorithmKind::kBlock);
+  auto mixed = model::prediction_inputs(mach::builtin("full"), {0, 1, 5});
+  EXPECT_EQ(select_algorithm(profile_of("matmul", 2048), mixed),
+            AlgorithmKind::kModel1Auto);
+}
+
+}  // namespace
+}  // namespace homp::sched

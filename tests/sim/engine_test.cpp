@@ -1,0 +1,95 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace homp::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CallbacksCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.schedule_after(1.0, [&] {
+      ++fired;
+      e.schedule_after(1.0, [&] { ++fired; });
+    });
+  });
+  e.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto id = e.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // second cancel is a no-op
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  const std::size_t n = e.run_until(3.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, StopInterruptsRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, IdleReflectsPendingEvents) {
+  Engine e;
+  EXPECT_TRUE(e.idle());
+  auto id = e.schedule_at(1.0, [] {});
+  EXPECT_FALSE(e.idle());
+  e.cancel(id);
+  EXPECT_TRUE(e.idle());
+}
+
+}  // namespace
+}  // namespace homp::sim

@@ -1,0 +1,63 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+namespace homp::sim {
+namespace {
+
+TEST(Latch, OpensAfterCountDowns) {
+  Engine e;
+  Latch latch(e, 3);
+  bool released = false;
+  latch.wait([&] { released = true; });
+  latch.count_down();
+  latch.count_down();
+  e.run();
+  EXPECT_FALSE(released);
+  latch.count_down();
+  e.run();
+  EXPECT_TRUE(released);
+}
+
+TEST(Latch, WaitAfterOpenFiresImmediately) {
+  Engine e;
+  Latch latch(e, 1);
+  latch.count_down();
+  bool released = false;
+  latch.wait([&] { released = true; });
+  e.run();
+  EXPECT_TRUE(released);
+}
+
+TEST(Barrier, ReleasesAllOnLastArrival) {
+  Engine e;
+  Barrier b(e, 3);
+  int released = 0;
+  e.schedule_at(1.0, [&] { b.arrive([&] { ++released; }); });
+  e.schedule_at(2.0, [&] { b.arrive([&] { ++released; }); });
+  e.schedule_at(5.0, [&] { b.arrive([&] { ++released; }); });
+  e.run();
+  EXPECT_EQ(released, 3);
+  // Wait accounting: (5-1) + (5-2) + 0 = 7.
+  EXPECT_NEAR(b.total_wait_time(), 7.0, 1e-12);
+  ASSERT_EQ(b.last_generation_arrivals().size(), 3u);
+  EXPECT_EQ(b.generations(), 1u);
+}
+
+TEST(Barrier, IsCyclic) {
+  Engine e;
+  Barrier b(e, 2);
+  int released = 0;
+  auto arrive_pair = [&](double t1, double t2) {
+    e.schedule_at(t1, [&] { b.arrive([&] { ++released; }); });
+    e.schedule_at(t2, [&] { b.arrive([&] { ++released; }); });
+  };
+  arrive_pair(1.0, 2.0);
+  arrive_pair(3.0, 4.0);
+  e.run();
+  EXPECT_EQ(released, 4);
+  EXPECT_EQ(b.generations(), 2u);
+}
+
+}  // namespace
+}  // namespace homp::sim
