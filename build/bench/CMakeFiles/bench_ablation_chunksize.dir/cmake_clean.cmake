@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunksize.dir/bench_ablation_chunksize.cpp.o"
+  "CMakeFiles/bench_ablation_chunksize.dir/bench_ablation_chunksize.cpp.o.d"
+  "bench_ablation_chunksize"
+  "bench_ablation_chunksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cutoff_sweep.dir/bench_ablation_cutoff_sweep.cpp.o"
+  "CMakeFiles/bench_ablation_cutoff_sweep.dir/bench_ablation_cutoff_sweep.cpp.o.d"
+  "bench_ablation_cutoff_sweep"
+  "bench_ablation_cutoff_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cutoff_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

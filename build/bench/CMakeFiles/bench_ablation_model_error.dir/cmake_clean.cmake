@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_error.dir/bench_ablation_model_error.cpp.o"
+  "CMakeFiles/bench_ablation_model_error.dir/bench_ablation_model_error.cpp.o.d"
+  "bench_ablation_model_error"
+  "bench_ablation_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_model_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_teams.dir/bench_ablation_teams.cpp.o"
+  "CMakeFiles/bench_ablation_teams.dir/bench_ablation_teams.cpp.o.d"
+  "bench_ablation_teams"
+  "bench_ablation_teams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_teams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

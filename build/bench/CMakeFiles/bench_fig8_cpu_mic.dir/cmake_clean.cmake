@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cpu_mic.dir/bench_fig8_cpu_mic.cpp.o"
+  "CMakeFiles/bench_fig8_cpu_mic.dir/bench_fig8_cpu_mic.cpp.o.d"
+  "bench_fig8_cpu_mic"
+  "bench_fig8_cpu_mic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cpu_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

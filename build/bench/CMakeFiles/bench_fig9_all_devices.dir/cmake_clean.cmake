@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_all_devices.dir/bench_fig9_all_devices.cpp.o"
+  "CMakeFiles/bench_fig9_all_devices.dir/bench_fig9_all_devices.cpp.o.d"
+  "bench_fig9_all_devices"
+  "bench_fig9_all_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_all_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_support.dir/support/harness.cpp.o"
+  "CMakeFiles/bench_support.dir/support/harness.cpp.o.d"
+  "libbench_support.a"
+  "libbench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

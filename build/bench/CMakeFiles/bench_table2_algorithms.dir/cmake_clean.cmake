@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_algorithms.dir/bench_table2_algorithms.cpp.o"
+  "CMakeFiles/bench_table2_algorithms.dir/bench_table2_algorithms.cpp.o.d"
+  "bench_table2_algorithms"
+  "bench_table2_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

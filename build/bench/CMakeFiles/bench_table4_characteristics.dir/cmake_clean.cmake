@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_characteristics.dir/bench_table4_characteristics.cpp.o"
+  "CMakeFiles/bench_table4_characteristics.dir/bench_table4_characteristics.cpp.o.d"
+  "bench_table4_characteristics"
+  "bench_table4_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_cutoff.dir/bench_table5_cutoff.cpp.o"
+  "CMakeFiles/bench_table5_cutoff.dir/bench_table5_cutoff.cpp.o.d"
+  "bench_table5_cutoff"
+  "bench_table5_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

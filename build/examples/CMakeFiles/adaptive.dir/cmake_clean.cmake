@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive.dir/adaptive.cpp.o"
+  "CMakeFiles/adaptive.dir/adaptive.cpp.o.d"
+  "adaptive"
+  "adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune.dir/autotune.cpp.o"
+  "CMakeFiles/autotune.dir/autotune.cpp.o.d"
+  "autotune"
+  "autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

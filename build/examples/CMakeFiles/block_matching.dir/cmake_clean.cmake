@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_matching.dir/block_matching.cpp.o"
+  "CMakeFiles/block_matching.dir/block_matching.cpp.o.d"
+  "block_matching"
+  "block_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

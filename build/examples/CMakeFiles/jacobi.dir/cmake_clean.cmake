@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi.dir/jacobi.cpp.o"
+  "CMakeFiles/jacobi.dir/jacobi.cpp.o.d"
+  "jacobi"
+  "jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_explorer.dir/machine_explorer.cpp.o"
+  "CMakeFiles/machine_explorer.dir/machine_explorer.cpp.o.d"
+  "machine_explorer"
+  "machine_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_kernels.dir/source_kernels.cpp.o"
+  "CMakeFiles/source_kernels.dir/source_kernels.cpp.o.d"
+  "source_kernels"
+  "source_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

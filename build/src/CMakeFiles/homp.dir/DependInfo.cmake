@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capi/homp.cpp" "src/CMakeFiles/homp.dir/capi/homp.cpp.o" "gcc" "src/CMakeFiles/homp.dir/capi/homp.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/homp.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/homp.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/homp.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/homp.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/homp.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/homp.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/homp.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/homp.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/homp.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/homp.dir/common/table.cpp.o.d"
+  "/root/repo/src/dist/align.cpp" "src/CMakeFiles/homp.dir/dist/align.cpp.o" "gcc" "src/CMakeFiles/homp.dir/dist/align.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/CMakeFiles/homp.dir/dist/distribution.cpp.o" "gcc" "src/CMakeFiles/homp.dir/dist/distribution.cpp.o.d"
+  "/root/repo/src/dist/policy.cpp" "src/CMakeFiles/homp.dir/dist/policy.cpp.o" "gcc" "src/CMakeFiles/homp.dir/dist/policy.cpp.o.d"
+  "/root/repo/src/dist/range.cpp" "src/CMakeFiles/homp.dir/dist/range.cpp.o" "gcc" "src/CMakeFiles/homp.dir/dist/range.cpp.o.d"
+  "/root/repo/src/kernels/axpy.cpp" "src/CMakeFiles/homp.dir/kernels/axpy.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/axpy.cpp.o.d"
+  "/root/repo/src/kernels/bm2d.cpp" "src/CMakeFiles/homp.dir/kernels/bm2d.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/bm2d.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/CMakeFiles/homp.dir/kernels/matmul.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/matvec.cpp" "src/CMakeFiles/homp.dir/kernels/matvec.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/matvec.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/homp.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/stencil2d.cpp" "src/CMakeFiles/homp.dir/kernels/stencil2d.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/stencil2d.cpp.o.d"
+  "/root/repo/src/kernels/sum.cpp" "src/CMakeFiles/homp.dir/kernels/sum.cpp.o" "gcc" "src/CMakeFiles/homp.dir/kernels/sum.cpp.o.d"
+  "/root/repo/src/lang/analyze.cpp" "src/CMakeFiles/homp.dir/lang/analyze.cpp.o" "gcc" "src/CMakeFiles/homp.dir/lang/analyze.cpp.o.d"
+  "/root/repo/src/lang/compile.cpp" "src/CMakeFiles/homp.dir/lang/compile.cpp.o" "gcc" "src/CMakeFiles/homp.dir/lang/compile.cpp.o.d"
+  "/root/repo/src/lang/interp.cpp" "src/CMakeFiles/homp.dir/lang/interp.cpp.o" "gcc" "src/CMakeFiles/homp.dir/lang/interp.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/homp.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/homp.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/homp.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/homp.dir/lang/token.cpp.o.d"
+  "/root/repo/src/machine/device.cpp" "src/CMakeFiles/homp.dir/machine/device.cpp.o" "gcc" "src/CMakeFiles/homp.dir/machine/device.cpp.o.d"
+  "/root/repo/src/machine/parser.cpp" "src/CMakeFiles/homp.dir/machine/parser.cpp.o" "gcc" "src/CMakeFiles/homp.dir/machine/parser.cpp.o.d"
+  "/root/repo/src/machine/profiles.cpp" "src/CMakeFiles/homp.dir/machine/profiles.cpp.o" "gcc" "src/CMakeFiles/homp.dir/machine/profiles.cpp.o.d"
+  "/root/repo/src/memory/data_env.cpp" "src/CMakeFiles/homp.dir/memory/data_env.cpp.o" "gcc" "src/CMakeFiles/homp.dir/memory/data_env.cpp.o.d"
+  "/root/repo/src/memory/device_mapping.cpp" "src/CMakeFiles/homp.dir/memory/device_mapping.cpp.o" "gcc" "src/CMakeFiles/homp.dir/memory/device_mapping.cpp.o.d"
+  "/root/repo/src/memory/map_spec.cpp" "src/CMakeFiles/homp.dir/memory/map_spec.cpp.o" "gcc" "src/CMakeFiles/homp.dir/memory/map_spec.cpp.o.d"
+  "/root/repo/src/model/heuristic.cpp" "src/CMakeFiles/homp.dir/model/heuristic.cpp.o" "gcc" "src/CMakeFiles/homp.dir/model/heuristic.cpp.o.d"
+  "/root/repo/src/model/loop_model.cpp" "src/CMakeFiles/homp.dir/model/loop_model.cpp.o" "gcc" "src/CMakeFiles/homp.dir/model/loop_model.cpp.o.d"
+  "/root/repo/src/pragma/parse.cpp" "src/CMakeFiles/homp.dir/pragma/parse.cpp.o" "gcc" "src/CMakeFiles/homp.dir/pragma/parse.cpp.o.d"
+  "/root/repo/src/runtime/data_region.cpp" "src/CMakeFiles/homp.dir/runtime/data_region.cpp.o" "gcc" "src/CMakeFiles/homp.dir/runtime/data_region.cpp.o.d"
+  "/root/repo/src/runtime/offload_exec.cpp" "src/CMakeFiles/homp.dir/runtime/offload_exec.cpp.o" "gcc" "src/CMakeFiles/homp.dir/runtime/offload_exec.cpp.o.d"
+  "/root/repo/src/runtime/options.cpp" "src/CMakeFiles/homp.dir/runtime/options.cpp.o" "gcc" "src/CMakeFiles/homp.dir/runtime/options.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/homp.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/homp.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/homp.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/homp.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/sched/algorithm.cpp" "src/CMakeFiles/homp.dir/sched/algorithm.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/algorithm.cpp.o.d"
+  "/root/repo/src/sched/chunk_sched.cpp" "src/CMakeFiles/homp.dir/sched/chunk_sched.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/chunk_sched.cpp.o.d"
+  "/root/repo/src/sched/extended_sched.cpp" "src/CMakeFiles/homp.dir/sched/extended_sched.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/extended_sched.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/CMakeFiles/homp.dir/sched/factory.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/factory.cpp.o.d"
+  "/root/repo/src/sched/partition_sched.cpp" "src/CMakeFiles/homp.dir/sched/partition_sched.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/partition_sched.cpp.o.d"
+  "/root/repo/src/sched/profile_sched.cpp" "src/CMakeFiles/homp.dir/sched/profile_sched.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/profile_sched.cpp.o.d"
+  "/root/repo/src/sched/selector.cpp" "src/CMakeFiles/homp.dir/sched/selector.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sched/selector.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/homp.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/homp.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/CMakeFiles/homp.dir/sim/sync.cpp.o" "gcc" "src/CMakeFiles/homp.dir/sim/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capi.dir/capi/capi_test.cpp.o"
+  "CMakeFiles/test_capi.dir/capi/capi_test.cpp.o.d"
+  "test_capi"
+  "test_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/prng_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/prng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/table_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

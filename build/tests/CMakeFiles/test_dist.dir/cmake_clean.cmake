@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/align_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/align_test.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/distribution_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/distribution_test.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/policy_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/policy_test.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/range_test.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/range_test.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

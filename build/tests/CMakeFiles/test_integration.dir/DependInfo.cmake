@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/cutoff_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/cutoff_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/cutoff_test.cpp.o.d"
+  "/root/repo/tests/integration/jacobi_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/jacobi_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/jacobi_test.cpp.o.d"
+  "/root/repo/tests/integration/kernels_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/kernels_test.cpp.o.d"
+  "/root/repo/tests/integration/misc_coverage_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/integration/schedulers_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/schedulers_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/schedulers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/homp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

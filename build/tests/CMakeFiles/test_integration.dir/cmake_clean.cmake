@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/cutoff_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/cutoff_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/jacobi_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/jacobi_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/kernels_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/kernels_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/misc_coverage_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/misc_coverage_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/schedulers_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/schedulers_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/lang/analyze_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/analyze_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/compile_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/compile_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/lexer_parser_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/lexer_parser_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/region_program_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/region_program_test.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

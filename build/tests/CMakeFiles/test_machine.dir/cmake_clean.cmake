@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/machine/device_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine/device_test.cpp.o.d"
+  "CMakeFiles/test_machine.dir/machine/machine_files_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine/machine_files_test.cpp.o.d"
+  "CMakeFiles/test_machine.dir/machine/parser_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine/parser_test.cpp.o.d"
+  "CMakeFiles/test_machine.dir/machine/profiles_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine/profiles_test.cpp.o.d"
+  "test_machine"
+  "test_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memory/host_array_test.cpp" "tests/CMakeFiles/test_memory.dir/memory/host_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/host_array_test.cpp.o.d"
+  "/root/repo/tests/memory/mapping_test.cpp" "tests/CMakeFiles/test_memory.dir/memory/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/mapping_test.cpp.o.d"
+  "/root/repo/tests/memory/property_test.cpp" "tests/CMakeFiles/test_memory.dir/memory/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/homp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory.dir/memory/host_array_test.cpp.o"
+  "CMakeFiles/test_memory.dir/memory/host_array_test.cpp.o.d"
+  "CMakeFiles/test_memory.dir/memory/mapping_test.cpp.o"
+  "CMakeFiles/test_memory.dir/memory/mapping_test.cpp.o.d"
+  "CMakeFiles/test_memory.dir/memory/property_test.cpp.o"
+  "CMakeFiles/test_memory.dir/memory/property_test.cpp.o.d"
+  "test_memory"
+  "test_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/cost_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/cost_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/heuristic_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/heuristic_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/loop_model_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/loop_model_test.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

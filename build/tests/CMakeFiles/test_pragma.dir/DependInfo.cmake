@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pragma/device_clause_test.cpp" "tests/CMakeFiles/test_pragma.dir/pragma/device_clause_test.cpp.o" "gcc" "tests/CMakeFiles/test_pragma.dir/pragma/device_clause_test.cpp.o.d"
+  "/root/repo/tests/pragma/extended_algorithms_test.cpp" "tests/CMakeFiles/test_pragma.dir/pragma/extended_algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/test_pragma.dir/pragma/extended_algorithms_test.cpp.o.d"
+  "/root/repo/tests/pragma/parse_test.cpp" "tests/CMakeFiles/test_pragma.dir/pragma/parse_test.cpp.o" "gcc" "tests/CMakeFiles/test_pragma.dir/pragma/parse_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/homp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pragma.dir/pragma/device_clause_test.cpp.o"
+  "CMakeFiles/test_pragma.dir/pragma/device_clause_test.cpp.o.d"
+  "CMakeFiles/test_pragma.dir/pragma/extended_algorithms_test.cpp.o"
+  "CMakeFiles/test_pragma.dir/pragma/extended_algorithms_test.cpp.o.d"
+  "CMakeFiles/test_pragma.dir/pragma/parse_test.cpp.o"
+  "CMakeFiles/test_pragma.dir/pragma/parse_test.cpp.o.d"
+  "test_pragma"
+  "test_pragma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pragma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/breakdown_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/breakdown_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/breakdown_test.cpp.o.d"
+  "/root/repo/tests/runtime/data_region_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/data_region_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/data_region_test.cpp.o.d"
+  "/root/repo/tests/runtime/failure_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/failure_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/failure_test.cpp.o.d"
+  "/root/repo/tests/runtime/offload_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/offload_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/offload_test.cpp.o.d"
+  "/root/repo/tests/runtime/teams_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/teams_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/teams_test.cpp.o.d"
+  "/root/repo/tests/runtime/trace_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/homp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

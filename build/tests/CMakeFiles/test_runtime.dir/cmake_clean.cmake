@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/breakdown_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/breakdown_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/data_region_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/data_region_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/failure_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/failure_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/offload_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/offload_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/teams_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/teams_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/trace_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/trace_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/algorithm_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/algorithm_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/algorithm_test.cpp.o.d"
+  "/root/repo/tests/sched/chunk_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/chunk_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/chunk_test.cpp.o.d"
+  "/root/repo/tests/sched/extended_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/extended_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/extended_test.cpp.o.d"
+  "/root/repo/tests/sched/partition_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/partition_test.cpp.o.d"
+  "/root/repo/tests/sched/profile_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/profile_test.cpp.o.d"
+  "/root/repo/tests/sched/property_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/property_test.cpp.o.d"
+  "/root/repo/tests/sched/selector_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/selector_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/selector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/homp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

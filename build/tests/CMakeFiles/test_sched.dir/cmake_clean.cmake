@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/algorithm_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/algorithm_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/chunk_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/chunk_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/extended_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/extended_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/partition_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/partition_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/profile_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/profile_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/property_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/property_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/selector_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/selector_test.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/link_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/link_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/sync_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/sync_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

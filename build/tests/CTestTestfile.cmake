@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_machine "/root/repo/build/tests/test_machine")
+set_tests_properties(test_machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dist "/root/repo/build/tests/test_dist")
+set_tests_properties(test_dist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;24;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memory "/root/repo/build/tests/test_memory")
+set_tests_properties(test_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;30;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;35;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sched "/root/repo/build/tests/test_sched")
+set_tests_properties(test_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;40;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pragma "/root/repo/build/tests/test_pragma")
+set_tests_properties(test_pragma PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;49;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/tests/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;54;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;62;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_capi "/root/repo/build/tests/test_capi")
+set_tests_properties(test_capi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;69;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lang "/root/repo/build/tests/test_lang")
+set_tests_properties(test_lang PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;72;homp_add_test;/root/repo/tests/CMakeLists.txt;0;")
