@@ -1,0 +1,96 @@
+// Graceful degradation under injected faults: every Table II algorithm,
+// run fault-free and at 1% / 5% per-operation transient fault rates, plus
+// a permanent single-device loss halfway through the fault-free makespan.
+// Emits a JSON summary of the slowdown each algorithm suffers — the
+// recovery machinery (docs/RESILIENCE.md) keeps every run completing, so
+// the cost of a fault is time, never correctness.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/harness.h"
+
+namespace {
+
+homp::rt::OffloadResult run_with_faults(const homp::rt::Runtime& rt,
+                                        const homp::kern::KernelCase& c,
+                                        const std::vector<int>& devices,
+                                        const homp::bench::PolicyRun& policy,
+                                        double rate, double loss_at_s) {
+  homp::rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = policy.kind;
+  o.sched.cutoff_ratio = policy.cutoff;
+  o.execute_bodies = false;
+  o.fault.extra.transfer_fault_rate = rate;
+  o.fault.extra.launch_fault_rate = rate;
+  if (loss_at_s >= 0.0) {
+    homp::sim::ScriptedFault loss;
+    loss.device_id = devices.back();
+    loss.kind = homp::sim::FaultKind::kDeviceLoss;
+    loss.at_s = loss_at_s;
+    o.fault.scripted.push_back(loss);
+  }
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  return rt.offload(kernel, maps, o);
+}
+
+}  // namespace
+
+int main() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  const auto devices = rt.all_devices();
+  const std::string kernel_name = "matvec";
+  const long long n = kern::paper_size(kernel_name);
+  auto c = kern::make_case(kernel_name, n, /*materialize=*/false);
+
+  const double rates[] = {0.0, 0.01, 0.05};
+
+  std::printf("{\n  \"kernel\": \"%s\",\n  \"devices\": %zu,\n"
+              "  \"fault_rates\": [0, 0.01, 0.05],\n  \"algorithms\": [\n",
+              bench::kernel_label(kernel_name, n).c_str(), devices.size());
+
+  const auto policies = bench::seven_policies();
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& p = policies[i];
+    double base_time = 0.0;
+    std::string runs;
+    for (double rate : rates) {
+      const auto res = run_with_faults(rt, *c, devices, p, rate, -1.0);
+      if (rate == 0.0) base_time = res.total_time;
+      std::size_t retries = 0;
+      for (const auto& d : res.devices) retries += d.retries;
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "      {\"rate\": %g, \"time_ms\": %.6f, "
+                    "\"slowdown\": %.4f, \"faults\": %zu, "
+                    "\"retries\": %zu, \"degraded\": %s}",
+                    rate, res.total_time * 1e3,
+                    base_time > 0.0 ? res.total_time / base_time : 1.0,
+                    res.fault_events.size(), retries,
+                    res.degraded ? "true" : "false");
+      runs += buf;
+      runs += ",\n";
+    }
+    // Permanent loss of one device at half the fault-free makespan: the
+    // survivors absorb the orphaned iterations.
+    const auto loss =
+        run_with_faults(rt, *c, devices, p, 0.0, base_time * 0.5);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "      {\"scenario\": \"device_loss\", \"time_ms\": %.6f, "
+                  "\"slowdown\": %.4f, \"degraded\": %s}",
+                  loss.total_time * 1e3,
+                  base_time > 0.0 ? loss.total_time / base_time : 1.0,
+                  loss.degraded ? "true" : "false");
+    runs += buf;
+    std::printf("    {\"algorithm\": \"%s\", \"runs\": [\n%s\n    ]}%s\n",
+                p.label.c_str(), runs.c_str(),
+                i + 1 < policies.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -62,6 +62,7 @@ void MachineDescriptor::validate() const {
                  "device '" + d.name + "': noise must be in [0,1)");
     HOMP_REQUIRE(d.parallel_units >= 1,
                  "device '" + d.name + "' needs at least one parallel unit");
+    d.fault.validate("device '" + d.name + "'");
     if (d.link == kNoLink) {
       HOMP_REQUIRE(d.memory == MemorySpace::kShared,
                    "device '" + d.name +

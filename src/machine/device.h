@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.h"
+
 namespace homp::mach {
 
 /// Device categories from the paper's device_specifier type filters
@@ -71,6 +73,11 @@ struct DeviceDescriptor {
 
   /// Relative execution-time jitter amplitude (0.02 = +-2% 1-sigma).
   double noise = 0.0;
+
+  /// Fault characteristics (all zero/never by default). Parsed from the
+  /// optional `fault_*` keys of a machine file; the runtime combines them
+  /// with OffloadOptions-level fault injection (docs/RESILIENCE.md).
+  sim::FaultProfile fault;
 
   /// Independent execution units inside the device (SMs on a GPU, cores
   /// on a CPU/MIC): the "teams" of dist_schedule(teams:[...]). sustained_*

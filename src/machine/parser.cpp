@@ -30,14 +30,18 @@ double get_double(const Section& s, const std::string& key) {
     fail(s.line, "section [" + s.kind + " " + s.name + "] missing key '" +
                      key + "'");
   }
+  std::size_t pos = 0;
+  double v = 0.0;
   try {
-    std::size_t pos = 0;
-    const double v = std::stod(it->second, &pos);
-    if (pos != it->second.size()) throw std::invalid_argument("trailing");
-    return v;
+    v = std::stod(it->second, &pos);
   } catch (const std::exception&) {
     fail(s.line, "key '" + key + "' is not a number: '" + it->second + "'");
   }
+  if (pos != it->second.size()) {
+    fail(s.line, "key '" + key + "' has trailing characters after the "
+                     "number: '" + it->second + "'");
+  }
+  return v;
 }
 
 double get_double_or(const Section& s, const std::string& key, double dflt) {
@@ -155,6 +159,12 @@ MachineDescriptor parse_machine(const std::string& text) {
     d.noise = get_double_or(s, "noise", 0.0);
     d.parallel_units =
         static_cast<int>(get_double_or(s, "parallel_units", 1.0));
+    d.fault.transfer_fault_rate =
+        get_double_or(s, "fault_transfer_rate", 0.0);
+    d.fault.launch_fault_rate = get_double_or(s, "fault_launch_rate", 0.0);
+    d.fault.slowdown_rate = get_double_or(s, "fault_slowdown_rate", 0.0);
+    d.fault.slowdown_factor = get_double_or(s, "fault_slowdown_factor", 4.0);
+    d.fault.fail_at_s = get_double_or(s, "fault_fail_at_s", -1.0);
     if (d.is_host()) {
       if (have_host) fail(s.line, "more than one host device");
       have_host = true;
@@ -210,6 +220,24 @@ std::string to_text(const MachineDescriptor& m) {
                   d.launch_overhead_s * 1e6, d.alloc_overhead_s * 1e6,
                   d.noise, d.parallel_units);
     os << buf;
+    // Fault keys are optional; emit them only when set so fault-free
+    // machine files round-trip byte-identically.
+    if (d.fault.any()) {
+      std::snprintf(buf, sizeof buf,
+                    "fault_transfer_rate = %.6g\nfault_launch_rate = %.6g\n"
+                    "fault_slowdown_rate = %.6g\n",
+                    d.fault.transfer_fault_rate, d.fault.launch_fault_rate,
+                    d.fault.slowdown_rate);
+      os << buf;
+      std::snprintf(buf, sizeof buf, "fault_slowdown_factor = %.6g\n",
+                    d.fault.slowdown_factor);
+      os << buf;
+      if (d.fault.fail_at_s >= 0.0) {
+        std::snprintf(buf, sizeof buf, "fault_fail_at_s = %.6g\n",
+                      d.fault.fail_at_s);
+        os << buf;
+      }
+    }
   }
   return os.str();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -37,6 +38,21 @@ struct OffloadExecution::PendingChunk {
   double fetch_start = 0.0;    ///< virtual time the chunk was acquired
   double bytes_in = 0.0;
   double bytes_out = 0.0;
+  bool from_requeue = false;   ///< redistributed after a quarantine
+};
+
+/// A computed chunk whose results are still device-resident: the output
+/// transfer is in flight (possibly retrying). Host-visible effects —
+/// copy_out into host arrays, the partial reduction, the iteration count —
+/// commit only when the transfer succeeds, so a device quarantined
+/// mid-copy-out leaves the host bit-identical and its chunk free to
+/// requeue.
+struct OffloadExecution::OutRecord {
+  dist::Range range;
+  std::vector<mem::DeviceMapping*> maps;
+  double bytes_out = 0.0;
+  double reduction = 0.0;  ///< body result, committed on success
+  bool abandoned = false;  ///< quarantine requeued this chunk
 };
 
 /// Per-device proxy actor state.
@@ -60,11 +76,15 @@ struct OffloadExecution::Proxy {
   std::optional<PendingChunk> computing;  ///< kernel in progress
   double compute_started = 0.0;
   int outstanding_outputs = 0;
+  std::vector<std::shared_ptr<OutRecord>> outputs;  ///< in-flight copy-outs
 
   bool waiting_stage = false;
   double stage_wait_start = 0.0;
   bool finalizing = false;
   bool done = false;
+
+  bool lost = false;        ///< quarantined; never participates again
+  double loss_time = -1.0;  ///< scheduled permanent loss; < 0 = never
 
   double partial_reduction = 0.0;
   DeviceStats stats;
@@ -160,6 +180,25 @@ OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
   }
 
   build_proxies();
+  build_fault_plan();
+}
+
+void OffloadExecution::build_fault_plan() {
+  HOMP_REQUIRE(opts_.fault.max_retries >= 0,
+               "fault.max_retries must be non-negative");
+  HOMP_REQUIRE(opts_.fault.backoff_base_s >= 0.0 &&
+                   opts_.fault.backoff_cap_s >= opts_.fault.backoff_base_s,
+               "fault backoff must satisfy 0 <= base <= cap");
+  opts_.fault.extra.validate("offload fault options");
+
+  fault_plan_.set_seed(opts_.fault.seed);
+  for (const auto& p : proxies_) {
+    const sim::FaultProfile combined =
+        p->desc->fault.combined(opts_.fault.extra);
+    if (combined.any()) fault_plan_.set_profile(p->device_id, combined);
+  }
+  for (const auto& f : opts_.fault.scripted) fault_plan_.add_scripted(f);
+  fault_active_ = fault_plan_.active();
 }
 
 void OffloadExecution::validate_and_plan() {
@@ -443,15 +482,51 @@ double OffloadExecution::compute_seconds(Proxy& p,
   return t;
 }
 
+void OffloadExecution::pass_serial_token(int slot) {
+  if (opts_.parallel_offload || slot != serial_token_) return;
+  ++serial_token_;
+  if (static_cast<std::size_t>(serial_token_) < proxies_.size()) {
+    const int next = serial_token_;
+    engine_.schedule_after(0.0, [this, next] { try_fetch(next); });
+  }
+}
+
+dist::Range OffloadExecution::take_requeue() {
+  HOMP_ASSERT(!requeue_.empty());
+  dist::Range& front = requeue_.front();
+  const long long take = std::min(requeue_grain_, front.size());
+  const dist::Range chunk(front.lo, front.lo + take);
+  front.lo += take;
+  if (front.empty()) requeue_.pop_front();
+  return chunk;
+}
+
 void OffloadExecution::try_fetch(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost) {
+    // A quarantined proxy that still holds the serial token must hand it
+    // on, or the remaining devices would never start.
+    pass_serial_token(slot);
+    return;
+  }
   if (p.done || p.finalizing || p.fetching || p.inflight || p.ready ||
       p.waiting_stage) {
     return;
   }
   if (!opts_.parallel_offload && slot > serial_token_) return;
 
-  auto chunk_opt = scheduler_->next_chunk(slot);
+  std::optional<dist::Range> chunk_opt;
+  bool from_requeue = false;
+  if (!requeue_.empty()) {
+    // Orphaned iterations of a quarantined device are served first, in
+    // dynamic grains, regardless of the algorithm in use — the
+    // redistribution fallback that lets single-stage (BLOCK/MODEL) plans
+    // survive a device loss.
+    chunk_opt = take_requeue();
+    from_requeue = true;
+  } else {
+    chunk_opt = scheduler_->next_chunk(slot);
+  }
   if (!chunk_opt) {
     if (scheduler_->finished(slot)) {
       check_completion(slot);
@@ -471,6 +546,7 @@ void OffloadExecution::try_fetch(int slot) {
   PendingChunk chunk;
   chunk.range = *chunk_opt;
   chunk.fetch_start = engine_.now();
+  chunk.from_requeue = from_requeue;
 
   // Inside a data region the data is already resident on the devices:
   // no allocation, no transfers — just compute against the region's
@@ -520,46 +596,24 @@ void OffloadExecution::try_fetch(int slot) {
   p.fetching = true;
   if (!p.setup_signalled) {
     p.setup_signalled = true;
-    if (!opts_.parallel_offload && slot == serial_token_) {
-      ++serial_token_;
-      if (static_cast<std::size_t>(serial_token_) < proxies_.size()) {
-        const int next = serial_token_;
-        engine_.schedule_after(0.0, [this, next] { try_fetch(next); });
-      }
-    }
+    pass_serial_token(slot);
   }
 
-  const double bytes = chunk.bytes_in;
-  auto issue = [this, slot, bytes, c = std::make_shared<PendingChunk>(
-                                       std::move(chunk))]() mutable {
+  auto issue = [this, slot, c = std::make_shared<PendingChunk>(
+                                   std::move(chunk))]() mutable {
     Proxy& pr = *proxies_[static_cast<std::size_t>(slot)];
-    pr.inflight = std::move(*c);
-    if (pr.down != nullptr && bytes > 0.0) {
-      const double start = engine_.now();
-      // Per-transfer jitter (DMA setup, switch arbitration): without it,
-      // same-size transfers on sibling links complete in exact lockstep
-      // and the FIFO tie-break systematically hands consecutive tail
-      // chunks to one link pair — a knife-edge a real machine never sits
-      // on. The jitter lets dynamic chunking self-balance across links.
-      const double jitter =
-          pr.desc->noise > 0.0
-              ? bytes / pr.down->bandwidth() * pr.desc->noise *
-                    std::abs(pr.noise.next_gaussian())
-              : 0.0;
-      pr.down->transfer(bytes, [this, slot, start, jitter] {
-        engine_.schedule_after(jitter, [this, slot, start] {
-          Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
-          q.stats.phase_time[static_cast<int>(Phase::kCopyIn)] +=
-              engine_.now() - start;
-          q.record_span(opts_.collect_trace, Phase::kCopyIn, start,
-                        engine_.now(),
-                        q.inflight ? q.inflight->range.to_string() : "");
-          on_input_done(slot);
-        });
-      });
-    } else {
-      on_input_done(slot);
+    if (pr.lost) {
+      // Quarantined inside the alloc/scheduling-delay window: hand the
+      // chunk straight back for redistribution.
+      if (!c->range.empty()) {
+        requeue_.push_back(c->range);
+        pr.stats.requeued_iterations += c->range.size();
+      }
+      kick_survivors();
+      return;
     }
+    pr.inflight = std::move(*c);
+    issue_input(slot, 1);
   };
   if (alloc_delay > 0.0 || kChunkSchedOverheadS > 0.0) {
     engine_.schedule_after(alloc_delay + kChunkSchedOverheadS,
@@ -569,9 +623,60 @@ void OffloadExecution::try_fetch(int slot) {
   }
 }
 
+void OffloadExecution::issue_input(int slot, int attempt) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost || !p.inflight) return;
+  const double bytes = p.inflight->bytes_in;
+  if (p.down == nullptr || bytes <= 0.0) {
+    on_input_done(slot);
+    return;
+  }
+  const double start = engine_.now();
+  // Per-transfer jitter (DMA setup, switch arbitration): without it,
+  // same-size transfers on sibling links complete in exact lockstep
+  // and the FIFO tie-break systematically hands consecutive tail
+  // chunks to one link pair — a knife-edge a real machine never sits
+  // on. The jitter lets dynamic chunking self-balance across links.
+  const double jitter =
+      p.desc->noise > 0.0
+          ? bytes / p.down->bandwidth() * p.desc->noise *
+                std::abs(p.noise.next_gaussian())
+          : 0.0;
+  // Whether this transfer attempt fails is drawn when it is issued; the
+  // failure surfaces when the transfer (virtually) completes, so a failed
+  // attempt costs its full transfer time before the retry backoff.
+  const bool failed = fault_active_ && fault_plan_.transfer_fails(p.device_id);
+  p.down->transfer(bytes, [this, slot, start, jitter, attempt, failed] {
+    engine_.schedule_after(jitter, [this, slot, start, attempt, failed] {
+      Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+      if (q.lost || !q.inflight) return;  // quarantined mid-transfer
+      if (failed) {
+        q.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
+            engine_.now() - start;
+        q.record_span(opts_.collect_trace, Phase::kRecovery, start,
+                      engine_.now(),
+                      q.inflight->range.to_string() + " copy-in fault");
+        note_fault(slot, sim::FaultKind::kTransfer, false,
+                   "copy-in " + q.inflight->range.to_string() + " attempt " +
+                       std::to_string(attempt));
+        handle_transient(slot, attempt, sim::FaultKind::kTransfer,
+                         [this, slot, attempt] {
+                           issue_input(slot, attempt + 1);
+                         });
+        return;
+      }
+      q.stats.phase_time[static_cast<int>(Phase::kCopyIn)] +=
+          engine_.now() - start;
+      q.record_span(opts_.collect_trace, Phase::kCopyIn, start,
+                    engine_.now(), q.inflight->range.to_string());
+      on_input_done(slot);
+    });
+  });
+}
+
 void OffloadExecution::on_input_done(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
-  HOMP_ASSERT(p.inflight.has_value());
+  if (p.lost || !p.inflight) return;
   p.fetching = false;
 
   // Perform the real copies now that the transfer has (virtually)
@@ -600,13 +705,48 @@ void OffloadExecution::on_input_done(int slot) {
 
 void OffloadExecution::try_start_compute(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
-  if (p.computing || !p.ready || !p.statics_loaded) return;
+  if (p.lost || p.computing || !p.ready || !p.statics_loaded) return;
   p.computing = std::move(p.ready);
   p.ready.reset();
-  p.compute_started = engine_.now();
+  start_launch(slot, 1);
+}
 
+void OffloadExecution::start_launch(int slot, int attempt) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost || !p.computing) return;
+  p.compute_started = engine_.now();
   const double launch = p.desc->launch_overhead_s;
-  const double compute = compute_seconds(p, p.computing->range);
+
+  if (fault_active_ && fault_plan_.launch_fails(p.device_id)) {
+    // The failure surfaces after the launch overhead has been spent.
+    engine_.schedule_after(launch, [this, slot, attempt, launch] {
+      Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+      if (q.lost || !q.computing) return;  // quarantined meanwhile
+      q.stats.phase_time[static_cast<int>(Phase::kRecovery)] += launch;
+      q.record_span(opts_.collect_trace, Phase::kRecovery,
+                    engine_.now() - launch, engine_.now(),
+                    q.computing->range.to_string() + " launch fault");
+      note_fault(slot, sim::FaultKind::kLaunch, false,
+                 "launch " + q.computing->range.to_string() + " attempt " +
+                     std::to_string(attempt));
+      handle_transient(slot, attempt, sim::FaultKind::kLaunch,
+                       [this, slot, attempt] {
+                         start_launch(slot, attempt + 1);
+                       });
+    });
+    return;
+  }
+
+  double compute = compute_seconds(p, p.computing->range);
+  if (fault_active_) {
+    const double slow = fault_plan_.slowdown(p.device_id);
+    if (slow > 1.0) {
+      note_fault(slot, sim::FaultKind::kSlowdown, false,
+                 "compute " + p.computing->range.to_string() + " slowed x" +
+                     std::to_string(slow));
+      compute *= slow;
+    }
+  }
   p.stats.phase_time[static_cast<int>(Phase::kLaunch)] += launch;
   p.stats.phase_time[static_cast<int>(Phase::kCompute)] += compute;
 
@@ -619,45 +759,41 @@ void OffloadExecution::try_start_compute(int slot) {
 
 void OffloadExecution::on_compute_done(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
-  HOMP_ASSERT(p.computing.has_value());
+  if (p.lost || !p.computing) return;  // quarantined; chunk was requeued
   PendingChunk chunk = std::move(*p.computing);
   p.computing.reset();
 
-  if (opts_.execute_bodies) {
-    p.partial_reduction += kernel_.body(chunk.range, chunk.env);
-  }
   p.record_span(opts_.collect_trace, Phase::kCompute, p.compute_started,
                 engine_.now(), chunk.range.to_string());
-  p.stats.iterations += chunk.range.size();
-  scheduler_->report(slot, chunk.range, engine_.now() - chunk.fetch_start);
+  // Requeued chunks are recovery work the scheduler never issued; feeding
+  // their timings back would skew the profiling rates.
+  if (!chunk.from_requeue) {
+    scheduler_->report(slot, chunk.range, engine_.now() - chunk.fetch_start);
+  }
+
+  // The body runs now, on the device, against device-resident storage.
+  // Its host-visible effects commit when the output transfer lands.
+  double red = 0.0;
+  if (opts_.execute_bodies) red = kernel_.body(chunk.range, chunk.env);
 
   if (p.up != nullptr && chunk.bytes_out > 0.0) {
     ++p.outstanding_outputs;
-    const double start = engine_.now();
-    const double bytes = chunk.bytes_out;
-    auto maps = chunk.chunk_maps;
-    const std::string out_label = chunk.range.to_string();
-    p.up->transfer(bytes, [this, slot, start, bytes, out_label,
-                           maps = std::move(maps)] {
-      Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
-      q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
-          engine_.now() - start;
-      q.record_span(opts_.collect_trace, Phase::kCopyOut, start,
-                    engine_.now(), out_label);
-      q.stats.bytes_out += bytes;
-      if (opts_.execute_bodies) {
-        for (auto* m : maps) m->copy_out();
-      }
-      --q.outstanding_outputs;
-      // Draining the last output may let this proxy enter (and possibly
-      // release) the stage barrier, or finish the offload.
-      try_fetch(slot);
-      check_completion(slot);
-    });
-  } else if (opts_.execute_bodies) {
-    // Shared memory: results are already in place; still mark the owned
-    // regions written for symmetry (copy_out is a no-op when shared).
-    for (auto* m : chunk.chunk_maps) m->copy_out();
+    auto rec = std::make_shared<OutRecord>();
+    rec->range = chunk.range;
+    rec->maps = chunk.chunk_maps;
+    rec->bytes_out = chunk.bytes_out;
+    rec->reduction = red;
+    p.outputs.push_back(rec);
+    issue_output(slot, std::move(rec), 1);
+  } else {
+    // Shared memory (or nothing to ship): effects become host-visible the
+    // instant compute completes — an atomic commit on the DES engine, so
+    // a later loss cannot leave them half-applied.
+    if (opts_.execute_bodies) {
+      for (auto* m : chunk.chunk_maps) m->copy_out();
+    }
+    p.partial_reduction += red;
+    p.stats.iterations += chunk.range.size();
   }
 
   try_start_compute(slot);
@@ -665,12 +801,227 @@ void OffloadExecution::on_compute_done(int slot) {
   check_completion(slot);
 }
 
+void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
+                                    int attempt) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost || rec->abandoned) return;
+  const double start = engine_.now();
+  const double bytes = rec->bytes_out;
+  const bool failed = fault_active_ && fault_plan_.transfer_fails(p.device_id);
+  p.up->transfer(bytes, [this, slot, rec, start, bytes, attempt, failed] {
+    Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+    if (q.lost || rec->abandoned) return;  // requeued at quarantine
+    if (failed) {
+      q.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
+          engine_.now() - start;
+      q.record_span(opts_.collect_trace, Phase::kRecovery, start,
+                    engine_.now(),
+                    rec->range.to_string() + " copy-out fault");
+      note_fault(slot, sim::FaultKind::kTransfer, false,
+                 "copy-out " + rec->range.to_string() + " attempt " +
+                     std::to_string(attempt));
+      handle_transient(slot, attempt, sim::FaultKind::kTransfer,
+                       [this, slot, rec, attempt]() mutable {
+                         issue_output(slot, std::move(rec), attempt + 1);
+                       });
+      return;
+    }
+    q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
+        engine_.now() - start;
+    q.record_span(opts_.collect_trace, Phase::kCopyOut, start, engine_.now(),
+                  rec->range.to_string());
+    q.stats.bytes_out += bytes;
+    // Commit: only now do the chunk's results reach the host.
+    if (opts_.execute_bodies) {
+      for (auto* m : rec->maps) m->copy_out();
+    }
+    q.partial_reduction += rec->reduction;
+    q.stats.iterations += rec->range.size();
+    auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
+    if (it != q.outputs.end()) q.outputs.erase(it);
+    --q.outstanding_outputs;
+    // Draining the last output may let this proxy enter (and possibly
+    // release) the stage barrier, or finish the offload.
+    try_fetch(slot);
+    check_completion(slot);
+  });
+}
+
+void OffloadExecution::handle_transient(int slot, int attempt,
+                                        sim::FaultKind kind,
+                                        std::function<void()> retry) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (attempt > opts_.fault.max_retries) {
+    quarantine(slot, kind,
+               std::string(sim::to_string(kind)) + " retry budget (" +
+                   std::to_string(opts_.fault.max_retries) + ") exhausted");
+    return;
+  }
+  ++p.stats.retries;
+  const double backoff =
+      std::min(opts_.fault.backoff_base_s *
+                   std::pow(2.0, static_cast<double>(attempt - 1)),
+               opts_.fault.backoff_cap_s);
+  p.stats.phase_time[static_cast<int>(Phase::kRecovery)] += backoff;
+  p.record_span(opts_.collect_trace, Phase::kRecovery, engine_.now(),
+                engine_.now() + backoff,
+                "backoff #" + std::to_string(attempt));
+  engine_.schedule_after(backoff, [this, slot, retry = std::move(retry)] {
+    if (!proxies_[static_cast<std::size_t>(slot)]->lost) retry();
+  });
+}
+
+void OffloadExecution::note_fault(int slot, sim::FaultKind kind, bool fatal,
+                                  std::string detail) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  ++p.stats.faults;
+  fault_events_.push_back(FaultEvent{engine_.now(), slot, p.device_id, kind,
+                                     fatal, std::move(detail)});
+}
+
+void OffloadExecution::on_device_lost(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost) return;
+  if (p.done) {
+    // The device finished its share before failing: its results are
+    // committed and nothing needs requeuing — but it must never be
+    // revived for redistribution work.
+    p.lost = true;
+    ++p.stats.faults;
+    fault_events_.push_back(
+        FaultEvent{engine_.now(), slot, p.device_id,
+                   sim::FaultKind::kDeviceLoss, true,
+                   "device lost after completing its share"});
+    return;
+  }
+  ++p.stats.faults;
+  quarantine(slot, sim::FaultKind::kDeviceLoss, "device permanently lost");
+}
+
+void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
+                                  const std::string& detail) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost) return;
+  p.lost = true;
+  p.stats.quarantined = true;
+  p.stats.quarantined_at = engine_.now();
+  fault_events_.push_back(FaultEvent{engine_.now(), slot, p.device_id, kind,
+                                     /*fatal=*/true,
+                                     "quarantined: " + detail});
+  HOMP_WARN << "device '" << p.desc->name << "' quarantined at t="
+            << engine_.now() << ": " << detail;
+
+  // Requeue everything in flight. None of it has been committed to the
+  // host (commits ride the copy-out completion), so re-executing the
+  // chunks elsewhere cannot double-count or corrupt host arrays.
+  long long taken = 0;
+  auto orphan = [this, &taken](const dist::Range& r) {
+    if (r.empty()) return;
+    requeue_.push_back(r);
+    taken += r.size();
+  };
+  if (p.inflight) {
+    orphan(p.inflight->range);
+    p.inflight.reset();
+  }
+  if (p.ready) {
+    orphan(p.ready->range);
+    p.ready.reset();
+  }
+  if (p.computing) {
+    orphan(p.computing->range);
+    p.computing.reset();
+  }
+  p.fetching = false;
+  for (auto& rec : p.outputs) {
+    if (!rec->abandoned) {
+      rec->abandoned = true;
+      orphan(rec->range);
+    }
+  }
+  p.outputs.clear();
+  p.outstanding_outputs = 0;
+  if (p.waiting_stage) {
+    p.waiting_stage = false;
+    p.stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+        engine_.now() - p.stage_wait_start;
+  }
+
+  // Reserved-but-unissued iterations come back from the scheduler.
+  // Single-shot (BLOCK / MODEL_*) plans thereby fall back to dynamic
+  // redistribution of the orphaned partition.
+  for (const auto& r : scheduler_->deactivate(slot)) orphan(r);
+  p.stats.requeued_iterations += taken;
+
+  std::size_t survivors = 0;
+  for (const auto& q : proxies_) {
+    if (!q->lost) ++survivors;
+  }
+  if (survivors == 0) {
+    throw ExecutionError("all devices lost during offload of '" +
+                         kernel_.name + "' (last: '" + p.desc->name + "', " +
+                         detail + ")");
+  }
+
+  if (!requeue_.empty()) {
+    long long total = 0;
+    for (const auto& r : requeue_) total += r.size();
+    requeue_grain_ = std::max(
+        opts_.sched.min_chunk,
+        total / static_cast<long long>(4 * survivors));
+    if (requeue_grain_ < 1) requeue_grain_ = 1;
+  }
+
+  pass_serial_token(slot);
+  kick_survivors();
+  // The dead slot no longer holds the stage barrier; removing it may
+  // release the survivors.
+  check_stage_barrier();
+}
+
+void OffloadExecution::kick_survivors() {
+  if (requeue_.empty()) return;
+  for (const auto& q : proxies_) {
+    if (q->lost) continue;
+    const int s = q->slot;
+    if (q->done) {
+      // Revival: the proxy had already finalized, but redistribution work
+      // arrived. It re-enters the pipeline and finalizes again later (the
+      // repeated static write-back is deterministic byte accounting on
+      // idempotent copies, not a correctness hazard).
+      q->done = false;
+      q->finalizing = false;
+      engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+    } else if (q->waiting_stage) {
+      // Barrier waiters pick up redistribution work before re-waiting.
+      q->waiting_stage = false;
+      q->stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+          engine_.now() - q->stage_wait_start;
+      q->record_span(opts_.collect_trace, Phase::kBarrier,
+                     q->stage_wait_start, engine_.now(), "stage");
+      engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+    } else if (!q->fetching && !q->inflight && !q->ready && !q->computing &&
+               !q->finalizing && q->outstanding_outputs == 0) {
+      engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+    }
+    // Busy proxies pick requeued work up at their next pipeline step.
+  }
+}
+
+void OffloadExecution::maybe_revive(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (requeue_.empty() || !p.done || p.lost) return;
+  p.done = false;
+  p.finalizing = false;
+  engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
+}
+
 void OffloadExecution::check_stage_barrier() {
   if (!scheduler_->stage_barrier_pending()) return;
   std::size_t waiting = 0;
   std::size_t active = 0;
   for (const auto& p : proxies_) {
-    if (p->done) continue;
+    if (p->done || p->lost) continue;
     ++active;
     if (p->waiting_stage && p->outstanding_outputs == 0) ++waiting;
   }
@@ -691,8 +1042,8 @@ void OffloadExecution::check_stage_barrier() {
 
 void OffloadExecution::check_completion(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
-  if (p.done || p.finalizing) return;
-  if (!scheduler_->finished(slot)) return;
+  if (p.done || p.finalizing || p.lost) return;
+  if (!scheduler_->finished(slot) || !requeue_.empty()) return;
   if (p.fetching || p.inflight || p.ready || p.computing ||
       p.outstanding_outputs > 0) {
     return;
@@ -710,39 +1061,54 @@ void OffloadExecution::finalize_device(int slot) {
   if (kernel_.has_reduction && p.up != nullptr && p.stats.iterations > 0) {
     bytes += 8.0;  // the device's partial reduction value
   }
-  auto complete = [this, slot] {
-    Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
-    if (opts_.execute_bodies && q.statics_loaded) {
-      q.static_env.copy_out_all();
-    }
-    q.done = true;
-    q.stats.finish_time = engine_.now();
-    // Releasing this device may unblock a stage barrier (it cannot: done
-    // devices are excluded) — but it may complete the offload; nothing to
-    // do here, run() drains the engine.
-  };
   if (p.up != nullptr && bytes > 0.0) {
-    const double start = engine_.now();
-    const double b = bytes;
-    p.up->transfer(bytes, [this, slot, start, b, complete] {
-      Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
-      q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
-          engine_.now() - start;
-      q.stats.bytes_out += b;
-      complete();
-    });
+    issue_finalize(slot, bytes, 1);
   } else {
-    complete();
+    complete_finalize(slot);
   }
 
-  if (!opts_.parallel_offload && slot == serial_token_) {
-    // A device that finished without ever fetching must pass the token on.
-    ++serial_token_;
-    if (static_cast<std::size_t>(serial_token_) < proxies_.size()) {
-      const int next = serial_token_;
-      engine_.schedule_after(0.0, [this, next] { try_fetch(next); });
+  // A device that finished without ever fetching must pass the token on.
+  pass_serial_token(slot);
+}
+
+void OffloadExecution::issue_finalize(int slot, double bytes, int attempt) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost) return;
+  const double start = engine_.now();
+  const bool failed = fault_active_ && fault_plan_.transfer_fails(p.device_id);
+  p.up->transfer(bytes, [this, slot, start, bytes, attempt, failed] {
+    Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+    if (q.lost) return;  // quarantined mid-write-back
+    if (failed) {
+      q.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
+          engine_.now() - start;
+      q.record_span(opts_.collect_trace, Phase::kRecovery, start,
+                    engine_.now(), "write-back fault");
+      note_fault(slot, sim::FaultKind::kTransfer, false,
+                 "final write-back attempt " + std::to_string(attempt));
+      handle_transient(slot, attempt, sim::FaultKind::kTransfer,
+                       [this, slot, bytes, attempt] {
+                         issue_finalize(slot, bytes, attempt + 1);
+                       });
+      return;
     }
+    q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
+        engine_.now() - start;
+    q.stats.bytes_out += bytes;
+    complete_finalize(slot);
+  });
+}
+
+void OffloadExecution::complete_finalize(int slot) {
+  Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+  if (opts_.execute_bodies && q.statics_loaded) {
+    q.static_env.copy_out_all();
   }
+  q.done = true;
+  q.stats.finish_time = engine_.now();
+  // Redistribution work may have arrived while the write-back was in
+  // flight; a healthy finished device takes its share.
+  maybe_revive(slot);
 }
 
 OffloadResult OffloadExecution::run() {
@@ -752,6 +1118,16 @@ OffloadResult OffloadExecution::run() {
   for (std::size_t slot = 0; slot < proxies_.size(); ++slot) {
     const int s = static_cast<int>(slot);
     engine_.schedule_at(0.0, [this, s] { try_fetch(s); });
+  }
+  if (fault_active_) {
+    for (const auto& p : proxies_) {
+      const double lt = fault_plan_.loss_time(p->device_id);
+      p->loss_time = lt;
+      if (lt >= 0.0) {
+        const int s = p->slot;
+        engine_.schedule_at(lt, [this, s] { on_device_lost(s); });
+      }
+    }
   }
   engine_.run();
 
@@ -763,10 +1139,19 @@ OffloadResult OffloadExecution::run() {
     res.has_cutoff = true;
   }
   res.chunks_issued = scheduler_->chunks_issued();
+  res.fault_events = std::move(fault_events_);
 
   double end = 0.0;
   long long covered = 0;
   for (auto& p : proxies_) {
+    if (p->stats.quarantined) {
+      // Chunks this device committed before its quarantine are valid host
+      // results and stay counted; the rest were redistributed.
+      res.degraded = true;
+      p->stats.finish_time = p->stats.quarantined_at;
+      covered += p->stats.iterations;
+      continue;
+    }
     HOMP_REQUIRE(p->done, "device '" + p->desc->name +
                               "' never completed — scheduler deadlock");
     end = std::max(end, p->stats.finish_time);
@@ -776,10 +1161,12 @@ OffloadResult OffloadExecution::run() {
   res.total_time = end;
 
   for (auto& p : proxies_) {
-    p->stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
-        end - p->stats.finish_time;
-    p->record_span(opts_.collect_trace, Phase::kBarrier,
-                   p->stats.finish_time, end, "final");
+    if (!p->stats.quarantined) {
+      p->stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+          end - p->stats.finish_time;
+      p->record_span(opts_.collect_trace, Phase::kBarrier,
+                     p->stats.finish_time, end, "final");
+    }
     res.reduction += p->partial_reduction;
     res.devices.push_back(p->stats);
     if (opts_.collect_trace) {

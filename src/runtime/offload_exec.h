@@ -22,7 +22,17 @@
 /// subregions are memcpy'd between host arrays and per-device storage and
 /// kernel bodies run against the device copies, so distribution bugs
 /// corrupt results instead of hiding in the timing model.
+///
+/// The pipeline is fault-tolerant (docs/RESILIENCE.md): transient
+/// transfer/launch faults injected by the sim::FaultPlan are retried with
+/// capped exponential backoff; a device that exhausts its retry budget or
+/// is permanently lost is quarantined, and its in-flight plus unissued
+/// iterations are requeued and redistributed to the survivors. Host
+/// commits (copy-out, reduction, iteration counts) ride the copy-out
+/// completion, so a quarantined chunk never half-writes host arrays.
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -35,6 +45,7 @@
 #include "runtime/options.h"
 #include "sched/scheduler.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/link.h"
 
 namespace homp::rt {
@@ -70,10 +81,12 @@ class OffloadExecution {
  private:
   struct SpecPlan;
   struct PendingChunk;
+  struct OutRecord;
   struct Proxy;
 
   void validate_and_plan();
   void build_proxies();
+  void build_fault_plan();
   double compute_seconds(Proxy& p, const dist::Range& chunk) const;
   void make_chunk_mappings(Proxy& p, const dist::Range& chunk,
                            std::vector<mem::DeviceMapping*>* out) const;
@@ -81,13 +94,29 @@ class OffloadExecution {
 
   // Proxy state machine.
   void try_fetch(int slot);
-  void issue_input(int slot, PendingChunk&& chunk);
+  void issue_input(int slot, int attempt);
   void on_input_done(int slot);
   void try_start_compute(int slot);
+  void start_launch(int slot, int attempt);
   void on_compute_done(int slot);
+  void issue_output(int slot, std::shared_ptr<OutRecord> rec, int attempt);
   void check_stage_barrier();
   void check_completion(int slot);
   void finalize_device(int slot);
+  void issue_finalize(int slot, double bytes, int attempt);
+  void complete_finalize(int slot);
+  void pass_serial_token(int slot);
+
+  // Fault recovery (docs/RESILIENCE.md).
+  void on_device_lost(int slot);
+  void handle_transient(int slot, int attempt, sim::FaultKind kind,
+                        std::function<void()> retry);
+  void quarantine(int slot, sim::FaultKind kind, const std::string& detail);
+  void note_fault(int slot, sim::FaultKind kind, bool fatal,
+                  std::string detail);
+  dist::Range take_requeue();
+  void kick_survivors();
+  void maybe_revive(int slot);
 
   const mach::MachineDescriptor& machine_;
   const LoopKernel& kernel_;
@@ -108,6 +137,14 @@ class OffloadExecution {
   const std::vector<mem::DeviceDataEnv>* region_envs_ = nullptr;
   int serial_token_ = 0;  // !parallel_offload: next slot allowed to set up
   bool ran_ = false;
+
+  sim::FaultPlan fault_plan_;
+  bool fault_active_ = false;
+  /// Orphaned iterations of quarantined devices, redistributed to the
+  /// survivors in dynamic grains ahead of the scheduler's own chunks.
+  std::deque<dist::Range> requeue_;
+  long long requeue_grain_ = 1;
+  std::vector<FaultEvent> fault_events_;
 };
 
 }  // namespace homp::rt

@@ -18,6 +18,8 @@ const char* to_string(Phase p) noexcept {
       return "copy-out";
     case Phase::kBarrier:
       return "barrier";
+    case Phase::kRecovery:
+      return "recovery";
   }
   return "?";
 }

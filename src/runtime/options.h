@@ -12,6 +12,7 @@
 #include "dist/policy.h"
 #include "model/loop_model.h"
 #include "sched/scheduler.h"
+#include "sim/fault.h"
 
 namespace homp::rt {
 
@@ -26,11 +27,39 @@ enum class Phase : int {
   kCompute,         ///< kernel execution
   kCopyOut,         ///< device -> host transfers
   kBarrier,         ///< waiting for other devices (stage + final barriers)
+  kRecovery,        ///< fault handling: failed-attempt time + retry backoff
 };
 
-inline constexpr int kNumPhases = 7;
+inline constexpr int kNumPhases = 8;
 
 const char* to_string(Phase p) noexcept;
+
+/// Fault-injection knobs for one offload. Per-device `fault_*` keys from
+/// the machine file are combined with the offload-level `extra` profile
+/// (independent fault sources); scripted faults fire regardless of rates.
+/// Everything is reproducible: the same seed + plan yields the same fault
+/// sequence and the same OffloadResult (docs/RESILIENCE.md).
+struct FaultInjection {
+  /// Seed for the per-device fault streams (independent of noise_seed).
+  std::uint64_t seed = 0x5eedfa;
+
+  /// Additional fault profile applied to every participating device on
+  /// top of its machine-file profile.
+  sim::FaultProfile extra;
+
+  /// Deterministic scripted faults (fire at a given op index or virtual
+  /// time, regardless of the random rates).
+  std::vector<sim::ScriptedFault> scripted;
+
+  /// Retry budget per pipeline stage attempt chain; exceeding it
+  /// quarantines the device.
+  int max_retries = 3;
+
+  /// Exponential backoff before retry k (1-based):
+  /// min(backoff_base_s * 2^(k-1), backoff_cap_s) virtual seconds.
+  double backoff_base_s = 100e-6;
+  double backoff_cap_s = 10e-3;
+};
 
 struct OffloadOptions {
   /// Global device ids participating in the offload (the `device(...)`
@@ -81,9 +110,24 @@ struct OffloadOptions {
   /// Seed for the per-device execution-time noise streams.
   std::uint64_t noise_seed = 42;
 
+  /// Fault injection and recovery tuning (docs/RESILIENCE.md). Faults are
+  /// active when any device's machine-file profile, `fault.extra`, or
+  /// `fault.scripted` specifies one; otherwise this adds no overhead.
+  FaultInjection fault;
+
   /// Record per-activity spans into OffloadResult::trace (see
   /// runtime/trace.h for the chrome://tracing exporter).
   bool collect_trace = false;
+};
+
+/// One injected fault observed by the recovery machinery, in virtual time.
+struct FaultEvent {
+  double time = 0.0;
+  int slot = -1;
+  int device_id = -1;
+  sim::FaultKind kind = sim::FaultKind::kTransfer;
+  bool fatal = false;  ///< true when the fault quarantined the device
+  std::string detail;  ///< e.g. "copy-in [0,1024) attempt 2"
 };
 
 /// One pipeline activity on one device, in virtual time.
@@ -107,6 +151,13 @@ struct DeviceStats {
   double bytes_out = 0.0;
   /// Virtual time the device arrived at the final barrier.
   double finish_time = 0.0;
+
+  /// Fault/recovery telemetry (all zero on a fault-free run).
+  std::size_t faults = 0;   ///< injected faults observed on this device
+  std::size_t retries = 0;  ///< stage attempts retried after a transient
+  long long requeued_iterations = 0;  ///< iterations taken FROM this device
+  bool quarantined = false;
+  double quarantined_at = 0.0;  ///< virtual time of quarantine
 
   double busy_time() const noexcept {
     double t = 0.0;
@@ -134,6 +185,13 @@ struct OffloadResult {
 
   /// Per-activity spans (only when OffloadOptions::collect_trace).
   std::vector<TraceSpan> trace;
+
+  /// Every injected fault the recovery machinery observed, in time order.
+  std::vector<FaultEvent> fault_events;
+
+  /// True when at least one device was quarantined (the offload completed
+  /// on a degraded device set).
+  bool degraded = false;
 
   /// Load imbalance over per-device finish times (Figure 6 curve).
   Imbalance imbalance() const;

@@ -44,6 +44,18 @@ std::optional<dist::Range> CyclicScheduler::next_chunk(int slot) {
   return dist::Range(lo, hi);
 }
 
+std::vector<dist::Range> CyclicScheduler::deactivate(int slot) {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < parties_);
+  auto& idx = next_block_[static_cast<std::size_t>(slot)];
+  std::vector<dist::Range> orphaned;
+  for (;; idx += static_cast<long long>(parties_)) {
+    const long long lo = domain_.lo + idx * block_;
+    if (lo >= domain_.hi) break;
+    orphaned.emplace_back(lo, std::min(lo + block_, domain_.hi));
+  }
+  return orphaned;  // idx now points past the domain: finished(slot)
+}
+
 bool CyclicScheduler::finished(int slot) const {
   HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < parties_);
   const long long lo =
@@ -95,6 +107,16 @@ std::optional<dist::Range> WorkStealingScheduler::next_chunk(int slot) {
   return chunk;
 }
 
+std::vector<dist::Range> WorkStealingScheduler::deactivate(int slot) {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < deque_.size());
+  auto& own = deque_[static_cast<std::size_t>(slot)];
+  if (own.empty()) return {};
+  const dist::Range orphaned = own;
+  own = dist::Range();  // survivors could also steal it, but returning it
+                        // lets the runtime redistribute immediately
+  return {orphaned};
+}
+
 bool WorkStealingScheduler::finished(int slot) const {
   (void)slot;
   for (const auto& d : deque_) {
@@ -103,17 +125,36 @@ bool WorkStealingScheduler::finished(int slot) const {
   return true;
 }
 
+void ThroughputHistory::upsert(const std::string& kernel, int device_id,
+                               double rate, double alpha) {
+  auto key = std::make_pair(kernel, device_id);
+  auto it = rates_.find(key);
+  if (it != rates_.end()) {
+    it->second = alpha * rate + (1.0 - alpha) * it->second;
+    return;
+  }
+  while (rates_.size() >= capacity_ && !order_.empty()) {
+    rates_.erase(order_.front());
+    order_.erase(order_.begin());
+  }
+  order_.push_back(key);
+  rates_.emplace(std::move(key), rate);
+}
+
 void ThroughputHistory::record(const std::string& kernel, int device_id,
                                double rate, double alpha) {
   HOMP_REQUIRE(rate >= 0.0 && std::isfinite(rate),
                "throughput must be finite and non-negative");
   HOMP_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
-  auto key = std::make_pair(kernel, device_id);
-  auto it = rates_.find(key);
-  if (it == rates_.end()) {
-    rates_.emplace(std::move(key), rate);
-  } else {
-    it->second = alpha * rate + (1.0 - alpha) * it->second;
+  upsert(kernel, device_id, rate, alpha);
+}
+
+void ThroughputHistory::set_capacity(std::size_t n) {
+  HOMP_REQUIRE(n >= 1, "throughput history capacity must be at least 1");
+  capacity_ = n;
+  while (rates_.size() > capacity_ && !order_.empty()) {
+    rates_.erase(order_.front());
+    order_.erase(order_.begin());
   }
 }
 
@@ -161,7 +202,7 @@ void ThroughputHistory::merge_text(const std::string& text) {
       const double rate = std::stod(line.substr(t2 + 1));
       HOMP_REQUIRE(rate >= 0.0 && std::isfinite(rate),
                    "bad rate in history line " + std::to_string(lineno));
-      rates_[{kernel, device}] = rate;
+      upsert(kernel, device, rate, /*alpha=*/1.0);  // overwrite on merge
     } catch (const std::invalid_argument&) {
       throw ConfigError("malformed throughput history line " +
                         std::to_string(lineno));
@@ -236,6 +277,17 @@ std::optional<dist::Range> HistoryScheduler::next_chunk(int slot) {
 bool HistoryScheduler::finished(int slot) const {
   const auto s = static_cast<std::size_t>(slot);
   return consumed_[s] || dist_.part(s).empty();
+}
+
+std::vector<dist::Range> HistoryScheduler::deactivate(int slot) {
+  HOMP_ASSERT(slot >= 0 &&
+              static_cast<std::size_t>(slot) < consumed_.size());
+  const auto s = static_cast<std::size_t>(slot);
+  if (consumed_[s]) return {};
+  consumed_[s] = true;
+  const dist::Range part = dist_.part(s);
+  if (part.empty()) return {};
+  return {part};
 }
 
 }  // namespace homp::sched

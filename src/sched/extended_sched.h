@@ -43,6 +43,7 @@ class CyclicScheduler : public LoopScheduler {
   std::optional<dist::Range> next_chunk(int slot) override;
   bool finished(int slot) const override;
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
 
   long long block_size() const noexcept { return block_; }
 
@@ -64,6 +65,7 @@ class WorkStealingScheduler : public LoopScheduler {
   bool finished(int slot) const override;
   int num_stages() const override { return 0; }
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
 
   std::size_t steals() const noexcept { return steals_; }
 
@@ -76,9 +78,14 @@ class WorkStealingScheduler : public LoopScheduler {
 
 /// Persistent per-(kernel, device) observed throughput store, owned by
 /// whoever wants history to span offloads (the Runtime facade exposes
-/// one).
+/// one). The store is bounded: at most capacity() EWMA entries are kept,
+/// and inserting a fresh (kernel, device) pair beyond that evicts the
+/// oldest-inserted entry, so a long-lived Runtime cycling through many
+/// kernels cannot grow it without bound.
 class ThroughputHistory {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
   /// Record an observed rate (iterations/second) for kernel x device;
   /// blended into an EWMA with weight `alpha` on the new sample.
   void record(const std::string& kernel, int device_id, double rate,
@@ -89,7 +96,15 @@ class ThroughputHistory {
 
   bool has(const std::string& kernel, int device_id) const;
   std::size_t size() const noexcept { return rates_.size(); }
-  void clear() { rates_.clear(); }
+  void clear() {
+    rates_.clear();
+    order_.clear();
+  }
+
+  /// Change the entry cap (>= 1); evicts oldest entries immediately if
+  /// the store is already over the new cap.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const noexcept { return capacity_; }
 
   /// Serialize as "kernel<TAB>device_id<TAB>rate" lines (Qilin keeps its
   /// per-program model across runs; so can we).
@@ -103,7 +118,13 @@ class ThroughputHistory {
   void load_file(const std::string& path);
 
  private:
+  /// Insert-or-update one entry, maintaining insertion order and the cap.
+  void upsert(const std::string& kernel, int device_id, double rate,
+              double alpha);
+
   std::map<std::pair<std::string, int>, double> rates_;
+  std::vector<std::pair<std::string, int>> order_;  // insertion order
+  std::size_t capacity_ = kDefaultCapacity;
 };
 
 class HistoryScheduler : public LoopScheduler {
@@ -122,6 +143,7 @@ class HistoryScheduler : public LoopScheduler {
     return has_cutoff_ ? &cutoff_ : nullptr;
   }
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
 
   /// True if every device had history (no model fallback needed).
   bool fully_informed() const noexcept { return fully_informed_; }

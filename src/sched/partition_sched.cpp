@@ -76,6 +76,17 @@ std::optional<dist::Range> PartitionScheduler::next_chunk(int slot) {
   return part;
 }
 
+std::vector<dist::Range> PartitionScheduler::deactivate(int slot) {
+  HOMP_ASSERT(slot >= 0 &&
+              static_cast<std::size_t>(slot) < consumed_.size());
+  const auto s = static_cast<std::size_t>(slot);
+  if (consumed_[s]) return {};
+  consumed_[s] = true;
+  const dist::Range part = dist_.part(s);
+  if (part.empty()) return {};
+  return {part};
+}
+
 bool PartitionScheduler::finished(int slot) const {
   HOMP_ASSERT(slot >= 0 &&
               static_cast<std::size_t>(slot) < consumed_.size());

@@ -36,6 +36,7 @@ class PartitionScheduler : public LoopScheduler {
     return has_cutoff_ ? &cutoff_ : nullptr;
   }
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
 
  private:
   PartitionScheduler(dist::Distribution d, std::vector<double> weights);

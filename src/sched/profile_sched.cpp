@@ -115,4 +115,26 @@ std::vector<double> ProfileScheduler::planned_weights() const {
   return stage2_weights_;
 }
 
+std::vector<dist::Range> ProfileScheduler::deactivate(int slot) {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < sample_.size());
+  const auto s = static_cast<std::size_t>(slot);
+  std::vector<dist::Range> orphaned;
+  if (stage_ == 1) {
+    // The slot's unissued sample is orphaned; an issued-but-unfinished
+    // sample is the runtime's to requeue. Either way the slot reports a
+    // zero rate so the stage barrier can release without it and stage 2
+    // plans it no work.
+    if (!handed_out_[0][s] && !sample_[s].empty()) {
+      orphaned.push_back(sample_[s]);
+    }
+    handed_out_[0][s] = true;
+    rates_[s] = 0.0;
+    reported_[s] = true;
+  } else if (!handed_out_[1][s] && !final_[s].empty()) {
+    orphaned.push_back(final_[s]);
+  }
+  handed_out_[1][s] = true;
+  return orphaned;
+}
+
 }  // namespace homp::sched

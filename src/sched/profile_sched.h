@@ -37,6 +37,7 @@ class ProfileScheduler : public LoopScheduler {
     return has_cutoff_ ? &cutoff_ : nullptr;
   }
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
 
   /// Observed stage-1 throughputs (iterations/second), for diagnostics.
   const std::vector<double>& observed_rates() const noexcept {

@@ -116,6 +116,20 @@ class LoopScheduler {
 
   /// Total chunks handed out so far (scheduling-transaction count).
   virtual std::size_t chunks_issued() const = 0;
+
+  /// Withdraw `slot` from the schedule permanently (the runtime
+  /// quarantined its device): the slot never requests another chunk, and
+  /// any iterations *reserved* for it but not yet handed out are returned
+  /// so the runtime can redistribute them to the surviving devices.
+  /// Chunks already handed out are the runtime's to requeue. Schedulers
+  /// with no per-slot reservations (shared-cursor chunk schedulers)
+  /// return nothing; their cursor simply keeps serving the survivors.
+  /// Two-stage schedulers must also stop waiting on the slot at the
+  /// stage barrier.
+  virtual std::vector<dist::Range> deactivate(int slot) {
+    (void)slot;
+    return {};
+  }
 };
 
 /// Instantiate the scheduler for `config.kind`.

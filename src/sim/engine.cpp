@@ -9,34 +9,44 @@ std::uint64_t Engine::schedule_at(Time t, Callback fn) {
   HOMP_ASSERT(fn != nullptr);
   const std::uint64_t id = next_seq_++;
   queue_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
   ++live_events_;
   return id;
 }
 
 bool Engine::cancel(std::uint64_t id) {
-  if (id >= next_seq_) return false;
-  // The queue cannot be searched; tombstone the id and skip it on pop.
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_events_ > 0) --live_events_;
-  return inserted;
+  // Only genuinely pending events may be tombstoned: cancelling an id that
+  // already ran (or was never issued) must not leave a tombstone behind —
+  // nothing in the queue would ever reclaim it.
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+void Engine::purge_cancelled_top() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
 }
 
 bool Engine::pop_one() {
-  while (!queue_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // tombstoned; live_events_ already decremented by cancel()
-    }
-    HOMP_ASSERT(e.t >= now_);
-    now_ = e.t;
-    --live_events_;
-    ++processed_;
-    e.fn();
-    return true;
-  }
-  return false;
+  purge_cancelled_top();
+  if (queue_.empty()) return false;
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  pending_.erase(e.seq);
+  HOMP_ASSERT(e.t >= now_);
+  now_ = e.t;
+  --live_events_;
+  ++processed_;
+  e.fn();
+  return true;
 }
 
 void Engine::run() {
@@ -48,10 +58,13 @@ void Engine::run() {
 std::size_t Engine::run_until(Time deadline) {
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past tombstones without consuming live entries beyond deadline.
-    const Entry& top = queue_.top();
-    if (cancelled_.count(top.seq) == 0 && top.t > deadline) break;
+  for (;;) {
+    if (stopped_) break;
+    // The deadline check must see the next *live* event: a tombstone at
+    // the top would otherwise let pop_one() skip it and run an event past
+    // the deadline.
+    purge_cancelled_top();
+    if (queue_.empty() || queue_.top().t > deadline) break;
     if (pop_one()) ++n;
   }
   if (now_ < deadline && queue_.empty()) now_ = deadline;

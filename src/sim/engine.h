@@ -47,9 +47,13 @@ class Engine {
 
   /// Cancel a pending event. Returns false if it already ran or was
   /// cancelled. Cancellation is O(1): the entry is tombstoned and skipped.
+  /// Every tombstone is reclaimed when its queue entry surfaces, so
+  /// repeated cancellation cannot grow the engine without bound.
   bool cancel(std::uint64_t id);
 
   /// Run until the queue is empty (or stop() is called from a callback).
+  /// stop() only interrupts the current drain: a later run()/run_until()
+  /// resumes with the remaining events.
   void run();
 
   /// Run until virtual time would exceed `deadline`; events at exactly
@@ -76,9 +80,11 @@ class Engine {
   };
 
   bool pop_one();  // runs the next event; false if queue exhausted
+  void purge_cancelled_top();  // drop tombstones sitting at the queue top
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet run
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstones in queue_
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;

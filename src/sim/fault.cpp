@@ -1,0 +1,148 @@
+#include "sim/fault.h"
+
+#include "common/error.h"
+
+namespace homp::sim {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kTransfer:
+      return "transfer-fault";
+    case FaultKind::kLaunch:
+      return "launch-fault";
+    case FaultKind::kSlowdown:
+      return "slowdown";
+    case FaultKind::kDeviceLoss:
+      return "device-loss";
+  }
+  return "?";
+}
+
+void FaultProfile::validate(const std::string& who) const {
+  HOMP_REQUIRE(transfer_fault_rate >= 0.0 && transfer_fault_rate < 1.0,
+               who + ": fault_transfer_rate must be in [0, 1)");
+  HOMP_REQUIRE(launch_fault_rate >= 0.0 && launch_fault_rate < 1.0,
+               who + ": fault_launch_rate must be in [0, 1)");
+  HOMP_REQUIRE(slowdown_rate >= 0.0 && slowdown_rate < 1.0,
+               who + ": fault_slowdown_rate must be in [0, 1)");
+  HOMP_REQUIRE(slowdown_factor >= 1.0,
+               who + ": fault_slowdown_factor must be >= 1");
+}
+
+FaultProfile FaultProfile::combined(const FaultProfile& other) const noexcept {
+  auto clamp_rate = [](double r) {
+    return r < 0.0 ? 0.0 : (r > 0.999999 ? 0.999999 : r);
+  };
+  FaultProfile out;
+  // Independent fault sources: P(either) = 1 - (1-a)(1-b).
+  out.transfer_fault_rate = clamp_rate(
+      1.0 - (1.0 - transfer_fault_rate) * (1.0 - other.transfer_fault_rate));
+  out.launch_fault_rate = clamp_rate(
+      1.0 - (1.0 - launch_fault_rate) * (1.0 - other.launch_fault_rate));
+  out.slowdown_rate = clamp_rate(
+      1.0 - (1.0 - slowdown_rate) * (1.0 - other.slowdown_rate));
+  out.slowdown_factor = slowdown_factor > other.slowdown_factor
+                            ? slowdown_factor
+                            : other.slowdown_factor;
+  if (fail_at_s >= 0.0 && other.fail_at_s >= 0.0) {
+    out.fail_at_s = fail_at_s < other.fail_at_s ? fail_at_s : other.fail_at_s;
+  } else {
+    out.fail_at_s = fail_at_s >= 0.0 ? fail_at_s : other.fail_at_s;
+  }
+  return out;
+}
+
+void FaultPlan::set_profile(int device_id, const FaultProfile& profile) {
+  profile.validate("device " + std::to_string(device_id));
+  profiles_[device_id] = profile;
+  if (profile.any()) active_ = true;
+}
+
+void FaultPlan::add_scripted(const ScriptedFault& fault) {
+  HOMP_REQUIRE(fault.device_id >= 0,
+               "scripted fault needs a non-negative device id");
+  if (fault.kind == FaultKind::kDeviceLoss) {
+    HOMP_REQUIRE(fault.at_s >= 0.0,
+                 "scripted device loss needs a non-negative time");
+  } else {
+    HOMP_REQUIRE(fault.op >= 0,
+                 "scripted transient fault needs a non-negative op ordinal");
+  }
+  scripted_.push_back(fault);
+  active_ = true;
+}
+
+FaultPlan::Stream& FaultPlan::stream(int device_id) {
+  auto it = streams_.find(device_id);
+  if (it == streams_.end()) {
+    Stream s;
+    // Split per device the same way proxies split noise streams, so
+    // nearby ids still get unrelated sequences (splitmix in Prng's ctor).
+    s.prng = Prng(seed_ ^ (0x9e3779b9u * static_cast<std::uint64_t>(
+                                             device_id + 1)));
+    it = streams_.emplace(device_id, std::move(s)).first;
+  }
+  return it->second;
+}
+
+const FaultProfile* FaultPlan::profile(int device_id) const {
+  auto it = profiles_.find(device_id);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+const ScriptedFault* FaultPlan::scripted_hit(int device_id, FaultKind kind,
+                                             long long op) const {
+  for (const auto& f : scripted_) {
+    if (f.device_id == device_id && f.kind == kind && f.op == op) return &f;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::transfer_fails(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kTransfer)]++;
+  const FaultProfile* p = profile(device_id);
+  // The random draw happens even when the rate is zero, so adding a
+  // scripted fault does not shift the random sequence of later ops.
+  const double draw = s.prng.next_double();
+  if (scripted_hit(device_id, FaultKind::kTransfer, op) != nullptr) {
+    return true;
+  }
+  return p != nullptr && draw < p->transfer_fault_rate;
+}
+
+bool FaultPlan::launch_fails(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kLaunch)]++;
+  const FaultProfile* p = profile(device_id);
+  const double draw = s.prng.next_double();
+  if (scripted_hit(device_id, FaultKind::kLaunch, op) != nullptr) return true;
+  return p != nullptr && draw < p->launch_fault_rate;
+}
+
+double FaultPlan::slowdown(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kSlowdown)]++;
+  const FaultProfile* p = profile(device_id);
+  const double draw = s.prng.next_double();
+  if (const auto* f = scripted_hit(device_id, FaultKind::kSlowdown, op)) {
+    if (f->factor > 1.0) return f->factor;
+    return p != nullptr ? p->slowdown_factor : 4.0;
+  }
+  if (p != nullptr && draw < p->slowdown_rate) return p->slowdown_factor;
+  return 1.0;
+}
+
+double FaultPlan::loss_time(int device_id) const {
+  double t = -1.0;
+  if (const auto* p = profile(device_id); p != nullptr && p->fail_at_s >= 0.0) {
+    t = p->fail_at_s;
+  }
+  for (const auto& f : scripted_) {
+    if (f.device_id != device_id || f.kind != FaultKind::kDeviceLoss) continue;
+    if (t < 0.0 || f.at_s < t) t = f.at_s;
+  }
+  return t;
+}
+
+}  // namespace homp::sim

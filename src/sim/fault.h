@@ -1,0 +1,158 @@
+#ifndef HOMP_SIM_FAULT_H
+#define HOMP_SIM_FAULT_H
+
+/// \file fault.h
+/// Deterministic fault injection for the discrete-event simulation.
+///
+/// Production heterogeneous nodes lose accelerators mid-offload (ECC
+/// errors, PCIe resets, thermal throttling); the paper's runtime assumes
+/// every device in the device(...) list survives. This module supplies the
+/// fault *model* — which operations fail, when, on which device — while
+/// the recovery *policy* (retry, backoff, quarantine, redistribution)
+/// lives in the runtime (see runtime/offload_exec.cpp and
+/// docs/RESILIENCE.md).
+///
+/// Two injection modes compose:
+///  * seeded-random: per-device failure rates (FaultProfile), drawn from
+///    independent xoshiro streams keyed by (seed, device id). Each device
+///    consults its own stream in its own pipeline order, so outcomes are
+///    reproducible regardless of how proxies interleave on the engine.
+///  * scripted: "the Nth transfer on device 3 fails", "device 2 dies at
+///    t = 1.5ms" — exact placement for tests.
+///
+/// All queries are in virtual time; identical seed + script => identical
+/// fault sequence => identical recovery trajectory.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace homp::sim {
+
+/// What kind of failure strikes.
+enum class FaultKind : int {
+  kTransfer = 0,  ///< a host<->device transfer fails (transient)
+  kLaunch,        ///< a kernel launch fails (transient)
+  kSlowdown,      ///< one kernel execution is slowed (transient)
+  kDeviceLoss,    ///< the device is permanently gone
+};
+
+const char* to_string(FaultKind k) noexcept;
+
+/// Per-device fault characteristics. Lives on DeviceDescriptor (parsed
+/// from machines/*.ini `fault_*` keys) and/or on OffloadOptions as
+/// offload-wide extra rates.
+struct FaultProfile {
+  /// Probability that one transfer (copy-in, copy-out or finalize
+  /// write-back) fails transiently. In [0, 1).
+  double transfer_fault_rate = 0.0;
+
+  /// Probability that one kernel launch fails transiently. In [0, 1).
+  double launch_fault_rate = 0.0;
+
+  /// Probability that one kernel execution runs slowed (thermal
+  /// throttling, clock capping). In [0, 1).
+  double slowdown_rate = 0.0;
+
+  /// Multiplier applied to the compute time when a slowdown strikes.
+  double slowdown_factor = 4.0;
+
+  /// Virtual time at which the device is permanently lost; < 0 = never.
+  double fail_at_s = -1.0;
+
+  bool any() const noexcept {
+    return transfer_fault_rate > 0.0 || launch_fault_rate > 0.0 ||
+           slowdown_rate > 0.0 || fail_at_s >= 0.0;
+  }
+
+  /// Throws ConfigError on out-of-range fields; `who` names the device in
+  /// the message.
+  void validate(const std::string& who) const;
+
+  /// Element-wise combination of two profiles (rates clamped to [0, 1),
+  /// earliest loss wins) — machine-file faults plus offload-level faults.
+  FaultProfile combined(const FaultProfile& other) const noexcept;
+};
+
+/// One exactly-placed fault for tests and reproducible experiments.
+struct ScriptedFault {
+  int device_id = -1;
+  FaultKind kind = FaultKind::kTransfer;
+
+  /// For transient kinds: which per-device operation ordinal fails
+  /// (0-based; the runtime consults the plan once per transfer / launch /
+  /// compute, each kind counted separately).
+  long long op = 0;
+
+  /// For kDeviceLoss: virtual time of the loss.
+  double at_s = -1.0;
+
+  /// For kSlowdown: factor override; <= 1 uses the device profile's.
+  double factor = 0.0;
+};
+
+/// The resolved fault schedule for one offload: per-device profiles,
+/// scripted faults, and the seeded random streams behind the rates.
+/// Queries for transient kinds are *consuming* — each advances the
+/// device's per-kind operation counter — so the plan must be consulted
+/// exactly once per pipeline operation.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Seed for the per-device random streams (split per device id).
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+
+  /// Install (replacing) the profile for one device.
+  void set_profile(int device_id, const FaultProfile& profile);
+
+  /// Add one scripted fault. Validated: throws ConfigError on a
+  /// malformed spec.
+  void add_scripted(const ScriptedFault& fault);
+
+  /// True when any device can fault at all; when false the runtime
+  /// bypasses fault bookkeeping entirely.
+  bool active() const noexcept { return active_; }
+
+  /// Does the next transfer operation on `device_id` fail? (consuming)
+  bool transfer_fails(int device_id);
+
+  /// Does the next kernel launch on `device_id` fail? (consuming)
+  bool launch_fails(int device_id);
+
+  /// Slowdown factor for the next kernel execution on `device_id`;
+  /// 1.0 = runs at full speed. (consuming)
+  double slowdown(int device_id);
+
+  /// Virtual time at which `device_id` is permanently lost, or a negative
+  /// value if it never is. Combines profile and scripted losses (earliest
+  /// wins). Non-consuming.
+  double loss_time(int device_id) const;
+
+ private:
+  struct Stream {
+    Prng prng{0};
+    long long ops[3] = {0, 0, 0};  // per transient FaultKind
+  };
+
+  Stream& stream(int device_id);
+  const FaultProfile* profile(int device_id) const;
+  /// Scripted hit for (device, kind) at the current ordinal? (consuming
+  /// helper used by the public queries; returns the matching script or
+  /// nullptr.)
+  const ScriptedFault* scripted_hit(int device_id, FaultKind kind,
+                                    long long op) const;
+
+  std::map<int, FaultProfile> profiles_;
+  std::map<int, Stream> streams_;
+  std::vector<ScriptedFault> scripted_;
+  std::uint64_t seed_ = 0x5eedfau;
+  bool active_ = false;
+};
+
+}  // namespace homp::sim
+
+#endif  // HOMP_SIM_FAULT_H

@@ -55,5 +55,21 @@ INSTANTIATE_TEST_SUITE_P(Shipped, MachineFiles,
                            return s;
                          });
 
+TEST(MachineFiles, FaultySampleLoadsWithFaultProfiles) {
+  // gpu4-faulty.ini has no builtin counterpart; it documents the fault_*
+  // keys (docs/RESILIENCE.md) on gpu4 hardware.
+  const std::string path = repo_machine_path("gpu4-faulty");
+  if (path.empty()) GTEST_SKIP() << "machines/ not found from cwd";
+  auto m = load_machine_file(path);
+  ASSERT_EQ(m.devices.size(), 5u);
+  EXPECT_FALSE(m.devices[0].fault.any());  // host is clean
+  EXPECT_FALSE(m.devices[1].fault.any());  // K40-0 is clean
+  EXPECT_DOUBLE_EQ(m.devices[2].fault.transfer_fault_rate, 0.01);
+  EXPECT_DOUBLE_EQ(m.devices[2].fault.launch_fault_rate, 0.005);
+  EXPECT_DOUBLE_EQ(m.devices[3].fault.slowdown_rate, 0.05);
+  EXPECT_DOUBLE_EQ(m.devices[3].fault.slowdown_factor, 4.0);
+  EXPECT_DOUBLE_EQ(m.devices[4].fault.fail_at_s, 0.1);
+}
+
 }  // namespace
 }  // namespace homp::mach

@@ -126,5 +126,65 @@ TEST(MachineParser, FileNotFoundThrows) {
   EXPECT_THROW(load_machine_file("/nonexistent/machine.ini"), ConfigError);
 }
 
+TEST(MachineParser, RejectsTrailingGarbageAfterNumber) {
+  // "12 GB/s" silently parsed as 12 before; now a diagnostic naming the
+  // line and the key.
+  try {
+    parse_machine("[link l]\nlatency_us = 10\nbandwidth_GBps = 12 GB/s\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bandwidth_GBps"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trailing"), std::string::npos) << msg;
+  }
+}
+
+TEST(MachineParser, ParsesFaultKeys) {
+  auto m = parse_machine(R"(
+[device g]
+type = host
+memory = shared
+link = none
+peak_gflops = 10
+sustained_gflops = 5
+peak_membw_GBps = 10
+sustained_membw_GBps = 5
+fault_transfer_rate = 0.01
+fault_launch_rate = 0.02
+fault_slowdown_rate = 0.03
+fault_slowdown_factor = 5
+fault_fail_at_s = 1.5
+)");
+  ASSERT_EQ(m.devices.size(), 1u);
+  const auto& f = m.devices[0].fault;
+  EXPECT_DOUBLE_EQ(f.transfer_fault_rate, 0.01);
+  EXPECT_DOUBLE_EQ(f.launch_fault_rate, 0.02);
+  EXPECT_DOUBLE_EQ(f.slowdown_rate, 0.03);
+  EXPECT_DOUBLE_EQ(f.slowdown_factor, 5.0);
+  EXPECT_DOUBLE_EQ(f.fail_at_s, 1.5);
+  EXPECT_TRUE(f.any());
+
+  // Fault keys survive the to_text round trip.
+  auto m2 = parse_machine(to_text(m));
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.transfer_fault_rate, 0.01);
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.fail_at_s, 1.5);
+}
+
+TEST(MachineParser, RejectsOutOfRangeFaultRate) {
+  EXPECT_THROW(parse_machine(R"(
+[device g]
+type = host
+memory = shared
+link = none
+peak_gflops = 10
+sustained_gflops = 5
+peak_membw_GBps = 10
+sustained_membw_GBps = 5
+fault_transfer_rate = 1.5
+)"),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace homp::mach

@@ -1,9 +1,13 @@
 // Failure injection: misconfigured offloads must fail loudly with
-// ConfigError/ExecutionError, never silently compute wrong schedules.
+// ConfigError/ExecutionError, never silently compute wrong schedules —
+// and mid-flight faults (transient transfer/launch failures, permanent
+// device loss) must be recovered bit-correctly (docs/RESILIENCE.md).
 
 #include <gtest/gtest.h>
 
 #include "kernels/axpy.h"
+#include "kernels/case.h"
+#include "kernels/sum.h"
 #include "machine/profiles.h"
 #include "runtime/runtime.h"
 
@@ -169,6 +173,269 @@ TEST(OffloadFailures, MoreDevicesThanIterationsStillCompletes) {
   EXPECT_EQ(res.total_iterations(), 3);
   std::string why;
   EXPECT_TRUE(c.verify(&why)) << why;
+}
+
+// ---------------------------------------------------------------------
+// Mid-flight fault recovery.
+
+long long fault_size(const std::string& name) {
+  if (name == "axpy") return 1000;
+  if (name == "matvec") return 64;
+  if (name == "matmul") return 48;
+  if (name == "stencil2d") return 40;
+  if (name == "sum") return 2000;
+  if (name == "bm2d") return 64;
+  ADD_FAILURE() << "unknown kernel " << name;
+  return 16;
+}
+
+bool run_and_verify(rt::Runtime& rt, kern::KernelCase& c,
+                    const rt::OffloadOptions& o, rt::OffloadResult* out,
+                    std::string* why) {
+  c.init();
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  *out = rt.offload(kernel, maps, o);
+  if (auto* sum = dynamic_cast<kern::SumCase*>(&c)) {
+    sum->set_result(out->reduction);
+  }
+  return c.verify(why);
+}
+
+const sched::AlgorithmKind kRecoveryAlgorithms[] = {
+    sched::AlgorithmKind::kBlock,
+    sched::AlgorithmKind::kDynamic,
+    sched::AlgorithmKind::kModel2Auto,
+};
+
+class FaultRecovery : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultRecovery, TransientFaultsAreRetriedBitCorrectly) {
+  const std::string name = GetParam();
+  for (auto alg : kRecoveryAlgorithms) {
+    rt::Runtime rt{mach::testing_machine(3)};
+    auto c = kern::make_case(name, fault_size(name), /*materialize=*/true);
+
+    rt::OffloadOptions o;
+    o.device_ids = {1, 2, 3};
+    o.sched.kind = alg;
+    o.fault.extra.transfer_fault_rate = 0.15;
+    o.fault.extra.launch_fault_rate = 0.10;
+    o.fault.extra.slowdown_rate = 0.10;
+
+    rt::OffloadResult res;
+    std::string why;
+    ASSERT_TRUE(run_and_verify(rt, *c, o, &res, &why))
+        << name << "/" << sched::to_string(alg) << ": " << why;
+    EXPECT_EQ(res.total_iterations(), c->kernel().iterations.size());
+    EXPECT_FALSE(res.fault_events.empty())
+        << name << ": rates this high must inject something";
+    std::size_t faults = 0, retries = 0;
+    for (const auto& d : res.devices) {
+      faults += d.faults;
+      retries += d.retries;
+    }
+    // Every counted fault has an event; a retry-budget quarantine adds
+    // one extra (fatal) event on top.
+    EXPECT_GE(res.fault_events.size(), faults);
+    EXPECT_GT(retries, 0u) << name;
+  }
+}
+
+TEST_P(FaultRecovery, PermanentLossIsRedistributedBitCorrectly) {
+  const std::string name = GetParam();
+  for (auto alg : kRecoveryAlgorithms) {
+    rt::Runtime rt{mach::testing_machine(3)};
+    auto c = kern::make_case(name, fault_size(name), /*materialize=*/true);
+
+    rt::OffloadOptions o;
+    o.device_ids = {1, 2, 3};
+    o.sched.kind = alg;
+    sim::ScriptedFault loss;
+    loss.device_id = 2;
+    loss.kind = sim::FaultKind::kDeviceLoss;
+    loss.at_s = 2e-6;  // mid-flight for these problem sizes
+    o.fault.scripted.push_back(loss);
+
+    rt::OffloadResult res;
+    std::string why;
+    ASSERT_TRUE(run_and_verify(rt, *c, o, &res, &why))
+        << name << "/" << sched::to_string(alg) << ": " << why;
+    // Every iteration is accounted for exactly once across the survivors
+    // and whatever the lost device committed before dying.
+    EXPECT_EQ(res.total_iterations(), c->kernel().iterations.size());
+    ASSERT_EQ(res.fault_events.size(), 1u) << name;
+    EXPECT_EQ(res.fault_events[0].kind, sim::FaultKind::kDeviceLoss);
+    EXPECT_TRUE(res.fault_events[0].fatal);
+    EXPECT_EQ(res.fault_events[0].device_id, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, FaultRecovery,
+                         ::testing::ValuesIn(kern::all_kernel_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(FaultRecovery, EarlyLossQuarantinesAndRedistributesEverything) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(2000, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  sim::ScriptedFault loss;
+  loss.device_id = 2;
+  loss.kind = sim::FaultKind::kDeviceLoss;
+  loss.at_s = 1e-7;  // before anything can complete
+  o.fault.scripted.push_back(loss);
+
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+  EXPECT_TRUE(res.degraded);
+  ASSERT_EQ(res.devices.size(), 2u);
+  const auto& lost = res.devices[1];  // slot order follows device_ids
+  const auto& survivor = res.devices[0];
+  EXPECT_TRUE(lost.quarantined);
+  EXPECT_DOUBLE_EQ(lost.quarantined_at, 1e-7);
+  EXPECT_EQ(lost.iterations, 0);  // nothing committed before the loss
+  EXPECT_GT(lost.requeued_iterations, 0);
+  EXPECT_FALSE(survivor.quarantined);
+  EXPECT_EQ(survivor.iterations, 2000);
+  // The survivor's BLOCK partition was 1000; the rest reached it through
+  // the dynamic requeue fallback.
+  EXPECT_GT(res.chunks_issued, 1);
+}
+
+TEST(FaultRecovery, RetryBudgetExhaustionQuarantines) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(1000, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  o.fault.max_retries = 2;
+  // Script attempts 1..3 (ops 0..2) of device 2's first transfer to fail:
+  // budget exhausted => quarantine, survivor picks everything up.
+  for (long long op = 0; op < 3; ++op) {
+    sim::ScriptedFault f;
+    f.device_id = 2;
+    f.kind = sim::FaultKind::kTransfer;
+    f.op = op;
+    o.fault.scripted.push_back(f);
+  }
+
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+  EXPECT_TRUE(res.degraded);
+  const auto& lost = res.devices[1];
+  EXPECT_TRUE(lost.quarantined);
+  EXPECT_EQ(lost.retries, 2u);
+  EXPECT_EQ(lost.faults, 3u);
+  EXPECT_EQ(lost.iterations, 0);
+  EXPECT_EQ(res.devices[0].iterations, 1000);
+  // The fatal quarantine event trails the three transient ones.
+  ASSERT_EQ(res.fault_events.size(), 4u);
+  EXPECT_TRUE(res.fault_events.back().fatal);
+}
+
+TEST(FaultRecovery, AllDevicesLostThrowsExecutionError) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  kern::AxpyCase c(1000, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.fault.extra.fail_at_s = 1e-7;  // every device dies almost immediately
+
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  EXPECT_THROW(rt.offload(kernel, maps, o), ExecutionError);
+}
+
+TEST(FaultRecovery, IdenticalSeedAndPlanGiveIdenticalResults) {
+  auto run_once = [](std::uint64_t seed) {
+    rt::Runtime rt{mach::testing_machine(3)};
+    kern::AxpyCase c(2000, /*materialize=*/true);
+    rt::OffloadOptions o;
+    o.device_ids = {1, 2, 3};
+    o.sched.kind = sched::AlgorithmKind::kDynamic;
+    o.fault.seed = seed;
+    o.fault.extra.transfer_fault_rate = 0.10;
+    o.fault.extra.launch_fault_rate = 0.05;
+    auto maps = c.maps();
+    auto kernel = c.kernel();
+    return rt.offload(kernel, maps, o);
+  };
+
+  const auto a = run_once(123);
+  const auto b = run_once(123);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.degraded, b.degraded);
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  for (std::size_t i = 0; i < a.fault_events.size(); ++i) {
+    EXPECT_EQ(a.fault_events[i].time, b.fault_events[i].time);
+    EXPECT_EQ(a.fault_events[i].device_id, b.fault_events[i].device_id);
+    EXPECT_EQ(a.fault_events[i].kind, b.fault_events[i].kind);
+  }
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].iterations, b.devices[i].iterations);
+    EXPECT_EQ(a.devices[i].faults, b.devices[i].faults);
+    EXPECT_EQ(a.devices[i].retries, b.devices[i].retries);
+    EXPECT_EQ(a.devices[i].bytes_in, b.devices[i].bytes_in);
+    EXPECT_EQ(a.devices[i].bytes_out, b.devices[i].bytes_out);
+  }
+
+  // A different seed draws a different fault trajectory (with these rates
+  // the chance of an identical event sequence is negligible).
+  const auto d = run_once(456);
+  EXPECT_FALSE(a.fault_events.size() == d.fault_events.size() &&
+               a.total_time == d.total_time);
+}
+
+TEST(FaultRecovery, FaultFreeRunMatchesNoFaultMachinery) {
+  // A zero-rate fault config must not perturb the simulation at all.
+  auto run_once = [](bool with_fault_struct) {
+    rt::Runtime rt{mach::testing_machine(2)};
+    kern::AxpyCase c(1500, /*materialize=*/true);
+    rt::OffloadOptions o;
+    o.device_ids = {1, 2};
+    o.sched.kind = sched::AlgorithmKind::kDynamic;
+    if (with_fault_struct) o.fault.seed = 999;  // differs, but rate 0
+    auto maps = c.maps();
+    auto kernel = c.kernel();
+    return rt.offload(kernel, maps, o);
+  };
+  const auto a = run_once(false);
+  const auto b = run_once(true);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_TRUE(a.fault_events.empty());
+  EXPECT_TRUE(b.fault_events.empty());
+  EXPECT_FALSE(a.degraded);
+}
+
+TEST(FaultRecovery, MachineFileFaultKeysReachTheRuntime) {
+  // fault_* keys in the machine description alone (no OffloadOptions
+  // fault config) must drive injection.
+  auto m = mach::testing_machine(2);
+  m.devices[2].fault.fail_at_s = 1e-7;
+  rt::Runtime rt{std::move(m)};
+  kern::AxpyCase c(1000, /*materialize=*/true);
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+  std::string why;
+  EXPECT_TRUE(c.verify(&why)) << why;
+  EXPECT_TRUE(res.degraded);
+  EXPECT_TRUE(res.devices[1].quarantined);
 }
 
 TEST(OffloadFailures, RejectsHaloOnUnpartitionedArray) {

@@ -148,6 +148,55 @@ TEST(ThroughputHistory, MalformedTextRejected) {
   EXPECT_THROW(h.merge_text("\t0\t3\n"), homp::ConfigError);
 }
 
+TEST(ThroughputHistory, ClearEmptiesTheStore) {
+  ThroughputHistory h;
+  h.record("axpy", 0, 10.0);
+  h.record("sum", 1, 20.0);
+  h.clear();
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.has("axpy", 0));
+  h.record("axpy", 0, 5.0);  // usable after clear
+  EXPECT_EQ(h.rate("axpy", 0), 5.0);
+}
+
+TEST(ThroughputHistory, CapacityEvictsOldestEntries) {
+  // A long-lived runtime records one entry per (kernel, device) pair ever
+  // offloaded; the cap bounds the store, evicting in insertion order.
+  ThroughputHistory h;
+  EXPECT_EQ(h.capacity(), ThroughputHistory::kDefaultCapacity);
+  h.set_capacity(3);
+  h.record("k0", 0, 1.0);
+  h.record("k1", 0, 2.0);
+  h.record("k2", 0, 3.0);
+  h.record("k3", 0, 4.0);  // evicts k0
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_FALSE(h.has("k0", 0));
+  EXPECT_TRUE(h.has("k1", 0));
+  EXPECT_TRUE(h.has("k3", 0));
+
+  // Updating an existing entry is not an insertion: nothing is evicted.
+  h.record("k1", 0, 20.0, /*alpha=*/1.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.rate("k1", 0), 20.0);
+  EXPECT_TRUE(h.has("k2", 0));
+
+  // Shrinking below the current size evicts immediately, oldest first.
+  h.set_capacity(1);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.has("k3", 0));
+  EXPECT_THROW(h.set_capacity(0), homp::ConfigError);
+}
+
+TEST(ThroughputHistory, DefaultCapBoundsUnboundedRecording) {
+  ThroughputHistory h;
+  for (int i = 0; i < 2000; ++i) {
+    h.record("k" + std::to_string(i), 0, 1.0 + i);
+  }
+  EXPECT_EQ(h.size(), ThroughputHistory::kDefaultCapacity);
+  EXPECT_FALSE(h.has("k0", 0));      // oldest evicted
+  EXPECT_TRUE(h.has("k1999", 0));    // newest kept
+}
+
 TEST(ThroughputHistory, FileRoundTrip) {
   ThroughputHistory h;
   h.record("sum", 5, 42.5);

@@ -91,5 +91,76 @@ TEST(Engine, IdleReflectsPendingEvents) {
   EXPECT_TRUE(e.idle());
 }
 
+TEST(Engine, CancelOfCompletedEventIsRejected) {
+  // Cancelling an id that already ran must fail — and must not corrupt
+  // the live-event accounting (a historical bug tombstoned such ids
+  // forever, leaking memory and decrementing live_events_ twice).
+  Engine e;
+  auto id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_TRUE(e.idle());
+  e.schedule_at(2.0, [] {});
+  EXPECT_FALSE(e.idle());  // accounting intact after the bogus cancel
+  e.run();
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, CancelOfUnknownIdIsRejected) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(12345));
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, RunUsableAfterStop) {
+  // stop() only interrupts the current drain; the engine must keep
+  // working across repeated stop/run cycles.
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    e.schedule_at(static_cast<double>(i + 1), [&order, &e, i] {
+      order.push_back(i);
+      e.stop();
+    });
+  }
+  for (int i = 0; i < 4; ++i) e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(e.idle());
+
+  // run_until after stop behaves the same way.
+  bool ran = false;
+  e.schedule_at(10.0, [&] { ran = true; });
+  e.stop();  // stale request must not poison the next drain
+  EXPECT_EQ(e.run_until(20.0), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, RunUntilSeesDeadlinePastTombstones) {
+  // A cancelled event sitting at the queue top must not hide the next
+  // live event from the deadline check.
+  Engine e;
+  int fired = 0;
+  auto id = e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  e.cancel(id);
+  EXPECT_EQ(e.run_until(3.0), 0u);  // live event at 5.0 is past deadline
+  EXPECT_EQ(fired, 0);
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RepeatedCancelCyclesReclaimTombstones) {
+  // Schedule/cancel churn must not grow the engine without bound: every
+  // tombstone is reclaimed when its queue entry surfaces.
+  Engine e;
+  for (int round = 0; round < 1000; ++round) {
+    auto id = e.schedule_after(1.0, [] {});
+    e.cancel(id);
+    e.run();  // drains the tombstone
+    EXPECT_TRUE(e.idle());
+  }
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
 }  // namespace
 }  // namespace homp::sim

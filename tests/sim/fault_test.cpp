@@ -1,0 +1,194 @@
+// The fault model must be deterministic (same seed + script => same fault
+// sequence) and script placement must be exact — the recovery tests in
+// tests/runtime/failure_test.cpp depend on both.
+
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace homp::sim {
+namespace {
+
+TEST(FaultProfile, ValidateRejectsOutOfRangeRates) {
+  FaultProfile p;
+  p.transfer_fault_rate = 1.0;  // must be < 1
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.launch_fault_rate = -0.1;
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.slowdown_factor = 0.5;  // must be >= 1
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.transfer_fault_rate = 0.5;
+  EXPECT_NO_THROW(p.validate("dev"));
+}
+
+TEST(FaultProfile, CombinedTreatsSourcesAsIndependent) {
+  FaultProfile a, b;
+  a.transfer_fault_rate = 0.5;
+  b.transfer_fault_rate = 0.5;
+  a.fail_at_s = 3.0;
+  b.fail_at_s = 2.0;
+  b.slowdown_factor = 8.0;
+  const FaultProfile c = a.combined(b);
+  EXPECT_DOUBLE_EQ(c.transfer_fault_rate, 0.75);  // 1 - 0.5 * 0.5
+  EXPECT_DOUBLE_EQ(c.fail_at_s, 2.0);             // earliest loss wins
+  EXPECT_DOUBLE_EQ(c.slowdown_factor, 8.0);
+  EXPECT_TRUE(c.any());
+  EXPECT_FALSE(FaultProfile{}.any());
+}
+
+TEST(FaultPlan, InactiveWithoutProfilesOrScripts) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  // Zero-rate profile keeps the plan inactive — the runtime relies on
+  // this to skip fault bookkeeping on clean machines.
+  plan.set_profile(0, FaultProfile{});
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.transfer_fails(0));
+  EXPECT_FALSE(plan.launch_fails(0));
+  EXPECT_DOUBLE_EQ(plan.slowdown(0), 1.0);
+  EXPECT_LT(plan.loss_time(0), 0.0);
+}
+
+TEST(FaultPlan, SameSeedSameSequence) {
+  FaultProfile p;
+  p.transfer_fault_rate = 0.3;
+  p.launch_fault_rate = 0.2;
+
+  auto sample = [&](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.set_seed(seed);
+    plan.set_profile(1, p);
+    plan.set_profile(2, p);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(plan.transfer_fails(1));
+      out.push_back(plan.launch_fails(2));
+    }
+    return out;
+  };
+  EXPECT_EQ(sample(7), sample(7));
+  EXPECT_NE(sample(7), sample(8));
+}
+
+TEST(FaultPlan, DevicesHaveIndependentStreams) {
+  FaultProfile p;
+  p.transfer_fault_rate = 0.5;
+  FaultPlan plan;
+  plan.set_profile(0, p);
+  plan.set_profile(1, p);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(plan.transfer_fails(0));
+    b.push_back(plan.transfer_fails(1));
+  }
+  EXPECT_NE(a, b);
+
+  // Interleaving order must not change each device's own sequence.
+  FaultPlan plan2;
+  plan2.set_profile(0, p);
+  plan2.set_profile(1, p);
+  std::vector<bool> b2;
+  for (int i = 0; i < 64; ++i) b2.push_back(plan2.transfer_fails(1));
+  std::vector<bool> a2;
+  for (int i = 0; i < 64; ++i) a2.push_back(plan2.transfer_fails(0));
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(b, b2);
+}
+
+TEST(FaultPlan, ScriptedFaultFiresAtExactOp) {
+  FaultPlan plan;
+  ScriptedFault f;
+  f.device_id = 3;
+  f.kind = FaultKind::kTransfer;
+  f.op = 2;
+  plan.add_scripted(f);
+  EXPECT_TRUE(plan.active());
+  EXPECT_FALSE(plan.transfer_fails(3));  // op 0
+  EXPECT_FALSE(plan.transfer_fails(3));  // op 1
+  EXPECT_TRUE(plan.transfer_fails(3));   // op 2 <- scripted
+  EXPECT_FALSE(plan.transfer_fails(3));  // op 3
+  // Launch ops are counted separately.
+  EXPECT_FALSE(plan.launch_fails(3));
+}
+
+TEST(FaultPlan, ScriptedFaultDoesNotShiftRandomSequence) {
+  // Adding a scripted fault must not perturb which *random* ops fail —
+  // the draw is consumed on every query regardless.
+  FaultProfile p;
+  p.transfer_fault_rate = 0.3;
+  auto sample = [&](bool with_script) {
+    FaultPlan plan;
+    plan.set_profile(0, p);
+    if (with_script) {
+      ScriptedFault f;
+      f.device_id = 0;
+      f.op = 5;
+      plan.add_scripted(f);
+    }
+    std::vector<bool> out;
+    for (int i = 0; i < 32; ++i) out.push_back(plan.transfer_fails(0));
+    return out;
+  };
+  auto plain = sample(false);
+  auto scripted = sample(true);
+  scripted[5] = plain[5];  // the scripted op itself differs, nothing else
+  EXPECT_EQ(plain, scripted);
+}
+
+TEST(FaultPlan, ScriptedSlowdownFactorOverride) {
+  FaultPlan plan;
+  ScriptedFault f;
+  f.device_id = 0;
+  f.kind = FaultKind::kSlowdown;
+  f.op = 0;
+  f.factor = 6.0;
+  plan.add_scripted(f);
+  EXPECT_DOUBLE_EQ(plan.slowdown(0), 6.0);
+  EXPECT_DOUBLE_EQ(plan.slowdown(0), 1.0);
+}
+
+TEST(FaultPlan, LossTimeEarliestWins) {
+  FaultPlan plan;
+  FaultProfile p;
+  p.fail_at_s = 5.0;
+  plan.set_profile(0, p);
+  EXPECT_DOUBLE_EQ(plan.loss_time(0), 5.0);
+  ScriptedFault f;
+  f.device_id = 0;
+  f.kind = FaultKind::kDeviceLoss;
+  f.at_s = 2.0;
+  plan.add_scripted(f);
+  EXPECT_DOUBLE_EQ(plan.loss_time(0), 2.0);
+  EXPECT_LT(plan.loss_time(1), 0.0);  // other devices unaffected
+}
+
+TEST(FaultPlan, RejectsMalformedScripts) {
+  FaultPlan plan;
+  ScriptedFault f;
+  f.device_id = -1;
+  EXPECT_THROW(plan.add_scripted(f), ConfigError);
+  f.device_id = 0;
+  f.kind = FaultKind::kDeviceLoss;
+  f.at_s = -1.0;
+  EXPECT_THROW(plan.add_scripted(f), ConfigError);
+  f.kind = FaultKind::kTransfer;
+  f.op = -2;
+  EXPECT_THROW(plan.add_scripted(f), ConfigError);
+}
+
+TEST(FaultKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(FaultKind::kTransfer), "transfer-fault");
+  EXPECT_STREQ(to_string(FaultKind::kLaunch), "launch-fault");
+  EXPECT_STREQ(to_string(FaultKind::kSlowdown), "slowdown");
+  EXPECT_STREQ(to_string(FaultKind::kDeviceLoss), "device-loss");
+}
+
+}  // namespace
+}  // namespace homp::sim
