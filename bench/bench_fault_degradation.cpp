@@ -1,9 +1,12 @@
 // Graceful degradation under injected faults: every Table II algorithm,
 // run fault-free and at 1% / 5% per-operation transient fault rates, plus
-// a permanent single-device loss halfway through the fault-free makespan.
-// Emits a JSON summary of the slowdown each algorithm suffers — the
-// recovery machinery (docs/RESILIENCE.md) keeps every run completing, so
-// the cost of a fault is time, never correctness.
+// three scripted scenarios — a permanent single-device loss halfway
+// through the fault-free makespan, a mid-run kernel hang on one device
+// (reclaimed by the watchdog + speculative re-execution), and a sustained
+// straggler (one device latches a 16x degrade). Emits a JSON summary of
+// the slowdown each algorithm suffers — the recovery machinery
+// (docs/RESILIENCE.md) keeps every run completing, so the cost of a fault
+// is time, never correctness.
 
 #include <cstdio>
 #include <string>
@@ -35,6 +38,52 @@ homp::rt::OffloadResult run_with_faults(const homp::rt::Runtime& rt,
   auto maps = c.maps();
   auto kernel = c.kernel();
   return rt.offload(kernel, maps, o);
+}
+
+/// One scripted compute fault (hang or degrade) on the last device.
+homp::rt::OffloadResult run_with_straggler(const homp::rt::Runtime& rt,
+                                           const homp::kern::KernelCase& c,
+                                           const std::vector<int>& devices,
+                                           const homp::bench::PolicyRun& policy,
+                                           homp::sim::FaultKind kind,
+                                           double factor) {
+  homp::rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = policy.kind;
+  o.sched.cutoff_ratio = policy.cutoff;
+  o.execute_bodies = false;
+  homp::sim::ScriptedFault f;
+  f.device_id = devices.back();
+  f.kind = kind;
+  f.op = 0;  // the device's first compute, so single-shot plans hit it too
+  f.factor = factor;
+  o.fault.scripted.push_back(f);
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  return rt.offload(kernel, maps, o);
+}
+
+std::string scenario_json(const char* name,
+                          const homp::rt::OffloadResult& res,
+                          double base_time) {
+  std::size_t tardy = 0, spec_run = 0, spec_won = 0, readmissions = 0;
+  for (const auto& d : res.devices) {
+    tardy += d.tardy_chunks;
+    spec_run += d.spec_copies_run;
+    spec_won += d.spec_copies_won;
+    readmissions += d.readmissions;
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "      {\"scenario\": \"%s\", \"time_ms\": %.6f, "
+                "\"slowdown\": %.4f, \"tardy_chunks\": %zu, "
+                "\"spec_copies_run\": %zu, \"spec_copies_won\": %zu, "
+                "\"readmissions\": %zu, \"degraded\": %s}",
+                name, res.total_time * 1e3,
+                base_time > 0.0 ? res.total_time / base_time : 1.0, tardy,
+                spec_run, spec_won, readmissions,
+                res.degraded ? "true" : "false");
+  return buf;
 }
 
 }  // namespace
@@ -87,6 +136,20 @@ int main() {
                   base_time > 0.0 ? loss.total_time / base_time : 1.0,
                   loss.degraded ? "true" : "false");
     runs += buf;
+    runs += ",\n";
+    // One device's first kernel hangs: the watchdog speculates the chunk
+    // onto a survivor and hard-kills the stuck device. The speculative
+    // path keeps the slowdown well under the 2x a naive restart costs.
+    const auto hang = run_with_straggler(rt, *c, devices, p,
+                                         sim::FaultKind::kHang, 0.0);
+    runs += scenario_json("hang", hang, base_time);
+    runs += ",\n";
+    // One device latches a sustained 16x degrade: the tardiness circuit
+    // breaker quarantines it, probation may re-admit (and re-quarantine)
+    // it, and the survivors absorb the rest.
+    const auto straggler = run_with_straggler(
+        rt, *c, devices, p, sim::FaultKind::kDegrade, 16.0);
+    runs += scenario_json("degrade_16x", straggler, base_time);
     std::printf("    {\"algorithm\": \"%s\", \"runs\": [\n%s\n    ]}%s\n",
                 p.label.c_str(), runs.c_str(),
                 i + 1 < policies.size() ? "," : "");

@@ -47,6 +47,14 @@ class ExecutionError : public Error {
   using Error::Error;
 };
 
+/// The offload can no longer make progress: every device that could serve
+/// the remaining iterations has been withdrawn (quarantined or
+/// deactivated). Raised instead of spinning or deadlocking the engine.
+class OffloadError : public ExecutionError {
+ public:
+  using ExecutionError::ExecutionError;
+};
+
 namespace detail {
 [[noreturn]] void throw_config_error(const char* expr, const char* file,
                                      int line, const std::string& msg);

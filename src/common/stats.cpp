@@ -27,4 +27,16 @@ double geomean(const std::vector<double>& xs) {
   return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
 }
 
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
 }  // namespace homp

@@ -64,6 +64,12 @@ Imbalance imbalance_of(const std::vector<double>& device_times);
 /// guarded by HOMP_ASSERT upstream.
 double geomean(const std::vector<double>& xs);
 
+/// The p-th percentile (p in [0, 100]) with linear interpolation between
+/// closest ranks, over a copy of `xs` (sorted internally). Returns 0 for
+/// empty input. Used by the benchmark harnesses to report tail latency of
+/// fault-degraded runs.
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace homp
 
 #endif  // HOMP_COMMON_STATS_H

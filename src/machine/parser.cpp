@@ -1,5 +1,6 @@
 #include "machine/parser.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -17,6 +18,7 @@ struct Section {
   std::string name;
   int line = 0;
   std::map<std::string, std::string> kv;
+  std::map<std::string, int> kline;  // per-key line, for error messages
 };
 
 [[noreturn]] void fail(int line, const std::string& msg) {
@@ -46,6 +48,48 @@ double get_double(const Section& s, const std::string& key) {
 
 double get_double_or(const Section& s, const std::string& key, double dflt) {
   return s.kv.count(key) ? get_double(s, key) : dflt;
+}
+
+int key_line(const Section& s, const std::string& key) {
+  auto it = s.kline.find(key);
+  return it == s.kline.end() ? s.line : it->second;
+}
+
+/// `fault_*_rate` keys are probabilities: [0, 1). Rejecting bad values at
+/// parse time names the offending line; letting them through would only
+/// surface as a ConfigError from FaultProfile::validate with no location.
+double get_rate(const Section& s, const std::string& key) {
+  const double v = get_double_or(s, key, 0.0);
+  if (!std::isfinite(v) || v < 0.0 || v >= 1.0) {
+    fail(key_line(s, key),
+         "key '" + key + "' must be a probability in [0, 1), got " +
+             std::to_string(v));
+  }
+  return v;
+}
+
+/// `fault_*_factor` keys are compute-time multipliers: finite and >= 1.
+double get_factor(const Section& s, const std::string& key, double dflt) {
+  const double v = get_double_or(s, key, dflt);
+  if (!std::isfinite(v) || v < 1.0) {
+    fail(key_line(s, key),
+         "key '" + key + "' must be a slowdown multiplier >= 1, got " +
+             std::to_string(v));
+  }
+  return v;
+}
+
+/// `fault_fail_at_s` is a virtual time: finite and >= 0, or exactly -1
+/// ("never", the default). Other negatives are almost certainly typos.
+double get_fail_time(const Section& s, const std::string& key) {
+  const double v = get_double_or(s, key, -1.0);
+  if (v == -1.0) return v;
+  if (!std::isfinite(v) || v < 0.0) {
+    fail(key_line(s, key),
+         "key '" + key + "' must be a time >= 0 in virtual seconds "
+         "(or -1 for never), got " + std::to_string(v));
+  }
+  return v;
 }
 
 std::string get_string(const Section& s, const std::string& key) {
@@ -102,6 +146,7 @@ std::vector<Section> tokenize(const std::string& text) {
     if (!sections.back().kv.emplace(key, value).second) {
       fail(lineno, "duplicate key '" + key + "'");
     }
+    sections.back().kline.emplace(key, lineno);
   }
   return sections;
 }
@@ -159,12 +204,14 @@ MachineDescriptor parse_machine(const std::string& text) {
     d.noise = get_double_or(s, "noise", 0.0);
     d.parallel_units =
         static_cast<int>(get_double_or(s, "parallel_units", 1.0));
-    d.fault.transfer_fault_rate =
-        get_double_or(s, "fault_transfer_rate", 0.0);
-    d.fault.launch_fault_rate = get_double_or(s, "fault_launch_rate", 0.0);
-    d.fault.slowdown_rate = get_double_or(s, "fault_slowdown_rate", 0.0);
-    d.fault.slowdown_factor = get_double_or(s, "fault_slowdown_factor", 4.0);
-    d.fault.fail_at_s = get_double_or(s, "fault_fail_at_s", -1.0);
+    d.fault.transfer_fault_rate = get_rate(s, "fault_transfer_rate");
+    d.fault.launch_fault_rate = get_rate(s, "fault_launch_rate");
+    d.fault.slowdown_rate = get_rate(s, "fault_slowdown_rate");
+    d.fault.slowdown_factor = get_factor(s, "fault_slowdown_factor", 4.0);
+    d.fault.hang_rate = get_rate(s, "fault_hang_rate");
+    d.fault.degrade_rate = get_rate(s, "fault_degrade_rate");
+    d.fault.degrade_factor = get_factor(s, "fault_degrade_factor", 8.0);
+    d.fault.fail_at_s = get_fail_time(s, "fault_fail_at_s");
     if (d.is_host()) {
       if (have_host) fail(s.line, "more than one host device");
       have_host = true;
@@ -231,6 +278,12 @@ std::string to_text(const MachineDescriptor& m) {
       os << buf;
       std::snprintf(buf, sizeof buf, "fault_slowdown_factor = %.6g\n",
                     d.fault.slowdown_factor);
+      os << buf;
+      std::snprintf(buf, sizeof buf,
+                    "fault_hang_rate = %.6g\nfault_degrade_rate = %.6g\n"
+                    "fault_degrade_factor = %.6g\n",
+                    d.fault.hang_rate, d.fault.degrade_rate,
+                    d.fault.degrade_factor);
       os << buf;
       if (d.fault.fail_at_s >= 0.0) {
         std::snprintf(buf, sizeof buf, "fault_fail_at_s = %.6g\n",

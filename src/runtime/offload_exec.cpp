@@ -9,6 +9,8 @@
 #include "common/log.h"
 #include "common/prng.h"
 #include "model/cost.h"
+#include "model/loop_model.h"
+#include "sched/extended_sched.h"
 #include "sched/partition_sched.h"
 #include "sched/selector.h"
 #include "sim/sync.h"
@@ -30,6 +32,18 @@ struct OffloadExecution::SpecPlan {
   dist::Distribution static_dist;  ///< for partitioned non-following arrays
 };
 
+/// Shared state of the copies of one tardy chunk racing to commit.
+/// Exactly one copy wins (`committed` flips once, on the single-threaded
+/// engine); every other copy discards its results before they reach the
+/// host, so the race cannot double-apply effects or corrupt arrays.
+struct OffloadExecution::SpecToken {
+  dist::Range range;
+  int origin_slot = -1;   ///< the tardy device that triggered speculation
+  int runners = 0;        ///< copies currently in some pipeline
+  bool committed = false; ///< a copy's host effects have landed
+  bool queued = false;    ///< still offered in spec_queue_
+};
+
 /// A chunk moving through a proxy's pipeline.
 struct OffloadExecution::PendingChunk {
   dist::Range range;
@@ -39,6 +53,9 @@ struct OffloadExecution::PendingChunk {
   double bytes_in = 0.0;
   double bytes_out = 0.0;
   bool from_requeue = false;   ///< redistributed after a quarantine
+  std::shared_ptr<SpecToken> token;  ///< non-null once speculated
+  bool is_spec = false;        ///< this copy is the speculative duplicate
+  bool is_probe = false;       ///< probation probe chunk
 };
 
 /// A computed chunk whose results are still device-resident: the output
@@ -53,6 +70,9 @@ struct OffloadExecution::OutRecord {
   double bytes_out = 0.0;
   double reduction = 0.0;  ///< body result, committed on success
   bool abandoned = false;  ///< quarantine requeued this chunk
+  std::shared_ptr<SpecToken> token;  ///< first-commit-wins gate
+  bool is_spec = false;
+  bool is_probe = false;
 };
 
 /// Per-device proxy actor state.
@@ -83,8 +103,15 @@ struct OffloadExecution::Proxy {
   bool finalizing = false;
   bool done = false;
 
-  bool lost = false;        ///< quarantined; never participates again
+  bool lost = false;        ///< quarantined (possibly re-admitted later)
   double loss_time = -1.0;  ///< scheduled permanent loss; < 0 = never
+
+  /// Watchdog / probation state.
+  std::uint64_t compute_serial = 0;  ///< guards stale watchdog events
+  double degrade_factor = 1.0;  ///< latched sustained-slowdown multiplier
+  double ewma_iter_s = 0.0;     ///< observed per-iteration time (EWMA)
+  bool probation = false;       ///< re-admitted, serving probe chunks
+  int probes_passed = 0;
 
   double partial_reduction = 0.0;
   DeviceStats stats;
@@ -190,6 +217,28 @@ void OffloadExecution::build_fault_plan() {
                    opts_.fault.backoff_cap_s >= opts_.fault.backoff_base_s,
                "fault backoff must satisfy 0 <= base <= cap");
   opts_.fault.extra.validate("offload fault options");
+
+  const WatchdogOptions& w = opts_.watchdog;
+  HOMP_REQUIRE(w.deadline_multiplier > 0.0 && w.deadline_floor_s >= 0.0,
+               "watchdog deadline_multiplier must be > 0 and the floor "
+               ">= 0");
+  HOMP_REQUIRE(w.hard_kill_multiplier >= 1.0,
+               "watchdog hard_kill_multiplier must be >= 1 (the hard "
+               "deadline cannot precede the soft one)");
+  HOMP_REQUIRE(w.tardy_quarantine_threshold >= 0,
+               "watchdog tardy_quarantine_threshold must be >= 0");
+  HOMP_REQUIRE(w.cooldown_base_s >= 0.0 && w.cooldown_growth >= 1.0 &&
+                   w.cooldown_cap_s >= w.cooldown_base_s,
+               "watchdog cooldown must satisfy 0 <= base <= cap, "
+               "growth >= 1");
+  HOMP_REQUIRE(w.probe_iterations >= 0 && w.probation_successes >= 1,
+               "watchdog probation knobs must be non-negative (and at "
+               "least one probe success required)");
+  probe_grain_ = w.probe_iterations > 0
+                     ? w.probe_iterations
+                     : std::max(opts_.sched.min_chunk,
+                                kernel_.iterations.size() / 64);
+  if (probe_grain_ < 1) probe_grain_ = 1;
 
   fault_plan_.set_seed(opts_.fault.seed);
   for (const auto& p : proxies_) {
@@ -517,6 +566,9 @@ void OffloadExecution::try_fetch(int slot) {
 
   std::optional<dist::Range> chunk_opt;
   bool from_requeue = false;
+  std::shared_ptr<SpecToken> token;
+  bool is_spec = false;
+  bool is_probe = false;
   if (!requeue_.empty()) {
     // Orphaned iterations of a quarantined device are served first, in
     // dynamic grains, regardless of the algorithm in use — the
@@ -525,7 +577,39 @@ void OffloadExecution::try_fetch(int slot) {
     chunk_opt = take_requeue();
     from_requeue = true;
   } else {
-    chunk_opt = scheduler_->next_chunk(slot);
+    // Speculative duplicates of tardy chunks come next. Not for the tardy
+    // device itself (it is still running the original) and not for
+    // probation devices (probes must be cheap scheduler work).
+    while (!spec_queue_.empty() && spec_queue_.front()->committed) {
+      spec_queue_.front()->queued = false;
+      spec_queue_.pop_front();
+    }
+    if (!p.probation) {
+      for (auto it = spec_queue_.begin(); it != spec_queue_.end(); ++it) {
+        if ((*it)->committed || (*it)->origin_slot == slot) continue;
+        token = *it;
+        spec_queue_.erase(it);
+        token->queued = false;
+        ++token->runners;
+        is_spec = true;
+        chunk_opt = token->range;
+        ++p.stats.spec_copies_run;
+        break;
+      }
+    }
+    if (!chunk_opt) chunk_opt = scheduler_->next_chunk(slot);
+  }
+  if (chunk_opt && p.probation && !is_spec) {
+    // Probation: serve only a small probe; the rest goes back to the
+    // requeue where any device (including this one, later) can take it.
+    is_probe = true;
+    ++p.stats.probe_chunks;
+    if (chunk_opt->size() > probe_grain_) {
+      requeue_.push_front(
+          dist::Range(chunk_opt->lo + probe_grain_, chunk_opt->hi));
+      chunk_opt = dist::Range(chunk_opt->lo, chunk_opt->lo + probe_grain_);
+      kick_survivors();
+    }
   }
   if (!chunk_opt) {
     if (scheduler_->finished(slot)) {
@@ -547,6 +631,9 @@ void OffloadExecution::try_fetch(int slot) {
   chunk.range = *chunk_opt;
   chunk.fetch_start = engine_.now();
   chunk.from_requeue = from_requeue;
+  chunk.token = std::move(token);
+  chunk.is_spec = is_spec;
+  chunk.is_probe = is_probe;
 
   // Inside a data region the data is already resident on the devices:
   // no allocation, no transfers — just compute against the region's
@@ -605,10 +692,9 @@ void OffloadExecution::try_fetch(int slot) {
     if (pr.lost) {
       // Quarantined inside the alloc/scheduling-delay window: hand the
       // chunk straight back for redistribution.
-      if (!c->range.empty()) {
-        requeue_.push_back(c->range);
-        pr.stats.requeued_iterations += c->range.size();
-      }
+      long long taken = 0;
+      orphan_range(slot, c->range, c->token, &taken);
+      pr.stats.requeued_iterations += taken;
       kick_survivors();
       return;
     }
@@ -738,6 +824,7 @@ void OffloadExecution::start_launch(int slot, int attempt) {
   }
 
   double compute = compute_seconds(p, p.computing->range);
+  bool hangs = false;
   if (fault_active_) {
     const double slow = fault_plan_.slowdown(p.device_id);
     if (slow > 1.0) {
@@ -746,15 +833,56 @@ void OffloadExecution::start_launch(int slot, int attempt) {
                      std::to_string(slow));
       compute *= slow;
     }
+    hangs = fault_plan_.compute_hangs(p.device_id);
+    if (hangs) {
+      note_fault(slot, sim::FaultKind::kHang, false,
+                 "compute " + p.computing->range.to_string() +
+                     " hangs (silent stall)");
+    }
+    const double deg = fault_plan_.degrade(p.device_id);
+    if (deg > 1.0) {
+      p.degrade_factor = std::max(p.degrade_factor, deg);
+      note_fault(slot, sim::FaultKind::kDegrade, false,
+                 "sustained degradation x" + std::to_string(deg) +
+                     " from " + p.computing->range.to_string());
+    }
+    compute *= p.degrade_factor;
   }
   p.stats.phase_time[static_cast<int>(Phase::kLaunch)] += launch;
-  p.stats.phase_time[static_cast<int>(Phase::kCompute)] += compute;
 
   // Prefetch the next chunk while this one computes (double buffering).
   try_fetch(slot);
 
-  engine_.schedule_after(launch + compute,
-                         [this, slot] { on_compute_done(slot); });
+  ++p.compute_serial;
+  if (!hangs) {
+    p.stats.phase_time[static_cast<int>(Phase::kCompute)] += compute;
+    engine_.schedule_after(launch + compute,
+                           [this, slot] { on_compute_done(slot); });
+  }
+  // A hung chunk never completes; only the watchdog below can reclaim it
+  // (with the watchdog disabled, the offload deadlocks and run() reports
+  // the stuck device — the pre-watchdog behaviour).
+  if (fault_active_ && opts_.watchdog.enabled) {
+    const std::uint64_t serial = p.compute_serial;
+    const double soft =
+        std::max(opts_.watchdog.deadline_floor_s,
+                 opts_.watchdog.deadline_multiplier *
+                     predicted_chunk_seconds(p, p.computing->range));
+    engine_.schedule_after(launch + soft, [this, slot, serial] {
+      watchdog_soft(slot, serial);
+    });
+    // The kill window after the soft fire must leave a speculative
+    // duplicate room to complete end-to-end, and the duplicate pays the
+    // per-transfer alpha cost the per-iteration prediction deliberately
+    // excludes — so the hard deadline scales (soft + round-trip latency),
+    // not soft alone. With no link the grace is zero and hard stays a
+    // plain multiple of soft.
+    const auto& din = loop_context_.devices[static_cast<std::size_t>(slot)];
+    const double grace = din.has_link ? 2.0 * din.link_latency_s : 0.0;
+    engine_.schedule_after(
+        launch + (soft + grace) * opts_.watchdog.hard_kill_multiplier,
+        [this, slot, serial] { watchdog_hard(slot, serial); });
+  }
 }
 
 void OffloadExecution::on_compute_done(int slot) {
@@ -762,13 +890,37 @@ void OffloadExecution::on_compute_done(int slot) {
   if (p.lost || !p.computing) return;  // quarantined; chunk was requeued
   PendingChunk chunk = std::move(*p.computing);
   p.computing.reset();
+  ++p.compute_serial;  // invalidates this chunk's pending watchdog events
 
   p.record_span(opts_.collect_trace, Phase::kCompute, p.compute_started,
                 engine_.now(), chunk.range.to_string());
-  // Requeued chunks are recovery work the scheduler never issued; feeding
-  // their timings back would skew the profiling rates.
-  if (!chunk.from_requeue) {
+  // Requeued and speculative chunks are recovery work the scheduler never
+  // issued; feeding their timings back would skew the profiling rates.
+  if (!chunk.from_requeue && !chunk.is_spec) {
     scheduler_->report(slot, chunk.range, engine_.now() - chunk.fetch_start);
+  }
+  if (!chunk.token && chunk.range.size() > 0) {
+    // Healthy completions feed the per-device observed per-iteration time
+    // the watchdog uses to loosen its deadline (tardy chunks excluded:
+    // they would teach the watchdog to tolerate the very straggling it is
+    // meant to catch).
+    const double per_iter = (engine_.now() - p.compute_started) /
+                            static_cast<double>(chunk.range.size());
+    p.ewma_iter_s = p.ewma_iter_s > 0.0
+                        ? 0.3 * per_iter + 0.7 * p.ewma_iter_s
+                        : per_iter;
+  }
+
+  if (chunk.token && chunk.token->committed) {
+    // Another copy of this chunk already committed while we computed:
+    // discard before any host effect, skip the (now pointless) output.
+    --chunk.token->runners;
+    note_recovery(slot, RecoveryAction::kTardyAbandoned,
+                  chunk.range.to_string() + " (other copy committed)");
+    try_start_compute(slot);
+    try_fetch(slot);
+    check_completion(slot);
+    return;
   }
 
   // The body runs now, on the device, against device-resident storage.
@@ -783,17 +935,23 @@ void OffloadExecution::on_compute_done(int slot) {
     rec->maps = chunk.chunk_maps;
     rec->bytes_out = chunk.bytes_out;
     rec->reduction = red;
+    rec->token = chunk.token;
+    rec->is_spec = chunk.is_spec;
+    rec->is_probe = chunk.is_probe;
     p.outputs.push_back(rec);
     issue_output(slot, std::move(rec), 1);
   } else {
     // Shared memory (or nothing to ship): effects become host-visible the
     // instant compute completes — an atomic commit on the DES engine, so
     // a later loss cannot leave them half-applied.
-    if (opts_.execute_bodies) {
-      for (auto* m : chunk.chunk_maps) m->copy_out();
+    if (claim_commit(slot, chunk.token, chunk.is_spec, chunk.is_probe,
+                     chunk.range)) {
+      if (opts_.execute_bodies) {
+        for (auto* m : chunk.chunk_maps) m->copy_out();
+      }
+      p.partial_reduction += red;
+      p.stats.iterations += chunk.range.size();
     }
-    p.partial_reduction += red;
-    p.stats.iterations += chunk.range.size();
   }
 
   try_start_compute(slot);
@@ -830,13 +988,17 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
         engine_.now() - start;
     q.record_span(opts_.collect_trace, Phase::kCopyOut, start, engine_.now(),
                   rec->range.to_string());
-    q.stats.bytes_out += bytes;
-    // Commit: only now do the chunk's results reach the host.
-    if (opts_.execute_bodies) {
-      for (auto* m : rec->maps) m->copy_out();
+    q.stats.bytes_out += bytes;  // physically transferred either way
+    // Commit: only now do the chunk's results reach the host — and only
+    // for the first copy of a speculated chunk (first-commit-wins).
+    if (claim_commit(slot, rec->token, rec->is_spec, rec->is_probe,
+                     rec->range)) {
+      if (opts_.execute_bodies) {
+        for (auto* m : rec->maps) m->copy_out();
+      }
+      q.partial_reduction += rec->reduction;
+      q.stats.iterations += rec->range.size();
     }
-    q.partial_reduction += rec->reduction;
-    q.stats.iterations += rec->range.size();
     auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
     if (it != q.outputs.end()) q.outputs.erase(it);
     --q.outstanding_outputs;
@@ -903,8 +1065,12 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
   if (p.lost) return;
   p.lost = true;
+  p.probation = false;
+  p.probes_passed = 0;
   p.stats.quarantined = true;
   p.stats.quarantined_at = engine_.now();
+  ++p.stats.quarantine_count;
+  ++p.compute_serial;  // disarm any pending watchdog events
   fault_events_.push_back(FaultEvent{engine_.now(), slot, p.device_id, kind,
                                      /*fatal=*/true,
                                      "quarantined: " + detail});
@@ -914,29 +1080,26 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
   // Requeue everything in flight. None of it has been committed to the
   // host (commits ride the copy-out completion), so re-executing the
   // chunks elsewhere cannot double-count or corrupt host arrays.
+  // Spec-token'd chunks go through orphan_range, which keeps the
+  // first-commit-wins invariant (committed ranges never requeue).
   long long taken = 0;
-  auto orphan = [this, &taken](const dist::Range& r) {
-    if (r.empty()) return;
-    requeue_.push_back(r);
-    taken += r.size();
-  };
   if (p.inflight) {
-    orphan(p.inflight->range);
+    orphan_range(slot, p.inflight->range, p.inflight->token, &taken);
     p.inflight.reset();
   }
   if (p.ready) {
-    orphan(p.ready->range);
+    orphan_range(slot, p.ready->range, p.ready->token, &taken);
     p.ready.reset();
   }
   if (p.computing) {
-    orphan(p.computing->range);
+    orphan_range(slot, p.computing->range, p.computing->token, &taken);
     p.computing.reset();
   }
   p.fetching = false;
   for (auto& rec : p.outputs) {
     if (!rec->abandoned) {
       rec->abandoned = true;
-      orphan(rec->range);
+      orphan_range(slot, rec->range, rec->token, &taken);
     }
   }
   p.outputs.clear();
@@ -947,21 +1110,26 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
         engine_.now() - p.stage_wait_start;
   }
 
-  // Reserved-but-unissued iterations come back from the scheduler.
-  // Single-shot (BLOCK / MODEL_*) plans thereby fall back to dynamic
-  // redistribution of the orphaned partition.
-  for (const auto& r : scheduler_->deactivate(slot)) orphan(r);
-  p.stats.requeued_iterations += taken;
-
+  // No survivors means nobody is left to serve the requeue: surface a
+  // clean error *before* asking the scheduler to deactivate its last
+  // slot (which would throw its own, less informative, OffloadError).
   std::size_t survivors = 0;
   for (const auto& q : proxies_) {
     if (!q->lost) ++survivors;
   }
   if (survivors == 0) {
-    throw ExecutionError("all devices lost during offload of '" +
-                         kernel_.name + "' (last: '" + p.desc->name + "', " +
-                         detail + ")");
+    throw OffloadError("all devices lost during offload of '" +
+                       kernel_.name + "' (last: '" + p.desc->name + "', " +
+                       detail + ")");
   }
+
+  // Reserved-but-unissued iterations come back from the scheduler.
+  // Single-shot (BLOCK / MODEL_*) plans thereby fall back to dynamic
+  // redistribution of the orphaned partition.
+  for (const auto& r : scheduler_->deactivate(slot)) {
+    orphan_range(slot, r, nullptr, &taken);
+  }
+  p.stats.requeued_iterations += taken;
 
   if (!requeue_.empty()) {
     long long total = 0;
@@ -972,6 +1140,15 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
     if (requeue_grain_ < 1) requeue_grain_ = 1;
   }
 
+  // Unless the device is *really* gone, give it a path back: after an
+  // exponentially growing cooldown it re-enters in probation.
+  const bool permanent =
+      kind == sim::FaultKind::kDeviceLoss ||
+      (p.loss_time >= 0.0 && engine_.now() >= p.loss_time);
+  if (!permanent && opts_.watchdog.enabled && opts_.watchdog.probation) {
+    schedule_readmission(slot);
+  }
+
   pass_serial_token(slot);
   kick_survivors();
   // The dead slot no longer holds the stage barrier; removing it may
@@ -979,38 +1156,265 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
   check_stage_barrier();
 }
 
-void OffloadExecution::kick_survivors() {
-  if (requeue_.empty()) return;
-  for (const auto& q : proxies_) {
-    if (q->lost) continue;
-    const int s = q->slot;
-    if (q->done) {
-      // Revival: the proxy had already finalized, but redistribution work
-      // arrived. It re-enters the pipeline and finalizes again later (the
-      // repeated static write-back is deterministic byte accounting on
-      // idempotent copies, not a correctness hazard).
-      q->done = false;
-      q->finalizing = false;
-      engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
-    } else if (q->waiting_stage) {
-      // Barrier waiters pick up redistribution work before re-waiting.
-      q->waiting_stage = false;
-      q->stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
-          engine_.now() - q->stage_wait_start;
-      q->record_span(opts_.collect_trace, Phase::kBarrier,
-                     q->stage_wait_start, engine_.now(), "stage");
-      engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
-    } else if (!q->fetching && !q->inflight && !q->ready && !q->computing &&
-               !q->finalizing && q->outstanding_outputs == 0) {
-      engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+void OffloadExecution::orphan_range(int slot, const dist::Range& range,
+                                    const std::shared_ptr<SpecToken>& token,
+                                    long long* taken) {
+  if (token) {
+    --token->runners;
+    if (token->committed) return;  // results already on the host
+    if (token->queued) {
+      // Still offered as optional work: withdraw the offer, the range
+      // becomes mandatory requeue work below.
+      token->queued = false;
+      for (auto it = spec_queue_.begin(); it != spec_queue_.end(); ++it) {
+        if (*it == token) {
+          spec_queue_.erase(it);
+          break;
+        }
+      }
     }
-    // Busy proxies pick requeued work up at their next pipeline step.
+    if (token->runners > 0) return;  // another copy is still racing
+  }
+  (void)slot;
+  if (range.empty()) return;
+  requeue_.push_back(range);
+  *taken += range.size();
+}
+
+double OffloadExecution::predicted_chunk_seconds(
+    const Proxy& p, const dist::Range& chunk) const {
+  // MODEL_2's per-iteration prediction (peak numbers: systematically
+  // optimistic), loosened by what the device has actually demonstrated —
+  // its cross-offload throughput history and this offload's per-iteration
+  // EWMA — so a legitimately slow device is not hounded by false fires.
+  double iter_s = model::model2_iter_time(
+      loop_context_.kernel,
+      loop_context_.devices[static_cast<std::size_t>(p.slot)]);
+  if (opts_.sched.history != nullptr &&
+      opts_.sched.history->has(opts_.sched.history_kernel, p.device_id)) {
+    const double rate =
+        opts_.sched.history->rate(opts_.sched.history_kernel, p.device_id);
+    if (rate > 0.0) iter_s = std::max(iter_s, 1.0 / rate);
+  }
+  if (p.ewma_iter_s > 0.0) iter_s = std::max(iter_s, p.ewma_iter_s);
+  double t = static_cast<double>(chunk.size()) * iter_s +
+             p.desc->launch_overhead_s;
+  if (kernel_.work_factor) t *= kernel_.work_factor(chunk);
+  return t;
+}
+
+void OffloadExecution::watchdog_soft(int slot, std::uint64_t serial) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost || !p.computing || p.compute_serial != serial) return;
+  ++p.stats.tardy_chunks;
+  note_recovery(slot, RecoveryAction::kWatchdogFired,
+                p.computing->range.to_string() + " missed its soft deadline");
+
+  if (p.probation) {
+    // A probe that cannot even meet a 4x-slack deadline fails probation.
+    quarantine(slot, sim::FaultKind::kHang,
+               "probation probe " + p.computing->range.to_string() +
+                   " missed its deadline");
+    return;
+  }
+  const int threshold = opts_.watchdog.tardy_quarantine_threshold;
+  if (threshold > 0 &&
+      p.stats.tardy_chunks >= static_cast<std::size_t>(threshold)) {
+    quarantine(slot, sim::FaultKind::kHang,
+               "repeatedly tardy (" + std::to_string(p.stats.tardy_chunks) +
+                   " chunks missed their deadline)");
+    return;
+  }
+
+  // Speculate the tardy chunk onto a survivor. Disabled inside data
+  // regions (the chunk's data lives only in the tardy device's region
+  // slice) and for chunks that already carry a token.
+  if (!opts_.watchdog.speculation || region_envs_ != nullptr ||
+      p.computing->token) {
+    return;
+  }
+  std::vector<Proxy*> candidates;
+  for (const auto& q : proxies_) {
+    if (q->lost || q->slot == slot || q->probation) continue;
+    candidates.push_back(q.get());
+  }
+  if (candidates.empty()) return;
+
+  auto token = std::make_shared<SpecToken>();
+  token->range = p.computing->range;
+  token->origin_slot = slot;
+  token->runners = 1;  // the tardy original
+  token->queued = true;
+  p.computing->token = token;
+  spec_queue_.push_back(std::move(token));
+  note_recovery(slot, RecoveryAction::kSpeculated,
+                p.computing->range.to_string() +
+                    " duplicated onto the survivors");
+
+  // Wake idle survivors, fastest first: FIFO at the same virtual instant
+  // means the first proxy roused fetches the duplicate first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Proxy* a, const Proxy* b) {
+              if (a->desc->sustained_gflops != b->desc->sustained_gflops) {
+                return a->desc->sustained_gflops > b->desc->sustained_gflops;
+              }
+              return a->slot < b->slot;
+            });
+  for (Proxy* q : candidates) rouse(*q);
+}
+
+void OffloadExecution::watchdog_hard(int slot, std::uint64_t serial) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost || !p.computing || p.compute_serial != serial) return;
+  // The chunk blew even the hard deadline: presumed hung. The time sunk
+  // into it was recovery overhead, not useful compute.
+  p.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
+      engine_.now() - p.compute_started;
+  p.record_span(opts_.collect_trace, Phase::kRecovery, p.compute_started,
+                engine_.now(), p.computing->range.to_string() + " hung");
+  quarantine(slot, sim::FaultKind::kHang,
+             "compute " + p.computing->range.to_string() +
+                 " exceeded the hard watchdog deadline");
+}
+
+bool OffloadExecution::claim_commit(int slot,
+                                    const std::shared_ptr<SpecToken>& token,
+                                    bool is_spec, bool is_probe,
+                                    const dist::Range& range) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (token) {
+    --token->runners;
+    if (token->committed) {
+      note_recovery(slot, RecoveryAction::kTardyAbandoned,
+                    range.to_string() + " (lost the commit race)");
+      return false;
+    }
+    token->committed = true;
+    if (is_spec) {
+      ++p.stats.spec_copies_won;
+      note_recovery(slot, RecoveryAction::kSpecCommitted, range.to_string());
+      // First-commit-wins cancels the loser *now*. The origin missed its
+      // soft deadline and then lost to a from-scratch duplicate that paid
+      // the full copy-in/copy-out cost — it is hung or degraded beyond
+      // use, and every further second it grinds on an already-committed
+      // chunk holds the final barrier hostage. Quarantine it immediately
+      // (probation can re-admit it); the hard deadline stays as the
+      // backstop for chunks that were never speculated.
+      Proxy& origin = *proxies_[static_cast<std::size_t>(token->origin_slot)];
+      if (!origin.lost && origin.computing &&
+          origin.computing->token == token) {
+        origin.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
+            engine_.now() - origin.compute_started;
+        origin.record_span(opts_.collect_trace, Phase::kRecovery,
+                           origin.compute_started, engine_.now(),
+                           range.to_string() + " lost to its duplicate");
+        quarantine(token->origin_slot, sim::FaultKind::kHang,
+                   "compute " + range.to_string() +
+                       " lost the commit race to its speculative duplicate");
+      }
+    }
+  }
+  if (is_probe && p.probation) {
+    ++p.probes_passed;
+    note_recovery(slot, RecoveryAction::kProbePassed, range.to_string());
+    if (p.probes_passed >= opts_.watchdog.probation_successes) {
+      p.probation = false;
+      note_recovery(slot, RecoveryAction::kPromoted,
+                    "restored to full service after " +
+                        std::to_string(p.probes_passed) + " probes");
+    }
+  }
+  return true;
+}
+
+void OffloadExecution::schedule_readmission(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  const double cooldown = std::min(
+      opts_.watchdog.cooldown_cap_s,
+      opts_.watchdog.cooldown_base_s *
+          std::pow(opts_.watchdog.cooldown_growth,
+                   static_cast<double>(p.stats.quarantine_count - 1)));
+  p.record_span(opts_.collect_trace, Phase::kRecovery, engine_.now(),
+                engine_.now() + cooldown, "quarantine cooldown");
+  engine_.schedule_after(cooldown, [this, slot] { readmit(slot); });
+}
+
+void OffloadExecution::readmit(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (!p.lost) return;
+  // Quarantined first, *then* its scheduled permanent loss passed: dead.
+  if (p.loss_time >= 0.0 && engine_.now() >= p.loss_time) return;
+  // Offload effectively over: nothing left to prove, stay quarantined.
+  bool work_left = !requeue_.empty();
+  for (const auto& q : proxies_) {
+    if (!q->lost && !q->done) work_left = true;
+  }
+  if (!work_left) return;
+
+  p.lost = false;
+  p.probation = true;
+  p.probes_passed = 0;
+  p.done = false;
+  p.finalizing = false;
+  p.stats.quarantined = false;
+  ++p.stats.readmissions;
+  note_recovery(slot, RecoveryAction::kReadmitted,
+                "probation after cooldown (quarantine #" +
+                    std::to_string(p.stats.quarantine_count) + ")");
+  HOMP_INFO << "device '" << p.desc->name << "' re-admitted in probation at "
+            << "t=" << engine_.now();
+  scheduler_->reactivate(slot);
+  engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
+}
+
+bool OffloadExecution::has_work_for(int slot) const {
+  if (!requeue_.empty()) return true;
+  for (const auto& t : spec_queue_) {
+    if (!t->committed && t->origin_slot != slot) return true;
+  }
+  return false;
+}
+
+void OffloadExecution::rouse(Proxy& q) {
+  const int s = q.slot;
+  if (q.done) {
+    // Revival: the proxy had already finalized, but new work arrived. It
+    // re-enters the pipeline and finalizes again later (the repeated
+    // static write-back is deterministic byte accounting on idempotent
+    // copies, not a correctness hazard).
+    q.done = false;
+    q.finalizing = false;
+  } else if (q.waiting_stage) {
+    // Barrier waiters pick up work before re-waiting.
+    q.waiting_stage = false;
+    q.stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+        engine_.now() - q.stage_wait_start;
+    q.record_span(opts_.collect_trace, Phase::kBarrier, q.stage_wait_start,
+                  engine_.now(), "stage");
+  } else if (q.fetching || q.inflight || q.ready || q.computing ||
+             q.finalizing || q.outstanding_outputs > 0) {
+    return;  // busy: picks work up at its next pipeline step
+  }
+  engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+}
+
+void OffloadExecution::note_recovery(int slot, RecoveryAction action,
+                                     std::string detail) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  recovery_events_.push_back(RecoveryEvent{engine_.now(), slot, p.device_id,
+                                           action, std::move(detail)});
+}
+
+void OffloadExecution::kick_survivors() {
+  for (const auto& q : proxies_) {
+    if (q->lost || !has_work_for(q->slot)) continue;
+    rouse(*q);
   }
 }
 
 void OffloadExecution::maybe_revive(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
-  if (requeue_.empty() || !p.done || p.lost) return;
+  if (!p.done || p.lost || !has_work_for(slot)) return;
   p.done = false;
   p.finalizing = false;
   engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
@@ -1140,14 +1544,15 @@ OffloadResult OffloadExecution::run() {
   }
   res.chunks_issued = scheduler_->chunks_issued();
   res.fault_events = std::move(fault_events_);
+  res.recovery_events = std::move(recovery_events_);
 
   double end = 0.0;
   long long covered = 0;
   for (auto& p : proxies_) {
+    if (p->stats.quarantine_count > 0) res.degraded = true;
     if (p->stats.quarantined) {
       // Chunks this device committed before its quarantine are valid host
       // results and stay counted; the rest were redistributed.
-      res.degraded = true;
       p->stats.finish_time = p->stats.quarantined_at;
       covered += p->stats.iterations;
       continue;

@@ -30,7 +30,22 @@
 /// iterations are requeued and redistributed to the survivors. Host
 /// commits (copy-out, reduction, iteration counts) ride the copy-out
 /// completion, so a quarantined chunk never half-writes host arrays.
+///
+/// On top of retry/quarantine sits a watchdog (armed only while fault
+/// injection is active): every compute gets a soft deadline derived from
+/// the model-predicted chunk time, and a hard deadline a fixed multiple
+/// beyond it. A chunk past its soft deadline is *tardy* — it may be
+/// speculatively duplicated onto the fastest idle survivor, with
+/// first-commit-wins deciding which copy's host effects land (the loser
+/// is discarded before touching host state, keeping results
+/// bit-identical). A chunk past its hard deadline is presumed hung
+/// (FaultKind::kHang) and its device is quarantined. Quarantine is no
+/// longer necessarily permanent: unless the device is really lost, it is
+/// re-admitted after an exponentially growing cooldown into a probation
+/// state that feeds it small probe chunks until it either proves itself
+/// (promotion) or fails again (re-quarantine).
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -80,6 +95,7 @@ class OffloadExecution {
 
  private:
   struct SpecPlan;
+  struct SpecToken;
   struct PendingChunk;
   struct OutRecord;
   struct Proxy;
@@ -118,6 +134,29 @@ class OffloadExecution {
   void kick_survivors();
   void maybe_revive(int slot);
 
+  // Watchdog, speculation, probation (docs/RESILIENCE.md).
+  double predicted_chunk_seconds(const Proxy& p,
+                                 const dist::Range& chunk) const;
+  void watchdog_soft(int slot, std::uint64_t serial);
+  void watchdog_hard(int slot, std::uint64_t serial);
+  /// First-commit-wins gate + probation bookkeeping; true when this copy
+  /// of the chunk owns the host commit.
+  bool claim_commit(int slot, const std::shared_ptr<SpecToken>& token,
+                    bool is_spec, bool is_probe, const dist::Range& range);
+  /// Requeue one orphaned range at quarantine, honouring its spec token
+  /// (committed ranges are never requeued; racing copies keep running).
+  void orphan_range(int slot, const dist::Range& range,
+                    const std::shared_ptr<SpecToken>& token,
+                    long long* taken);
+  /// Anything (mandatory requeue or a speculative duplicate another
+  /// device originated) this slot could usefully fetch right now?
+  bool has_work_for(int slot) const;
+  /// Wake an idle / done / barrier-waiting proxy to fetch work.
+  void rouse(Proxy& q);
+  void schedule_readmission(int slot);
+  void readmit(int slot);
+  void note_recovery(int slot, RecoveryAction action, std::string detail);
+
   const mach::MachineDescriptor& machine_;
   const LoopKernel& kernel_;
   const std::vector<mem::MapSpec>& maps_;
@@ -145,6 +184,13 @@ class OffloadExecution {
   std::deque<dist::Range> requeue_;
   long long requeue_grain_ = 1;
   std::vector<FaultEvent> fault_events_;
+
+  /// Tardy chunks offered for speculative duplication (optional work:
+  /// completion never waits on it; a hung original converts its entry
+  /// into mandatory requeue work at quarantine).
+  std::deque<std::shared_ptr<SpecToken>> spec_queue_;
+  long long probe_grain_ = 1;
+  std::vector<RecoveryEvent> recovery_events_;
 };
 
 }  // namespace homp::rt

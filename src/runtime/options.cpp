@@ -24,6 +24,26 @@ const char* to_string(Phase p) noexcept {
   return "?";
 }
 
+const char* to_string(RecoveryAction a) noexcept {
+  switch (a) {
+    case RecoveryAction::kWatchdogFired:
+      return "watchdog-fired";
+    case RecoveryAction::kSpeculated:
+      return "speculated";
+    case RecoveryAction::kSpecCommitted:
+      return "spec-committed";
+    case RecoveryAction::kTardyAbandoned:
+      return "tardy-abandoned";
+    case RecoveryAction::kReadmitted:
+      return "readmitted";
+    case RecoveryAction::kProbePassed:
+      return "probe-passed";
+    case RecoveryAction::kPromoted:
+      return "promoted";
+  }
+  return "?";
+}
+
 Imbalance OffloadResult::imbalance() const {
   std::vector<double> finish;
   finish.reserve(devices.size());

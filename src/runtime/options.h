@@ -61,6 +61,55 @@ struct FaultInjection {
   double backoff_cap_s = 10e-3;
 };
 
+/// Watchdog, straggler mitigation and probation re-admission knobs
+/// (docs/RESILIENCE.md). Only consulted while fault injection is active:
+/// a fault-free offload runs with zero watchdog machinery, so it stays
+/// bit-identical to a run without the subsystem.
+struct WatchdogOptions {
+  /// Master switch. Off: no deadlines, no speculation, no probation —
+  /// PR-1 recovery semantics (permanent quarantine) apply.
+  bool enabled = true;
+
+  /// Soft deadline for one chunk = max(deadline_floor_s,
+  /// deadline_multiplier x predicted), where predicted comes from the
+  /// model layer (MODEL_2 per-iteration time), loosened by the device's
+  /// ThroughputHistory rate and its own observed per-iteration EWMA.
+  /// Missing the soft deadline marks the chunk tardy and (optionally)
+  /// speculates it onto the fastest idle survivor.
+  double deadline_multiplier = 4.0;
+  double deadline_floor_s = 50e-6;
+
+  /// Hard deadline = hard_kill_multiplier x (soft deadline + the chunk's
+  /// round-trip link latency). The latency grace leaves a speculative
+  /// duplicate — which pays its own copy-in/copy-out alpha cost — room to
+  /// commit before the original is killed. A chunk still computing past
+  /// the hard deadline is presumed hung; the device is quarantined.
+  double hard_kill_multiplier = 3.0;
+
+  /// Duplicate a tardy chunk onto the fastest idle survivor; the first
+  /// copy to commit wins, the loser is discarded before touching host
+  /// state (first-commit-wins keeps results bit-identical).
+  bool speculation = true;
+
+  /// Quarantine a device once this many of its chunks went tardy
+  /// (repeatedly-slow circuit breaker); 0 disables.
+  int tardy_quarantine_threshold = 3;
+
+  /// Re-admit quarantined devices after a cooldown, in probation: small
+  /// probe chunks, promoted after `probation_successes` commits,
+  /// re-quarantined (cooldown grows by `cooldown_growth`) on failure.
+  /// Devices that are permanently lost (kDeviceLoss) are never readmitted.
+  bool probation = true;
+  double cooldown_base_s = 1e-3;
+  double cooldown_growth = 2.0;
+  double cooldown_cap_s = 1.0;
+
+  /// Probe chunk size while in probation; 0 derives
+  /// max(sched.min_chunk, loop/64).
+  long long probe_iterations = 0;
+  int probation_successes = 2;
+};
+
 struct OffloadOptions {
   /// Global device ids participating in the offload (the `device(...)`
   /// list). Must be non-empty; id 0 is the host.
@@ -115,6 +164,10 @@ struct OffloadOptions {
   /// `fault.scripted` specifies one; otherwise this adds no overhead.
   FaultInjection fault;
 
+  /// Watchdog / straggler-mitigation / probation tuning; armed only while
+  /// fault injection is active.
+  WatchdogOptions watchdog;
+
   /// Record per-activity spans into OffloadResult::trace (see
   /// runtime/trace.h for the chrome://tracing exporter).
   bool collect_trace = false;
@@ -128,6 +181,29 @@ struct FaultEvent {
   sim::FaultKind kind = sim::FaultKind::kTransfer;
   bool fatal = false;  ///< true when the fault quarantined the device
   std::string detail;  ///< e.g. "copy-in [0,1024) attempt 2"
+};
+
+/// What the watchdog / probation machinery did (as opposed to FaultEvent,
+/// which records what the fault *injection* did).
+enum class RecoveryAction : int {
+  kWatchdogFired = 0,  ///< a chunk missed its soft deadline (tardy)
+  kSpeculated,         ///< tardy chunk duplicated onto a survivor
+  kSpecCommitted,      ///< a speculative duplicate committed first
+  kTardyAbandoned,     ///< the losing copy of a speculated chunk discarded
+  kReadmitted,         ///< quarantined device re-entered in probation
+  kProbePassed,        ///< a probation probe chunk committed
+  kPromoted,           ///< probation device restored to full service
+};
+
+const char* to_string(RecoveryAction a) noexcept;
+
+/// One watchdog/probation decision, in virtual-time order.
+struct RecoveryEvent {
+  double time = 0.0;
+  int slot = -1;
+  int device_id = -1;
+  RecoveryAction action = RecoveryAction::kWatchdogFired;
+  std::string detail;  ///< e.g. the chunk range and the deadline that fired
 };
 
 /// One pipeline activity on one device, in virtual time.
@@ -156,8 +232,16 @@ struct DeviceStats {
   std::size_t faults = 0;   ///< injected faults observed on this device
   std::size_t retries = 0;  ///< stage attempts retried after a transient
   long long requeued_iterations = 0;  ///< iterations taken FROM this device
-  bool quarantined = false;
-  double quarantined_at = 0.0;  ///< virtual time of quarantine
+  bool quarantined = false;     ///< still quarantined at offload end
+  double quarantined_at = 0.0;  ///< virtual time of (last) quarantine
+
+  /// Watchdog / straggler / probation telemetry (docs/RESILIENCE.md).
+  std::size_t tardy_chunks = 0;   ///< own chunks that missed the deadline
+  std::size_t spec_copies_run = 0;  ///< duplicates executed ON this device
+  std::size_t spec_copies_won = 0;  ///< duplicates that committed first
+  std::size_t probe_chunks = 0;     ///< chunks served while in probation
+  std::size_t readmissions = 0;     ///< probation re-entries
+  std::size_t quarantine_count = 0;  ///< total quarantines (>=1 can heal)
 
   double busy_time() const noexcept {
     double t = 0.0;
@@ -189,8 +273,11 @@ struct OffloadResult {
   /// Every injected fault the recovery machinery observed, in time order.
   std::vector<FaultEvent> fault_events;
 
-  /// True when at least one device was quarantined (the offload completed
-  /// on a degraded device set).
+  /// Every watchdog / speculation / probation decision, in time order.
+  std::vector<RecoveryEvent> recovery_events;
+
+  /// True when at least one device was quarantined at some point (even if
+  /// later re-admitted): the offload ran degraded for a while.
   bool degraded = false;
 
   /// Load imbalance over per-device finish times (Figure 6 curve).

@@ -42,11 +42,12 @@ OffloadResult Runtime::offload(const LoopKernel& kernel,
                                const std::vector<mem::MapSpec>& maps,
                                const OffloadOptions& opts) const {
   OffloadOptions o = opts;
-  if (o.sched.kind == sched::AlgorithmKind::kHistoryAuto) {
-    o.sched.history = &history_;
-    o.sched.history_kernel = kernel.name;
-    o.sched.history_device_ids = o.device_ids;
-  }
+  // Wire the runtime's throughput history into every offload: HISTORY_AUTO
+  // partitions by it, and the watchdog consults it (whatever the
+  // algorithm) to loosen its deadlines for demonstrably slow devices.
+  o.sched.history = &history_;
+  o.sched.history_kernel = kernel.name;
+  o.sched.history_device_ids = o.device_ids;
   OffloadExecution exec(machine_, kernel, maps, o);
   OffloadResult res = exec.run();
 

@@ -27,8 +27,30 @@ void json_escape_into(std::ostream& os, const std::string& s) {
 }
 }  // namespace
 
+namespace {
+/// Shared body: spans, then optional instant fault/recovery markers, then
+/// the thread-name metadata rows.
+void write_events(const std::vector<TraceSpan>& spans,
+                  const std::vector<FaultEvent>* faults,
+                  const std::vector<RecoveryEvent>* recovery,
+                  std::ostream& os);
+}  // namespace
+
 void write_chrome_trace(const std::vector<TraceSpan>& spans,
                         std::ostream& os) {
+  write_events(spans, nullptr, nullptr, os);
+}
+
+void write_chrome_trace(const OffloadResult& result, std::ostream& os) {
+  write_events(result.trace, &result.fault_events, &result.recovery_events,
+               os);
+}
+
+namespace {
+void write_events(const std::vector<TraceSpan>& spans,
+                  const std::vector<FaultEvent>* faults,
+                  const std::vector<RecoveryEvent>* recovery,
+                  std::ostream& os) {
   os << "[\n";
   bool first = true;
   for (const auto& s : spans) {
@@ -42,6 +64,30 @@ void write_chrome_trace(const std::vector<TraceSpan>& spans,
        << (s.t1 - s.t0) * 1e6 << R"(, "args": {"device": ")";
     json_escape_into(os, s.device);
     os << R"("}})";
+  }
+  if (faults != nullptr) {
+    for (const auto& f : *faults) {
+      if (!first) os << ",\n";
+      first = false;
+      os << R"(  {"name": "fault: )";
+      json_escape_into(os, std::string(sim::to_string(f.kind)) +
+                               (f.detail.empty() ? "" : " " + f.detail));
+      os << R"(", "cat": "fault", "ph": "i", "s": "t", "pid": 0, "tid": )"
+         << f.slot << R"(, "ts": )" << f.time * 1e6
+         << R"(, "args": {"fatal": )" << (f.fatal ? "true" : "false")
+         << "}}";
+    }
+  }
+  if (recovery != nullptr) {
+    for (const auto& r : *recovery) {
+      if (!first) os << ",\n";
+      first = false;
+      os << R"(  {"name": ")";
+      json_escape_into(os, std::string(to_string(r.action)) +
+                               (r.detail.empty() ? "" : " " + r.detail));
+      os << R"(", "cat": "recovery", "ph": "i", "s": "t", "pid": 0, )"
+         << R"("tid": )" << r.slot << R"(, "ts": )" << r.time * 1e6 << "}";
+    }
   }
   // Thread-name metadata rows so devices are labelled in the viewer.
   std::vector<std::pair<int, std::string>> seen;
@@ -62,6 +108,7 @@ void write_chrome_trace(const std::vector<TraceSpan>& spans,
   }
   os << "\n]\n";
 }
+}  // namespace
 
 void write_chrome_trace_file(const OffloadResult& result,
                              const std::string& path) {
@@ -69,7 +116,7 @@ void write_chrome_trace_file(const OffloadResult& result,
                "offload carries no trace; set OffloadOptions::collect_trace");
   std::ofstream out(path);
   HOMP_REQUIRE(out.good(), "cannot open trace file: " + path);
-  write_chrome_trace(result.trace, out);
+  write_chrome_trace(result, out);
 }
 
 }  // namespace homp::rt

@@ -24,6 +24,12 @@ namespace homp::rt {
 void write_chrome_trace(const std::vector<TraceSpan>& spans,
                         std::ostream& os);
 
+/// Serialize a whole result: the spans plus one instant event ("ph": "i")
+/// per injected fault and per watchdog/probation decision, on the row of
+/// the device concerned — faults and recovery actions line up with the
+/// pipeline activity around them.
+void write_chrome_trace(const OffloadResult& result, std::ostream& os);
+
 /// Convenience: write a result's trace to a file. Throws ConfigError if
 /// the file cannot be opened or the result carries no trace.
 void write_chrome_trace_file(const OffloadResult& result,

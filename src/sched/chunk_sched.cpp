@@ -7,9 +7,30 @@
 
 namespace homp::sched {
 
+bool SlotLiveness::deactivate(int slot, long long remaining) {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < active_.size());
+  if (!active_[static_cast<std::size_t>(slot)]) return false;
+  active_[static_cast<std::size_t>(slot)] = false;
+  --alive_;
+  if (alive_ == 0 && remaining > 0) {
+    throw OffloadError("deactivated the last active device with " +
+                       std::to_string(remaining) +
+                       " iterations still undistributed");
+  }
+  return true;
+}
+
+bool SlotLiveness::reactivate(int slot) {
+  HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < active_.size());
+  if (active_[static_cast<std::size_t>(slot)]) return false;
+  active_[static_cast<std::size_t>(slot)] = true;
+  ++alive_;
+  return true;
+}
+
 DynamicScheduler::DynamicScheduler(const LoopContext& ctx,
                                    double chunk_fraction, long long min_chunk)
-    : domain_(ctx.loop), cursor_(ctx.loop.lo) {
+    : domain_(ctx.loop), cursor_(ctx.loop.lo), live_(ctx.num_devices()) {
   HOMP_REQUIRE(chunk_fraction > 0.0 && chunk_fraction <= 1.0,
                "dynamic chunk fraction must be in (0, 1]");
   HOMP_REQUIRE(min_chunk >= 1, "min_chunk must be at least 1");
@@ -20,7 +41,7 @@ DynamicScheduler::DynamicScheduler(const LoopContext& ctx,
 }
 
 std::optional<dist::Range> DynamicScheduler::next_chunk(int slot) {
-  (void)slot;
+  if (!live_.active(slot)) return std::nullopt;
   if (cursor_ >= domain_.hi) return std::nullopt;
   const long long hi = std::min(cursor_ + chunk_, domain_.hi);
   dist::Range r(cursor_, hi);
@@ -30,23 +51,33 @@ std::optional<dist::Range> DynamicScheduler::next_chunk(int slot) {
 }
 
 bool DynamicScheduler::finished(int slot) const {
-  (void)slot;
+  if (!live_.active(slot)) return true;
   return cursor_ >= domain_.hi;
 }
+
+std::vector<dist::Range> DynamicScheduler::deactivate(int slot) {
+  // Shared cursor: nothing is reserved per slot, so nothing is orphaned;
+  // the survivors keep draining the cursor.
+  live_.deactivate(slot, domain_.hi - cursor_);
+  return {};
+}
+
+void DynamicScheduler::reactivate(int slot) { live_.reactivate(slot); }
 
 GuidedScheduler::GuidedScheduler(const LoopContext& ctx,
                                  double chunk_fraction, long long min_chunk)
     : domain_(ctx.loop),
       cursor_(ctx.loop.lo),
       fraction_(chunk_fraction),
-      min_chunk_(min_chunk) {
+      min_chunk_(min_chunk),
+      live_(ctx.num_devices()) {
   HOMP_REQUIRE(chunk_fraction > 0.0 && chunk_fraction <= 1.0,
                "guided chunk fraction must be in (0, 1]");
   HOMP_REQUIRE(min_chunk >= 1, "min_chunk must be at least 1");
 }
 
 std::optional<dist::Range> GuidedScheduler::next_chunk(int slot) {
-  (void)slot;
+  if (!live_.active(slot)) return std::nullopt;
   if (cursor_ >= domain_.hi) return std::nullopt;
   const long long remaining = domain_.hi - cursor_;
   const long long size = std::min(
@@ -61,8 +92,15 @@ std::optional<dist::Range> GuidedScheduler::next_chunk(int slot) {
 }
 
 bool GuidedScheduler::finished(int slot) const {
-  (void)slot;
+  if (!live_.active(slot)) return true;
   return cursor_ >= domain_.hi;
 }
+
+std::vector<dist::Range> GuidedScheduler::deactivate(int slot) {
+  live_.deactivate(slot, domain_.hi - cursor_);
+  return {};
+}
+
+void GuidedScheduler::reactivate(int slot) { live_.reactivate(slot); }
 
 }  // namespace homp::sched

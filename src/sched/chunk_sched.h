@@ -12,6 +12,32 @@
 
 namespace homp::sched {
 
+/// Slot-liveness bookkeeping shared by the shared-cursor schedulers: a
+/// deactivated slot draws no more chunks, and withdrawing the last active
+/// slot while iterations remain undistributed is a hard error (nobody
+/// left to serve them).
+class SlotLiveness {
+ public:
+  explicit SlotLiveness(std::size_t parties)
+      : active_(parties, true), alive_(parties) {}
+
+  bool active(int slot) const {
+    return active_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Returns true when this call actually deactivated the slot (false on
+  /// double-deactivate). Throws OffloadError when the last active slot is
+  /// withdrawn and `remaining` iterations are still undistributed.
+  bool deactivate(int slot, long long remaining);
+
+  /// Returns true when this call re-admitted a deactivated slot.
+  bool reactivate(int slot);
+
+ private:
+  std::vector<bool> active_;
+  std::size_t alive_;
+};
+
 /// SCHED_DYNAMIC: every chunk has the same size (a fraction of the loop).
 class DynamicScheduler : public LoopScheduler {
  public:
@@ -22,6 +48,8 @@ class DynamicScheduler : public LoopScheduler {
   bool finished(int slot) const override;
   int num_stages() const override { return 0; }  // "Multiple" in Table II
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
+  void reactivate(int slot) override;
 
   long long chunk_size() const noexcept { return chunk_; }
 
@@ -30,6 +58,7 @@ class DynamicScheduler : public LoopScheduler {
   long long cursor_;
   long long chunk_;
   std::size_t issued_ = 0;
+  SlotLiveness live_;
 };
 
 /// SCHED_GUIDED: each chunk is a fraction of the *remaining* iterations,
@@ -44,6 +73,8 @@ class GuidedScheduler : public LoopScheduler {
   bool finished(int slot) const override;
   int num_stages() const override { return 0; }
   std::size_t chunks_issued() const override { return issued_; }
+  std::vector<dist::Range> deactivate(int slot) override;
+  void reactivate(int slot) override;
 
  private:
   dist::Range domain_;
@@ -51,6 +82,7 @@ class GuidedScheduler : public LoopScheduler {
   double fraction_;
   long long min_chunk_;
   std::size_t issued_ = 0;
+  SlotLiveness live_;
 };
 
 }  // namespace homp::sched

@@ -65,7 +65,8 @@ bool CyclicScheduler::finished(int slot) const {
 
 WorkStealingScheduler::WorkStealingScheduler(const LoopContext& ctx,
                                              double grain_fraction,
-                                             long long min_chunk) {
+                                             long long min_chunk)
+    : live_(ctx.num_devices()) {
   HOMP_REQUIRE(ctx.num_devices() > 0, "no devices to schedule onto");
   HOMP_REQUIRE(grain_fraction > 0.0 && grain_fraction <= 1.0,
                "grain fraction must be in (0, 1]");
@@ -80,6 +81,7 @@ WorkStealingScheduler::WorkStealingScheduler(const LoopContext& ctx,
 std::optional<dist::Range> WorkStealingScheduler::next_chunk(int slot) {
   HOMP_ASSERT(slot >= 0 &&
               static_cast<std::size_t>(slot) < deque_.size());
+  if (!live_.active(slot)) return std::nullopt;
   auto& own = deque_[static_cast<std::size_t>(slot)];
   if (own.empty()) {
     // Steal the back half of the largest victim deque. Ties pick the
@@ -110,6 +112,13 @@ std::optional<dist::Range> WorkStealingScheduler::next_chunk(int slot) {
 std::vector<dist::Range> WorkStealingScheduler::deactivate(int slot) {
   HOMP_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < deque_.size());
   auto& own = deque_[static_cast<std::size_t>(slot)];
+  // The slot's own deque is handed back to the runtime, so the iterations
+  // still *inside* the scheduler are everyone else's deques.
+  long long elsewhere = 0;
+  for (std::size_t v = 0; v < deque_.size(); ++v) {
+    if (v != static_cast<std::size_t>(slot)) elsewhere += deque_[v].size();
+  }
+  if (!live_.deactivate(slot, elsewhere)) return {};
   if (own.empty()) return {};
   const dist::Range orphaned = own;
   own = dist::Range();  // survivors could also steal it, but returning it
@@ -117,8 +126,14 @@ std::vector<dist::Range> WorkStealingScheduler::deactivate(int slot) {
   return {orphaned};
 }
 
+void WorkStealingScheduler::reactivate(int slot) {
+  // The readmitted slot comes back with an empty deque and earns work by
+  // stealing — exactly the cold-start path a late-joining device takes.
+  live_.reactivate(slot);
+}
+
 bool WorkStealingScheduler::finished(int slot) const {
-  (void)slot;
+  if (!live_.active(slot)) return true;
   for (const auto& d : deque_) {
     if (!d.empty()) return false;
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "dist/distribution.h"
+#include "sched/chunk_sched.h"  // SlotLiveness
 #include "sched/scheduler.h"
 
 namespace homp::sched {
@@ -66,6 +67,7 @@ class WorkStealingScheduler : public LoopScheduler {
   int num_stages() const override { return 0; }
   std::size_t chunks_issued() const override { return issued_; }
   std::vector<dist::Range> deactivate(int slot) override;
+  void reactivate(int slot) override;
 
   std::size_t steals() const noexcept { return steals_; }
 
@@ -74,6 +76,7 @@ class WorkStealingScheduler : public LoopScheduler {
   long long grain_;
   std::size_t issued_ = 0;
   std::size_t steals_ = 0;
+  SlotLiveness live_;
 };
 
 /// Persistent per-(kernel, device) observed throughput store, owned by

@@ -117,19 +117,34 @@ class LoopScheduler {
   /// Total chunks handed out so far (scheduling-transaction count).
   virtual std::size_t chunks_issued() const = 0;
 
-  /// Withdraw `slot` from the schedule permanently (the runtime
-  /// quarantined its device): the slot never requests another chunk, and
-  /// any iterations *reserved* for it but not yet handed out are returned
-  /// so the runtime can redistribute them to the surviving devices.
-  /// Chunks already handed out are the runtime's to requeue. Schedulers
-  /// with no per-slot reservations (shared-cursor chunk schedulers)
-  /// return nothing; their cursor simply keeps serving the survivors.
-  /// Two-stage schedulers must also stop waiting on the slot at the
-  /// stage barrier.
+  /// Withdraw `slot` from the schedule (the runtime quarantined its
+  /// device): the slot requests no more chunks, and any iterations
+  /// *reserved* for it but not yet handed out are returned so the runtime
+  /// can redistribute them to the surviving devices. Chunks already handed
+  /// out are the runtime's to requeue. Schedulers with no per-slot
+  /// reservations (shared-cursor chunk schedulers) return nothing; their
+  /// cursor simply keeps serving the survivors. Two-stage schedulers must
+  /// also stop waiting on the slot at the stage barrier.
+  ///
+  /// Contract edge cases (tests/sched/deactivate_test.cpp):
+  ///  * double-deactivate is idempotent — the second call returns nothing
+  ///    and changes no state;
+  ///  * deactivating the last active slot while undistributed iterations
+  ///    remain in the scheduler throws OffloadError (nobody is left to
+  ///    serve them — better a clean error than a spin).
   virtual std::vector<dist::Range> deactivate(int slot) {
     (void)slot;
     return {};
   }
+
+  /// Re-admit a previously deactivated slot (probation re-entry after a
+  /// quarantine cooldown, docs/RESILIENCE.md). Shared-cursor schedulers
+  /// re-include the slot so it draws fresh chunks again; schedulers whose
+  /// deactivate() already handed the slot's reserved work back have
+  /// nothing to restore — the readmitted device is fed from the runtime's
+  /// requeue instead — so the base implementation is a no-op. Idempotent;
+  /// reactivating a never-deactivated slot is a no-op.
+  virtual void reactivate(int slot) { (void)slot; }
 };
 
 /// Instantiate the scheduler for `config.kind`.

@@ -14,6 +14,10 @@ const char* to_string(FaultKind k) noexcept {
       return "slowdown";
     case FaultKind::kDeviceLoss:
       return "device-loss";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kDegrade:
+      return "degrade";
   }
   return "?";
 }
@@ -27,6 +31,12 @@ void FaultProfile::validate(const std::string& who) const {
                who + ": fault_slowdown_rate must be in [0, 1)");
   HOMP_REQUIRE(slowdown_factor >= 1.0,
                who + ": fault_slowdown_factor must be >= 1");
+  HOMP_REQUIRE(hang_rate >= 0.0 && hang_rate < 1.0,
+               who + ": fault_hang_rate must be in [0, 1)");
+  HOMP_REQUIRE(degrade_rate >= 0.0 && degrade_rate < 1.0,
+               who + ": fault_degrade_rate must be in [0, 1)");
+  HOMP_REQUIRE(degrade_factor >= 1.0,
+               who + ": fault_degrade_factor must be >= 1");
 }
 
 FaultProfile FaultProfile::combined(const FaultProfile& other) const noexcept {
@@ -44,6 +54,13 @@ FaultProfile FaultProfile::combined(const FaultProfile& other) const noexcept {
   out.slowdown_factor = slowdown_factor > other.slowdown_factor
                             ? slowdown_factor
                             : other.slowdown_factor;
+  out.hang_rate =
+      clamp_rate(1.0 - (1.0 - hang_rate) * (1.0 - other.hang_rate));
+  out.degrade_rate =
+      clamp_rate(1.0 - (1.0 - degrade_rate) * (1.0 - other.degrade_rate));
+  out.degrade_factor = degrade_factor > other.degrade_factor
+                           ? degrade_factor
+                           : other.degrade_factor;
   if (fail_at_s >= 0.0 && other.fail_at_s >= 0.0) {
     out.fail_at_s = fail_at_s < other.fail_at_s ? fail_at_s : other.fail_at_s;
   } else {
@@ -67,6 +84,14 @@ void FaultPlan::add_scripted(const ScriptedFault& fault) {
   } else {
     HOMP_REQUIRE(fault.op >= 0,
                  "scripted transient fault needs a non-negative op ordinal");
+    if (fault.kind == FaultKind::kSlowdown ||
+        fault.kind == FaultKind::kDegrade) {
+      HOMP_REQUIRE(fault.factor <= 1.0 || fault.factor >= 1.0,
+                   "scripted factor must be a number");  // NaN guard
+      HOMP_REQUIRE(!(fault.factor > 0.0 && fault.factor < 1.0),
+                   "scripted slowdown/degrade factor must be >= 1 (or <= 0 "
+                   "to use the device profile's)");
+    }
   }
   scripted_.push_back(fault);
   active_ = true;
@@ -130,6 +155,28 @@ double FaultPlan::slowdown(int device_id) {
     return p != nullptr ? p->slowdown_factor : 4.0;
   }
   if (p != nullptr && draw < p->slowdown_rate) return p->slowdown_factor;
+  return 1.0;
+}
+
+bool FaultPlan::compute_hangs(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kHang)]++;
+  const FaultProfile* p = profile(device_id);
+  const double draw = s.prng.next_double();
+  if (scripted_hit(device_id, FaultKind::kHang, op) != nullptr) return true;
+  return p != nullptr && draw < p->hang_rate;
+}
+
+double FaultPlan::degrade(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kDegrade)]++;
+  const FaultProfile* p = profile(device_id);
+  const double draw = s.prng.next_double();
+  if (const auto* f = scripted_hit(device_id, FaultKind::kDegrade, op)) {
+    if (f->factor > 1.0) return f->factor;
+    return p != nullptr ? p->degrade_factor : 8.0;
+  }
+  if (p != nullptr && draw < p->degrade_rate) return p->degrade_factor;
   return 1.0;
 }
 

@@ -38,7 +38,15 @@ enum class FaultKind : int {
   kLaunch,        ///< a kernel launch fails (transient)
   kSlowdown,      ///< one kernel execution is slowed (transient)
   kDeviceLoss,    ///< the device is permanently gone
+  kHang,          ///< a kernel execution never completes (silent stall)
+  kDegrade,       ///< sustained slowdown from this execution onwards
 };
+
+/// Size of the per-device operation-counter array, indexed by the raw
+/// FaultKind value. kDeviceLoss (time-based, never counted) keeps its
+/// slot so kHang/kDegrade index past it safely.
+inline constexpr int kNumCountedKinds =
+    static_cast<int>(FaultKind::kDegrade) + 1;
 
 const char* to_string(FaultKind k) noexcept;
 
@@ -60,12 +68,25 @@ struct FaultProfile {
   /// Multiplier applied to the compute time when a slowdown strikes.
   double slowdown_factor = 4.0;
 
+  /// Probability that one kernel execution hangs: it never completes and
+  /// only the runtime's watchdog can detect it. In [0, 1).
+  double hang_rate = 0.0;
+
+  /// Probability that a *sustained* degradation begins at one kernel
+  /// execution: unlike kSlowdown, the slowdown persists for the rest of
+  /// the offload (failing fan, stuck power state). In [0, 1).
+  double degrade_rate = 0.0;
+
+  /// Multiplier applied to all compute from a degrade onwards.
+  double degrade_factor = 8.0;
+
   /// Virtual time at which the device is permanently lost; < 0 = never.
   double fail_at_s = -1.0;
 
   bool any() const noexcept {
     return transfer_fault_rate > 0.0 || launch_fault_rate > 0.0 ||
-           slowdown_rate > 0.0 || fail_at_s >= 0.0;
+           slowdown_rate > 0.0 || hang_rate > 0.0 || degrade_rate > 0.0 ||
+           fail_at_s >= 0.0;
   }
 
   /// Throws ConfigError on out-of-range fields; `who` names the device in
@@ -90,7 +111,8 @@ struct ScriptedFault {
   /// For kDeviceLoss: virtual time of the loss.
   double at_s = -1.0;
 
-  /// For kSlowdown: factor override; <= 1 uses the device profile's.
+  /// For kSlowdown / kDegrade: factor override; <= 1 uses the device
+  /// profile's.
   double factor = 0.0;
 };
 
@@ -127,6 +149,15 @@ class FaultPlan {
   /// 1.0 = runs at full speed. (consuming)
   double slowdown(int device_id);
 
+  /// Does the next kernel execution on `device_id` hang — start but never
+  /// complete? Only the runtime's watchdog can observe it. (consuming)
+  bool compute_hangs(int device_id);
+
+  /// Factor of a *sustained* degradation that begins at the next kernel
+  /// execution on `device_id`; 1.0 = none. The caller is expected to latch
+  /// the factor for the remainder of the offload. (consuming)
+  double degrade(int device_id);
+
   /// Virtual time at which `device_id` is permanently lost, or a negative
   /// value if it never is. Combines profile and scripted losses (earliest
   /// wins). Non-consuming.
@@ -135,7 +166,7 @@ class FaultPlan {
  private:
   struct Stream {
     Prng prng{0};
-    long long ops[3] = {0, 0, 0};  // per transient FaultKind
+    long long ops[kNumCountedKinds] = {};  // per transient FaultKind
   };
 
   Stream& stream(int device_id);

@@ -46,5 +46,20 @@ TEST(Geomean, Basics) {
   EXPECT_NEAR(geomean({0.0, 4.0}), 4.0, 1e-12);
 }
 
+TEST(Percentile, LinearInterpolationBetweenClosestRanks) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_NEAR(percentile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 100.0), 4.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 50.0), 2.5, 1e-12);
+  EXPECT_NEAR(percentile(xs, 25.0), 1.75, 1e-12);
+  EXPECT_NEAR(percentile({7.0}, 99.0), 7.0, 1e-12);
+}
+
+TEST(Percentile, ClampsAndHandlesEmpty) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_NEAR(percentile({1.0, 2.0}, -10.0), 1.0, 1e-12);
+  EXPECT_NEAR(percentile({1.0, 2.0}, 250.0), 2.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace homp

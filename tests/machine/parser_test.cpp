@@ -186,5 +186,75 @@ fault_transfer_rate = 1.5
                ConfigError);
 }
 
+TEST(MachineParser, ParsesHangAndDegradeKeys) {
+  auto m = parse_machine(R"(
+[device g]
+type = host
+memory = shared
+link = none
+peak_gflops = 10
+sustained_gflops = 5
+peak_membw_GBps = 10
+sustained_membw_GBps = 5
+fault_hang_rate = 0.01
+fault_degrade_rate = 0.02
+fault_degrade_factor = 12
+)");
+  ASSERT_EQ(m.devices.size(), 1u);
+  const auto& f = m.devices[0].fault;
+  EXPECT_DOUBLE_EQ(f.hang_rate, 0.01);
+  EXPECT_DOUBLE_EQ(f.degrade_rate, 0.02);
+  EXPECT_DOUBLE_EQ(f.degrade_factor, 12.0);
+  EXPECT_TRUE(f.any());
+
+  // The new keys survive the to_text round trip.
+  auto m2 = parse_machine(to_text(m));
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.hang_rate, 0.01);
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.degrade_rate, 0.02);
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.degrade_factor, 12.0);
+}
+
+/// One valid device section; the caller appends one bad fault_* line.
+std::string device_with(const std::string& extra_line) {
+  return std::string(R"(
+[device g]
+type = host
+memory = shared
+link = none
+peak_gflops = 10
+sustained_gflops = 5
+peak_membw_GBps = 10
+sustained_membw_GBps = 5
+)") + extra_line + "\n";
+}
+
+TEST(MachineParser, BadFaultValueNamesTheLineAndKey) {
+  // The bad key sits on line 10 of the synthesized text (leading newline
+  // counts as line 1).
+  struct Case {
+    const char* line;
+    const char* key;
+  } cases[] = {
+      {"fault_hang_rate = 1.0", "fault_hang_rate"},
+      {"fault_hang_rate = -0.5", "fault_hang_rate"},
+      {"fault_degrade_rate = 2", "fault_degrade_rate"},
+      {"fault_degrade_factor = 0.5", "fault_degrade_factor"},
+      {"fault_slowdown_factor = 0", "fault_slowdown_factor"},
+      {"fault_fail_at_s = -2", "fault_fail_at_s"},
+  };
+  for (const auto& c : cases) {
+    try {
+      parse_machine(device_with(c.line));
+      FAIL() << c.line << " was accepted";
+    } catch (const ConfigError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("line 10"), std::string::npos)
+          << c.line << ": " << msg;
+      EXPECT_NE(msg.find(std::string("'") + c.key + "'"), std::string::npos)
+          << c.line << ": " << msg;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace homp::mach

@@ -107,6 +107,50 @@ TEST(Trace, ChromeJsonIsWellFormedish) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(Trace, FaultAndRecoveryMarkersBecomeInstantEvents) {
+  // A scripted hang yields fault + watchdog instant events alongside the
+  // spans when the whole result is serialized.
+  Runtime rt{mach::testing_machine(3)};
+  kern::AxpyCase c(50'000, /*materialize=*/false);
+  OffloadOptions o;
+  o.device_ids = {1, 2, 3};
+  o.sched.kind = sched::AlgorithmKind::kDynamic;
+  o.execute_bodies = false;
+  o.collect_trace = true;
+  o.watchdog.deadline_floor_s = 1e-8;
+  sim::ScriptedFault hang;
+  hang.device_id = 2;
+  hang.kind = sim::FaultKind::kHang;
+  hang.op = 0;
+  o.fault.scripted.push_back(hang);
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  auto res = rt.offload(kernel, maps, o);
+  ASSERT_FALSE(res.fault_events.empty());
+  ASSERT_FALSE(res.recovery_events.empty());
+
+  std::ostringstream os;
+  write_chrome_trace(res, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find(R"("ph": "i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat": "fault")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat": "recovery")"), std::string::npos);
+  EXPECT_NE(json.find("fault: hang"), std::string::npos);
+  EXPECT_NE(json.find("watchdog-fired"), std::string::npos);
+  // The span-only overload stays marker-free.
+  std::ostringstream spans_only;
+  write_chrome_trace(res.trace, spans_only);
+  EXPECT_EQ(spans_only.str().find(R"("ph": "i")"), std::string::npos);
+  // Balanced braces across the mixed event stream.
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
 TEST(Trace, FileWriterValidates) {
   auto res = traced_run(false);
   EXPECT_THROW(write_chrome_trace_file(res, "/tmp/homp_trace.json"),

@@ -188,6 +188,93 @@ TEST(FaultKindNames, AllDistinct) {
   EXPECT_STREQ(to_string(FaultKind::kLaunch), "launch-fault");
   EXPECT_STREQ(to_string(FaultKind::kSlowdown), "slowdown");
   EXPECT_STREQ(to_string(FaultKind::kDeviceLoss), "device-loss");
+  EXPECT_STREQ(to_string(FaultKind::kHang), "hang");
+  EXPECT_STREQ(to_string(FaultKind::kDegrade), "degrade");
+}
+
+TEST(FaultProfile, ValidateRejectsBadHangAndDegrade) {
+  FaultProfile p;
+  p.hang_rate = 1.0;  // must be < 1
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.degrade_rate = -0.1;
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.degrade_factor = 0.5;  // must be >= 1
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.hang_rate = 0.1;
+  p.degrade_rate = 0.1;
+  EXPECT_NO_THROW(p.validate("dev"));
+  EXPECT_TRUE(p.any());
+}
+
+TEST(FaultProfile, CombinedMergesHangAndDegrade) {
+  FaultProfile a, b;
+  a.hang_rate = 0.5;
+  b.hang_rate = 0.5;
+  a.degrade_rate = 0.2;
+  a.degrade_factor = 4.0;
+  b.degrade_factor = 16.0;
+  const FaultProfile c = a.combined(b);
+  EXPECT_DOUBLE_EQ(c.hang_rate, 0.75);  // independent sources
+  EXPECT_DOUBLE_EQ(c.degrade_rate, 0.2);
+  EXPECT_DOUBLE_EQ(c.degrade_factor, 16.0);  // worst factor wins
+}
+
+TEST(FaultPlan, ScriptedHangHitsTheExactComputeOp) {
+  FaultPlan plan;
+  ScriptedFault f;
+  f.device_id = 3;
+  f.kind = FaultKind::kHang;
+  f.op = 2;
+  plan.add_scripted(f);
+  EXPECT_TRUE(plan.active());
+  EXPECT_FALSE(plan.compute_hangs(3));  // op 0
+  EXPECT_FALSE(plan.compute_hangs(3));  // op 1
+  EXPECT_TRUE(plan.compute_hangs(3));   // op 2: the scripted hang
+  EXPECT_FALSE(plan.compute_hangs(3));  // op 3
+  EXPECT_FALSE(plan.compute_hangs(0));  // other devices unaffected
+}
+
+TEST(FaultPlan, ScriptedDegradeUsesTheFactorOverride) {
+  FaultPlan plan;
+  ScriptedFault f;
+  f.device_id = 1;
+  f.kind = FaultKind::kDegrade;
+  f.op = 1;
+  f.factor = 32.0;
+  plan.add_scripted(f);
+  EXPECT_DOUBLE_EQ(plan.degrade(1), 1.0);   // op 0: healthy
+  EXPECT_DOUBLE_EQ(plan.degrade(1), 32.0);  // op 1: scripted factor
+  EXPECT_DOUBLE_EQ(plan.degrade(1), 1.0);
+
+  // Factor <= 1 falls back to the profile's (or the 8x default).
+  FaultPlan plan2;
+  f.factor = 0.0;
+  f.op = 0;
+  plan2.add_scripted(f);
+  EXPECT_DOUBLE_EQ(plan2.degrade(1), 8.0);
+}
+
+TEST(FaultPlan, HangAndDegradeStreamsAreDeterministic) {
+  FaultProfile p;
+  p.hang_rate = 0.3;
+  p.degrade_rate = 0.3;
+  p.degrade_factor = 5.0;
+  auto sample = [&](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.set_seed(seed);
+    plan.set_profile(2, p);
+    std::vector<double> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(plan.compute_hangs(2) ? 1.0 : 0.0);
+      out.push_back(plan.degrade(2));
+    }
+    return out;
+  };
+  EXPECT_EQ(sample(11), sample(11));
+  EXPECT_NE(sample(11), sample(12));
 }
 
 }  // namespace
