@@ -1,14 +1,21 @@
 // Graceful degradation under injected faults: every Table II algorithm,
 // run fault-free and at 1% / 5% per-operation transient fault rates, plus
-// three scripted scenarios — a permanent single-device loss halfway
+// four scripted scenarios — a permanent single-device loss halfway
 // through the fault-free makespan, a mid-run kernel hang on one device
-// (reclaimed by the watchdog + speculative re-execution), and a sustained
-// straggler (one device latches a 16x degrade). Emits a JSON summary of
-// the slowdown each algorithm suffers — the recovery machinery
-// (docs/RESILIENCE.md) keeps every run completing, so the cost of a fault
-// is time, never correctness.
+// (reclaimed by the watchdog + speculative re-execution), a sustained
+// straggler (one device latches a 16x degrade), and 1% silent corruption
+// of transfers and kernel results (caught by checksummed verified
+// commits). Emits a JSON summary of the slowdown each algorithm suffers —
+// the recovery machinery (docs/RESILIENCE.md) keeps every run completing,
+// so the cost of a fault is time, never correctness.
+//
+// `--smoke` switches to a correctness gate for CI: materialized kernels
+// run under 1% corruption on every device and the final host arrays are
+// checked against the sequential reference — any mismatch (silent
+// corruption reaching the host) exits nonzero.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -86,9 +93,96 @@ std::string scenario_json(const char* name,
   return buf;
 }
 
+homp::rt::OffloadResult run_with_corruption(
+    const homp::rt::Runtime& rt, const homp::kern::KernelCase& c,
+    const std::vector<int>& devices, const homp::bench::PolicyRun& policy,
+    double rate, bool execute_bodies) {
+  homp::rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = policy.kind;
+  o.sched.cutoff_ratio = policy.cutoff;
+  o.execute_bodies = execute_bodies;
+  o.fault.extra.corrupt_transfer_rate = rate;
+  o.fault.extra.corrupt_compute_rate = rate;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  return rt.offload(kernel, maps, o);
+}
+
+std::string corruption_json(const homp::rt::OffloadResult& res,
+                            double base_time) {
+  std::size_t injected = 0, checks = 0, caught = 0, reexec = 0, votes = 0;
+  for (const auto& d : res.devices) {
+    injected += d.corruptions_injected;
+    checks += d.integrity_checks;
+    caught += d.integrity_failures;
+    reexec += d.integrity_reexecutions;
+    votes += d.vote_rounds;
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "      {\"scenario\": \"corrupt_1pct\", \"time_ms\": %.6f, "
+                "\"slowdown\": %.4f, \"corruptions_injected\": %zu, "
+                "\"integrity_checks\": %zu, \"integrity_failures\": %zu, "
+                "\"reexecutions\": %zu, \"vote_rounds\": %zu}",
+                res.total_time * 1e3,
+                base_time > 0.0 ? res.total_time / base_time : 1.0, injected,
+                checks, caught, reexec, votes);
+  return buf;
+}
+
+/// CI smoke gate: materialized kernels under 1% silent corruption on every
+/// device must still produce host arrays identical to the sequential
+/// reference. Returns the process exit code.
+int run_smoke() {
+  using namespace homp;
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  const auto devices = rt.all_devices();
+  const auto policies = bench::seven_policies();
+  struct SmokeCase {
+    const char* name;
+    long long n;
+  };
+  const SmokeCase cases[] = {{"axpy", 4096}, {"stencil2d", 48}};
+
+  int failures = 0;
+  std::size_t injected_total = 0, caught_total = 0;
+  for (const auto& sc : cases) {
+    auto c = kern::make_case(sc.name, sc.n, /*materialize=*/true);
+    for (const auto& p : policies) {
+      c->init();
+      const auto res =
+          run_with_corruption(rt, *c, devices, p, 0.01, /*bodies=*/true);
+      std::size_t injected = 0, caught = 0;
+      for (const auto& d : res.devices) {
+        injected += d.corruptions_injected;
+        caught += d.integrity_failures;
+      }
+      injected_total += injected;
+      caught_total += caught;
+      std::string why;
+      const bool ok = c->verify(&why);
+      std::printf("%-12s %-22s injected=%-3zu caught=%-3zu %s\n", sc.name,
+                  p.label.c_str(), injected, caught,
+                  ok ? "OK" : ("MISMATCH: " + why).c_str());
+      if (!ok) ++failures;
+    }
+  }
+  if (injected_total == 0) {
+    std::printf("smoke: no corruption was injected — the scenario tests "
+                "nothing\n");
+    return 1;
+  }
+  std::printf("smoke: %zu corruptions injected, %zu caught at commit, "
+              "%d result mismatches\n",
+              injected_total, caught_total, failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
   using namespace homp;
   auto rt = rt::Runtime::from_builtin("gpu4");
   const auto devices = rt.all_devices();
@@ -150,6 +244,13 @@ int main() {
     const auto straggler = run_with_straggler(
         rt, *c, devices, p, sim::FaultKind::kDegrade, 16.0);
     runs += scenario_json("degrade_16x", straggler, base_time);
+    runs += ",\n";
+    // 1% of transfers and kernel results silently bit-flipped on every
+    // device: checksummed verified commits discard and re-execute the
+    // damaged chunks, so the cost is bounded re-execution time.
+    const auto corrupt =
+        run_with_corruption(rt, *c, devices, p, 0.01, /*bodies=*/false);
+    runs += corruption_json(corrupt, base_time);
     std::printf("    {\"algorithm\": \"%s\", \"runs\": [\n%s\n    ]}%s\n",
                 p.label.c_str(), runs.c_str(),
                 i + 1 < policies.size() ? "," : "");

@@ -119,6 +119,31 @@ void BM_RealOffloadAxpy(benchmark::State& state) {
 BENCHMARK(BM_RealOffloadAxpy)->Arg(1 << 16)->Arg(1 << 20)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_RealOffloadAxpyVerified(benchmark::State& state) {
+  // Same offload with verified commits forced on (integrity.always): every
+  // chunk payload is checksummed at compute, copy-in and commit — several
+  // extra passes over every payload. The delta against BM_RealOffloadAxpy
+  // is the price of *armed* verification; the disarmed checksum path (no
+  // fault injection, always=false — what BM_RealOffloadAxpy itself runs)
+  // is the one that must stay within a few percent of the pre-integrity
+  // runtime.
+  auto rt = rt::Runtime::from_builtin("gpu4");
+  auto c = kern::make_case("axpy", state.range(0), /*materialize=*/true);
+  const auto devices = rt.accelerators();
+  auto maps = c->maps();
+  auto kernel = c->kernel();
+  rt::OffloadOptions o;
+  o.device_ids = devices;
+  o.sched.kind = sched::AlgorithmKind::kDynamic;
+  o.integrity.always = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.offload(kernel, maps, o));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 24);
+}
+BENCHMARK(BM_RealOffloadAxpyVerified)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace homp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t load_word(const unsigned char* p) noexcept {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+  return w;
+}
+
+}  // namespace
+
+const char* to_string(ChecksumKind kind) noexcept {
+  switch (kind) {
+    case ChecksumKind::kFnv1a:
+      return "fnv1a";
+    case ChecksumKind::kMix64:
+      return "mix64";
+  }
+  return "?";
+}
+
+Checksummer::Checksummer(ChecksumKind kind) noexcept
+    : kind_(kind),
+      state_(kind == ChecksumKind::kFnv1a ? kFnvOffset : 0) {}
+
+void Checksummer::update(const void* data, std::size_t bytes) noexcept {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  total_ += bytes;
+  if (kind_ == ChecksumKind::kFnv1a) {
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+    state_ = h;
+    return;
+  }
+  // kMix64: absorb 8-byte words; buffer the tail so digests do not
+  // depend on update() segmentation.
+  if (carry_len_ != 0) {
+    while (carry_len_ < 8 && bytes > 0) {
+      carry_[carry_len_++] = *p++;
+      --bytes;
+    }
+    if (carry_len_ < 8) return;
+    state_ = mix64(state_ ^ load_word(carry_));
+    carry_len_ = 0;
+  }
+  std::uint64_t h = state_;
+  while (bytes >= 8) {
+    h = mix64(h ^ load_word(p));
+    p += 8;
+    bytes -= 8;
+  }
+  state_ = h;
+  while (bytes > 0) {
+    carry_[carry_len_++] = *p++;
+    --bytes;
+  }
+}
+
+std::uint64_t Checksummer::digest() const noexcept {
+  if (kind_ == ChecksumKind::kFnv1a) {
+    // Fold in the length so prefixes of each other differ.
+    std::uint64_t h = state_;
+    h ^= total_;
+    h *= kFnvPrime;
+    return h;
+  }
+  std::uint64_t h = state_;
+  if (carry_len_ != 0) {
+    unsigned char tail[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::memcpy(tail, carry_, carry_len_);
+    h = mix64(h ^ load_word(tail));
+  }
+  return mix64(h ^ total_);
+}
+
+std::uint64_t checksum_bytes(ChecksumKind kind, const void* data,
+                             std::size_t bytes) noexcept {
+  Checksummer c(kind);
+  c.update(data, bytes);
+  return c.digest();
+}
+
+}  // namespace homp

@@ -85,6 +85,15 @@ long long parse_scaled_int(std::string_view raw) {
   return value * mult;
 }
 
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
 std::string format_bytes(double bytes) {
   static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int u = 0;

@@ -28,6 +28,9 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// Case-insensitive equality for ASCII.
 bool iequals(std::string_view a, std::string_view b);
 
+/// Concatenate `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
 /// Parse a non-negative integer with a suffix multiplier (k/K=1e3, m/M=1e6,
 /// g/G=1e9), used for workload sizes like "300M" and "48k".
 /// Throws homp::ConfigError on malformed input.

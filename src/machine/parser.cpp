@@ -132,6 +132,16 @@ std::vector<Section> tokenize(const std::string& text) {
       if (s.kind != "machine" && s.name.empty()) {
         fail(lineno, "section [" + s.kind + "] needs a name");
       }
+      // A repeated section would silently shadow (or be shadowed by) the
+      // first one depending on pass order; name both lines instead.
+      for (const auto& prev : sections) {
+        if (prev.kind == s.kind && prev.name == s.name) {
+          fail(lineno, "duplicate section [" + s.kind +
+                           (s.name.empty() ? "" : " " + s.name) +
+                           "] (first declared at line " +
+                           std::to_string(prev.line) + ")");
+        }
+      }
       sections.push_back(std::move(s));
       continue;
     }
@@ -211,6 +221,8 @@ MachineDescriptor parse_machine(const std::string& text) {
     d.fault.hang_rate = get_rate(s, "fault_hang_rate");
     d.fault.degrade_rate = get_rate(s, "fault_degrade_rate");
     d.fault.degrade_factor = get_factor(s, "fault_degrade_factor", 8.0);
+    d.fault.corrupt_transfer_rate = get_rate(s, "fault_corrupt_transfer_rate");
+    d.fault.corrupt_compute_rate = get_rate(s, "fault_corrupt_compute_rate");
     d.fault.fail_at_s = get_fail_time(s, "fault_fail_at_s");
     if (d.is_host()) {
       if (have_host) fail(s.line, "more than one host device");
@@ -284,6 +296,12 @@ std::string to_text(const MachineDescriptor& m) {
                     "fault_degrade_factor = %.6g\n",
                     d.fault.hang_rate, d.fault.degrade_rate,
                     d.fault.degrade_factor);
+      os << buf;
+      std::snprintf(buf, sizeof buf,
+                    "fault_corrupt_transfer_rate = %.6g\n"
+                    "fault_corrupt_compute_rate = %.6g\n",
+                    d.fault.corrupt_transfer_rate,
+                    d.fault.corrupt_compute_rate);
       os << buf;
       if (d.fault.fail_at_s >= 0.0) {
         std::snprintf(buf, sizeof buf, "fault_fail_at_s = %.6g\n",

@@ -37,6 +37,24 @@ void DeviceDataEnv::copy_out_all() const {
   for (const auto& [_, m] : maps_) m->copy_out();
 }
 
+std::uint64_t DeviceDataEnv::checksum_out_device(ChecksumKind kind) const {
+  std::uint64_t h = 0;
+  for (const auto& [_, m] : maps_) {
+    if (m->shared() || !copies_out(m->spec().dir)) continue;
+    h = mix64(h ^ m->checksum_device(m->owned(), kind));
+  }
+  return h;
+}
+
+std::uint64_t DeviceDataEnv::checksum_out_host(ChecksumKind kind) const {
+  std::uint64_t h = 0;
+  for (const auto& [_, m] : maps_) {
+    if (m->shared() || !copies_out(m->spec().dir)) continue;
+    h = mix64(h ^ m->checksum_host(m->owned(), kind));
+  }
+  return h;
+}
+
 std::vector<std::string> DeviceDataEnv::names() const {
   std::vector<std::string> out;
   out.reserve(maps_.size());

@@ -72,16 +72,16 @@ void DeviceMapping::pull_from_host(const dist::Region& r) {
   copy_region(r, /*to_device=*/true);
 }
 
-void DeviceMapping::copy_region(const dist::Region& region, bool to_device) {
+template <typename Fn>
+void DeviceMapping::for_each_run(const dist::Region& region, Fn&& fn) const {
   if (region.empty()) return;
   const std::size_t esz = spec_->binding.elem_size;
-  auto* host = static_cast<std::byte*>(spec_->binding.base);
   const auto& hstrides = spec_->binding.strides;
   const std::size_t rank = region.rank();
 
   // Innermost dimension is contiguous in both layouts (host is row-major,
-  // local storage is packed row-major over the footprint), so copy whole
-  // innermost runs with memcpy and loop over the outer dimensions.
+  // local storage is packed row-major over the footprint), so visit whole
+  // innermost runs and loop over the outer dimensions.
   const dist::Range inner = region.dim(rank - 1);
   const std::size_t run_bytes = static_cast<std::size_t>(inner.size()) * esz;
 
@@ -99,35 +99,111 @@ void DeviceMapping::copy_region(const dist::Region& region, bool to_device) {
     }
     return static_cast<std::size_t>(off) * esz;
   };
-  auto copy_run = [&](long long i0, long long i1, long long i2) {
-    std::byte* h = host + host_off(i0, i1, i2);
-    std::byte* l = storage_.data() + local_off(i0, i1, i2);
-    if (to_device) {
-      std::memcpy(l, h, run_bytes);
-    } else {
-      std::memcpy(h, l, run_bytes);
-    }
+  auto visit = [&](long long i0, long long i1, long long i2) {
+    fn(host_off(i0, i1, i2), local_off(i0, i1, i2), run_bytes);
   };
 
   switch (rank) {
     case 1:
-      copy_run(inner.lo, 0, 0);
+      visit(inner.lo, 0, 0);
       break;
     case 2:
       for (long long i = region.dim(0).lo; i < region.dim(0).hi; ++i) {
-        copy_run(i, inner.lo, 0);
+        visit(i, inner.lo, 0);
       }
       break;
     case 3:
       for (long long i = region.dim(0).lo; i < region.dim(0).hi; ++i) {
         for (long long j = region.dim(1).lo; j < region.dim(1).hi; ++j) {
-          copy_run(i, j, inner.lo);
+          visit(i, j, inner.lo);
         }
       }
       break;
     default:
       HOMP_ASSERT(false);
   }
+}
+
+void DeviceMapping::copy_region(const dist::Region& region, bool to_device) {
+  auto* host = static_cast<std::byte*>(spec_->binding.base);
+  for_each_run(region, [&](std::size_t hoff, std::size_t loff,
+                           std::size_t run_bytes) {
+    std::byte* h = host + hoff;
+    std::byte* l = storage_.data() + loff;
+    if (to_device) {
+      std::memcpy(l, h, run_bytes);
+    } else {
+      std::memcpy(h, l, run_bytes);
+    }
+  });
+}
+
+std::uint64_t DeviceMapping::checksum_side(const dist::Region& r,
+                                           ChecksumKind kind,
+                                           bool device_side) const {
+  HOMP_REQUIRE(footprint_.contains(r) || r.empty(),
+               "checksum region escapes footprint of '" + spec_->name + "'");
+  const std::byte* base = device_side
+                              ? storage_.data()
+                              : static_cast<const std::byte*>(
+                                    spec_->binding.base);
+  Checksummer c(kind);
+  for_each_run(r, [&](std::size_t hoff, std::size_t loff,
+                      std::size_t run_bytes) {
+    c.update(base + (device_side ? loff : hoff), run_bytes);
+  });
+  return c.digest();
+}
+
+std::uint64_t DeviceMapping::checksum_device(const dist::Region& r,
+                                             ChecksumKind kind) const {
+  if (shared_ || !materialized_) return 0;
+  return checksum_side(r, kind, /*device_side=*/true);
+}
+
+std::uint64_t DeviceMapping::checksum_host(const dist::Region& r,
+                                           ChecksumKind kind) const {
+  if (shared_) return 0;
+  return checksum_side(r, kind, /*device_side=*/false);
+}
+
+void DeviceMapping::corrupt_side(const dist::Region& r, std::uint64_t seed,
+                                 bool device_side) {
+  if (seed == 0 || r.empty()) return;
+  HOMP_REQUIRE(footprint_.contains(r),
+               "corruption region escapes footprint of '" + spec_->name + "'");
+  const std::size_t total =
+      static_cast<std::size_t>(r.volume()) * spec_->binding.elem_size;
+  std::byte* base = device_side
+                        ? storage_.data()
+                        : static_cast<std::byte*>(spec_->binding.base);
+  const std::size_t flips = 1 + static_cast<std::size_t>(seed % 3);
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t pos = static_cast<std::size_t>(
+        mix64(seed ^ (0x517cc1b727220a95ULL * (f + 1))) % total);
+    const std::byte mask =
+        static_cast<std::byte>((mix64(seed + f) & 0xff) | 1);  // nonzero
+    // Locate `pos` within the run walk and flip it in place.
+    std::size_t cum = 0;
+    for_each_run(r, [&](std::size_t hoff, std::size_t loff,
+                        std::size_t run_bytes) {
+      const std::size_t off = device_side ? loff : hoff;
+      if (pos >= cum && pos < cum + run_bytes) {
+        base[off + (pos - cum)] ^= mask;
+      }
+      cum += run_bytes;
+    });
+  }
+}
+
+void DeviceMapping::corrupt_device(const dist::Region& r, std::uint64_t seed) {
+  if (shared_ || !materialized_) return;
+  corrupt_side(r, seed, /*device_side=*/true);
+}
+
+void DeviceMapping::corrupt_host(const dist::Region& r, std::uint64_t seed) {
+  if (shared_) return;  // aliased: the host copy is the only copy
+  corrupt_side(r, seed, /*device_side=*/false);
 }
 
 }  // namespace homp::mem

@@ -11,8 +11,10 @@
 /// the "share instead of copy" optimization of §V-C — and transfer nothing.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/checksum.h"
 #include "dist/range.h"
 #include "memory/map_spec.h"
 #include "memory/view.h"
@@ -62,6 +64,23 @@ class DeviceMapping {
   void push_to_host(const dist::Region& r);
   void pull_from_host(const dist::Region& r);
 
+  /// Data-integrity hooks (docs/RESILIENCE.md "Integrity"). `r` must lie
+  /// inside the footprint. Checksums walk the same innermost-run
+  /// traversal as the copies, so device- and host-side sums of intact
+  /// data agree. Device-side calls return 0 / no-op when the mapping is
+  /// shared or not materialized — aliased or modeled storage has no
+  /// separate payload to verify or damage.
+  std::uint64_t checksum_device(const dist::Region& r, ChecksumKind kind) const;
+  std::uint64_t checksum_host(const dist::Region& r, ChecksumKind kind) const;
+
+  /// Flip a few seeded bytes of `r` in device storage / the host array,
+  /// simulating silent corruption (`seed` != 0 selects which bytes and
+  /// masks). Host-side corruption refuses shared mappings: there the
+  /// host bytes are the kernel's only copy and no re-transfer could
+  /// repair them.
+  void corrupt_device(const dist::Region& r, std::uint64_t seed);
+  void corrupt_host(const dist::Region& r, std::uint64_t seed);
+
   /// Global-indexed view for kernel execution. Requires materialization
   /// (or shared aliasing). The view covers the footprint.
   template <typename T>
@@ -87,6 +106,18 @@ class DeviceMapping {
   /// Copy `region` between host array and packed local storage.
   /// to_device=true: host -> local; false: local -> host.
   void copy_region(const dist::Region& region, bool to_device);
+
+  /// Walk `region` as contiguous innermost runs, calling
+  /// fn(host_byte_off, local_byte_off, run_bytes) per run — the single
+  /// traversal shared by copies, checksums and corruption so all agree
+  /// on byte order.
+  template <typename Fn>
+  void for_each_run(const dist::Region& region, Fn&& fn) const;
+
+  std::uint64_t checksum_side(const dist::Region& r, ChecksumKind kind,
+                              bool device_side) const;
+  void corrupt_side(const dist::Region& r, std::uint64_t seed,
+                    bool device_side);
 
   const MapSpec* spec_;  // owned by the offload descriptor, outlives this
   dist::Region owned_;

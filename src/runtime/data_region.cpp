@@ -243,7 +243,44 @@ double DataRegion::close() {
   std::vector<double> exit_bytes(envs_.size(), 0.0);
   for (std::size_t slot = 0; slot < envs_.size(); ++slot) {
     exit_bytes[slot] = envs_[slot].total_bytes_out();
-    if (opts_.execute_bodies) envs_[slot].copy_out_all();
+    if (!opts_.execute_bodies) continue;
+
+    // The device copies are the ground truth at exit; snapshot their
+    // combined sum before anything crosses the wire.
+    const std::uint64_t want =
+        opts_.verify_exit
+            ? envs_[slot].checksum_out_device(opts_.exit_checksum)
+            : 0;
+    envs_[slot].copy_out_all();
+    if (opts_.exit_corrupt_seed != 0 &&
+        slot == static_cast<std::size_t>(opts_.exit_corrupt_slot)) {
+      // Test hook: damage the host copy as if the exit transfer flipped
+      // bits on the wire. The device copy stays intact, so a re-copy
+      // repairs it.
+      for (const auto& name : envs_[slot].names()) {
+        auto& mp = envs_[slot].mapping(name);
+        if (mp.shared() || !mem::copies_out(mp.spec().dir) ||
+            mp.owned().empty()) {
+          continue;
+        }
+        mp.corrupt_host(mp.owned(), opts_.exit_corrupt_seed);
+        break;
+      }
+    }
+    if (!opts_.verify_exit) continue;
+
+    int attempt = 0;
+    while (envs_[slot].checksum_out_host(opts_.exit_checksum) != want) {
+      HOMP_REQUIRE(attempt < opts_.max_exit_retries,
+                   "data region exit verification still failing after " +
+                       std::to_string(attempt) +
+                       " re-copies — host copy cannot be trusted");
+      ++attempt;
+      ++exit_retries_;
+      // The re-copy re-sends the payload; its bytes join the exit bill.
+      exit_bytes[slot] += envs_[slot].total_bytes_out();
+      envs_[slot].copy_out_all();
+    }
   }
   const double t = concurrent_transfer_time(exit_bytes);
   total_time_ += t;

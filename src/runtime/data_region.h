@@ -45,6 +45,22 @@ struct RegionOptions {
   double cutoff_ratio = 0.0;
   bool execute_bodies = true;
   std::uint64_t noise_seed = 42;
+
+  /// Verified exit (docs/RESILIENCE.md "Integrity"): close() checksums
+  /// every device's outgoing payload before the copy-out and compares it
+  /// against the host copy after; a mismatch re-copies (the device copy
+  /// is the ground truth) and the re-sent bytes are charged to the exit
+  /// time. Only meaningful with execute_bodies (there are no real bytes
+  /// to verify otherwise).
+  bool verify_exit = false;
+  /// Re-copies allowed per device before close() gives up (ConfigError).
+  int max_exit_retries = 2;
+  ChecksumKind exit_checksum = ChecksumKind::kMix64;
+  /// Test hook: after the first exit copy-out of `exit_corrupt_slot`,
+  /// flip seeded bytes in its host copy — as if the exit transfer were
+  /// silently corrupted. 0 = off.
+  std::uint64_t exit_corrupt_seed = 0;
+  int exit_corrupt_slot = 0;
 };
 
 class DataRegion {
@@ -74,6 +90,9 @@ class DataRegion {
   /// Entry-transfer time (alloc + copy-in).
   double entry_time() const noexcept { return entry_time_; }
 
+  /// Exit re-copies forced by verification mismatches (verify_exit).
+  int exit_retries() const noexcept { return exit_retries_; }
+
   /// Entry + all offloads + halo exchanges + exit so far.
   double total_time() const noexcept { return total_time_; }
 
@@ -100,6 +119,7 @@ class DataRegion {
   double entry_time_ = 0.0;
   double total_time_ = 0.0;
   bool closed_ = false;
+  int exit_retries_ = 0;
 };
 
 }  // namespace homp::rt

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "common/checksum.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/prng.h"
@@ -42,6 +43,31 @@ struct OffloadExecution::SpecToken {
   int runners = 0;        ///< copies currently in some pipeline
   bool committed = false; ///< a copy's host effects have landed
   bool queued = false;    ///< still offered in spec_queue_
+  /// Non-null once a copy of this chunk failed payload verification; the
+  /// surviving racers inherit the integrity state so a late clean copy
+  /// settles the chunk instead of re-queueing it.
+  std::shared_ptr<IntegrityState> integ;
+};
+
+/// Shared recovery state of one chunk whose commit failed payload
+/// verification (docs/RESILIENCE.md "Integrity"). The chunk is queued
+/// for re-execution on another device; after `vote_after_failures`
+/// mismatches it escalates to voting, where each execution becomes a
+/// ballot keyed by its payload checksum and the chunk commits only once
+/// `vote_quorum` ballots agree on the same sum.
+struct OffloadExecution::IntegrityState {
+  dist::Range range;
+  int failures = 0;     ///< verification mismatches observed so far
+  int executions = 0;   ///< re-executions served from the integrity queue
+  bool voting = false;  ///< escalated to quorum voting
+  bool resolved = false;  ///< the range's host commit has landed
+  std::vector<int> suspects;  ///< slots whose payload failed verification
+  std::vector<int> balloted;  ///< slots that already cast a ballot
+  struct Ballot {
+    std::uint64_t sum = 0;
+    int count = 0;
+  };
+  std::vector<Ballot> ballots;  ///< distinct payload sums seen while voting
 };
 
 /// A chunk moving through a proxy's pipeline.
@@ -56,6 +82,10 @@ struct OffloadExecution::PendingChunk {
   std::shared_ptr<SpecToken> token;  ///< non-null once speculated
   bool is_spec = false;        ///< this copy is the speculative duplicate
   bool is_probe = false;       ///< probation probe chunk
+  /// Non-zero: FaultPlan decided this chunk's kernel output is silently
+  /// corrupted; the seed drives the injected bit flips.
+  std::uint64_t corrupt_seed = 0;
+  std::shared_ptr<IntegrityState> integ;  ///< set for re-executions
 };
 
 /// A computed chunk whose results are still device-resident: the output
@@ -73,6 +103,18 @@ struct OffloadExecution::OutRecord {
   std::shared_ptr<SpecToken> token;  ///< first-commit-wins gate
   bool is_spec = false;
   bool is_probe = false;
+  /// Integrity verification (docs/RESILIENCE.md "Integrity"). The three
+  /// sums snapshot the payload at each hand-off: after the kernel body
+  /// (`sum_result`), after any injected compute corruption
+  /// (`sum_payload`, the device-side checksum shipped with the chunk),
+  /// and as received after the output transfer (`sum_wire`). The commit
+  /// compares them to tell a corrupted kernel result from a corrupted
+  /// transfer.
+  bool verify = false;
+  std::uint64_t sum_result = 0;
+  std::uint64_t sum_payload = 0;
+  std::uint64_t sum_wire = 0;
+  std::shared_ptr<IntegrityState> integ;
 };
 
 /// Per-device proxy actor state.
@@ -139,6 +181,7 @@ OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
       maps_(maps),
       opts_(opts),
       region_envs_(region_envs) {
+  opts_.validate_or_throw();
   if (region_envs_ != nullptr) {
     HOMP_REQUIRE(maps_.empty(),
                  "offloads inside a data region use the region's mappings; "
@@ -211,29 +254,9 @@ OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
 }
 
 void OffloadExecution::build_fault_plan() {
-  HOMP_REQUIRE(opts_.fault.max_retries >= 0,
-               "fault.max_retries must be non-negative");
-  HOMP_REQUIRE(opts_.fault.backoff_base_s >= 0.0 &&
-                   opts_.fault.backoff_cap_s >= opts_.fault.backoff_base_s,
-               "fault backoff must satisfy 0 <= base <= cap");
-  opts_.fault.extra.validate("offload fault options");
-
+  // Option values were already validated (OffloadOptions::validate_or_throw
+  // in the constructor); this only derives the runtime plan from them.
   const WatchdogOptions& w = opts_.watchdog;
-  HOMP_REQUIRE(w.deadline_multiplier > 0.0 && w.deadline_floor_s >= 0.0,
-               "watchdog deadline_multiplier must be > 0 and the floor "
-               ">= 0");
-  HOMP_REQUIRE(w.hard_kill_multiplier >= 1.0,
-               "watchdog hard_kill_multiplier must be >= 1 (the hard "
-               "deadline cannot precede the soft one)");
-  HOMP_REQUIRE(w.tardy_quarantine_threshold >= 0,
-               "watchdog tardy_quarantine_threshold must be >= 0");
-  HOMP_REQUIRE(w.cooldown_base_s >= 0.0 && w.cooldown_growth >= 1.0 &&
-                   w.cooldown_cap_s >= w.cooldown_base_s,
-               "watchdog cooldown must satisfy 0 <= base <= cap, "
-               "growth >= 1");
-  HOMP_REQUIRE(w.probe_iterations >= 0 && w.probation_successes >= 1,
-               "watchdog probation knobs must be non-negative (and at "
-               "least one probe success required)");
   probe_grain_ = w.probe_iterations > 0
                      ? w.probe_iterations
                      : std::max(opts_.sched.min_chunk,
@@ -248,6 +271,12 @@ void OffloadExecution::build_fault_plan() {
   }
   for (const auto& f : opts_.fault.scripted) fault_plan_.add_scripted(f);
   fault_active_ = fault_plan_.active();
+  // Checksumming is armed whenever it could matter (fault injection on) or
+  // when explicitly requested (`integrity.always`, to measure its cost).
+  // Offloads inside a data region move no per-chunk bytes — integrity of
+  // the region's bulk transfers is the DataRegion's own verified exit.
+  integrity_armed_ = opts_.integrity.enabled && region_envs_ == nullptr &&
+                     (fault_active_ || opts_.integrity.always);
 }
 
 void OffloadExecution::validate_and_plan() {
@@ -567,9 +596,29 @@ void OffloadExecution::try_fetch(int slot) {
   std::optional<dist::Range> chunk_opt;
   bool from_requeue = false;
   std::shared_ptr<SpecToken> token;
+  std::shared_ptr<IntegrityState> integ;
   bool is_spec = false;
   bool is_probe = false;
-  if (!requeue_.empty()) {
+  while (!integrity_queue_.empty() && integrity_queue_.front()->resolved) {
+    integrity_queue_.pop_front();
+  }
+  for (auto it = integrity_queue_.begin(); it != integrity_queue_.end();
+       ++it) {
+    // Chunks that failed payload verification outrank everything else:
+    // they sit on the critical path (completion waits on them) and may
+    // need several sequential vote rounds to settle.
+    if ((*it)->resolved || !integrity_slot_allowed(**it, slot)) continue;
+    integ = *it;
+    integrity_queue_.erase(it);
+    break;
+  }
+  if (integ) {
+    chunk_opt = integ->range;
+    from_requeue = true;  // recovery work, not the scheduler's own chunk
+    ++integ->executions;
+    ++p.stats.integrity_reexecutions;
+    if (integ->voting) ++p.stats.vote_rounds;
+  } else if (!requeue_.empty()) {
     // Orphaned iterations of a quarantined device are served first, in
     // dynamic grains, regardless of the algorithm in use — the
     // redistribution fallback that lets single-stage (BLOCK/MODEL) plans
@@ -599,7 +648,7 @@ void OffloadExecution::try_fetch(int slot) {
     }
     if (!chunk_opt) chunk_opt = scheduler_->next_chunk(slot);
   }
-  if (chunk_opt && p.probation && !is_spec) {
+  if (chunk_opt && p.probation && !is_spec && !integ) {
     // Probation: serve only a small probe; the rest goes back to the
     // requeue where any device (including this one, later) can take it.
     is_probe = true;
@@ -634,6 +683,11 @@ void OffloadExecution::try_fetch(int slot) {
   chunk.token = std::move(token);
   chunk.is_spec = is_spec;
   chunk.is_probe = is_probe;
+  // A speculative copy of a chunk that already failed verification
+  // inherits its integrity state (set when the mismatch happened after
+  // speculation started).
+  chunk.integ =
+      integ ? std::move(integ) : (chunk.token ? chunk.token->integ : nullptr);
 
   // Inside a data region the data is already resident on the devices:
   // no allocation, no transfers — just compute against the region's
@@ -714,7 +768,7 @@ void OffloadExecution::issue_input(int slot, int attempt) {
   if (p.lost || !p.inflight) return;
   const double bytes = p.inflight->bytes_in;
   if (p.down == nullptr || bytes <= 0.0) {
-    on_input_done(slot);
+    on_input_done(slot, attempt, 0);
     return;
   }
   const double start = engine_.now();
@@ -732,8 +786,18 @@ void OffloadExecution::issue_input(int slot, int attempt) {
   // failure surfaces when the transfer (virtually) completes, so a failed
   // attempt costs its full transfer time before the retry backoff.
   const bool failed = fault_active_ && fault_plan_.transfer_fails(p.device_id);
-  p.down->transfer(bytes, [this, slot, start, jitter, attempt, failed] {
-    engine_.schedule_after(jitter, [this, slot, start, attempt, failed] {
+  // Silent corruption of the payload is drawn alongside the loss fault so
+  // the per-device fault stream stays deterministic; a *failed* attempt
+  // delivers no payload, so it cannot also be corrupted.
+  std::uint64_t wire_seed = 0;
+  if (fault_active_) {
+    wire_seed = fault_plan_.transfer_corrupts(p.device_id);
+    if (failed) wire_seed = 0;
+  }
+  p.down->transfer(bytes, [this, slot, start, jitter, attempt, failed,
+                           wire_seed] {
+    engine_.schedule_after(jitter, [this, slot, start, attempt, failed,
+                                    wire_seed] {
       Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
       if (q.lost || !q.inflight) return;  // quarantined mid-transfer
       if (failed) {
@@ -755,15 +819,15 @@ void OffloadExecution::issue_input(int slot, int attempt) {
           engine_.now() - start;
       q.record_span(opts_.collect_trace, Phase::kCopyIn, start,
                     engine_.now(), q.inflight->range.to_string());
-      on_input_done(slot);
+      on_input_done(slot, attempt, wire_seed);
     });
   });
 }
 
-void OffloadExecution::on_input_done(int slot) {
+void OffloadExecution::on_input_done(int slot, int attempt,
+                                     std::uint64_t wire_seed) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
   if (p.lost || !p.inflight) return;
-  p.fetching = false;
 
   // Perform the real copies now that the transfer has (virtually)
   // completed. Read-only statics are restaged with every chunk (matching
@@ -782,8 +846,71 @@ void OffloadExecution::on_input_done(int slot) {
   if (opts_.execute_bodies) {
     for (auto* m : p.inflight->chunk_maps) m->copy_in();
   }
-  p.stats.bytes_in += p.inflight->bytes_in;
 
+  const bool had_transfer = p.down != nullptr && p.inflight->bytes_in > 0.0;
+  if (wire_seed != 0) {
+    // The copy-in payload was silently flipped on the wire. Only the
+    // chunk's own input slices are damaged (never writable statics — those
+    // are staged once and a re-transfer could not repair them).
+    ++p.stats.corruptions_injected;
+    note_fault(slot, sim::FaultKind::kCorruptTransfer, false,
+               "copy-in " + p.inflight->range.to_string() +
+                   " payload silently corrupted");
+    if (opts_.execute_bodies) {
+      apply_corruption(p.inflight->chunk_maps, /*input_side=*/true,
+                       wire_seed);
+    }
+  }
+
+  if (integrity_armed_ && opts_.integrity.verify_copy_in && had_transfer) {
+    // Corrupted *input* would produce a wrong-but-self-consistent result
+    // that output verification can never catch, so inputs get their own
+    // check: host-side sum (computed before the DMA) against the
+    // device-side sum of what arrived.
+    ++p.stats.integrity_checks;
+    bool bad;
+    if (opts_.execute_bodies) {
+      const std::uint64_t want =
+          payload_checksum(p.inflight->chunk_maps, /*input_side=*/true,
+                           /*host_side=*/true);
+      const std::uint64_t got =
+          payload_checksum(p.inflight->chunk_maps, /*input_side=*/true);
+      bad = want != got;
+    } else {
+      bad = wire_seed != 0;  // pure-simulation mode models the comparison
+    }
+    const double vdelay = integrity_delay(p.inflight->bytes_in, p);
+    p.stats.phase_time[static_cast<int>(Phase::kCopyIn)] += vdelay;
+    if (bad) {
+      ++p.stats.integrity_failures;
+      note_recovery(slot, RecoveryAction::kCorruptionDetected,
+                    "copy-in " + p.inflight->range.to_string() +
+                        " checksum mismatch — re-transferring");
+      // The verification scan still costs its time before the retry; the
+      // re-transfer re-stages the slices, repairing the flipped bytes.
+      engine_.schedule_after(vdelay, [this, slot, attempt] {
+        Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+        if (q.lost || !q.inflight) return;
+        handle_transient(slot, attempt, sim::FaultKind::kCorruptTransfer,
+                         [this, slot, attempt] {
+                           issue_input(slot, attempt + 1);
+                         });
+      });
+      return;
+    }
+    if (vdelay > 0.0) {
+      engine_.schedule_after(vdelay, [this, slot] { input_ready(slot); });
+      return;
+    }
+  }
+  input_ready(slot);
+}
+
+void OffloadExecution::input_ready(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost || !p.inflight) return;
+  p.fetching = false;
+  p.stats.bytes_in += p.inflight->bytes_in;
   p.ready = std::move(p.inflight);
   p.inflight.reset();
   try_start_compute(slot);
@@ -847,6 +974,21 @@ void OffloadExecution::start_launch(int slot, int attempt) {
                      " from " + p.computing->range.to_string());
     }
     compute *= p.degrade_factor;
+    if (p.up != nullptr) {
+      // Silent compute corruption: the kernel finishes on time but its
+      // output region is bit-flipped. Shared-memory devices are exempt —
+      // their writes land directly in host arrays with no commit
+      // boundary to verify at, so modelling silent corruption there
+      // would be undetectable by construction.
+      const std::uint64_t cs = fault_plan_.compute_corrupts(p.device_id);
+      if (cs != 0) {
+        p.computing->corrupt_seed = cs;
+        ++p.stats.corruptions_injected;
+        note_fault(slot, sim::FaultKind::kCorruptCompute, false,
+                   "compute " + p.computing->range.to_string() +
+                       " result silently corrupted");
+      }
+    }
   }
   p.stats.phase_time[static_cast<int>(Phase::kLaunch)] += launch;
 
@@ -927,6 +1069,7 @@ void OffloadExecution::on_compute_done(int slot) {
   // Its host-visible effects commit when the output transfer lands.
   double red = 0.0;
   if (opts_.execute_bodies) red = kernel_.body(chunk.range, chunk.env);
+  bool integ_settled = false;
 
   if (p.up != nullptr && chunk.bytes_out > 0.0) {
     ++p.outstanding_outputs;
@@ -938,12 +1081,48 @@ void OffloadExecution::on_compute_done(int slot) {
     rec->token = chunk.token;
     rec->is_spec = chunk.is_spec;
     rec->is_probe = chunk.is_probe;
+    rec->integ = chunk.integ;
+    rec->verify = integrity_armed_;
+    if (rec->verify || chunk.corrupt_seed != 0) {
+      if (opts_.execute_bodies) {
+        rec->sum_result = payload_checksum(chunk.chunk_maps,
+                                           /*input_side=*/false);
+        if (chunk.corrupt_seed != 0) {
+          apply_corruption(chunk.chunk_maps, /*input_side=*/false,
+                           chunk.corrupt_seed);
+          rec->sum_payload = payload_checksum(chunk.chunk_maps,
+                                              /*input_side=*/false);
+        } else {
+          rec->sum_payload = rec->sum_result;
+        }
+      } else {
+        // Pure-simulation mode: model the sums symbolically. An injected
+        // flip XORs in a nonzero token, so a corrupted hand-off always
+        // compares unequal — same detection outcome, no real bytes.
+        rec->sum_result = 0;
+        rec->sum_payload = chunk.corrupt_seed != 0
+                               ? (mix64(chunk.corrupt_seed) | 1)
+                               : 0;
+      }
+      rec->sum_wire = rec->sum_payload;
+    }
     p.outputs.push_back(rec);
     issue_output(slot, std::move(rec), 1);
   } else {
     // Shared memory (or nothing to ship): effects become host-visible the
     // instant compute completes — an atomic commit on the DES engine, so
-    // a later loss cannot leave them half-applied.
+    // a later loss cannot leave them half-applied. No wire was crossed,
+    // so a re-executed chunk landing here settles its integrity state
+    // without further verification.
+    if (chunk.integ && !chunk.integ->resolved) {
+      chunk.integ->resolved = true;
+      note_recovery(slot,
+                    chunk.integ->voting ? RecoveryAction::kVoteCommitted
+                                        : RecoveryAction::kReexecuteCommitted,
+                    chunk.range.to_string() +
+                        " settled by a shared-memory execution");
+      integ_settled = true;
+    }
     if (claim_commit(slot, chunk.token, chunk.is_spec, chunk.is_probe,
                      chunk.range)) {
       if (opts_.execute_bodies) {
@@ -956,7 +1135,13 @@ void OffloadExecution::on_compute_done(int slot) {
 
   try_start_compute(slot);
   try_fetch(slot);
-  check_completion(slot);
+  if (integ_settled) {
+    // Settling an integrity re-execution lifts a *global* completion
+    // block; proxies parked on the unresolved chunk need a fresh look.
+    sweep_completion();
+  } else {
+    check_completion(slot);
+  }
 }
 
 void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
@@ -966,7 +1151,13 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
   const double start = engine_.now();
   const double bytes = rec->bytes_out;
   const bool failed = fault_active_ && fault_plan_.transfer_fails(p.device_id);
-  p.up->transfer(bytes, [this, slot, rec, start, bytes, attempt, failed] {
+  std::uint64_t wire_seed = 0;
+  if (fault_active_) {
+    wire_seed = fault_plan_.transfer_corrupts(p.device_id);
+    if (failed) wire_seed = 0;  // a failed attempt delivers no payload
+  }
+  p.up->transfer(bytes, [this, slot, rec, start, bytes, attempt, failed,
+                         wire_seed] {
     Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
     if (q.lost || rec->abandoned) return;  // requeued at quarantine
     if (failed) {
@@ -989,8 +1180,38 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
     q.record_span(opts_.collect_trace, Phase::kCopyOut, start, engine_.now(),
                   rec->range.to_string());
     q.stats.bytes_out += bytes;  // physically transferred either way
-    // Commit: only now do the chunk's results reach the host — and only
-    // for the first copy of a speculated chunk (first-commit-wins).
+    if (wire_seed != 0) {
+      // The copy-out payload was flipped on the wire. The flips land in
+      // the device-side chunk slices (the staging the host commit reads
+      // from), so an unverified commit materialises the damage.
+      ++q.stats.corruptions_injected;
+      note_fault(slot, sim::FaultKind::kCorruptTransfer, false,
+                 "copy-out " + rec->range.to_string() +
+                     " payload silently corrupted");
+      if (opts_.execute_bodies) {
+        apply_corruption(rec->maps, /*input_side=*/false, wire_seed);
+        rec->sum_wire = payload_checksum(rec->maps, /*input_side=*/false);
+      } else {
+        rec->sum_wire = rec->sum_payload ^ (mix64(wire_seed) | 1);
+      }
+    }
+    if (rec->verify) {
+      // Verified commit: spend the checksum scan (device-side sum was
+      // computed at compute end; the host side re-scans the received
+      // payload), then compare before any host effect lands.
+      const double vdelay = integrity_delay(2.0 * bytes, q);
+      q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] += vdelay;
+      if (vdelay > 0.0) {
+        engine_.schedule_after(vdelay,
+                               [this, slot, rec] { finish_commit(slot, rec); });
+      } else {
+        finish_commit(slot, rec);
+      }
+      return;
+    }
+    // Unverified commit: only now do the chunk's results reach the host —
+    // and only for the first copy of a speculated chunk
+    // (first-commit-wins).
     if (claim_commit(slot, rec->token, rec->is_spec, rec->is_probe,
                      rec->range)) {
       if (opts_.execute_bodies) {
@@ -1007,6 +1228,276 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
     try_fetch(slot);
     check_completion(slot);
   });
+}
+
+std::uint64_t OffloadExecution::payload_checksum(
+    const std::vector<mem::DeviceMapping*>& maps, bool input_side,
+    bool host_side) const {
+  const ChecksumKind kind = opts_.integrity.checksum;
+  std::uint64_t h = 0;
+  for (auto* m : maps) {
+    if (m->shared()) continue;  // no wire crossed, nothing to verify
+    if (input_side ? !mem::copies_in(m->spec().dir)
+                   : !mem::copies_out(m->spec().dir)) {
+      continue;
+    }
+    const dist::Region& r = input_side ? m->footprint() : m->owned();
+    const std::uint64_t s =
+        host_side ? m->checksum_host(r, kind) : m->checksum_device(r, kind);
+    h = mix64(h ^ s);
+  }
+  return h;
+}
+
+void OffloadExecution::apply_corruption(
+    const std::vector<mem::DeviceMapping*>& maps, bool input_side,
+    std::uint64_t seed) const {
+  // The seed picks one of the chunk's transferable slices and drives the
+  // byte flips inside it — always in *device* storage, so a re-transfer
+  // (copy-in) or a discarded commit (copy-out) leaves the host intact.
+  std::vector<mem::DeviceMapping*> candidates;
+  for (auto* m : maps) {
+    if (m->shared()) continue;
+    if (input_side ? !mem::copies_in(m->spec().dir)
+                   : !mem::copies_out(m->spec().dir)) {
+      continue;
+    }
+    const dist::Region& r = input_side ? m->footprint() : m->owned();
+    if (r.empty()) continue;
+    candidates.push_back(m);
+  }
+  if (candidates.empty()) return;
+  auto* m = candidates[static_cast<std::size_t>(
+      seed % static_cast<std::uint64_t>(candidates.size()))];
+  m->corrupt_device(input_side ? m->footprint() : m->owned(), seed);
+}
+
+double OffloadExecution::integrity_delay(double bytes, const Proxy& p) const {
+  // One pass over the payload at the device's sustained memory bandwidth —
+  // the checksum is memory-bound by construction.
+  const double bw = p.desc->sustained_membw_Bps();
+  return bw > 0.0 && bytes > 0.0 ? bytes / bw : 0.0;
+}
+
+bool OffloadExecution::integrity_slot_allowed(const IntegrityState& st,
+                                              int slot) const {
+  const Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.lost) return false;
+  auto excluded = [&st](int s) {
+    if (std::find(st.suspects.begin(), st.suspects.end(), s) !=
+        st.suspects.end()) {
+      return true;
+    }
+    return st.voting && std::find(st.balloted.begin(), st.balloted.end(),
+                                  s) != st.balloted.end();
+  };
+  // Graduated fallback: prefer an untainted full-service device; if none
+  // is alive, accept an untainted probation device; if even that fails
+  // (e.g. a two-device machine where both are implicated), let anyone
+  // alive serve so the queue can always drain.
+  bool strict = false;
+  bool relaxed = false;
+  for (const auto& q : proxies_) {
+    if (q->lost) continue;
+    if (!excluded(q->slot)) {
+      relaxed = true;
+      if (!q->probation) strict = true;
+    }
+  }
+  if (strict) return !excluded(slot) && !p.probation;
+  if (relaxed) return !excluded(slot);
+  return true;
+}
+
+void OffloadExecution::finish_commit(int slot, std::shared_ptr<OutRecord> rec) {
+  Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+  if (q.lost || rec->abandoned) return;  // quarantined during the scan
+  ++q.stats.integrity_checks;
+  const bool bad_compute = rec->sum_payload != rec->sum_result;
+  const bool bad_wire = rec->sum_wire != rec->sum_payload;
+  if (bad_compute || bad_wire) {
+    handle_corrupt_commit(slot, rec, bad_wire && !bad_compute);
+    return;
+  }
+
+  auto st = rec->integ;
+  if (st && st->resolved) {
+    // Another execution already settled this chunk (vote quorum reached,
+    // or a clean re-execution committed): discard this late clean copy
+    // before it double-applies host effects.
+    if (rec->token) --rec->token->runners;
+    note_recovery(slot, RecoveryAction::kTardyAbandoned,
+                  rec->range.to_string() + " (chunk already settled)");
+    auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
+    if (it != q.outputs.end()) q.outputs.erase(it);
+    --q.outstanding_outputs;
+    try_fetch(slot);
+    sweep_completion();
+    return;
+  }
+  if (st && rec->token && rec->token->committed) {
+    // The racing copy committed while we verified; claim_commit below
+    // discards this copy, and the race winner's commit settled the range.
+    st->resolved = true;
+    st = nullptr;
+  }
+  if (st && st->voting) {
+    // Voting: this clean execution is a ballot keyed by its payload sum.
+    // The chunk commits only when vote_quorum ballots agree — and since
+    // equal checksums mean equal payloads, committing the quorum-reaching
+    // copy commits the agreed bytes.
+    int agree = 0;
+    for (auto& b : st->ballots) {
+      if (b.sum == rec->sum_wire) {
+        agree = ++b.count;
+        break;
+      }
+    }
+    if (agree == 0) {
+      st->ballots.push_back({rec->sum_wire, 1});
+      agree = 1;
+    }
+    st->balloted.push_back(slot);
+    if (agree < opts_.integrity.vote_quorum) {
+      if (rec->token) --rec->token->runners;
+      note_recovery(slot, RecoveryAction::kReexecuteQueued,
+                    rec->range.to_string() + " ballot " +
+                        std::to_string(agree) + "/" +
+                        std::to_string(opts_.integrity.vote_quorum) +
+                        " — needs another agreeing execution");
+      if (st->executions >= opts_.integrity.max_attempts) {
+        throw OffloadError(
+            "chunk " + rec->range.to_string() + " failed to reach a " +
+            std::to_string(opts_.integrity.vote_quorum) +
+            "-vote integrity quorum within integrity.max_attempts (" +
+            std::to_string(opts_.integrity.max_attempts) +
+            ") executions — data integrity cannot be established");
+      }
+      integrity_queue_.push_back(st);
+      auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
+      if (it != q.outputs.end()) q.outputs.erase(it);
+      --q.outstanding_outputs;
+      kick_survivors();
+      try_fetch(slot);
+      sweep_completion();
+      return;
+    }
+    st->resolved = true;
+    note_recovery(slot, RecoveryAction::kVoteCommitted,
+                  rec->range.to_string() + " quorum " +
+                      std::to_string(agree) + "/" +
+                      std::to_string(opts_.integrity.vote_quorum) +
+                      " — agreed payload committed");
+  } else if (st) {
+    st->resolved = true;
+    note_recovery(slot, RecoveryAction::kReexecuteCommitted,
+                  rec->range.to_string() +
+                      " re-execution verified and committed");
+  }
+
+  if (claim_commit(slot, rec->token, rec->is_spec, rec->is_probe,
+                   rec->range)) {
+    if (opts_.execute_bodies) {
+      for (auto* m : rec->maps) m->copy_out();
+    }
+    q.partial_reduction += rec->reduction;
+    q.stats.iterations += rec->range.size();
+  }
+  auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
+  if (it != q.outputs.end()) q.outputs.erase(it);
+  --q.outstanding_outputs;
+  try_fetch(slot);
+  sweep_completion();
+}
+
+void OffloadExecution::handle_corrupt_commit(
+    int slot, const std::shared_ptr<OutRecord>& rec, bool wire_only) {
+  Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+  ++q.stats.integrity_failures;
+  note_recovery(slot, RecoveryAction::kCorruptionDetected,
+                rec->range.to_string() +
+                    (wire_only ? " copy-out" : " kernel result") +
+                    " checksum mismatch — chunk discarded before commit");
+
+  auto st = rec->integ;
+  if (!st) {
+    st = std::make_shared<IntegrityState>();
+    st->range = rec->range;
+  }
+  ++st->failures;
+  if (std::find(st->suspects.begin(), st->suspects.end(), slot) ==
+      st->suspects.end()) {
+    st->suspects.push_back(slot);
+  }
+  if (!st->voting && st->failures >= opts_.integrity.vote_after_failures) {
+    st->voting = true;
+    note_recovery(slot, RecoveryAction::kVoteOpened,
+                  rec->range.to_string() + " escalated to " +
+                      std::to_string(opts_.integrity.vote_quorum) +
+                      "-vote agreement after " +
+                      std::to_string(st->failures) + " integrity failures");
+  }
+
+  // Spec-token bookkeeping: this copy is discarded. If a racing copy is
+  // still running it inherits the integrity state and may settle the
+  // chunk; a still-queued offer is withdrawn (offers are optional work —
+  // nobody has to take them, which would strand the chunk).
+  bool need_requeue = !st->resolved;
+  if (rec->token) {
+    --rec->token->runners;
+    if (rec->token->committed) {
+      need_requeue = false;
+    } else {
+      rec->token->integ = st;
+      if (rec->token->queued) {
+        auto sit =
+            std::find(spec_queue_.begin(), spec_queue_.end(), rec->token);
+        if (sit != spec_queue_.end()) spec_queue_.erase(sit);
+        rec->token->queued = false;
+      }
+      if (rec->token->runners > 0) need_requeue = false;
+    }
+  }
+
+  rec->abandoned = true;
+  auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
+  if (it != q.outputs.end()) q.outputs.erase(it);
+  --q.outstanding_outputs;
+
+  if (need_requeue) {
+    if (st->executions >= opts_.integrity.max_attempts) {
+      throw OffloadError(
+          "chunk " + rec->range.to_string() +
+          " still fails integrity verification after integrity."
+          "max_attempts (" +
+          std::to_string(opts_.integrity.max_attempts) +
+          ") executions — data integrity cannot be established");
+    }
+    note_recovery(slot, RecoveryAction::kReexecuteQueued,
+                  st->range.to_string() +
+                      " queued for re-execution on another device");
+    integrity_queue_.push_back(st);
+  }
+
+  // Integrity circuit breaker: a device that repeatedly ships corrupt
+  // payloads is quarantined like a tardy straggler — and a probation
+  // device gets no second chance at all.
+  const sim::FaultKind kind = wire_only ? sim::FaultKind::kCorruptTransfer
+                                        : sim::FaultKind::kCorruptCompute;
+  const int threshold = opts_.integrity.quarantine_threshold;
+  if (q.probation) {
+    quarantine(slot, kind, "probation chunk failed integrity verification");
+  } else if (threshold > 0 &&
+             q.stats.integrity_failures >=
+                 static_cast<std::size_t>(threshold)) {
+    quarantine(slot, kind,
+               "repeated integrity failures (" +
+                   std::to_string(q.stats.integrity_failures) + ")");
+  } else {
+    kick_survivors();
+    try_fetch(slot);
+    sweep_completion();
+  }
 }
 
 void OffloadExecution::handle_transient(int slot, int attempt,
@@ -1245,6 +1736,7 @@ void OffloadExecution::watchdog_soft(int slot, std::uint64_t serial) {
   token->origin_slot = slot;
   token->runners = 1;  // the tardy original
   token->queued = true;
+  token->integ = p.computing->integ;  // racing copies share the vote state
   p.computing->token = token;
   spec_queue_.push_back(std::move(token));
   note_recovery(slot, RecoveryAction::kSpeculated,
@@ -1369,6 +1861,9 @@ void OffloadExecution::readmit(int slot) {
 
 bool OffloadExecution::has_work_for(int slot) const {
   if (!requeue_.empty()) return true;
+  for (const auto& st : integrity_queue_) {
+    if (!st->resolved && integrity_slot_allowed(*st, slot)) return true;
+  }
   for (const auto& t : spec_queue_) {
     if (!t->committed && t->origin_slot != slot) return true;
   }
@@ -1448,11 +1943,24 @@ void OffloadExecution::check_completion(int slot) {
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
   if (p.done || p.finalizing || p.lost) return;
   if (!scheduler_->finished(slot) || !requeue_.empty()) return;
+  // Unsettled integrity re-executions are mandatory work: nobody
+  // finalizes while a discarded chunk still awaits a verified commit.
+  for (auto it = integrity_queue_.begin(); it != integrity_queue_.end();) {
+    it = (*it)->resolved ? integrity_queue_.erase(it) : std::next(it);
+  }
+  if (!integrity_queue_.empty()) return;
   if (p.fetching || p.inflight || p.ready || p.computing ||
       p.outstanding_outputs > 0) {
     return;
   }
   finalize_device(slot);
+}
+
+void OffloadExecution::sweep_completion() {
+  // Serving or settling integrity work changes a *global* completion
+  // precondition, so every proxy needs a fresh look — earlier refusals
+  // may have parked idle proxies that can now finalize.
+  for (const auto& p : proxies_) check_completion(p->slot);
 }
 
 void OffloadExecution::finalize_device(int slot) {
@@ -1480,7 +1988,18 @@ void OffloadExecution::issue_finalize(int slot, double bytes, int attempt) {
   if (p.lost) return;
   const double start = engine_.now();
   const bool failed = fault_active_ && fault_plan_.transfer_fails(p.device_id);
-  p.up->transfer(bytes, [this, slot, start, bytes, attempt, failed] {
+  // The final static write-back rides the same transfer fault stream, so
+  // it can also be silently corrupted. With integrity armed it is caught
+  // and re-sent; unarmed it is modelled only (no real bytes are flipped:
+  // flipping host statics could poison a later revived device's copy-in,
+  // and the retry path could not repair it — see docs/RESILIENCE.md).
+  std::uint64_t wire_seed = 0;
+  if (fault_active_) {
+    wire_seed = fault_plan_.transfer_corrupts(p.device_id);
+    if (failed) wire_seed = 0;
+  }
+  p.up->transfer(bytes, [this, slot, start, bytes, attempt, failed,
+                         wire_seed] {
     Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
     if (q.lost) return;  // quarantined mid-write-back
     if (failed) {
@@ -1499,6 +2018,22 @@ void OffloadExecution::issue_finalize(int slot, double bytes, int attempt) {
     q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] +=
         engine_.now() - start;
     q.stats.bytes_out += bytes;
+    if (wire_seed != 0) {
+      ++q.stats.corruptions_injected;
+      note_fault(slot, sim::FaultKind::kCorruptTransfer, false,
+                 "final write-back payload silently corrupted");
+      if (integrity_armed_) {
+        ++q.stats.integrity_checks;
+        ++q.stats.integrity_failures;
+        note_recovery(slot, RecoveryAction::kCorruptionDetected,
+                      "final write-back checksum mismatch — re-sending");
+        handle_transient(slot, attempt, sim::FaultKind::kCorruptTransfer,
+                         [this, slot, bytes, attempt] {
+                           issue_finalize(slot, bytes, attempt + 1);
+                         });
+        return;
+      }
+    }
     complete_finalize(slot);
   });
 }

@@ -44,6 +44,15 @@
 /// re-admitted after an exponentially growing cooldown into a probation
 /// state that feeds it small probe chunks until it either proves itself
 /// (promotion) or fails again (re-quarantine).
+///
+/// The third resilience leg is end-to-end data integrity
+/// (docs/RESILIENCE.md "Integrity"): chunk payloads are checksummed on
+/// the device side and verified before their host commit, so silently
+/// corrupted transfers or kernel results (FaultKind::kCorruptTransfer /
+/// kCorruptCompute) are discarded before touching host state,
+/// re-executed on a different device, and escalated to quorum voting on
+/// repeated disagreement. Devices that repeatedly fail verification trip
+/// a circuit breaker into the same quarantine + probation machinery.
 
 #include <cstdint>
 #include <deque>
@@ -99,6 +108,7 @@ class OffloadExecution {
   struct PendingChunk;
   struct OutRecord;
   struct Proxy;
+  struct IntegrityState;
 
   void validate_and_plan();
   void build_proxies();
@@ -111,7 +121,8 @@ class OffloadExecution {
   // Proxy state machine.
   void try_fetch(int slot);
   void issue_input(int slot, int attempt);
-  void on_input_done(int slot);
+  void on_input_done(int slot, int attempt, std::uint64_t wire_seed);
+  void input_ready(int slot);
   void try_start_compute(int slot);
   void start_launch(int slot, int attempt);
   void on_compute_done(int slot);
@@ -157,6 +168,32 @@ class OffloadExecution {
   void readmit(int slot);
   void note_recovery(int slot, RecoveryAction action, std::string detail);
 
+  // Data integrity (docs/RESILIENCE.md "Integrity").
+  /// Device-side (or host-side) combined checksum over the chunk's
+  /// mappings in the given direction. 0 in pure-simulation mode.
+  std::uint64_t payload_checksum(
+      const std::vector<mem::DeviceMapping*>& maps, bool input_side,
+      bool host_side = false) const;
+  /// Flip seeded bytes in one of the chunk's mappings (device storage).
+  void apply_corruption(const std::vector<mem::DeviceMapping*>& maps,
+                        bool input_side, std::uint64_t seed) const;
+  /// Virtual time to checksum `bytes` on the device (device memory scan).
+  double integrity_delay(double bytes, const Proxy& p) const;
+  /// May `slot` serve this troubled chunk? Suspect and already-balloted
+  /// devices are excluded, with graduated fallback so the queue can
+  /// always drain (docs/RESILIENCE.md).
+  bool integrity_slot_allowed(const IntegrityState& st, int slot) const;
+  /// Deferred half of the output-commit path: verify the payload
+  /// checksums, ballot when voting, then commit via claim_commit.
+  void finish_commit(int slot, std::shared_ptr<OutRecord> rec);
+  /// A commit-side checksum mismatch: discard, queue a re-execution,
+  /// maybe open a vote, maybe trip the integrity circuit breaker.
+  void handle_corrupt_commit(int slot, const std::shared_ptr<OutRecord>& rec,
+                             bool wire_only);
+  /// check_completion for every slot — used when the integrity queue
+  /// drains, since earlier refusals may have parked idle proxies.
+  void sweep_completion();
+
   const mach::MachineDescriptor& machine_;
   const LoopKernel& kernel_;
   const std::vector<mem::MapSpec>& maps_;
@@ -191,6 +228,11 @@ class OffloadExecution {
   std::deque<std::shared_ptr<SpecToken>> spec_queue_;
   long long probe_grain_ = 1;
   std::vector<RecoveryEvent> recovery_events_;
+
+  /// Chunks discarded after a checksum mismatch, awaiting re-execution
+  /// (served ahead of everything else; completion waits on it).
+  std::deque<std::shared_ptr<IntegrityState>> integrity_queue_;
+  bool integrity_armed_ = false;
 };
 
 }  // namespace homp::rt

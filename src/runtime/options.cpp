@@ -1,5 +1,8 @@
 #include "runtime/options.h"
 
+#include "common/error.h"
+#include "common/strings.h"
+
 namespace homp::rt {
 
 const char* to_string(Phase p) noexcept {
@@ -40,8 +43,95 @@ const char* to_string(RecoveryAction a) noexcept {
       return "probe-passed";
     case RecoveryAction::kPromoted:
       return "promoted";
+    case RecoveryAction::kCorruptionDetected:
+      return "corruption-detected";
+    case RecoveryAction::kReexecuteQueued:
+      return "reexecute-queued";
+    case RecoveryAction::kReexecuteCommitted:
+      return "reexecute-committed";
+    case RecoveryAction::kVoteOpened:
+      return "vote-opened";
+    case RecoveryAction::kVoteCommitted:
+      return "vote-committed";
   }
   return "?";
+}
+
+std::vector<std::string> OffloadOptions::validate() const {
+  std::vector<std::string> v;
+
+  auto fraction = [&](double x, const char* key) {
+    if (!(x > 0.0 && x <= 1.0)) {
+      v.push_back(std::string("sched.") + key + " must be in (0, 1]");
+    }
+  };
+  fraction(sched.dynamic_chunk_fraction, "dynamic_chunk_fraction");
+  fraction(sched.guided_chunk_fraction, "guided_chunk_fraction");
+  fraction(sched.sample_fraction, "sample_fraction");
+  fraction(sched.cyclic_block_fraction, "cyclic_block_fraction");
+  fraction(sched.steal_grain_fraction, "steal_grain_fraction");
+  if (!(sched.cutoff_ratio >= 0.0 && sched.cutoff_ratio < 1.0)) {
+    v.push_back("sched.cutoff_ratio must be in [0, 1)");
+  }
+  if (sched.min_chunk < 1) v.push_back("sched.min_chunk must be >= 1");
+  if (sched.cyclic_absolute_block < 0) {
+    v.push_back("sched.cyclic_absolute_block must be >= 0 (0 derives from "
+                "cyclic_block_fraction)");
+  }
+
+  if (fault.max_retries < 0) {
+    v.push_back("fault.max_retries must be non-negative");
+  }
+  if (!(fault.backoff_base_s >= 0.0 &&
+        fault.backoff_cap_s >= fault.backoff_base_s)) {
+    v.push_back("fault backoff must satisfy 0 <= base <= cap");
+  }
+  auto fv = fault.extra.violations("offload fault options");
+  v.insert(v.end(), fv.begin(), fv.end());
+
+  const WatchdogOptions& w = watchdog;
+  if (!(w.deadline_multiplier > 0.0 && w.deadline_floor_s >= 0.0)) {
+    v.push_back("watchdog deadline_multiplier must be > 0 and the floor "
+                ">= 0");
+  }
+  if (!(w.hard_kill_multiplier >= 1.0)) {
+    v.push_back("watchdog hard_kill_multiplier must be >= 1 (the hard "
+                "deadline cannot precede the soft one)");
+  }
+  if (w.tardy_quarantine_threshold < 0) {
+    v.push_back("watchdog tardy_quarantine_threshold must be >= 0");
+  }
+  if (!(w.cooldown_base_s >= 0.0 && w.cooldown_growth >= 1.0 &&
+        w.cooldown_cap_s >= w.cooldown_base_s)) {
+    v.push_back("watchdog cooldown must satisfy 0 <= base <= cap, "
+                "growth >= 1");
+  }
+  if (!(w.probe_iterations >= 0 && w.probation_successes >= 1)) {
+    v.push_back("watchdog probation knobs must be non-negative (and at "
+                "least one probe success required)");
+  }
+
+  const IntegrityOptions& in = integrity;
+  if (in.vote_after_failures < 1) {
+    v.push_back("integrity.vote_after_failures must be >= 1");
+  }
+  if (in.vote_quorum < 1) v.push_back("integrity.vote_quorum must be >= 1");
+  if (in.max_attempts < 2) {
+    v.push_back("integrity.max_attempts must be >= 2 (the original "
+                "execution plus at least one re-execution)");
+  }
+  if (in.quarantine_threshold < 0) {
+    v.push_back("integrity.quarantine_threshold must be >= 0");
+  }
+
+  return v;
+}
+
+void OffloadOptions::validate_or_throw() const {
+  const auto v = validate();
+  if (!v.empty()) {
+    throw ConfigError("invalid offload options: " + join(v, "; "));
+  }
 }
 
 Imbalance OffloadResult::imbalance() const {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/stats.h"
 #include "dist/policy.h"
 #include "model/loop_model.h"
@@ -110,6 +111,48 @@ struct WatchdogOptions {
   int probation_successes = 2;
 };
 
+/// End-to-end data-integrity knobs (docs/RESILIENCE.md "Integrity").
+/// Every chunk payload is checksummed on the device side and verified at
+/// commit; a mismatch discards the chunk before it touches host state and
+/// re-executes it on a different device, escalating to quorum voting on
+/// repeated disagreement. Armed only while fault injection is active
+/// (or with `always`), so a fault-free offload pays nothing.
+struct IntegrityOptions {
+  /// Master switch. Off: injected corruption is committed silently — the
+  /// pre-integrity behavior (useful as a negative control in tests).
+  bool enabled = true;
+
+  /// Arm verification even without fault injection (overhead
+  /// measurement; also catches host-side memory errors in principle).
+  bool always = false;
+
+  /// Verify host->device chunk payloads right after copy-in. On by
+  /// default: a corrupted *input* yields a wrong-but-self-consistent
+  /// kernel result that no output checksum can catch. A detected input
+  /// mismatch is repaired by re-transfer (transient-retry path).
+  bool verify_copy_in = true;
+
+  /// Checksum algorithm for payload verification.
+  ChecksumKind checksum = ChecksumKind::kMix64;
+
+  /// After this many integrity failures on one chunk, stop trusting any
+  /// single device for it and escalate to voting.
+  int vote_after_failures = 2;
+
+  /// Ballots that must agree byte-for-byte before a voted chunk commits
+  /// (2 = classic 2-of-3 with the failed original).
+  int vote_quorum = 2;
+
+  /// Hard cap on total executions + ballots for one chunk; exceeding it
+  /// raises OffloadError instead of looping forever.
+  int max_attempts = 8;
+
+  /// Quarantine a device once this many of its commits failed
+  /// verification (flaky-DMA circuit breaker, healed by the watchdog's
+  /// probation machinery); 0 disables.
+  int quarantine_threshold = 3;
+};
+
 struct OffloadOptions {
   /// Global device ids participating in the offload (the `device(...)`
   /// list). Must be non-empty; id 0 is the host.
@@ -168,9 +211,22 @@ struct OffloadOptions {
   /// fault injection is active.
   WatchdogOptions watchdog;
 
+  /// Data-integrity verification tuning; armed only while fault
+  /// injection is active unless `integrity.always`.
+  IntegrityOptions integrity;
+
   /// Record per-activity spans into OffloadResult::trace (see
   /// runtime/trace.h for the chrome://tracing exporter).
   bool collect_trace = false;
+
+  /// All knob-range violations across sched / fault / watchdog /
+  /// integrity options (empty = valid). Centralized here so every entry
+  /// point — Runtime::offload, direct OffloadExecution use, tests —
+  /// shares one diagnostic.
+  std::vector<std::string> validate() const;
+
+  /// Throws ConfigError listing every violation.
+  void validate_or_throw() const;
 };
 
 /// One injected fault observed by the recovery machinery, in virtual time.
@@ -193,6 +249,11 @@ enum class RecoveryAction : int {
   kReadmitted,         ///< quarantined device re-entered in probation
   kProbePassed,        ///< a probation probe chunk committed
   kPromoted,           ///< probation device restored to full service
+  kCorruptionDetected,  ///< a payload checksum mismatch; chunk discarded
+  kReexecuteQueued,     ///< discarded chunk queued for another device
+  kReexecuteCommitted,  ///< a re-executed chunk passed and committed
+  kVoteOpened,          ///< repeated disagreement escalated to voting
+  kVoteCommitted,       ///< a quorum of agreeing ballots committed
 };
 
 const char* to_string(RecoveryAction a) noexcept;
@@ -242,6 +303,13 @@ struct DeviceStats {
   std::size_t probe_chunks = 0;     ///< chunks served while in probation
   std::size_t readmissions = 0;     ///< probation re-entries
   std::size_t quarantine_count = 0;  ///< total quarantines (>=1 can heal)
+
+  /// Data-integrity telemetry (docs/RESILIENCE.md "Integrity").
+  std::size_t corruptions_injected = 0;  ///< payloads/results bit-flipped
+  std::size_t integrity_checks = 0;      ///< payload verifications run
+  std::size_t integrity_failures = 0;    ///< checksum mismatches caught
+  std::size_t integrity_reexecutions = 0;  ///< discarded chunks re-run here
+  std::size_t vote_rounds = 0;           ///< ballot executions served here
 
   double busy_time() const noexcept {
     double t = 0.0;

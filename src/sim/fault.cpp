@@ -1,6 +1,8 @@
 #include "sim/fault.h"
 
+#include "common/checksum.h"
 #include "common/error.h"
+#include "common/strings.h"
 
 namespace homp::sim {
 
@@ -18,25 +20,41 @@ const char* to_string(FaultKind k) noexcept {
       return "hang";
     case FaultKind::kDegrade:
       return "degrade";
+    case FaultKind::kCorruptTransfer:
+      return "corrupt-transfer";
+    case FaultKind::kCorruptCompute:
+      return "corrupt-compute";
   }
   return "?";
 }
 
+std::vector<std::string> FaultProfile::violations(
+    const std::string& who) const {
+  std::vector<std::string> out;
+  auto rate = [&](double v, const char* key) {
+    if (!(v >= 0.0 && v < 1.0)) {
+      out.push_back(who + ": " + key + " must be in [0, 1)");
+    }
+  };
+  auto factor = [&](double v, const char* key) {
+    if (!(v >= 1.0)) out.push_back(who + ": " + std::string(key) +
+                                   " must be >= 1");
+  };
+  rate(transfer_fault_rate, "fault_transfer_rate");
+  rate(launch_fault_rate, "fault_launch_rate");
+  rate(slowdown_rate, "fault_slowdown_rate");
+  factor(slowdown_factor, "fault_slowdown_factor");
+  rate(hang_rate, "fault_hang_rate");
+  rate(degrade_rate, "fault_degrade_rate");
+  factor(degrade_factor, "fault_degrade_factor");
+  rate(corrupt_transfer_rate, "fault_corrupt_transfer_rate");
+  rate(corrupt_compute_rate, "fault_corrupt_compute_rate");
+  return out;
+}
+
 void FaultProfile::validate(const std::string& who) const {
-  HOMP_REQUIRE(transfer_fault_rate >= 0.0 && transfer_fault_rate < 1.0,
-               who + ": fault_transfer_rate must be in [0, 1)");
-  HOMP_REQUIRE(launch_fault_rate >= 0.0 && launch_fault_rate < 1.0,
-               who + ": fault_launch_rate must be in [0, 1)");
-  HOMP_REQUIRE(slowdown_rate >= 0.0 && slowdown_rate < 1.0,
-               who + ": fault_slowdown_rate must be in [0, 1)");
-  HOMP_REQUIRE(slowdown_factor >= 1.0,
-               who + ": fault_slowdown_factor must be >= 1");
-  HOMP_REQUIRE(hang_rate >= 0.0 && hang_rate < 1.0,
-               who + ": fault_hang_rate must be in [0, 1)");
-  HOMP_REQUIRE(degrade_rate >= 0.0 && degrade_rate < 1.0,
-               who + ": fault_degrade_rate must be in [0, 1)");
-  HOMP_REQUIRE(degrade_factor >= 1.0,
-               who + ": fault_degrade_factor must be >= 1");
+  const auto v = violations(who);
+  if (!v.empty()) throw ConfigError(join(v, "; "));
 }
 
 FaultProfile FaultProfile::combined(const FaultProfile& other) const noexcept {
@@ -61,6 +79,12 @@ FaultProfile FaultProfile::combined(const FaultProfile& other) const noexcept {
   out.degrade_factor = degrade_factor > other.degrade_factor
                            ? degrade_factor
                            : other.degrade_factor;
+  out.corrupt_transfer_rate =
+      clamp_rate(1.0 - (1.0 - corrupt_transfer_rate) *
+                           (1.0 - other.corrupt_transfer_rate));
+  out.corrupt_compute_rate =
+      clamp_rate(1.0 - (1.0 - corrupt_compute_rate) *
+                           (1.0 - other.corrupt_compute_rate));
   if (fail_at_s >= 0.0 && other.fail_at_s >= 0.0) {
     out.fail_at_s = fail_at_s < other.fail_at_s ? fail_at_s : other.fail_at_s;
   } else {
@@ -178,6 +202,55 @@ double FaultPlan::degrade(int device_id) {
   }
   if (p != nullptr && draw < p->degrade_rate) return p->degrade_factor;
   return 1.0;
+}
+
+namespace {
+
+/// Deterministic nonzero corruption seed for (plan seed, device, kind,
+/// op) — a pure function of the hit's coordinates, so scripted and
+/// rate-based hits at the same ordinal corrupt the same bytes.
+std::uint64_t corruption_seed(std::uint64_t base, int device_id,
+                              FaultKind kind, long long op) noexcept {
+  std::uint64_t s = mix64(base ^ mix64(static_cast<std::uint64_t>(
+                              device_id + 1)));
+  s = mix64(s ^ (static_cast<std::uint64_t>(kind) + 1));
+  s = mix64(s ^ static_cast<std::uint64_t>(op + 1));
+  return s | 1;  // nonzero: 0 means "intact"
+}
+
+/// Uniform in [0, 1) derived from the corruption seed — the corruption
+/// queries draw from this pure side-channel instead of the per-device
+/// Prng so that enabling them never shifts the random sequence of the
+/// pre-existing fault kinds (runs with corruption off stay bit-identical
+/// to runs built before corruption existed).
+double corruption_draw(std::uint64_t seed) noexcept {
+  return static_cast<double>(seed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::transfer_corrupts(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kCorruptTransfer)]++;
+  const FaultProfile* p = profile(device_id);
+  const std::uint64_t seed =
+      corruption_seed(seed_, device_id, FaultKind::kCorruptTransfer, op);
+  const bool hit =
+      scripted_hit(device_id, FaultKind::kCorruptTransfer, op) != nullptr ||
+      (p != nullptr && corruption_draw(seed) < p->corrupt_transfer_rate);
+  return hit ? seed : 0;
+}
+
+std::uint64_t FaultPlan::compute_corrupts(int device_id) {
+  Stream& s = stream(device_id);
+  const long long op = s.ops[static_cast<int>(FaultKind::kCorruptCompute)]++;
+  const FaultProfile* p = profile(device_id);
+  const std::uint64_t seed =
+      corruption_seed(seed_, device_id, FaultKind::kCorruptCompute, op);
+  const bool hit =
+      scripted_hit(device_id, FaultKind::kCorruptCompute, op) != nullptr ||
+      (p != nullptr && corruption_draw(seed) < p->corrupt_compute_rate);
+  return hit ? seed : 0;
 }
 
 double FaultPlan::loss_time(int device_id) const {

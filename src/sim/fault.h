@@ -40,13 +40,15 @@ enum class FaultKind : int {
   kDeviceLoss,    ///< the device is permanently gone
   kHang,          ///< a kernel execution never completes (silent stall)
   kDegrade,       ///< sustained slowdown from this execution onwards
+  kCorruptTransfer,  ///< a transfer payload is silently bit-flipped
+  kCorruptCompute,   ///< a kernel result is silently bit-flipped
 };
 
 /// Size of the per-device operation-counter array, indexed by the raw
 /// FaultKind value. kDeviceLoss (time-based, never counted) keeps its
-/// slot so kHang/kDegrade index past it safely.
+/// slot so later kinds index past it safely.
 inline constexpr int kNumCountedKinds =
-    static_cast<int>(FaultKind::kDegrade) + 1;
+    static_cast<int>(FaultKind::kCorruptCompute) + 1;
 
 const char* to_string(FaultKind k) noexcept;
 
@@ -80,17 +82,31 @@ struct FaultProfile {
   /// Multiplier applied to all compute from a degrade onwards.
   double degrade_factor = 8.0;
 
+  /// Probability that one transfer delivers *silently corrupted* bytes —
+  /// the operation reports success but the payload has flipped bits.
+  /// Only the integrity layer's checksums can observe it. In [0, 1).
+  double corrupt_transfer_rate = 0.0;
+
+  /// Probability that one kernel execution *completes* but its output
+  /// region holds flipped bits. In [0, 1).
+  double corrupt_compute_rate = 0.0;
+
   /// Virtual time at which the device is permanently lost; < 0 = never.
   double fail_at_s = -1.0;
 
   bool any() const noexcept {
     return transfer_fault_rate > 0.0 || launch_fault_rate > 0.0 ||
            slowdown_rate > 0.0 || hang_rate > 0.0 || degrade_rate > 0.0 ||
+           corrupt_transfer_rate > 0.0 || corrupt_compute_rate > 0.0 ||
            fail_at_s >= 0.0;
   }
 
-  /// Throws ConfigError on out-of-range fields; `who` names the device in
-  /// the message.
+  /// All out-of-range fields as messages (empty = valid); `who` names the
+  /// device in each message.
+  std::vector<std::string> violations(const std::string& who) const;
+
+  /// Throws ConfigError listing every out-of-range field; `who` names the
+  /// device in the message.
   void validate(const std::string& who) const;
 
   /// Element-wise combination of two profiles (rates clamped to [0, 1),
@@ -157,6 +173,16 @@ class FaultPlan {
   /// execution on `device_id`; 1.0 = none. The caller is expected to latch
   /// the factor for the remainder of the offload. (consuming)
   double degrade(int device_id);
+
+  /// Corruption seed for the next transfer payload on `device_id`;
+  /// 0 = the payload arrives intact. A nonzero seed deterministically
+  /// selects which bytes flip (see mem::DeviceMapping corruption hooks).
+  /// (consuming)
+  std::uint64_t transfer_corrupts(int device_id);
+
+  /// Corruption seed striking the next kernel execution's output region
+  /// on `device_id`; 0 = the result is intact. (consuming)
+  std::uint64_t compute_corrupts(int device_id);
 
   /// Virtual time at which `device_id` is permanently lost, or a negative
   /// value if it never is. Combines profile and scripted losses (earliest

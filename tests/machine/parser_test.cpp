@@ -256,5 +256,85 @@ TEST(MachineParser, BadFaultValueNamesTheLineAndKey) {
   }
 }
 
+TEST(MachineParser, ParsesCorruptionKeys) {
+  auto m = parse_machine(R"(
+[device g]
+type = host
+memory = shared
+link = none
+peak_gflops = 10
+sustained_gflops = 5
+peak_membw_GBps = 10
+sustained_membw_GBps = 5
+fault_corrupt_transfer_rate = 0.01
+fault_corrupt_compute_rate = 0.02
+)");
+  ASSERT_EQ(m.devices.size(), 1u);
+  const auto& f = m.devices[0].fault;
+  EXPECT_DOUBLE_EQ(f.corrupt_transfer_rate, 0.01);
+  EXPECT_DOUBLE_EQ(f.corrupt_compute_rate, 0.02);
+  EXPECT_TRUE(f.any());
+
+  // The corruption keys survive the to_text round trip.
+  auto m2 = parse_machine(to_text(m));
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.corrupt_transfer_rate, 0.01);
+  EXPECT_DOUBLE_EQ(m2.devices[0].fault.corrupt_compute_rate, 0.02);
+}
+
+TEST(MachineParser, BadCorruptionRateNamesTheLineAndKey) {
+  struct Case {
+    const char* line;
+    const char* key;
+  } cases[] = {
+      {"fault_corrupt_transfer_rate = 1.0", "fault_corrupt_transfer_rate"},
+      {"fault_corrupt_transfer_rate = -0.5", "fault_corrupt_transfer_rate"},
+      {"fault_corrupt_compute_rate = 2", "fault_corrupt_compute_rate"},
+  };
+  for (const auto& c : cases) {
+    try {
+      parse_machine(device_with(c.line));
+      FAIL() << c.line << " was accepted";
+    } catch (const ConfigError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("line 10"), std::string::npos)
+          << c.line << ": " << msg;
+      EXPECT_NE(msg.find(std::string("'") + c.key + "'"), std::string::npos)
+          << c.line << ": " << msg;
+    }
+  }
+}
+
+TEST(MachineParser, DuplicateFaultKeyNamesTheLine) {
+  // A repeated key inside one section would silently drop one of the two
+  // values — reject it at the exact line of the second occurrence.
+  try {
+    parse_machine(device_with("fault_corrupt_transfer_rate = 0.01\n"
+                              "fault_corrupt_transfer_rate = 0.02"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate key"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'fault_corrupt_transfer_rate'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("line 11"), std::string::npos) << msg;
+  }
+}
+
+TEST(MachineParser, DuplicateSectionNamesBothLines) {
+  try {
+    parse_machine(device_with("fault_corrupt_compute_rate = 0.01") +
+                  device_with("fault_corrupt_compute_rate = 0.02"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate section"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[device g]"), std::string::npos) << msg;
+    // The second [device g] header sits on line 12 (the two texts join
+    // at the newline); the first was declared at line 2.
+    EXPECT_NE(msg.find("line 12"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("first declared at line 2"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace homp::mach

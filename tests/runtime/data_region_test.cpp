@@ -165,5 +165,121 @@ TEST(DataRegion, RejectsChunkSchedulerEntryDistribution) {
   EXPECT_THROW(rt.map_data(std::move(maps), ro), ConfigError);
 }
 
+TEST(DataRegion, VerifiedExitRepairsCorruptedHostCopy) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  constexpr long long kN = 64;
+  auto a = mem::HostArray<double>::vector(kN, 0.0);
+  a.fill_with_index([](long long i) { return static_cast<double>(i); });
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom));
+  auto ro = region_opts(rt, kN);
+  ro.verify_exit = true;
+  ro.exit_corrupt_seed = 0x5eed;
+  ro.exit_corrupt_slot = 1;  // slot 0 is the shared-memory host
+  auto region = rt.map_data(std::move(maps), ro);
+  const double clean_exit = [&] {
+    // Reference: same region, no corruption hook — for the time bill.
+    auto b = mem::HostArray<double>::vector(kN, 0.0);
+    std::vector<mem::MapSpec> m2;
+    m2.push_back(aligned_spec("b", b, mem::MapDirection::kToFrom));
+    auto r2 = region_opts(rt, kN);
+    r2.verify_exit = true;
+    return rt.map_data(std::move(m2), r2)->close();
+  }();
+  const double t = region->close();
+  EXPECT_EQ(region->exit_retries(), 1);
+  // The re-sent payload is charged to the exit bill.
+  EXPECT_GT(t, clean_exit);
+  for (long long i = 0; i < kN; ++i) {
+    ASSERT_EQ(a(i), static_cast<double>(i)) << "a[" << i << "]";
+  }
+}
+
+TEST(DataRegion, VerifiedExitExhaustionThrows) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  auto a = mem::HostArray<double>::vector(32, 1.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom));
+  auto ro = region_opts(rt, 32);
+  ro.verify_exit = true;
+  ro.max_exit_retries = 0;  // give up on the first mismatch
+  ro.exit_corrupt_seed = 0x5eed;
+  ro.exit_corrupt_slot = 1;
+  auto region = rt.map_data(std::move(maps), ro);
+  EXPECT_THROW(region->close(), ConfigError);
+}
+
+TEST(DataRegion, ZeroLengthPartsCloseCleanlyUnderVerification) {
+  // More devices than iterations: several slots own empty slices whose
+  // commit (and exit checksum) must be a clean no-op.
+  rt::Runtime rt{mach::testing_machine(6)};
+  constexpr long long kN = 3;
+  auto a = mem::HostArray<double>::vector(kN, 7.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom));
+  auto ro = region_opts(rt, kN);
+  ro.verify_exit = true;
+  auto region = rt.map_data(std::move(maps), ro);
+  EXPECT_GE(region->close(), 0.0);
+  EXPECT_EQ(region->exit_retries(), 0);
+  for (long long i = 0; i < kN; ++i) ASSERT_EQ(a(i), 7.0);
+}
+
+TEST(DataRegion, OverlappingHaloFootprintsCommitOwnedRegionsOnly) {
+  // With halo=1 each device also holds (stale) copies of its neighbours'
+  // boundary rows; close() must write back only the owned rows, so the
+  // stale halo copies can never clobber a neighbour's committed result.
+  rt::Runtime rt{mach::testing_machine(3)};
+  constexpr long long kN = 30;
+  auto a = mem::HostArray<double>::matrix(kN, 4);
+  a.fill(0.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom, 1));
+  auto ro = region_opts(rt, kN);
+  ro.verify_exit = true;
+  auto region = rt.map_data(std::move(maps), ro);
+
+  rt::LoopKernel stamp;
+  stamp.name = "stamp";
+  stamp.iterations = dist::Range::of_size(kN);
+  stamp.cost.flops_per_iter = 1.0;
+  stamp.cost.mem_bytes_per_iter = 32.0;
+  stamp.body = [](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    auto v = env.view<double>("a");
+    for (long long i = chunk.lo; i < chunk.hi; ++i) {
+      for (long long j = 0; j < 4; ++j) v(i, j) = 100.0 + i;
+    }
+    return 0.0;
+  };
+  region->offload(stamp);
+  // No halo_exchange: every halo row is stale on purpose.
+  region->close();
+  EXPECT_EQ(region->exit_retries(), 0);
+  for (long long i = 0; i < kN; ++i) {
+    for (long long j = 0; j < 4; ++j) {
+      ASSERT_EQ(a(i, j), 100.0 + i) << "a(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(DataRegion, UseAfterCloseThrows) {
+  rt::Runtime rt{mach::testing_machine(2)};
+  constexpr long long kN = 16;
+  auto a = mem::HostArray<double>::vector(kN, 1.0);
+  std::vector<mem::MapSpec> maps;
+  maps.push_back(aligned_spec("a", a, mem::MapDirection::kToFrom, 1));
+  auto region = rt.map_data(std::move(maps), region_opts(rt, kN));
+  region->close();
+
+  rt::LoopKernel k;
+  k.name = "noop";
+  k.iterations = dist::Range::of_size(kN);
+  k.cost.flops_per_iter = 1.0;
+  k.cost.mem_bytes_per_iter = 8.0;
+  k.body = [](const dist::Range&, mem::DeviceDataEnv&) { return 0.0; };
+  EXPECT_THROW(region->offload(k), ConfigError);
+  EXPECT_THROW(region->halo_exchange("a"), ConfigError);
+}
+
 }  // namespace
 }  // namespace homp

@@ -277,5 +277,114 @@ TEST(FaultPlan, HangAndDegradeStreamsAreDeterministic) {
   EXPECT_NE(sample(11), sample(12));
 }
 
+TEST(FaultKindNames, CorruptionKindsAreDistinct) {
+  EXPECT_STREQ(to_string(FaultKind::kCorruptTransfer), "corrupt-transfer");
+  EXPECT_STREQ(to_string(FaultKind::kCorruptCompute), "corrupt-compute");
+}
+
+TEST(FaultProfile, ValidateRejectsBadCorruptionRates) {
+  FaultProfile p;
+  p.corrupt_transfer_rate = 1.0;  // must be < 1
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.corrupt_compute_rate = -0.1;
+  EXPECT_THROW(p.validate("dev"), ConfigError);
+  p = FaultProfile{};
+  p.corrupt_transfer_rate = 0.01;
+  p.corrupt_compute_rate = 0.01;
+  EXPECT_NO_THROW(p.validate("dev"));
+  EXPECT_TRUE(p.any());
+  const auto v = FaultProfile{}.violations("dev");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(FaultProfile, CombinedMergesCorruptionRates) {
+  FaultProfile a, b;
+  a.corrupt_transfer_rate = 0.5;
+  b.corrupt_transfer_rate = 0.5;
+  b.corrupt_compute_rate = 0.25;
+  const FaultProfile c = a.combined(b);
+  EXPECT_DOUBLE_EQ(c.corrupt_transfer_rate, 0.75);  // independent sources
+  EXPECT_DOUBLE_EQ(c.corrupt_compute_rate, 0.25);
+}
+
+TEST(FaultPlan, ZeroCorruptionRateNeverCorrupts) {
+  FaultPlan plan;
+  FaultProfile p;
+  p.transfer_fault_rate = 0.5;  // other faults active, corruption off
+  plan.set_profile(0, p);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(plan.transfer_corrupts(0), 0u);
+    EXPECT_EQ(plan.compute_corrupts(0), 0u);
+  }
+}
+
+TEST(FaultPlan, ScriptedCorruptionFiresAtExactOpWithNonzeroSeed) {
+  FaultPlan plan;
+  ScriptedFault f;
+  f.device_id = 2;
+  f.kind = FaultKind::kCorruptTransfer;
+  f.op = 1;
+  plan.add_scripted(f);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.transfer_corrupts(2), 0u);  // op 0: intact
+  EXPECT_NE(plan.transfer_corrupts(2), 0u);  // op 1: the scripted flip
+  EXPECT_EQ(plan.transfer_corrupts(2), 0u);  // op 2: intact again
+  // Compute corruption counts its own ops on its own counter.
+  f.kind = FaultKind::kCorruptCompute;
+  f.op = 0;
+  plan.add_scripted(f);
+  EXPECT_NE(plan.compute_corrupts(2), 0u);
+  EXPECT_EQ(plan.compute_corrupts(2), 0u);
+  EXPECT_EQ(plan.compute_corrupts(0), 0u);  // other devices unaffected
+}
+
+TEST(FaultPlan, CorruptionSeedsAreDeterministicAndPerDevice) {
+  FaultProfile p;
+  p.corrupt_transfer_rate = 0.4;
+  p.corrupt_compute_rate = 0.4;
+  auto sample = [&](std::uint64_t seed, int dev) {
+    FaultPlan plan;
+    plan.set_seed(seed);
+    plan.set_profile(dev, p);
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(plan.transfer_corrupts(dev));
+      out.push_back(plan.compute_corrupts(dev));
+    }
+    return out;
+  };
+  EXPECT_EQ(sample(21, 1), sample(21, 1));
+  EXPECT_NE(sample(21, 1), sample(22, 1));
+  EXPECT_NE(sample(21, 1), sample(21, 2));
+}
+
+TEST(FaultPlan, CorruptionQueriesDoNotPerturbFailureStreams) {
+  // The corruption draws are *pure* (hash of device/kind/op), not pulls
+  // from the shared PRNG — interleaving them must leave the pre-existing
+  // transfer/launch failure sequences bit-identical, so enabling
+  // checksums never changes which ops fail.
+  FaultProfile p;
+  p.transfer_fault_rate = 0.3;
+  p.launch_fault_rate = 0.3;
+  p.corrupt_transfer_rate = 0.3;
+  p.corrupt_compute_rate = 0.3;
+  auto sample = [&](bool interleave) {
+    FaultPlan plan;
+    plan.set_profile(0, p);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) {
+      if (interleave) {
+        plan.transfer_corrupts(0);
+        plan.compute_corrupts(0);
+      }
+      out.push_back(plan.transfer_fails(0));
+      out.push_back(plan.launch_fails(0));
+    }
+    return out;
+  };
+  EXPECT_EQ(sample(false), sample(true));
+}
+
 }  // namespace
 }  // namespace homp::sim
