@@ -13,7 +13,14 @@ Range Range::scaled(double ratio) const noexcept {
 }
 
 std::string Range::to_string() const {
-  return "[" + std::to_string(lo) + ":" + std::to_string(hi) + ")";
+  std::string s;
+  s.reserve(32);
+  s += '[';
+  s += std::to_string(lo);
+  s += ':';
+  s += std::to_string(hi);
+  s += ')';
+  return s;
 }
 
 bool exactly_covers(const Range& domain, const std::vector<Range>& parts) {

@@ -57,7 +57,7 @@ std::vector<mem::MapSpec> AxpyCase::maps() const {
   x.partition = {dist::DimPolicy::align("loop")};
 
   mem::MapSpec y = x;
-  y.name = "y";
+  y.name = std::string("y");
   y.dir = mem::MapDirection::kToFrom;
   if (materialize_) {
     y.binding = mem::bind_array(const_cast<mem::HostArray<double>&>(y_));

@@ -70,14 +70,14 @@ std::vector<mem::MapSpec> MatMulCase::maps() const {
   a.partition = {dist::DimPolicy::align("loop"), dist::DimPolicy::full()};
 
   mem::MapSpec b = a;
-  b.name = "B";
+  b.name = std::string("B");
   b.partition.clear();  // replicated
   if (materialize_) {
     b.binding = mem::bind_array(const_cast<mem::HostArray<double>&>(b_));
   }
 
   mem::MapSpec c = a;
-  c.name = "C";
+  c.name = std::string("C");
   c.dir = mem::MapDirection::kFrom;
   if (materialize_) {
     c.binding = mem::bind_array(const_cast<mem::HostArray<double>&>(c_));

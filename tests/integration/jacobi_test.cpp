@@ -160,8 +160,8 @@ TEST_P(JacobiRegion, MatchesSequentialSolver) {
 INSTANTIATE_TEST_SUITE_P(Machines, JacobiRegion,
                          ::testing::Values("host-only", "gpu4", "cpu-mic",
                                            "full"),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& tpinfo) {
+                           std::string s = tpinfo.param;
                            for (auto& ch : s) {
                              if (ch == '-') ch = '_';
                            }

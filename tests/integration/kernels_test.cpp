@@ -71,7 +71,7 @@ TEST_P(KernelCorrectness, MatchesReferenceOnHostOnly) {
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, KernelCorrectness,
                          ::testing::ValuesIn(kern::all_kernel_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpinfo) { return tpinfo.param; });
 
 TEST(KernelCases, PaperProfilesMatchComputedCharacteristics) {
   // Table IV: our per-iteration accounting must reproduce the paper's

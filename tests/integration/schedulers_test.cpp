@@ -69,10 +69,10 @@ INSTANTIATE_TEST_SUITE_P(
                           sched::AlgorithmKind::kSchedProfileAuto,
                           sched::AlgorithmKind::kModelProfileAuto),
         ::testing::Values("gpu4", "cpu-mic", "full")),
-    [](const auto& info) {
-      std::string s = std::get<0>(info.param) + "_" +
-                      std::string(sched::to_string(std::get<1>(info.param))) +
-                      "_" + std::get<2>(info.param);
+    [](const auto& tpinfo) {
+      std::string s = std::get<0>(tpinfo.param) + "_" +
+                      std::string(sched::to_string(std::get<1>(tpinfo.param))) +
+                      "_" + std::get<2>(tpinfo.param);
       for (auto& c : s) {
         if (c == '-') c = '_';
       }

@@ -1,0 +1,19 @@
+// homp-lint fixture: HL002 must fire on each wall-clock / ambient-entropy
+// use. This file is linted, never compiled.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double all_bad() {
+  auto wall = std::chrono::steady_clock::now();
+  auto sys = std::chrono::system_clock::now();
+  std::random_device rd;
+  std::srand(42);
+  int noise = std::rand();
+  long stamp = time(nullptr);
+  (void)wall;
+  (void)sys;
+  return static_cast<double>(rd() + noise + stamp);
+}

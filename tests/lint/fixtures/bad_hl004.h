@@ -1,0 +1,11 @@
+#ifndef TOTALLY_WRONG_GUARD
+#define TOTALLY_WRONG_GUARD
+
+// homp-lint fixture: HL004 must fire twice — the guard name does not match
+// the header path, and a `using namespace` leaks into every includer.
+
+using namespace std;
+
+inline int never_compiled() { return 0; }
+
+#endif  // TOTALLY_WRONG_GUARD

@@ -1,0 +1,19 @@
+// homp-lint fixture: HL005 must fire — one DeviceStats field and one
+// RecoveryAction enumerator are declared but never referenced anywhere.
+
+#include <cstddef>
+
+struct DeviceStats {
+  std::size_t chunks_done = 0;   // referenced below: fine
+  std::size_t never_read = 0;    // dead telemetry: HL005
+};
+
+enum class RecoveryAction : int {
+  kRetried = 0,   // referenced below: fine
+  kNeverEmitted,  // dead telemetry: HL005
+};
+
+std::size_t poke(DeviceStats& s, RecoveryAction a) {
+  s.chunks_done += 1;
+  return a == RecoveryAction::kRetried ? s.chunks_done : 0;
+}

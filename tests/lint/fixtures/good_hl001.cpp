@@ -1,0 +1,31 @@
+// homp-lint fixture: no HL001 finding — captures are by value, moved-in,
+// or `this` held by an object that owns the engine.
+
+#include <functional>
+#include <utility>
+
+struct Engine {
+  template <class F> unsigned long schedule_at(double, F) { return 0; }
+  template <class F> unsigned long schedule_after(double, F) { return 0; }
+};
+struct Latch {
+  template <class F> void wait(F) {}
+};
+
+struct Actor {
+  Engine& engine_;
+  int state_ = 0;
+  explicit Actor(Engine& e) : engine_(e) {}
+  void kick() {
+    int snapshot = state_;
+    engine_.schedule_after(1.0, [this, snapshot] { state_ = snapshot + 1; });
+  }
+};
+
+void move_ownership(Engine& e, Latch& l, std::function<void()> cont) {
+  int copied = 7;
+  e.schedule_at(2.0, [copied, cont = std::move(cont)]() mutable {
+    if (copied > 0) cont();
+  });
+  l.wait([] {});
+}

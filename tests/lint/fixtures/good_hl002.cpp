@@ -1,0 +1,19 @@
+// homp-lint fixture: no HL002 finding — time comes from the engine,
+// randomness from the seeded project PRNG, and identifiers that merely
+// *contain* banned substrings (total_time, runtime) are not flagged.
+
+struct Engine {
+  double now() const { return 0.0; }
+};
+struct Prng {
+  explicit Prng(unsigned long long) {}
+  double uniform() { return 0.5; }
+};
+
+double total_time(const Engine& e) { return e.now(); }
+
+double simulate(Engine& e) {
+  Prng rng(1234);
+  double runtime = total_time(e);
+  return runtime + rng.uniform();
+}

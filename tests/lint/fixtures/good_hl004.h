@@ -1,0 +1,11 @@
+#ifndef HOMP_TESTS_LINT_FIXTURES_GOOD_HL004_H
+#define HOMP_TESTS_LINT_FIXTURES_GOOD_HL004_H
+
+// homp-lint fixture: guard ends with GOOD_HL004_H (the rule for headers
+// outside src/) and nothing leaks.
+
+namespace homp_fixture {
+inline int never_compiled() { return 0; }
+}  // namespace homp_fixture
+
+#endif  // HOMP_TESTS_LINT_FIXTURES_GOOD_HL004_H

@@ -1,0 +1,20 @@
+// homp-lint fixture: every telemetry field and enumerator is read
+// somewhere outside its declaration — no HL005 finding.
+
+#include <cstddef>
+
+struct DeviceStats {
+  std::size_t chunks_done = 0;
+  std::size_t faults_seen = 0;
+};
+
+enum class RecoveryAction : int {
+  kRetried = 0,
+  kQuarantined,
+};
+
+std::size_t poke(DeviceStats& s, RecoveryAction a) {
+  s.chunks_done += 1;
+  s.faults_seen += (a == RecoveryAction::kQuarantined) ? 1u : 0u;
+  return a == RecoveryAction::kRetried ? s.chunks_done : s.faults_seen;
+}

@@ -1,0 +1,9 @@
+// homp-lint fixture: a runtime-layer file using only declared-lower layers.
+
+#include "common/log.h"
+#include "machine/device.h"
+#include "memory/data_env.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+
+void never_compiled() {}

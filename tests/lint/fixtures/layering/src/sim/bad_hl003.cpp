@@ -1,0 +1,10 @@
+// homp-lint fixture: a sim-layer file reaching *up* into runtime and sched —
+// both violate the DAG in tools/lint/layers.toml (sim may only use common).
+// The fake src/ path segment is what scopes HL003 onto this file.
+
+#include "runtime/options.h"
+#include "sched/scheduler.h"
+#include "common/log.h"  // fine: common is below sim
+#include "sim/engine.h"  // fine: own layer
+
+void never_compiled() {}

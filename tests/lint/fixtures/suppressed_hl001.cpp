@@ -1,0 +1,13 @@
+// homp-lint fixture: same pattern as bad_hl001.cpp, silenced with the
+// documented suppression comment (same line and line-above forms).
+
+struct Engine {
+  template <class F> unsigned long schedule_after(double, F) { return 0; }
+};
+
+void justified(Engine& e) {
+  int local = 0;
+  e.schedule_after(0.0, [&] { local += 1; });  // homp-lint: allow(HL001)
+  // homp-lint: allow(HL001)
+  e.schedule_after(1.0, [&local] { local += 1; });
+}

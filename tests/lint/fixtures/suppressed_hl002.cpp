@@ -1,0 +1,11 @@
+// homp-lint fixture: a sanctioned wall-clock read silenced in place
+// (e.g. coarse progress logging that never feeds simulated state).
+
+#include <chrono>
+
+long long wall_millis_for_logging() {
+  auto t = std::chrono::steady_clock::now();  // homp-lint: allow(HL002)
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,9 @@
+#ifndef LEGACY_GUARD_KEPT_FOR_ABI  // homp-lint: allow(HL004)
+#define LEGACY_GUARD_KEPT_FOR_ABI
+
+// homp-lint fixture: a legacy guard name silenced in place.
+
+// homp-lint: allow(HL004)
+using namespace homp_fixture_compat;
+
+#endif  // LEGACY_GUARD_KEPT_FOR_ABI

@@ -1,0 +1,20 @@
+// homp-lint fixture: a counter reserved for a follow-up PR, silenced at
+// the declaration.
+
+#include <cstddef>
+
+struct DeviceStats {
+  std::size_t chunks_done = 0;
+  // homp-lint: allow(HL005)
+  std::size_t reserved_for_pr5 = 0;
+};
+
+enum class RecoveryAction : int {
+  kRetried = 0,
+  kPlannedAction,  // homp-lint: allow(HL005)
+};
+
+std::size_t poke(DeviceStats& s, RecoveryAction a) {
+  s.chunks_done += 1;
+  return a == RecoveryAction::kRetried ? s.chunks_done : 0;
+}

@@ -28,7 +28,7 @@ TEST(MemorySpace, Parses) {
 
 DeviceDescriptor valid_host() {
   DeviceDescriptor d;
-  d.name = "h";
+  d.name = std::string("h");
   d.type = DeviceType::kHost;
   d.memory = MemorySpace::kShared;
   d.link = kNoLink;
@@ -55,7 +55,7 @@ TEST(MachineValidate, RejectsDiscreteWithoutLink) {
   MachineDescriptor m;
   m.devices.push_back(valid_host());
   auto d = valid_host();
-  d.name = "g";
+  d.name = std::string("g");
   d.type = DeviceType::kNvGpu;
   d.memory = MemorySpace::kDiscrete;
   d.link = kNoLink;
@@ -83,7 +83,7 @@ TEST(Machine, DevicesOfType) {
   m.links.push_back({"l", 1e-6, 1e9});
   for (int i = 0; i < 2; ++i) {
     auto d = valid_host();
-    d.name = "g" + std::to_string(i);
+    d.name = std::string("g") + std::to_string(i);
     d.type = DeviceType::kNvGpu;
     d.memory = MemorySpace::kDiscrete;
     d.link = 0;

@@ -47,8 +47,8 @@ TEST_P(MachineFiles, LoadsAndMatchesBuiltin) {
 INSTANTIATE_TEST_SUITE_P(Shipped, MachineFiles,
                          ::testing::Values("host-only", "gpu4", "cpu-mic",
                                            "full"),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& tpinfo) {
+                           std::string s = tpinfo.param;
                            for (auto& c : s) {
                              if (c == '-') c = '_';
                            }

@@ -273,7 +273,7 @@ TEST_P(FaultRecovery, PermanentLossIsRedistributedBitCorrectly) {
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, FaultRecovery,
                          ::testing::ValuesIn(kern::all_kernel_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpinfo) { return tpinfo.param; });
 
 TEST(FaultRecovery, EarlyLossQuarantinesAndRedistributesEverything) {
   rt::Runtime rt{mach::testing_machine(2)};

@@ -350,7 +350,7 @@ TEST_P(IntegrityAllKernels, BitExactUnderRandomCorruption) {
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, IntegrityAllKernels,
                          ::testing::ValuesIn(kern::all_kernel_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpinfo) { return tpinfo.param; });
 
 }  // namespace
 }  // namespace homp

@@ -140,7 +140,7 @@ TEST_P(Watchdog, DegradedStragglerTripsTheCircuitBreaker) {
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, Watchdog,
                          ::testing::ValuesIn(kern::all_kernel_names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpinfo) { return tpinfo.param; });
 
 TEST(Watchdog, HangOnOnlyDeviceThrowsOffloadError) {
   rt::Runtime rt{mach::testing_machine(1)};

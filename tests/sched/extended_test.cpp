@@ -190,7 +190,9 @@ TEST(ThroughputHistory, CapacityEvictsOldestEntries) {
 TEST(ThroughputHistory, DefaultCapBoundsUnboundedRecording) {
   ThroughputHistory h;
   for (int i = 0; i < 2000; ++i) {
-    h.record("k" + std::to_string(i), 0, 1.0 + i);
+    std::string key = "k";
+    key += std::to_string(i);
+    h.record(key, 0, 1.0 + i);
   }
   EXPECT_EQ(h.size(), ThroughputHistory::kDefaultCapacity);
   EXPECT_FALSE(h.has("k0", 0));      // oldest evicted

@@ -136,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(
                           AlgorithmKind::kWorkStealing,
                           AlgorithmKind::kHistoryAuto),
         ::testing::Range(0, 3)),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& tpinfo) {
+      return std::string(to_string(std::get<0>(tpinfo.param))) + "_seed" +
+             std::to_string(std::get<1>(tpinfo.param));
     });
 
 TEST(SchedulerProperty, WeightsSumToOneWhenPlanned) {
