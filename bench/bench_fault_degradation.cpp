@@ -14,11 +14,16 @@
 // checked against the sequential reference — any mismatch (silent
 // corruption reaching the host) exits nonzero.
 
+// `--metrics-out PATH` writes session-aggregated metrics across every
+// scenario run (docs/OBSERVABILITY.md) — the resilience counters
+// (faults, retries, speculation, integrity) summed over the whole sweep.
+
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "runtime/metrics_export.h"
 #include "support/harness.h"
 
 namespace {
@@ -184,6 +189,17 @@ int run_smoke() {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
   using namespace homp;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[++i];
+  }
+  obs::MetricsRegistry session;
+  std::size_t session_offloads = 0;
+  auto note = [&](const rt::OffloadResult& res) {
+    if (metrics_out == nullptr) return;
+    rt::collect_metrics(res, session);
+    ++session_offloads;
+  };
   auto rt = rt::Runtime::from_builtin("gpu4");
   const auto devices = rt.all_devices();
   const std::string kernel_name = "matvec";
@@ -203,6 +219,7 @@ int main(int argc, char** argv) {
     std::string runs;
     for (double rate : rates) {
       const auto res = run_with_faults(rt, *c, devices, p, rate, -1.0);
+      note(res);
       if (rate == 0.0) base_time = res.total_time;
       std::size_t retries = 0;
       for (const auto& d : res.devices) retries += d.retries;
@@ -222,6 +239,7 @@ int main(int argc, char** argv) {
     // survivors absorb the orphaned iterations.
     const auto loss =
         run_with_faults(rt, *c, devices, p, 0.0, base_time * 0.5);
+    note(loss);
     char buf[256];
     std::snprintf(buf, sizeof buf,
                   "      {\"scenario\": \"device_loss\", \"time_ms\": %.6f, "
@@ -236,6 +254,7 @@ int main(int argc, char** argv) {
     // path keeps the slowdown well under the 2x a naive restart costs.
     const auto hang = run_with_straggler(rt, *c, devices, p,
                                          sim::FaultKind::kHang, 0.0);
+    note(hang);
     runs += scenario_json("hang", hang, base_time);
     runs += ",\n";
     // One device latches a sustained 16x degrade: the tardiness circuit
@@ -243,6 +262,7 @@ int main(int argc, char** argv) {
     // it, and the survivors absorb the rest.
     const auto straggler = run_with_straggler(
         rt, *c, devices, p, sim::FaultKind::kDegrade, 16.0);
+    note(straggler);
     runs += scenario_json("degrade_16x", straggler, base_time);
     runs += ",\n";
     // 1% of transfers and kernel results silently bit-flipped on every
@@ -250,11 +270,17 @@ int main(int argc, char** argv) {
     // damaged chunks, so the cost is bounded re-execution time.
     const auto corrupt =
         run_with_corruption(rt, *c, devices, p, 0.01, /*bodies=*/false);
+    note(corrupt);
     runs += corruption_json(corrupt, base_time);
     std::printf("    {\"algorithm\": \"%s\", \"runs\": [\n%s\n    ]}%s\n",
                 p.label.c_str(), runs.c_str(),
                 i + 1 < policies.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
+  if (metrics_out != nullptr) {
+    rt::write_registry_file(session, metrics_out);
+    std::fprintf(stderr, "session metrics (%zu offloads) written to %s\n",
+                 session_offloads, metrics_out);
+  }
   return 0;
 }

@@ -1,15 +1,31 @@
 // Figure 6: Accumulated Breakdown (%) of Offloading Time on 2 K80 GPUs
 // (= 4 K40) Using Different Loop Distribution Policies, plus the
 // load-imbalance curve ("below 5% in average" in the paper).
+//
+// Observability exports (docs/OBSERVABILITY.md):
+//   --metrics-out PATH   session-aggregated metrics across every
+//                        kernel x policy run (JSON; .prom for the
+//                        Prometheus text exposition)
+//   --trace-out PATH     Chrome/Perfetto trace of the first run
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.h"
+#include "runtime/metrics_export.h"
+#include "runtime/trace.h"
 #include "support/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace homp;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[++i];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[++i];
+  }
+
   auto rt = rt::Runtime::from_builtin("gpu4");
   const auto devices = rt.accelerators();
   std::printf(
@@ -17,6 +33,8 @@ int main() {
       "per kernel x policy: share of device time per pipeline phase, plus\n"
       "the load-imbalance curve (percent idle at the final barrier)\n\n");
 
+  obs::MetricsRegistry session;
+  bool traced = false;
   double imbalance_sum = 0.0;
   int runs = 0;
   for (const auto& name : kern::all_kernel_names()) {
@@ -26,7 +44,15 @@ int main() {
                  "compute%", "copy-out%", "barrier%", "imbalance%"});
     auto c = kern::make_case(name, n, false);
     for (const auto& p : bench::seven_policies()) {
-      const auto res = bench::run_policy(rt, *c, devices, p);
+      const bool trace_this = trace_out != nullptr && !traced;
+      const auto res = bench::run_policy(rt, *c, devices, p,
+                                         /*unified_memory=*/false,
+                                         /*seed=*/42, trace_this);
+      if (trace_this) {
+        rt::write_chrome_trace_file(res, trace_out);
+        traced = true;
+      }
+      if (metrics_out != nullptr) rt::collect_metrics(res, session);
       t.row().cell(p.label);
       for (int ph = 0; ph < rt::kNumPhases; ++ph) {
         t.cell(res.phase_fraction(static_cast<rt::Phase>(ph)) * 100.0, 2);
@@ -43,5 +69,13 @@ int main() {
   std::printf("average load imbalance across all kernels/policies: %.2f%% "
               "(paper: below 5%% on average)%s\n",
               avg, avg < 5.0 ? "" : "  << ABOVE PAPER'S FIGURE");
+  if (metrics_out != nullptr) {
+    rt::write_registry_file(session, metrics_out);
+    std::printf("session metrics (%d offloads) written to %s\n", runs,
+                metrics_out);
+  }
+  if (trace_out != nullptr) {
+    std::printf("trace of the first run written to %s\n", trace_out);
+  }
   return 0;
 }

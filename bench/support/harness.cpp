@@ -61,7 +61,7 @@ std::string kernel_label(const std::string& name, long long n) {
 rt::OffloadResult run_policy(const rt::Runtime& rt, const kern::KernelCase& c,
                              const std::vector<int>& devices,
                              const PolicyRun& policy, bool unified_memory,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, bool collect_trace) {
   rt::OffloadOptions o;
   o.device_ids = devices;
   o.sched.kind = policy.kind;
@@ -69,6 +69,7 @@ rt::OffloadResult run_policy(const rt::Runtime& rt, const kern::KernelCase& c,
   o.execute_bodies = false;
   o.use_unified_memory = unified_memory;
   o.noise_seed = seed;
+  o.collect_trace = collect_trace;
   auto maps = c.maps();
   auto kernel = c.kernel();
   return rt.offload(kernel, maps, o);

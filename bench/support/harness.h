@@ -31,12 +31,14 @@ std::vector<PolicyRun> seven_policies(double cutoff = 0.0);
 std::string kernel_label(const std::string& name, long long n);
 
 /// Offload `c` across `devices` under `policy` (pure simulation — bodies
-/// are not executed; benches run at paper scale).
+/// are not executed; benches run at paper scale). `collect_trace` turns
+/// on span/decision/counter collection for --trace-out exports.
 rt::OffloadResult run_policy(const rt::Runtime& rt, const kern::KernelCase& c,
                              const std::vector<int>& devices,
                              const PolicyRun& policy,
                              bool unified_memory = false,
-                             std::uint64_t seed = 42);
+                             std::uint64_t seed = 42,
+                             bool collect_trace = false);
 
 /// Execution-time grid: one row per kernel (at its Table V size), one
 /// column per policy, in milliseconds — the shape of Figures 5, 8 and 9.

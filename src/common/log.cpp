@@ -1,17 +1,87 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace homp {
 
+namespace {
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+Log::Sink& sink_slot() {
+  static Log::Sink sink;
+  return sink;
+}
+
+char lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 LogLevel Log::level_ = LogLevel::kWarn;
 
+bool Log::parse(std::string_view text, LogLevel* out) noexcept {
+  if (iequals(text, "debug")) {
+    *out = LogLevel::kDebug;
+  } else if (iequals(text, "info")) {
+    *out = LogLevel::kInfo;
+  } else if (iequals(text, "warn") || iequals(text, "warning")) {
+    *out = LogLevel::kWarn;
+  } else if (iequals(text, "error")) {
+    *out = LogLevel::kError;
+  } else if (iequals(text, "off")) {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Log::init_from_env() {
+  const char* env = std::getenv("HOMP_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogLevel lvl;
+  if (parse(env, &lvl)) level_ = lvl;
+  // An unparseable value keeps the current level: a typo in the
+  // environment must not silence error reporting.
+}
+
+namespace {
+// Apply HOMP_LOG_LEVEL before main() — level_ is defined above, so its
+// constant-initialized default is already in place.
+[[maybe_unused]] const bool env_applied = [] {
+  Log::init_from_env();
+  return true;
+}();
+}  // namespace
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void Log::write(LogLevel lvl, const std::string& msg) {
-  if (lvl < level_) return;
-  static std::mutex mu;
+  if (lvl < level_ || lvl >= LogLevel::kOff) return;
   static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mu);
+  std::lock_guard<std::mutex> lock(log_mutex());
+  if (const Sink& sink = sink_slot()) {
+    sink(lvl, msg);
+    return;
+  }
   std::fprintf(stderr, "[homp %s] %s\n", names[static_cast<int>(lvl)],
                msg.c_str());
 }

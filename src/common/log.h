@@ -5,21 +5,46 @@
 /// Minimal leveled logger. The HOMP runtime logs scheduling decisions at
 /// Debug level and unusual conditions (cutoff removals, fallback paths) at
 /// Info/Warn. Logging defaults to Warn so library users see nothing during
-/// normal operation; tests and benches raise the level explicitly.
+/// normal operation; tests and benches raise the level explicitly, or set
+/// the HOMP_LOG_LEVEL environment variable (debug|info|warn|error|off,
+/// case-insensitive), which is applied once at process startup.
+///
+/// Thread-safety contract: write() may be called from any thread — lines
+/// are serialized through an internal mutex and never interleave.
+/// Reconfiguration (set_level, set_sink) is NOT safe concurrently with
+/// logging: configure once at startup, before spawning threads that log.
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace homp {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log configuration. Not thread-safe to reconfigure while
-/// logging concurrently; set once at startup.
+/// Process-wide log configuration (see file comment for thread safety).
 class Log {
  public:
+  /// Receives every emitted line (already level-filtered), under the
+  /// logger's mutex — keep it fast and non-reentrant (a sink that logs
+  /// would deadlock).
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
   static LogLevel level() noexcept { return level_; }
   static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+
+  /// Redirect output; an empty sink restores the default stderr writer.
+  static void set_sink(Sink sink);
+
+  /// Parse "debug" / "info" / "warn" / "error" / "off" (any case) into
+  /// `out`; false (and `out` untouched) for anything else.
+  static bool parse(std::string_view text, LogLevel* out) noexcept;
+
+  /// Apply HOMP_LOG_LEVEL from the environment, if set and valid. Runs
+  /// automatically at static-initialization time; callable again after a
+  /// test has overridden the level.
+  static void init_from_env();
 
   /// Emit one line at `lvl` (no-op if below the configured level).
   static void write(LogLevel lvl, const std::string& msg);

@@ -1,0 +1,63 @@
+#ifndef HOMP_OBS_METRIC_NAMES_H
+#define HOMP_OBS_METRIC_NAMES_H
+
+/// \file metric_names.h
+/// Canonical metric-name catalog (docs/OBSERVABILITY.md carries the
+/// prose description of each). Exporters register metrics under these
+/// names only — homp-lint HL005 flags any constant declared here that
+/// no exporter references (a dead metric that would silently vanish
+/// from dashboards).
+
+namespace homp::obs::names {
+
+// ---- offload-level -------------------------------------------------------
+inline constexpr char kOffloads[] = "homp_offloads_total";
+inline constexpr char kOffloadSeconds[] = "homp_offload_virtual_seconds_total";
+inline constexpr char kOffloadTime[] = "homp_offload_seconds";
+inline constexpr char kChunksIssued[] = "homp_chunks_issued_total";
+inline constexpr char kImbalancePct[] = "homp_imbalance_percent";
+inline constexpr char kAlgorithmRuns[] = "homp_algorithm_runs_total";
+inline constexpr char kDegradedRuns[] = "homp_degraded_runs_total";
+inline constexpr char kDecisions[] = "homp_sched_decisions_total";
+
+// ---- per-device pipeline -------------------------------------------------
+inline constexpr char kDeviceChunks[] = "homp_device_chunks_total";
+inline constexpr char kDeviceIterations[] = "homp_device_iterations_total";
+inline constexpr char kDeviceBytesIn[] = "homp_device_bytes_in_total";
+inline constexpr char kDeviceBytesOut[] = "homp_device_bytes_out_total";
+inline constexpr char kDevicePhaseSeconds[] = "homp_device_phase_seconds_total";
+inline constexpr char kDeviceFinishTime[] = "homp_device_finish_seconds";
+inline constexpr char kDeviceChunkSeconds[] = "homp_device_chunk_seconds";
+
+// ---- per-device resilience ----------------------------------------------
+inline constexpr char kDeviceFaults[] = "homp_device_faults_total";
+inline constexpr char kDeviceRetries[] = "homp_device_retries_total";
+inline constexpr char kDeviceRequeuedIters[] =
+    "homp_device_requeued_iterations_total";
+inline constexpr char kDeviceTardy[] = "homp_device_tardy_chunks_total";
+inline constexpr char kDeviceSpecRun[] = "homp_device_spec_copies_run_total";
+inline constexpr char kDeviceSpecWon[] = "homp_device_spec_copies_won_total";
+inline constexpr char kDeviceProbes[] = "homp_device_probe_chunks_total";
+inline constexpr char kDeviceReadmissions[] =
+    "homp_device_readmissions_total";
+inline constexpr char kDeviceQuarantines[] = "homp_device_quarantines_total";
+
+// ---- per-device integrity ------------------------------------------------
+inline constexpr char kDeviceCorruptions[] =
+    "homp_device_corruptions_injected_total";
+inline constexpr char kDeviceIntegrityChecks[] =
+    "homp_device_integrity_checks_total";
+inline constexpr char kDeviceIntegrityFailures[] =
+    "homp_device_integrity_failures_total";
+inline constexpr char kDeviceReexecutions[] =
+    "homp_device_integrity_reexecutions_total";
+inline constexpr char kDeviceVoteRounds[] = "homp_device_vote_rounds_total";
+
+// ---- per-device model-accuracy (docs/OBSERVABILITY.md) -------------------
+inline constexpr char kModel1RelError[] = "homp_model1_mean_rel_error";
+inline constexpr char kModel2RelError[] = "homp_model2_mean_rel_error";
+inline constexpr char kProfileRelError[] = "homp_profile_mean_rel_error";
+
+}  // namespace homp::obs::names
+
+#endif  // HOMP_OBS_METRIC_NAMES_H

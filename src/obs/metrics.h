@@ -1,0 +1,125 @@
+#ifndef HOMP_OBS_METRICS_H
+#define HOMP_OBS_METRICS_H
+
+/// \file metrics.h
+/// Lightweight metrics registry for the HOMP runtime
+/// (docs/OBSERVABILITY.md).
+///
+/// Three metric types, Prometheus-flavored:
+///  - counter:   monotonically accumulated double (adds across merges)
+///  - gauge:     last-written double (overwritten by merges)
+///  - histogram: virtual-time distribution over fixed log-scale buckets
+///
+/// Everything is keyed by (name, labels) where `labels` is the literal
+/// text between the braces of the Prometheus exposition
+/// (e.g. `device="gpu0",phase="compute"`, or empty). Registration is
+/// implicit on first touch; touching an existing key with a different
+/// metric type throws ConfigError.
+///
+/// The registry measures *virtual* time only — it never reads wall
+/// clocks or entropy (HL002-clean), so two identical seeded offloads
+/// export byte-identical JSON. Storage is an ordered map, which makes
+/// both export formats deterministic by construction.
+///
+/// Not thread-safe: one registry per offload/bench thread, merged
+/// afterwards via merge().
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace homp::obs {
+
+/// Fixed-bucket log-scale histogram for virtual-time durations.
+///
+/// Bucket i spans [upper_bound(i-1), upper_bound(i)) with
+/// upper_bound(i) = kBaseSeconds * 2^(i+1); the first bucket also
+/// catches everything below kBaseSeconds and the last everything above
+/// (its exposition bound is +Inf). With kBaseSeconds = 0.1 µs and 40
+/// buckets the top finite bound exceeds 1e4 virtual seconds — wider
+/// than any simulated offload.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+  static constexpr double kBaseSeconds = 1e-7;
+
+  void observe(double v) noexcept;
+  void merge(const Histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  /// Count in bucket i alone (not cumulative).
+  std::uint64_t bucket(int i) const noexcept { return buckets_[i]; }
+  /// Exclusive upper bound of bucket i; +infinity for the last bucket.
+  static double upper_bound(int i) noexcept;
+
+ private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+enum class MetricType : int { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+const char* to_string(MetricType t) noexcept;
+
+/// Registry of named metrics; see file comment for semantics.
+class MetricsRegistry {
+ public:
+  /// Counter: accumulate `v` (default 1) into (name, labels).
+  void add(std::string_view name, std::string_view labels, double v = 1.0);
+
+  /// Gauge: overwrite (name, labels) with `v`.
+  void set(std::string_view name, std::string_view labels, double v);
+
+  /// Histogram: record one sample (virtual seconds) into (name, labels).
+  void observe(std::string_view name, std::string_view labels, double v);
+
+  /// Histogram: fold a prebuilt histogram into (name, labels) — exact
+  /// bucket counts and sum, for telemetry accumulated outside the
+  /// registry (e.g. DeviceStats::chunk_seconds).
+  void merge_histogram(std::string_view name, std::string_view labels,
+                       const Histogram& h);
+
+  /// Fold another registry into this one: counters add, gauges take the
+  /// other's value, histograms merge bucket-wise. Type conflicts throw.
+  void merge(const MetricsRegistry& other);
+
+  std::size_t size() const noexcept { return metrics_.size(); }
+  bool empty() const noexcept { return metrics_.empty(); }
+
+  /// Scalar value of a counter/gauge; 0.0 when the key is absent.
+  double value(std::string_view name, std::string_view labels = {}) const;
+
+  /// Histogram under (name, labels), or nullptr.
+  const Histogram* find_histogram(std::string_view name,
+                                  std::string_view labels = {}) const;
+
+  /// Deterministic JSON document (schema in docs/OBSERVABILITY.md):
+  /// metrics sorted by (name, labels), numbers formatted identically
+  /// across runs.
+  void write_json(std::ostream& os) const;
+
+  /// Prometheus text exposition format (one # TYPE line per metric
+  /// name, then one sample line per label set).
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  struct Metric {
+    MetricType type = MetricType::kCounter;
+    double value = 0.0;   ///< counters and gauges
+    Histogram hist;       ///< histograms only
+  };
+  using Key = std::pair<std::string, std::string>;  ///< (name, labels)
+
+  Metric& slot(std::string_view name, std::string_view labels,
+               MetricType type);
+
+  std::map<Key, Metric> metrics_;
+};
+
+}  // namespace homp::obs
+
+#endif  // HOMP_OBS_METRICS_H

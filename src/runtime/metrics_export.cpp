@@ -1,0 +1,98 @@
+#include "runtime/metrics_export.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "obs/metric_names.h"
+#include "sched/algorithm.h"
+
+namespace homp::rt {
+
+namespace {
+/// `device="gpu0"` — the literal Prometheus brace content for one device.
+std::string device_labels(const DeviceStats& d) {
+  return "device=\"" + d.device_name + "\"";
+}
+}  // namespace
+
+void collect_metrics(const OffloadResult& res, obs::MetricsRegistry& reg) {
+  namespace names = obs::names;
+
+  // Offload level.
+  reg.add(names::kOffloads, "");
+  reg.add(names::kOffloadSeconds, "", res.total_time);
+  reg.set(names::kOffloadTime, "", res.total_time);
+  reg.add(names::kChunksIssued, "", double(res.chunks_issued));
+  reg.set(names::kImbalancePct, "", res.imbalance().percent());
+  reg.add(names::kAlgorithmRuns,
+          std::string("algorithm=\"") +
+              sched::to_string(res.algorithm_used) + "\"");
+  if (res.degraded) reg.add(names::kDegradedRuns, "");
+  for (const auto& d : res.decisions) {
+    reg.add(names::kDecisions,
+            std::string("kind=\"") + to_string(d.kind) + "\"");
+  }
+
+  for (const auto& d : res.devices) {
+    const std::string dev = device_labels(d);
+
+    // Pipeline.
+    reg.add(names::kDeviceChunks, dev, double(d.chunks));
+    reg.add(names::kDeviceIterations, dev, double(d.iterations));
+    reg.add(names::kDeviceBytesIn, dev, d.bytes_in);
+    reg.add(names::kDeviceBytesOut, dev, d.bytes_out);
+    for (int p = 0; p < kNumPhases; ++p) {
+      reg.add(names::kDevicePhaseSeconds,
+              dev + ",phase=\"" + to_string(static_cast<Phase>(p)) + "\"",
+              d.phase_time[p]);
+    }
+    reg.set(names::kDeviceFinishTime, dev, d.finish_time);
+    reg.merge_histogram(names::kDeviceChunkSeconds, dev, d.chunk_seconds);
+
+    // Resilience.
+    reg.add(names::kDeviceFaults, dev, double(d.faults));
+    reg.add(names::kDeviceRetries, dev, double(d.retries));
+    reg.add(names::kDeviceRequeuedIters, dev, double(d.requeued_iterations));
+    reg.add(names::kDeviceTardy, dev, double(d.tardy_chunks));
+    reg.add(names::kDeviceSpecRun, dev, double(d.spec_copies_run));
+    reg.add(names::kDeviceSpecWon, dev, double(d.spec_copies_won));
+    reg.add(names::kDeviceProbes, dev, double(d.probe_chunks));
+    reg.add(names::kDeviceReadmissions, dev, double(d.readmissions));
+    reg.add(names::kDeviceQuarantines, dev, double(d.quarantine_count));
+
+    // Integrity.
+    reg.add(names::kDeviceCorruptions, dev, double(d.corruptions_injected));
+    reg.add(names::kDeviceIntegrityChecks, dev, double(d.integrity_checks));
+    reg.add(names::kDeviceIntegrityFailures, dev,
+            double(d.integrity_failures));
+    reg.add(names::kDeviceReexecutions, dev,
+            double(d.integrity_reexecutions));
+    reg.add(names::kDeviceVoteRounds, dev, double(d.vote_rounds));
+
+    // Model accuracy (gauges: the means, not the raw sums).
+    reg.set(names::kModel1RelError, dev, d.prediction.model1_mean());
+    reg.set(names::kModel2RelError, dev, d.prediction.model2_mean());
+    reg.set(names::kProfileRelError, dev, d.prediction.profile_mean());
+  }
+}
+
+void write_registry_file(const obs::MetricsRegistry& reg,
+                         const std::string& path) {
+  std::ofstream out(path);
+  HOMP_REQUIRE(out.good(), "cannot open metrics file: " + path);
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  if (prom) {
+    reg.write_prometheus(out);
+  } else {
+    reg.write_json(out);
+  }
+}
+
+void write_metrics_file(const OffloadResult& res, const std::string& path) {
+  obs::MetricsRegistry reg;
+  collect_metrics(res, reg);
+  write_registry_file(reg, path);
+}
+
+}  // namespace homp::rt

@@ -86,6 +86,9 @@ struct OffloadExecution::PendingChunk {
   /// corrupted; the seed drives the injected bit flips.
   std::uint64_t corrupt_seed = 0;
   std::shared_ptr<IntegrityState> integ;  ///< set for re-executions
+  /// Index of this chunk's kChunkAssigned audit record (actual_s is
+  /// backfilled at compute completion); npos when audit is off.
+  std::size_t decision_index = static_cast<std::size_t>(-1);
 };
 
 /// A computed chunk whose results are still device-resident: the output
@@ -156,6 +159,7 @@ struct OffloadExecution::Proxy {
   int probes_passed = 0;
 
   double partial_reduction = 0.0;
+  double outstanding_bytes = 0.0;  ///< transfer bytes currently in flight
   DeviceStats stats;
   std::vector<TraceSpan> spans;
 
@@ -689,6 +693,20 @@ void OffloadExecution::try_fetch(int slot) {
   chunk.integ =
       integ ? std::move(integ) : (chunk.token ? chunk.token->integ : nullptr);
 
+  if (audit_on()) {
+    const char* source = chunk.integ && chunk.from_requeue
+                             ? "integrity re-execution"
+                             : chunk.is_spec     ? "speculative duplicate"
+                             : chunk.from_requeue ? "requeue"
+                             : chunk.is_probe     ? "probation probe"
+                                                  : "scheduler";
+    chunk.decision_index =
+        note_decision(slot, DecisionKind::kChunkAssigned, chunk.range, source);
+    SchedDecision& d = decisions_.back();
+    predict_chunk(p, chunk.range, &d.predicted_model1_s,
+                  &d.predicted_model2_s, &d.predicted_profile_s);
+  }
+
   // Inside a data region the data is already resident on the devices:
   // no allocation, no transfers — just compute against the region's
   // environment.
@@ -794,8 +812,12 @@ void OffloadExecution::issue_input(int slot, int attempt) {
     wire_seed = fault_plan_.transfer_corrupts(p.device_id);
     if (failed) wire_seed = 0;
   }
-  p.down->transfer(bytes, [this, slot, start, jitter, attempt, failed,
+  if (attempt == 1) sample_queue_depth(p);
+  adjust_outstanding_bytes(p, bytes);
+  p.down->transfer(bytes, [this, slot, start, jitter, bytes, attempt, failed,
                            wire_seed] {
+    adjust_outstanding_bytes(*proxies_[static_cast<std::size_t>(slot)],
+                             -bytes);
     engine_.schedule_after(jitter, [this, slot, start, attempt, failed,
                                     wire_seed] {
       Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
@@ -1051,6 +1073,18 @@ void OffloadExecution::on_compute_done(int slot) {
     p.ewma_iter_s = p.ewma_iter_s > 0.0
                         ? 0.3 * per_iter + 0.7 * p.ewma_iter_s
                         : per_iter;
+    record_counter(p, CounterTrack::kEwmaThroughput, 1.0 / p.ewma_iter_s);
+  }
+
+  const double chunk_elapsed = engine_.now() - chunk.fetch_start;
+  p.stats.chunk_seconds.observe(chunk_elapsed);
+  if (chunk.decision_index < decisions_.size()) {
+    decisions_[chunk.decision_index].actual_s = chunk_elapsed;
+  }
+  if (!chunk.from_requeue && !chunk.is_spec && !chunk.token) {
+    accumulate_prediction_error(p, chunk.range,
+                                engine_.now() - p.compute_started,
+                                chunk_elapsed);
   }
 
   if (chunk.token && chunk.token->committed) {
@@ -1130,9 +1164,12 @@ void OffloadExecution::on_compute_done(int slot) {
       }
       p.partial_reduction += red;
       p.stats.iterations += chunk.range.size();
+      record_counter(p, CounterTrack::kIterations,
+                     static_cast<double>(p.stats.iterations));
     }
   }
 
+  sample_queue_depth(p);
   try_start_compute(slot);
   try_fetch(slot);
   if (integ_settled) {
@@ -1156,9 +1193,11 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
     wire_seed = fault_plan_.transfer_corrupts(p.device_id);
     if (failed) wire_seed = 0;  // a failed attempt delivers no payload
   }
+  adjust_outstanding_bytes(p, bytes);
   p.up->transfer(bytes, [this, slot, rec, start, bytes, attempt, failed,
                          wire_seed] {
     Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+    adjust_outstanding_bytes(q, -bytes);
     if (q.lost || rec->abandoned) return;  // requeued at quarantine
     if (failed) {
       q.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
@@ -1219,10 +1258,13 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
       }
       q.partial_reduction += rec->reduction;
       q.stats.iterations += rec->range.size();
+      record_counter(q, CounterTrack::kIterations,
+                     static_cast<double>(q.stats.iterations));
     }
     auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
     if (it != q.outputs.end()) q.outputs.erase(it);
     --q.outstanding_outputs;
+    sample_queue_depth(q);
     // Draining the last output may let this proxy enter (and possibly
     // release) the stage barrier, or finish the offload.
     try_fetch(slot);
@@ -1402,10 +1444,13 @@ void OffloadExecution::finish_commit(int slot, std::shared_ptr<OutRecord> rec) {
     }
     q.partial_reduction += rec->reduction;
     q.stats.iterations += rec->range.size();
+    record_counter(q, CounterTrack::kIterations,
+                   static_cast<double>(q.stats.iterations));
   }
   auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
   if (it != q.outputs.end()) q.outputs.erase(it);
   --q.outstanding_outputs;
+  sample_queue_depth(q);
   try_fetch(slot);
   sweep_completion();
 }
@@ -1567,6 +1612,15 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
                                      "quarantined: " + detail});
   HOMP_WARN << "device '" << p.desc->name << "' quarantined at t="
             << engine_.now() << ": " << detail;
+  if (audit_on()) {
+    note_decision(slot, DecisionKind::kQuarantined, dist::Range(),
+                  std::string(sim::to_string(kind)) + ": " + detail);
+  }
+  if (opts_.collect_trace) {
+    p.outstanding_bytes = 0.0;
+    record_counter(p, CounterTrack::kOutstandingBytes, 0.0);
+    sample_queue_depth(p);
+  }
 
   // Requeue everything in flight. None of it has been committed to the
   // host (commits ride the copy-out completion), so re-executing the
@@ -1742,6 +1796,13 @@ void OffloadExecution::watchdog_soft(int slot, std::uint64_t serial) {
   note_recovery(slot, RecoveryAction::kSpeculated,
                 p.computing->range.to_string() +
                     " duplicated onto the survivors");
+  if (audit_on()) {
+    note_decision(slot, DecisionKind::kSpeculated, p.computing->range,
+                  "tardy chunk offered to the survivors");
+    SchedDecision& d = decisions_.back();
+    predict_chunk(p, p.computing->range, &d.predicted_model1_s,
+                  &d.predicted_model2_s, &d.predicted_profile_s);
+  }
 
   // Wake idle survivors, fastest first: FIFO at the same virtual instant
   // means the first proxy roused fetches the duplicate first.
@@ -1853,6 +1914,11 @@ void OffloadExecution::readmit(int slot) {
   note_recovery(slot, RecoveryAction::kReadmitted,
                 "probation after cooldown (quarantine #" +
                     std::to_string(p.stats.quarantine_count) + ")");
+  if (audit_on()) {
+    note_decision(slot, DecisionKind::kReadmitted, dist::Range(),
+                  "probation after cooldown (quarantine #" +
+                      std::to_string(p.stats.quarantine_count) + ")");
+  }
   HOMP_INFO << "device '" << p.desc->name << "' re-admitted in probation at "
             << "t=" << engine_.now();
   scheduler_->reactivate(slot);
@@ -1898,6 +1964,89 @@ void OffloadExecution::note_recovery(int slot, RecoveryAction action,
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
   recovery_events_.push_back(RecoveryEvent{engine_.now(), slot, p.device_id,
                                            action, std::move(detail)});
+}
+
+std::size_t OffloadExecution::note_decision(int slot, DecisionKind kind,
+                                            const dist::Range& range,
+                                            std::string detail) {
+  const Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  SchedDecision d;
+  d.time = engine_.now();
+  d.slot = slot;
+  d.device_id = p.device_id;
+  d.kind = kind;
+  d.range = range;
+  d.ewma_iter_s = p.ewma_iter_s;
+  d.detail = std::move(detail);
+  decisions_.push_back(std::move(d));
+  return decisions_.size() - 1;
+}
+
+void OffloadExecution::record_counter(const Proxy& p, CounterTrack track,
+                                      double value) {
+  if (!opts_.collect_trace) return;
+  counters_.push_back(CounterSample{engine_.now(), p.slot, track, value});
+}
+
+void OffloadExecution::sample_queue_depth(const Proxy& p) {
+  if (!opts_.collect_trace) return;
+  const double depth = (p.inflight ? 1.0 : 0.0) + (p.ready ? 1.0 : 0.0) +
+                       (p.computing ? 1.0 : 0.0) +
+                       static_cast<double>(p.outstanding_outputs);
+  record_counter(p, CounterTrack::kQueueDepth, p.lost ? 0.0 : depth);
+}
+
+void OffloadExecution::adjust_outstanding_bytes(Proxy& p, double delta) {
+  if (!opts_.collect_trace) return;
+  p.outstanding_bytes += delta;
+  if (p.outstanding_bytes < 0.0) p.outstanding_bytes = 0.0;
+  record_counter(p, CounterTrack::kOutstandingBytes,
+                 p.lost ? 0.0 : p.outstanding_bytes);
+}
+
+void OffloadExecution::predict_chunk(const Proxy& p, const dist::Range& chunk,
+                                     double* model1_s, double* model2_s,
+                                     double* profile_s) const {
+  const auto& din = loop_context_.devices[static_cast<std::size_t>(p.slot)];
+  const double iters = static_cast<double>(chunk.size());
+  double m1 = iters * model::model1_iter_time(loop_context_.kernel, din);
+  double m2 = iters * model::model2_iter_time(loop_context_.kernel, din) +
+              p.desc->launch_overhead_s;
+  if (kernel_.work_factor) {
+    const double wf = kernel_.work_factor(chunk);
+    m1 *= wf;
+    m2 *= wf;
+  }
+  *model1_s = m1;
+  *model2_s = m2;
+  *profile_s = -1.0;
+  if (opts_.sched.history != nullptr &&
+      opts_.sched.history->has(opts_.sched.history_kernel, p.device_id)) {
+    const double rate =
+        opts_.sched.history->rate(opts_.sched.history_kernel, p.device_id);
+    if (rate > 0.0) *profile_s = iters / rate;
+  }
+}
+
+void OffloadExecution::accumulate_prediction_error(Proxy& p,
+                                                   const dist::Range& chunk,
+                                                   double compute_s,
+                                                   double chunk_s) {
+  if (chunk.size() <= 0 || compute_s <= 0.0 || chunk_s <= 0.0) return;
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double prof = -1.0;
+  predict_chunk(p, chunk, &m1, &m2, &prof);
+  PredictionErrorStats& e = p.stats.prediction;
+  // MODEL_1 predicts pure compute; MODEL_2 and PROFILE predict the whole
+  // fetch-to-compute-done span the scheduler's report() also sees.
+  e.model1_err_sum += std::abs(m1 - compute_s) / compute_s;
+  e.model2_err_sum += std::abs(m2 - chunk_s) / chunk_s;
+  ++e.model_samples;
+  if (prof >= 0.0) {
+    e.profile_err_sum += std::abs(prof - chunk_s) / chunk_s;
+    ++e.profile_samples;
+  }
 }
 
 void OffloadExecution::kick_survivors() {
@@ -1998,9 +2147,11 @@ void OffloadExecution::issue_finalize(int slot, double bytes, int attempt) {
     wire_seed = fault_plan_.transfer_corrupts(p.device_id);
     if (failed) wire_seed = 0;
   }
+  adjust_outstanding_bytes(p, bytes);
   p.up->transfer(bytes, [this, slot, start, bytes, attempt, failed,
                          wire_seed] {
     Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
+    adjust_outstanding_bytes(q, -bytes);
     if (q.lost) return;  // quarantined mid-write-back
     if (failed) {
       q.stats.phase_time[static_cast<int>(Phase::kRecovery)] +=
@@ -2054,6 +2205,25 @@ OffloadResult OffloadExecution::run() {
   HOMP_REQUIRE(!ran_, "OffloadExecution::run() called twice");
   ran_ = true;
 
+  // CUTOFF verdicts are part of the audit trail: one record per slot at
+  // t=0, carrying the renormalized weight (Table V's predicted
+  // contribution) in the detail field.
+  if (audit_on()) {
+    if (const auto* cut = scheduler_->cutoff()) {
+      for (const auto& p : proxies_) {
+        const auto s = static_cast<std::size_t>(p->slot);
+        const bool kept = s < cut->selected.size() && cut->selected[s];
+        const double w = s < cut->weights.size() ? cut->weights[s] : 0.0;
+        note_decision(p->slot,
+                      kept ? DecisionKind::kCutoffKept
+                           : DecisionKind::kCutoffDropped,
+                      dist::Range(),
+                      "weight " + std::to_string(w) +
+                          (kept ? "" : " below the cutoff ratio"));
+      }
+    }
+  }
+
   for (std::size_t slot = 0; slot < proxies_.size(); ++slot) {
     const int s = static_cast<int>(slot);
     engine_.schedule_at(0.0, [this, s] { try_fetch(s); });
@@ -2080,6 +2250,8 @@ OffloadResult OffloadExecution::run() {
   res.chunks_issued = scheduler_->chunks_issued();
   res.fault_events = std::move(fault_events_);
   res.recovery_events = std::move(recovery_events_);
+  res.decisions = std::move(decisions_);
+  res.counters = std::move(counters_);
 
   double end = 0.0;
   long long covered = 0;

@@ -194,6 +194,29 @@ class OffloadExecution {
   /// drains, since earlier refusals may have parked idle proxies.
   void sweep_completion();
 
+  // Observability (docs/OBSERVABILITY.md).
+  /// Decision-audit recording armed? (collect_audit or collect_trace.)
+  bool audit_on() const noexcept {
+    return opts_.collect_audit || opts_.collect_trace;
+  }
+  /// Append a decision record; returns its index (for actual_s backfill).
+  std::size_t note_decision(int slot, DecisionKind kind,
+                            const dist::Range& range, std::string detail);
+  /// One counter-track sample (no-op unless collect_trace).
+  void record_counter(const Proxy& p, CounterTrack track, double value);
+  /// Sample the proxy's pipeline occupancy onto the queue-depth track.
+  void sample_queue_depth(const Proxy& p);
+  /// Adjust + sample the proxy's in-flight transfer byte count.
+  void adjust_outstanding_bytes(Proxy& p, double delta);
+  /// Fold one healthy chunk's measured times into the per-device
+  /// MODEL_1/MODEL_2/PROFILE relative-error accumulators (always on).
+  void accumulate_prediction_error(Proxy& p, const dist::Range& chunk,
+                                   double compute_s, double chunk_s);
+  /// Per-predictor expected seconds for `chunk` on `p`, at current state.
+  void predict_chunk(const Proxy& p, const dist::Range& chunk,
+                     double* model1_s, double* model2_s,
+                     double* profile_s) const;
+
   const mach::MachineDescriptor& machine_;
   const LoopKernel& kernel_;
   const std::vector<mem::MapSpec>& maps_;
@@ -233,6 +256,11 @@ class OffloadExecution {
   /// (served ahead of everything else; completion waits on it).
   std::deque<std::shared_ptr<IntegrityState>> integrity_queue_;
   bool integrity_armed_ = false;
+
+  /// Scheduler decision audit trail (collect_audit / collect_trace) and
+  /// counter-track samples (collect_trace), in virtual-time order.
+  std::vector<SchedDecision> decisions_;
+  std::vector<CounterSample> counters_;
 };
 
 }  // namespace homp::rt

@@ -57,6 +57,38 @@ const char* to_string(RecoveryAction a) noexcept {
   return "?";
 }
 
+const char* to_string(DecisionKind k) noexcept {
+  switch (k) {
+    case DecisionKind::kChunkAssigned:
+      return "chunk-assigned";
+    case DecisionKind::kCutoffKept:
+      return "cutoff-kept";
+    case DecisionKind::kCutoffDropped:
+      return "cutoff-dropped";
+    case DecisionKind::kSpeculated:
+      return "speculated";
+    case DecisionKind::kQuarantined:
+      return "quarantined";
+    case DecisionKind::kReadmitted:
+      return "readmitted";
+  }
+  return "?";
+}
+
+const char* to_string(CounterTrack t) noexcept {
+  switch (t) {
+    case CounterTrack::kQueueDepth:
+      return "queue depth";
+    case CounterTrack::kOutstandingBytes:
+      return "outstanding transfer bytes";
+    case CounterTrack::kIterations:
+      return "committed iterations";
+    case CounterTrack::kEwmaThroughput:
+      return "EWMA throughput (iter/s)";
+  }
+  return "?";
+}
+
 std::vector<std::string> OffloadOptions::validate() const {
   std::vector<std::string> v;
 

@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "dist/policy.h"
 #include "model/loop_model.h"
+#include "obs/metrics.h"
 #include "sched/scheduler.h"
 #include "sim/fault.h"
 
@@ -216,8 +217,16 @@ struct OffloadOptions {
   IntegrityOptions integrity;
 
   /// Record per-activity spans into OffloadResult::trace (see
-  /// runtime/trace.h for the chrome://tracing exporter).
+  /// runtime/trace.h for the chrome://tracing exporter). Also implies
+  /// collect_audit and per-device counter samples so the exported trace
+  /// carries decision instants and Perfetto counter tracks.
   bool collect_trace = false;
+
+  /// Record the scheduler decision audit trail into
+  /// OffloadResult::decisions (docs/OBSERVABILITY.md) without paying for
+  /// full span collection. The always-on prediction-error telemetry in
+  /// DeviceStats does not depend on this flag.
+  bool collect_audit = false;
 
   /// All knob-range violations across sched / fault / watchdog /
   /// integrity options (empty = valid). Centralized here so every entry
@@ -267,6 +276,68 @@ struct RecoveryEvent {
   std::string detail;  ///< e.g. the chunk range and the deadline that fired
 };
 
+/// What a scheduler-audit record describes (docs/OBSERVABILITY.md).
+enum class DecisionKind : int {
+  kChunkAssigned = 0,  ///< scheduler handed a chunk to a device
+  kCutoffKept,         ///< CUTOFF retained the device with this weight
+  kCutoffDropped,      ///< CUTOFF removed the device from the plan
+  kSpeculated,         ///< watchdog duplicated a tardy chunk
+  kQuarantined,        ///< device withdrawn from service
+  kReadmitted,         ///< device re-entered service in probation
+};
+
+const char* to_string(DecisionKind k) noexcept;
+
+/// One scheduler/runtime decision with the inputs it was made on, in
+/// virtual-time order. Chunk assignments carry the per-predictor
+/// expected chunk seconds current at assignment time; `actual_s` is
+/// backfilled when the chunk's compute completes on this device (and
+/// stays negative when it never does — requeued, hung, cancelled).
+/// Recorded when OffloadOptions::collect_audit or collect_trace is set.
+struct SchedDecision {
+  double time = 0.0;
+  int slot = -1;
+  int device_id = -1;
+  DecisionKind kind = DecisionKind::kChunkAssigned;
+  dist::Range range;  ///< chunk concerned; empty for device-level records
+
+  /// MODEL_1 prediction: pure compute seconds for the chunk.
+  double predicted_model1_s = -1.0;
+  /// MODEL_2 prediction: compute + Hockney transfer + launch seconds.
+  double predicted_model2_s = -1.0;
+  /// ThroughputHistory prediction (profiled rate); < 0 when no history.
+  double predicted_profile_s = -1.0;
+  /// Device per-iteration EWMA at decision time (0 until first chunk).
+  double ewma_iter_s = 0.0;
+
+  /// Measured fetch-to-compute-done seconds; < 0 = never completed here.
+  double actual_s = -1.0;
+
+  std::string detail;  ///< e.g. "scheduler", "requeue", "weight 0.31"
+};
+
+/// Perfetto counter-track ids emitted as "ph":"C" rows by
+/// write_chrome_trace (one track per device per counter).
+enum class CounterTrack : int {
+  kQueueDepth = 0,     ///< chunks resident in the device pipeline
+  kOutstandingBytes,   ///< transfer bytes currently in flight
+  kIterations,         ///< cumulative committed iterations
+  kEwmaThroughput,     ///< iterations/second from the per-device EWMA
+};
+
+inline constexpr int kNumCounterTracks = 4;
+
+const char* to_string(CounterTrack t) noexcept;
+
+/// One counter-track sample on one device, in virtual time. Recorded at
+/// pipeline transitions when OffloadOptions::collect_trace is set.
+struct CounterSample {
+  double time = 0.0;
+  int slot = -1;
+  CounterTrack track = CounterTrack::kQueueDepth;
+  double value = 0.0;
+};
+
 /// One pipeline activity on one device, in virtual time.
 struct TraceSpan {
   int slot = -1;      ///< device slot within the offload
@@ -275,6 +346,30 @@ struct TraceSpan {
   double t0 = 0.0;    ///< virtual seconds
   double t1 = 0.0;
   std::string label;  ///< e.g. the chunk range
+};
+
+/// Accuracy of the model layer's predictions against what one device
+/// actually measured, accumulated over its healthy scheduler-issued
+/// chunks (requeued/speculative copies excluded — their timings carry
+/// recovery noise). Relative error of one chunk = |predicted - actual|
+/// / actual. Always collected; it is a handful of adds per chunk.
+struct PredictionErrorStats {
+  double model1_err_sum = 0.0;   ///< vs measured compute seconds
+  double model2_err_sum = 0.0;   ///< vs measured fetch-to-compute-done
+  double profile_err_sum = 0.0;  ///< history rate vs fetch-to-compute-done
+  std::size_t model_samples = 0;
+  std::size_t profile_samples = 0;  ///< chunks with a history rate
+
+  double model1_mean() const noexcept {
+    return model_samples == 0 ? 0.0 : model1_err_sum / double(model_samples);
+  }
+  double model2_mean() const noexcept {
+    return model_samples == 0 ? 0.0 : model2_err_sum / double(model_samples);
+  }
+  double profile_mean() const noexcept {
+    return profile_samples == 0 ? 0.0
+                                : profile_err_sum / double(profile_samples);
+  }
 };
 
 /// Per-device telemetry for one offload.
@@ -311,6 +406,13 @@ struct DeviceStats {
   std::size_t integrity_reexecutions = 0;  ///< discarded chunks re-run here
   std::size_t vote_rounds = 0;           ///< ballot executions served here
 
+  /// Model-accuracy telemetry (docs/OBSERVABILITY.md).
+  PredictionErrorStats prediction;
+
+  /// End-to-end (fetch to compute-done) seconds of every chunk computed
+  /// on this device, including requeued/speculative copies.
+  obs::Histogram chunk_seconds;
+
   double busy_time() const noexcept {
     double t = 0.0;
     for (int p = 0; p < kNumPhases; ++p) {
@@ -343,6 +445,14 @@ struct OffloadResult {
 
   /// Every watchdog / speculation / probation decision, in time order.
   std::vector<RecoveryEvent> recovery_events;
+
+  /// Scheduler decision audit trail (only when collect_audit or
+  /// collect_trace), in decision order.
+  std::vector<SchedDecision> decisions;
+
+  /// Counter-track samples (only when collect_trace), in time order per
+  /// device; write_chrome_trace turns them into Perfetto counter rows.
+  std::vector<CounterSample> counters;
 
   /// True when at least one device was quarantined at some point (even if
   /// later re-admitted): the offload ran degraded for a while.

@@ -1,5 +1,6 @@
 #include "runtime/trace.h"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
@@ -8,8 +9,12 @@
 namespace homp::rt {
 
 namespace {
+/// Full JSON string escaping: quotes, backslashes, and every control
+/// character (labels interpolate chunk ranges and fault detail strings,
+/// which must never be able to break the document).
 void json_escape_into(std::ostream& os, const std::string& s) {
   for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
     switch (c) {
       case '"':
         os << "\\\"";
@@ -20,37 +25,80 @@ void json_escape_into(std::ostream& os, const std::string& s) {
       case '\n':
         os << "\\n";
         break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
       default:
-        os << c;
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          os << buf;
+        } else {
+          os << c;
+        }
     }
   }
 }
 }  // namespace
 
 namespace {
-/// Shared body: spans, then optional instant fault/recovery markers, then
-/// the thread-name metadata rows.
+/// Shared body: spans, then optional instant fault/recovery/decision
+/// markers and counter-track samples, then the thread-name metadata rows.
 void write_events(const std::vector<TraceSpan>& spans,
                   const std::vector<FaultEvent>* faults,
                   const std::vector<RecoveryEvent>* recovery,
+                  const std::vector<SchedDecision>* decisions,
+                  const std::vector<CounterSample>* counters,
                   std::ostream& os);
 }  // namespace
 
 void write_chrome_trace(const std::vector<TraceSpan>& spans,
                         std::ostream& os) {
-  write_events(spans, nullptr, nullptr, os);
+  write_events(spans, nullptr, nullptr, nullptr, nullptr, os);
 }
 
 void write_chrome_trace(const OffloadResult& result, std::ostream& os) {
   write_events(result.trace, &result.fault_events, &result.recovery_events,
-               os);
+               &result.decisions, &result.counters, os);
 }
 
 namespace {
 void write_events(const std::vector<TraceSpan>& spans,
                   const std::vector<FaultEvent>* faults,
                   const std::vector<RecoveryEvent>* recovery,
+                  const std::vector<SchedDecision>* decisions,
+                  const std::vector<CounterSample>* counters,
                   std::ostream& os) {
+  // Slot -> device name, for counter-track naming and the metadata rows.
+  std::vector<std::pair<int, std::string>> seen;
+  for (const auto& s : spans) {
+    bool dup = false;
+    for (const auto& [slot, _] : seen) {
+      if (slot == s.slot) dup = true;
+    }
+    if (!dup) seen.emplace_back(s.slot, s.device);
+  }
+  auto device_of = [&seen](int slot) -> std::string {
+    for (const auto& [s, name] : seen) {
+      if (s == slot) return name;
+    }
+    return "slot " + std::to_string(slot);
+  };
+
+  // Full-fidelity timestamps: the default 6 significant digits would
+  // round microsecond stamps of longer runs and defeat byte-identical
+  // determinism checks on derived figures.
+  const auto old_precision = os.precision(15);
+
   os << "[\n";
   bool first = true;
   for (const auto& s : spans) {
@@ -89,15 +137,46 @@ void write_events(const std::vector<TraceSpan>& spans,
          << R"("tid": )" << r.slot << R"(, "ts": )" << r.time * 1e6 << "}";
     }
   }
-  // Thread-name metadata rows so devices are labelled in the viewer.
-  std::vector<std::pair<int, std::string>> seen;
-  for (const auto& s : spans) {
-    bool dup = false;
-    for (const auto& [slot, _] : seen) {
-      if (slot == s.slot) dup = true;
+  if (decisions != nullptr) {
+    // Decision-audit instants: the plan lined up against the pipeline
+    // activity it produced. Prediction inputs ride in args (negative
+    // predictions mean "no such predictor for this record").
+    for (const auto& d : *decisions) {
+      if (!first) os << ",\n";
+      first = false;
+      os << R"(  {"name": "decision: )";
+      std::string label = to_string(d.kind);
+      if (!d.range.empty()) {
+        label += ' ';
+        label += d.range.to_string();
+      }
+      json_escape_into(os, label);
+      os << R"(", "cat": "decision", "ph": "i", "s": "t", "pid": 0, )"
+         << R"("tid": )" << d.slot << R"(, "ts": )" << d.time * 1e6
+         << R"(, "args": {"model1_s": )" << d.predicted_model1_s
+         << R"(, "model2_s": )" << d.predicted_model2_s
+         << R"(, "profile_s": )" << d.predicted_profile_s
+         << R"(, "ewma_iter_s": )" << d.ewma_iter_s << R"(, "actual_s": )"
+         << d.actual_s << R"(, "detail": ")";
+      json_escape_into(os, d.detail);
+      os << R"("}})";
     }
-    if (!dup) seen.emplace_back(s.slot, s.device);
   }
+  if (counters != nullptr) {
+    // Perfetto counter tracks: one track per (counter, device) thanks to
+    // the device-qualified name; "ph":"C" rows are keyed by name+pid.
+    for (const auto& c : *counters) {
+      if (!first) os << ",\n";
+      first = false;
+      os << R"(  {"name": ")";
+      json_escape_into(os, std::string(to_string(c.track)) + " (" +
+                               device_of(c.slot) + ")");
+      os << R"(", "cat": "counter", "ph": "C", "pid": 0, "tid": )" << c.slot
+         << R"(, "ts": )" << c.time * 1e6 << R"(, "args": {"value": )"
+         << c.value << "}}";
+    }
+  }
+  // Thread-name metadata rows so devices are labelled in the viewer.
   for (const auto& [slot, device] : seen) {
     if (!first) os << ",\n";
     first = false;
@@ -107,6 +186,7 @@ void write_events(const std::vector<TraceSpan>& spans,
     os << R"("}})";
   }
   os << "\n]\n";
+  os.precision(old_precision);
 }
 }  // namespace
 

@@ -25,9 +25,16 @@ void write_chrome_trace(const std::vector<TraceSpan>& spans,
                         std::ostream& os);
 
 /// Serialize a whole result: the spans plus one instant event ("ph": "i")
-/// per injected fault and per watchdog/probation decision, on the row of
-/// the device concerned — faults and recovery actions line up with the
-/// pipeline activity around them.
+/// per injected fault, per watchdog/probation recovery action, and per
+/// scheduler decision-audit record (cat "decision", carrying the
+/// predicted MODEL_1/MODEL_2/PROFILE times and the actual chunk time in
+/// args), on the row of the device concerned — so the scheduler's plan
+/// lines up with the pipeline activity it produced. Counter samples
+/// (OffloadResult::counters) become Perfetto counter tracks ("ph": "C")
+/// with device-qualified names, e.g. "queue depth (gpu0)": queue depth,
+/// outstanding transfer bytes, committed iterations, and EWMA throughput
+/// per device. All labels are fully JSON-escaped; the output is a valid
+/// JSON document (docs/OBSERVABILITY.md).
 void write_chrome_trace(const OffloadResult& result, std::ostream& os);
 
 /// Convenience: write a result's trace to a file. Throws ConfigError if

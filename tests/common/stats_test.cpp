@@ -61,5 +61,38 @@ TEST(Percentile, ClampsAndHandlesEmpty) {
   EXPECT_NEAR(percentile({1.0, 2.0}, 250.0), 2.0, 1e-12);
 }
 
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(percentile({3.25}, p), 3.25, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Percentile, AllEqualInputIsFlat) {
+  const std::vector<double> xs{6.0, 6.0, 6.0, 6.0, 6.0};
+  for (double p : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    EXPECT_NEAR(percentile(xs, p), 6.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Percentile, ExtremesAreMinAndMax) {
+  const std::vector<double> xs{9.0, -2.0, 4.5, 0.0};
+  EXPECT_NEAR(percentile(xs, 0.0), -2.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 100.0), 9.0, 1e-12);
+}
+
+TEST(Geomean, AllEqualAndSingleElement) {
+  EXPECT_NEAR(geomean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+  EXPECT_NEAR(geomean({1e-9}), 1e-9, 1e-21);
+}
+
+TEST(Geomean, OnlyNonPositiveEntriesYieldsZero) {
+  // Every entry skipped leaves nothing to average.
+  EXPECT_EQ(geomean({0.0, -1.0, -5.0}), 0.0);
+}
+
+TEST(Geomean, NegativeEntriesAreSkippedNotAbsorbed) {
+  EXPECT_NEAR(geomean({-2.0, 2.0, 8.0}), 4.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace homp

@@ -1,0 +1,15 @@
+#ifndef HOMP_LINT_FIXTURE_BAD_HL005_NAMES_H
+#define HOMP_LINT_FIXTURE_BAD_HL005_NAMES_H
+
+// Fixture: metric-name constants in an obs/ catalog that no exporter
+// references. Each one is a metric that silently vanished from every
+// dashboard — HL005 must flag both.
+
+namespace homp::obs::names {
+
+inline constexpr char kNeverExported[] = "homp_never_exported_total";
+inline constexpr char kAlsoForgotten[] = "homp_also_forgotten_seconds";
+
+}  // namespace homp::obs::names
+
+#endif  // HOMP_LINT_FIXTURE_BAD_HL005_NAMES_H

@@ -1,0 +1,19 @@
+#ifndef HOMP_LINT_FIXTURE_GOOD_HL005_NAMES_H
+#define HOMP_LINT_FIXTURE_GOOD_HL005_NAMES_H
+
+// Fixture: a metric-name constant that IS referenced outside its
+// declaration (here by an exporter-shaped function) lints clean.
+
+namespace homp::obs::names {
+
+inline constexpr char kExported[] = "homp_exported_total";
+
+}  // namespace homp::obs::names
+
+namespace homp::obs {
+
+inline const char* exporter_uses_the_name() { return names::kExported; }
+
+}  // namespace homp::obs
+
+#endif  // HOMP_LINT_FIXTURE_GOOD_HL005_NAMES_H

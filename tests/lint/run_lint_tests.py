@@ -42,6 +42,7 @@ BAD_FIXTURES = {
     fx("layering", "src", "sim", "bad_hl003.cpp"): ("HL003", 2),
     fx("bad_hl004.h"): ("HL004", 2),
     fx("bad_hl005.cpp"): ("HL005", 2),
+    fx("obs", "bad_hl005_names.h"): ("HL005", 2),
 }
 
 CLEAN_FIXTURES = [
@@ -50,11 +51,13 @@ CLEAN_FIXTURES = [
     fx("layering", "src", "runtime", "good_hl003.cpp"),
     fx("good_hl004.h"),
     fx("good_hl005.cpp"),
+    fx("obs", "good_hl005_names.h"),
     fx("suppressed_hl001.cpp"),
     fx("suppressed_hl002.cpp"),
     fx("layering", "src", "sim", "suppressed_hl003.cpp"),
     fx("suppressed_hl004.h"),
     fx("suppressed_hl005.cpp"),
+    fx("obs", "suppressed_hl005_names.h"),
 ]
 
 

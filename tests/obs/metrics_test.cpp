@@ -1,0 +1,177 @@
+// The obs metrics registry: type semantics, histogram bucketing, merge,
+// and the deterministic-export contract (docs/OBSERVABILITY.md).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/metric_names.h"
+
+namespace homp::obs {
+namespace {
+
+TEST(Histogram, BucketsArePowerOfTwoSpans) {
+  Histogram h;
+  h.observe(0.0);                    // below base -> bucket 0
+  h.observe(Histogram::kBaseSeconds * 0.5);
+  h.observe(Histogram::kBaseSeconds * 1.5);  // [base, 2*base) -> bucket 0
+  h.observe(Histogram::kBaseSeconds * 3.0);  // [2*base, 4*base) -> bucket 1
+  h.observe(1e9);                    // far above the top -> last bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0 + Histogram::kBaseSeconds * 0.5 +
+                                Histogram::kBaseSeconds * 1.5 +
+                                Histogram::kBaseSeconds * 3.0 + 1e9);
+}
+
+TEST(Histogram, UpperBoundsDoubleAndEndAtInfinity) {
+  EXPECT_DOUBLE_EQ(Histogram::upper_bound(0), Histogram::kBaseSeconds * 2);
+  EXPECT_DOUBLE_EQ(Histogram::upper_bound(1), Histogram::kBaseSeconds * 4);
+  EXPECT_TRUE(std::isinf(Histogram::upper_bound(Histogram::kNumBuckets - 1)));
+  // Every sample lands strictly below its bucket's bound.
+  Histogram h;
+  const double v = 3.7e-4;
+  h.observe(v);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    EXPECT_LT(v, Histogram::upper_bound(i));
+    if (i > 0) {
+      EXPECT_GE(v, Histogram::upper_bound(i - 1));
+    }
+  }
+}
+
+TEST(Registry, CountersAccumulateGaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.add("c", "", 2.0);
+  reg.add("c", "", 3.0);
+  reg.set("g", "", 7.0);
+  reg.set("g", "", 9.0);
+  EXPECT_DOUBLE_EQ(reg.value("c"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("g"), 9.0);
+  EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+}
+
+TEST(Registry, LabelSetsAreIndependentSeries) {
+  MetricsRegistry reg;
+  reg.add("c", "device=\"a\"", 1.0);
+  reg.add("c", "device=\"b\"", 2.0);
+  EXPECT_DOUBLE_EQ(reg.value("c", "device=\"a\""), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("c", "device=\"b\""), 2.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, TypeConflictThrows) {
+  MetricsRegistry reg;
+  reg.add("m", "");
+  EXPECT_THROW(reg.set("m", "", 1.0), ConfigError);
+  EXPECT_THROW(reg.observe("m", "", 1.0), ConfigError);
+}
+
+TEST(Registry, MergeFoldsAllThreeTypes) {
+  MetricsRegistry a, b;
+  a.add("c", "", 1.0);
+  b.add("c", "", 2.0);
+  a.set("g", "", 1.0);
+  b.set("g", "", 5.0);
+  a.observe("h", "", 1e-6);
+  b.observe("h", "", 2e-6);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value("c"), 3.0);
+  EXPECT_DOUBLE_EQ(a.value("g"), 5.0);
+  const Histogram* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 3e-6);
+}
+
+TEST(Registry, MergeHistogramKeepsExactCountsAndSum) {
+  Histogram h;
+  h.observe(1e-6);
+  h.observe(2e-3);
+  MetricsRegistry reg;
+  reg.merge_histogram(names::kDeviceChunkSeconds, "device=\"x\"", h);
+  const Histogram* got =
+      reg.find_histogram(names::kDeviceChunkSeconds, "device=\"x\"");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->count(), 2u);
+  EXPECT_DOUBLE_EQ(got->sum(), h.sum());
+}
+
+TEST(Registry, JsonExportIsDeterministicAcrossInsertionOrders) {
+  auto build = [](bool reversed) {
+    MetricsRegistry reg;
+    if (reversed) {
+      reg.set("z_gauge", "", 0.25);
+      reg.add("a_counter", "device=\"b\"", 2.0);
+      reg.add("a_counter", "device=\"a\"", 1.0);
+    } else {
+      reg.add("a_counter", "device=\"a\"", 1.0);
+      reg.add("a_counter", "device=\"b\"", 2.0);
+      reg.set("z_gauge", "", 0.25);
+    }
+    reg.observe("h", "", 5e-5);
+    std::ostringstream os;
+    reg.write_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+TEST(Registry, JsonEscapesLabelText) {
+  MetricsRegistry reg;
+  reg.add("c", "device=\"quote\\\"\"", 1.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  // The raw label's inner quote arrives escaped; the document stays
+  // structurally balanced.
+  EXPECT_NE(json.find("quote\\\\\\\""), std::string::npos);
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Registry, PrometheusExpositionShape) {
+  MetricsRegistry reg;
+  reg.add("homp_c_total", "device=\"a\"", 3.0);
+  reg.set("homp_g", "", 1.5);
+  reg.observe("homp_h_seconds", "", 3e-7);  // bucket 1
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE homp_c_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("homp_c_total{device=\"a\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE homp_g gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("homp_g 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE homp_h_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("homp_h_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("homp_h_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(Registry, HistogramJsonBucketsAreCumulative) {
+  MetricsRegistry reg;
+  reg.observe("h", "", 1.5e-7);  // bucket 0
+  reg.observe("h", "", 3e-7);    // bucket 1
+  reg.observe("h", "", 3e-7);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find(R"("count": 1})"), std::string::npos);  // bucket 0
+  EXPECT_NE(json.find(R"({"le": "+Inf", "count": 3})"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace homp::obs

@@ -151,6 +151,65 @@ TEST(Trace, FaultAndRecoveryMarkersBecomeInstantEvents) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(Trace, CounterTracksAndDecisionInstants) {
+  auto res = traced_run(true);
+  ASSERT_FALSE(res.counters.empty());
+  ASSERT_FALSE(res.decisions.empty());
+  std::ostringstream os;
+  write_chrome_trace(res, os);
+  const std::string json = os.str();
+  // Counter rows carry device-qualified track names.
+  EXPECT_NE(json.find(R"("ph": "C")"), std::string::npos);
+  EXPECT_NE(json.find("queue depth ("), std::string::npos);
+  EXPECT_NE(json.find("committed iterations ("), std::string::npos);
+  // Decision instants with the prediction inputs in args.
+  EXPECT_NE(json.find(R"("cat": "decision")"), std::string::npos);
+  EXPECT_NE(json.find("decision: chunk-assigned"), std::string::npos);
+  EXPECT_NE(json.find(R"("model1_s": )"), std::string::npos);
+  EXPECT_NE(json.find(R"("actual_s": )"), std::string::npos);
+  // The span-only overload stays counter- and decision-free.
+  std::ostringstream spans_only;
+  write_chrome_trace(res.trace, spans_only);
+  EXPECT_EQ(spans_only.str().find(R"("ph": "C")"), std::string::npos);
+  EXPECT_EQ(spans_only.str().find(R"("cat": "decision")"),
+            std::string::npos);
+}
+
+TEST(Trace, AdversarialLabelsAreFullyEscaped) {
+  // Labels carrying every JSON-hostile byte class must neither break the
+  // document structure nor leak raw control characters.
+  OffloadResult res;
+  TraceSpan s;
+  s.slot = 0;
+  s.device = "dev\"\\\n\t\x01";
+  s.phase = Phase::kCompute;
+  s.t0 = 0.0;
+  s.t1 = 1e-6;
+  s.label = "quote\" backslash\\ nl\n cr\r tab\t bell\x07 esc\x1b";
+  res.trace.push_back(s);
+  std::ostringstream os;
+  write_chrome_trace(res, os);
+  const std::string json = os.str();
+  // No raw control characters survive in the document.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte " << int(c) << " leaked into the JSON";
+  }
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  EXPECT_NE(json.find("\\u001b"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  // Quotes stay balanced: every '"' is structural or escaped, so the
+  // total count of unescaped quotes is even.
+  long quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0);
+  // (tests/trace/run_trace_tests.py json.loads-round-trips the same
+  // label set through the file writer.)
+}
+
 TEST(Trace, FileWriterValidates) {
   auto res = traced_run(false);
   EXPECT_THROW(write_chrome_trace_file(res, "/tmp/homp_trace.json"),

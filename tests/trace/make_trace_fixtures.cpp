@@ -1,0 +1,129 @@
+// Fixture generator for the homp-trace CLI contract suite
+// (tests/trace/run_trace_tests.py).
+//
+// Usage: make_trace_fixtures <outdir>
+//
+// Writes into <outdir>:
+//   run1.trace.json / run1.metrics.json   one seeded traced offload
+//   run2.trace.json / run2.metrics.json   the identical offload, re-run
+//     (the suite asserts both pairs are byte-identical — the
+//     determinism contract of trace + metrics export)
+//   adversarial.trace.json / adversarial.metrics.json   a hand-built
+//     result whose device names / labels / details carry quotes,
+//     backslashes, newlines and control characters (the suite
+//     json.loads-round-trips them — the escaping contract)
+//
+// Ground truth for the run pair goes to stdout as key=value lines, so
+// the suite can check the CLI's derived figures against the runtime's
+// own telemetry (notably Imbalance::percent()).
+
+#include <cstdio>
+#include <string>
+
+#include "kernels/axpy.h"
+#include "machine/profiles.h"
+#include "runtime/metrics_export.h"
+#include "runtime/runtime.h"
+#include "runtime/trace.h"
+
+namespace {
+
+using namespace homp;
+
+rt::OffloadResult seeded_run() {
+  rt::Runtime runtime{mach::testing_machine(3)};
+  kern::AxpyCase c(200'000, /*materialize=*/false);
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2, 3};
+  o.sched.kind = sched::AlgorithmKind::kDynamic;
+  o.execute_bodies = false;
+  o.collect_trace = true;
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  return runtime.offload(kernel, maps, o);
+}
+
+void write_pair(const rt::OffloadResult& res, const std::string& stem) {
+  rt::write_chrome_trace_file(res, stem + ".trace.json");
+  rt::write_metrics_file(res, stem + ".metrics.json");
+}
+
+/// A result whose every string field tries to break the JSON document.
+rt::OffloadResult adversarial_result() {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07";
+  rt::OffloadResult res;
+  res.total_time = 10e-6;
+  res.chunks_issued = 2;
+  for (int slot = 0; slot < 2; ++slot) {
+    rt::DeviceStats d;
+    d.device_name = "dev\"" + std::to_string(slot) + "\\\n";
+    d.device_id = slot + 1;
+    d.chunks = 1;
+    d.iterations = 100;
+    d.finish_time = (slot + 1) * 5e-6;
+    d.chunk_seconds.observe(3e-6);
+    res.devices.push_back(d);
+
+    rt::TraceSpan span;
+    span.slot = slot;
+    span.device = d.device_name;
+    span.phase = rt::Phase::kCompute;
+    span.t0 = 0.0;
+    span.t1 = d.finish_time;
+    span.label = nasty;
+    res.trace.push_back(span);
+
+    rt::SchedDecision dec;
+    dec.time = 0.0;
+    dec.slot = slot;
+    dec.device_id = d.device_id;
+    dec.kind = rt::DecisionKind::kChunkAssigned;
+    dec.range = dist::Range(0, 100);
+    dec.detail = nasty;
+    res.decisions.push_back(dec);
+
+    rt::CounterSample cs;
+    cs.time = 1e-6;
+    cs.slot = slot;
+    cs.track = rt::CounterTrack::kQueueDepth;
+    cs.value = 1.0;
+    res.counters.push_back(cs);
+  }
+  rt::FaultEvent f;
+  f.time = 2e-6;
+  f.slot = 0;
+  f.device_id = 1;
+  f.detail = nasty;
+  res.fault_events.push_back(f);
+  rt::RecoveryEvent r;
+  r.time = 3e-6;
+  r.slot = 1;
+  r.device_id = 2;
+  r.detail = nasty;
+  res.recovery_events.push_back(r);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <outdir>\n", argv[0]);
+    return 2;
+  }
+  const std::string outdir = argv[1];
+
+  const auto run1 = seeded_run();
+  const auto run2 = seeded_run();
+  write_pair(run1, outdir + "/run1");
+  write_pair(run2, outdir + "/run2");
+  write_pair(adversarial_result(), outdir + "/adversarial");
+
+  std::printf("run_imbalance_pct=%.17g\n", run1.imbalance().percent());
+  std::printf("run_total_time_s=%.17g\n", run1.total_time);
+  std::printf("run_chunks=%zu\n", run1.chunks_issued);
+  std::printf("run_decisions=%zu\n", run1.decisions.size());
+  std::printf("run_counters=%zu\n", run1.counters.size());
+  std::printf("run_devices=%zu\n", run1.devices.size());
+  return 0;
+}

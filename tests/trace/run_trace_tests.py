@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Contract suite for tools/trace/homp_trace.py, run under ctest.
+
+Contract under test:
+  * every file the runtime exports (traces, metrics, adversarial labels)
+    is valid JSON — json.loads round-trips it;
+  * two identical seeded offloads export byte-identical trace and
+    metrics files (the determinism contract);
+  * `report` figures agree with the runtime's own telemetry — notably
+    imbalance_pct against Imbalance::percent() — and with the
+    hand-computed ground truth of the static fixture;
+  * `diff` exits 0 on identical runs, 1 on differing runs;
+  * usage/input errors exit 2, never 0 or 1.
+
+Needs the make_trace_fixtures binary (built from
+tests/trace/make_trace_fixtures.cpp): pass --fixtures-bin, as the ctest
+entry does.
+"""
+
+import argparse
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+CLI = os.path.join(REPO, "tools", "trace", "homp_trace.py")
+STATIC_FIXTURE = os.path.join(HERE, "fixtures", "static_trace.json")
+
+FIXTURES_BIN = None  # set by main()
+WORK = None  # tempdir holding generated fixtures
+TRUTH = {}  # key=value ground truth printed by the generator
+
+
+def cli(*args):
+    return subprocess.run(
+        [sys.executable, CLI, *args], capture_output=True, text=True)
+
+
+def out_path(name):
+    return os.path.join(WORK.name, name)
+
+
+def parse_report(stdout):
+    """`key: value` lines -> dict (values kept as strings)."""
+    rep = {}
+    for line in stdout.splitlines():
+        if ": " in line:
+            key, val = line.split(": ", 1)
+            rep[key] = val
+    return rep
+
+
+def setUpModule():
+    global WORK, TRUTH
+    WORK = tempfile.TemporaryDirectory(prefix="homp_trace_test_")
+    r = subprocess.run([FIXTURES_BIN, WORK.name],
+                       capture_output=True, text=True)
+    if r.returncode != 0:
+        raise RuntimeError("make_trace_fixtures failed: %s" % r.stderr)
+    for line in r.stdout.splitlines():
+        key, _, val = line.partition("=")
+        TRUTH[key] = float(val)
+
+
+def tearDownModule():
+    WORK.cleanup()
+
+
+GENERATED = ["run1.trace.json", "run1.metrics.json", "run2.trace.json",
+             "run2.metrics.json", "adversarial.trace.json",
+             "adversarial.metrics.json"]
+
+
+class ExportedJson(unittest.TestCase):
+    def test_every_exported_file_round_trips_json_loads(self):
+        for name in GENERATED:
+            with self.subTest(file=name):
+                with open(out_path(name), encoding="utf-8") as f:
+                    doc = json.load(f)
+                self.assertTrue(doc)  # non-empty array or object
+
+    def test_adversarial_labels_survive_intact(self):
+        # The escaped control characters decode back to the original
+        # bytes the runtime put into the labels.
+        with open(out_path("adversarial.trace.json"), encoding="utf-8") as f:
+            doc = json.load(f)
+        names = " ".join(e.get("name", "") for e in doc)
+        devices = " ".join(e.get("args", {}).get("device", "") for e in doc)
+        self.assertIn('quote" backslash\\ newline\n tab\t bell\x07', names)
+        self.assertIn('dev"0\\\n', devices)
+
+    def test_identical_seeded_runs_export_byte_identical_files(self):
+        for kind in ("trace", "metrics"):
+            with self.subTest(kind=kind):
+                a = out_path("run1.%s.json" % kind)
+                b = out_path("run2.%s.json" % kind)
+                self.assertTrue(filecmp.cmp(a, b, shallow=False),
+                                "%s export is not deterministic" % kind)
+
+
+class Report(unittest.TestCase):
+    def report(self, *args):
+        r = cli("report", *args)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        return parse_report(r.stdout)
+
+    def test_agrees_with_runtime_telemetry(self):
+        rep = self.report(out_path("run1.trace.json"))
+        imb = float(rep["imbalance_pct"])
+        truth = TRUTH["run_imbalance_pct"]
+        self.assertLessEqual(abs(imb - truth), 1e-6 * max(truth, 1.0),
+                             "CLI imbalance %g vs runtime %g" % (imb, truth))
+        self.assertEqual(float(rep["devices"]), TRUTH["run_devices"])
+        self.assertEqual(float(rep["decisions"]), TRUTH["run_decisions"])
+        total = float(rep["total_time_us"])
+        self.assertAlmostEqual(total, TRUTH["run_total_time_s"] * 1e6,
+                               delta=1e-6 * total)
+        self.assertGreater(float(rep["critical_path_us"]), 0.0)
+        ratio = float(rep["overlap_ratio"])
+        self.assertGreaterEqual(ratio, 0.0)
+        self.assertLessEqual(ratio, 1.0)
+        self.assertLessEqual(float(rep["transfer_hidden_us"]),
+                             float(rep["transfer_us"]) + 1e-9)
+
+    def test_counter_tracks_and_metrics_sections(self):
+        rep = self.report(out_path("run1.trace.json"),
+                          "--metrics", out_path("run1.metrics.json"))
+        counter_keys = [k for k in rep if k.startswith("counter[")]
+        self.assertTrue(counter_keys, "no counter tracks in the report")
+        self.assertTrue(any("queue depth" in k for k in counter_keys))
+        self.assertEqual(float(rep["metric[homp_offloads_total]"]), 1.0)
+        self.assertTrue(any(k.startswith("metric[homp_device_chunks_total")
+                            for k in rep))
+
+    def test_adversarial_trace_is_reportable(self):
+        rep = self.report(out_path("adversarial.trace.json"), "--timeline")
+        self.assertEqual(float(rep["devices"]), 2)
+        self.assertEqual(float(rep["faults"]), 1)
+
+
+class StaticFixture(unittest.TestCase):
+    """Hand-computed ground truth: finish times 6/8/10 us, transfers
+    6 us of which 2 us hide behind same-device compute."""
+
+    def test_known_figures(self):
+        r = cli("report", STATIC_FIXTURE)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        rep = parse_report(r.stdout)
+        self.assertAlmostEqual(float(rep["imbalance_pct"]), 20.0)
+        self.assertAlmostEqual(float(rep["barrier_skew_us"]), 4.0)
+        self.assertEqual(rep["critical_device"], "gpu1")
+        self.assertAlmostEqual(float(rep["critical_path_us"]), 10.0)
+        self.assertAlmostEqual(float(rep["total_time_us"]), 10.0)
+        self.assertAlmostEqual(float(rep["overlap_ratio"]), 1.0 / 3.0)
+        self.assertEqual(float(rep["devices"]), 3)
+        self.assertEqual(float(rep["decisions"]), 1)
+        self.assertIn("counter[queue depth (cpu)]", rep)
+
+
+class Diff(unittest.TestCase):
+    def test_identical_runs_diff_clean(self):
+        for kind in ("trace", "metrics"):
+            with self.subTest(kind=kind):
+                r = cli("diff", out_path("run1.%s.json" % kind),
+                        out_path("run2.%s.json" % kind))
+                self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+                self.assertIn("differing_keys: 0", r.stdout)
+
+    def test_different_runs_diff_dirty(self):
+        r = cli("diff", out_path("run1.trace.json"), STATIC_FIXTURE)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertNotIn("differing_keys: 0", r.stdout)
+
+    def test_tolerance_swallows_small_deltas(self):
+        r = cli("diff", out_path("run1.trace.json"), STATIC_FIXTURE,
+                "--tolerance", "1e9")
+        # A huge relative tolerance leaves only non-numeric differences
+        # (device names); the command still reports them.
+        self.assertIn("critical_device", r.stdout)
+
+
+class ErrorContract(unittest.TestCase):
+    def test_report_rejects_metrics_file(self):
+        r = cli("report", out_path("run1.metrics.json"))
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
+    def test_missing_file_exits_2(self):
+        r = cli("report", out_path("no_such_file.json"))
+        self.assertEqual(r.returncode, 2)
+
+    def test_invalid_json_exits_2(self):
+        bad = out_path("bad.json")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        r = cli("report", bad)
+        self.assertEqual(r.returncode, 2)
+
+    def test_diff_rejects_mixed_kinds(self):
+        r = cli("diff", out_path("run1.trace.json"),
+                out_path("run1.metrics.json"))
+        self.assertEqual(r.returncode, 2)
+
+
+def main():
+    global FIXTURES_BIN
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fixtures-bin", required=True,
+                    help="path to the built make_trace_fixtures binary")
+    args, rest = ap.parse_known_args()
+    FIXTURES_BIN = args.fixtures_bin
+    unittest.main(argv=[sys.argv[0]] + rest)
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,11 @@ HL004  header-hygiene         Include-guard name must match the header path
 HL005  dead-telemetry         Every DeviceStats field / RecoveryAction
                               enumerator declared must be referenced outside
                               its declaration — an unread counter is telemetry
-                              that silently rotted.
+                              that silently rotted.  Also applies to the
+                              metric-name catalog: an `inline constexpr char
+                              kX[]` constant in an obs/ directory that no
+                              exporter references is a metric that silently
+                              vanished from every dashboard.
 
 Suppression
 -----------
@@ -471,6 +475,9 @@ MEMBER_RE = re.compile(
     r"[\w:<>,*&\s]+?[\s&*](\w+)\s*(?:\[[^\]]*\]\s*)?(?:=[^;]*)?;",
     re.M)
 ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*(?:=[^,}]*)?,?", re.M)
+# Metric-name catalog constants (src/obs/metric_names.h and fixtures):
+# matched in any file with an `obs` path component.
+METRIC_CONST_RE = re.compile(r"\binline\s+constexpr\s+char\s+(k\w+)\s*\[\s*\]")
 
 
 def _find_block(clean, decl_re):
@@ -494,6 +501,12 @@ def _find_block(clean, decl_re):
 def check_hl005(files, diags, struct_name, enum_name):
     decls = []  # (name, kind, SourceFile, body_span, line)
     for sf in files:
+        if "obs" in _parts(sf.path):
+            for mm in METRIC_CONST_RE.finditer(sf.clean):
+                end = sf.clean.find(";", mm.end())
+                end = len(sf.clean) if end == -1 else end + 1
+                decls.append((mm.group(1), "metric-name constant", sf,
+                              (mm.start(), end), sf.line_of(mm.start(1))))
         span = _find_block(
             sf.clean, re.compile(r"\bstruct\s+%s\b[^;{]*" % re.escape(struct_name)))
         if span:

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""homp-trace: offline analysis of HOMP offload traces and metrics.
+
+Reads the Chrome trace-event JSON written by write_chrome_trace() and the
+metrics JSON written by write_metrics_file() / MetricsRegistry::write_json
+(docs/OBSERVABILITY.md). Stdlib only.
+
+Usage:
+  homp_trace.py report TRACE.json [--metrics METRICS.json] [--timeline]
+  homp_trace.py diff A B [--tolerance REL]
+
+`report` prints a machine-parseable summary, one `key: value` per line:
+critical path, compute/transfer overlap ratio, barrier skew, load
+imbalance percent (same definition as Imbalance::percent() in the
+runtime), fault/recovery/decision counts, and counter-track summaries.
+
+`diff` compares two runs — two traces or two metrics files (detected by
+content) — and prints every key whose value differs beyond the relative
+tolerance. Exit status: 0 identical, 1 differences, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+US = 1e6  # trace timestamps are microseconds of virtual time
+
+
+def fail(msg):
+    print("homp-trace: error: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        fail("cannot read %s: %s" % (path, e))
+    except json.JSONDecodeError as e:
+        fail("%s is not valid JSON: %s" % (path, e))
+
+
+def is_metrics(doc):
+    return isinstance(doc, dict) and "homp_metrics_version" in doc
+
+
+def fmt(v):
+    """Stable numeric rendering: integers bare, floats to 12 significant
+    digits — enough for derived figures to agree with the runtime's own
+    doubles at the tolerances the test suite asserts."""
+    if isinstance(v, bool):
+        return str(v).lower()
+    if isinstance(v, float):
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return "%.12g" % v
+    return str(v)
+
+
+# ---- interval helpers ----------------------------------------------------
+
+
+def union(intervals):
+    """Merge [t0, t1) intervals; returns disjoint sorted list."""
+    out = []
+    for t0, t1 in sorted(intervals):
+        if t1 <= t0:
+            continue
+        if out and t0 <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], t1)
+        else:
+            out.append([t0, t1])
+    return out
+
+
+def measure(intervals):
+    return sum(t1 - t0 for t0, t1 in intervals)
+
+
+def intersect(a, b):
+    """Intersection measure of two disjoint sorted interval lists."""
+    total, i, j = 0.0, 0, 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+# ---- trace analysis ------------------------------------------------------
+
+TRANSFER_PHASES = ("copy-in", "copy-out")
+
+
+def phase_of(ev):
+    """Span phase = first word of the event name (write_chrome_trace
+    emits "<phase> <label>")."""
+    return ev.get("name", "").split(" ")[0]
+
+
+def summarize_trace(events):
+    if not isinstance(events, list):
+        fail("trace is not a JSON array of events")
+    spans = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    counters = [e for e in events if e.get("ph") == "C"]
+    names = {}  # tid -> device name from thread_name metadata
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            names[e.get("tid")] = e.get("args", {}).get("name", "")
+    if not spans:
+        fail("trace contains no spans")
+
+    slots = sorted({e["tid"] for e in spans})
+    device = {t: names.get(t, "slot %d" % t) for t in slots}
+
+    # Per-slot interval sets and finish times.
+    finish, computes, transfers, busy, per_phase = {}, {}, {}, {}, {}
+    for t in slots:
+        computes[t], transfers[t], busy[t] = [], [], []
+    for e in spans:
+        t, ph = e["tid"], phase_of(e)
+        t0, t1 = e["ts"], e["ts"] + e.get("dur", 0.0)
+        per_phase.setdefault(ph, 0.0)
+        per_phase[ph] += t1 - t0
+        if ph == "barrier":
+            # The final-barrier span starts when the device arrived at the
+            # barrier: its ts is the device's finish time.
+            if e.get("name", "").endswith("final"):
+                finish[t] = t0
+            continue
+        busy[t].append((t0, t1))
+        if ph == "compute":
+            computes[t].append((t0, t1))
+        elif ph in TRANSFER_PHASES:
+            transfers[t].append((t0, t1))
+    for t in slots:
+        if t not in finish:  # quarantined at end: no final-barrier span
+            finish[t] = max((hi for _, hi in busy[t]), default=0.0)
+
+    total_time = max(e["ts"] + e.get("dur", 0.0) for e in spans)
+
+    # Imbalance over participating devices (>= 1 compute span), matching
+    # OffloadResult::imbalance() / Imbalance::percent().
+    participating = [t for t in slots if computes[t]]
+    fins = [finish[t] for t in participating]
+    imb = 0.0
+    if fins and max(fins) > 0:
+        imb = (max(fins) - sum(fins) / len(fins)) / max(fins) * 100.0
+
+    # Critical path: the slowest participating device and its busy
+    # composition (everything else waits for it at the final barrier).
+    crit = max(participating, key=lambda t: finish[t]) if participating \
+        else slots[0]
+    crit_phases = {}
+    for e in spans:
+        if e["tid"] != crit:
+            continue
+        ph = phase_of(e)
+        if ph == "barrier":
+            continue
+        crit_phases.setdefault(ph, 0.0)
+        crit_phases[ph] += e.get("dur", 0.0)
+
+    # Compute/transfer overlap: fraction of transfer time hidden behind
+    # same-device compute (the double-buffering win, paper §VI-A).
+    tr_total, tr_hidden = 0.0, 0.0
+    for t in slots:
+        tr = union(transfers[t])
+        tr_total += measure(tr)
+        tr_hidden += intersect(tr, union(computes[t]))
+
+    cats = {}
+    for e in instants:
+        cats.setdefault(e.get("cat", "?"), []).append(e)
+
+    summary = {
+        "events": len(events),
+        "devices": len(slots),
+        "total_time_us": total_time,
+        "critical_device": device[crit],
+        "critical_path_us": finish[crit],
+        "critical_busy_us": measure(union(busy[crit])),
+        "barrier_skew_us": (max(fins) - min(fins)) if fins else 0.0,
+        "imbalance_pct": imb,
+        "transfer_us": tr_total,
+        "transfer_hidden_us": tr_hidden,
+        "overlap_ratio": (tr_hidden / tr_total) if tr_total > 0 else 0.0,
+        "faults": len(cats.get("fault", [])),
+        "recovery_actions": len(cats.get("recovery", [])),
+        "decisions": len(cats.get("decision", [])),
+    }
+    for ph in sorted(crit_phases):
+        summary["critical_phase_us[%s]" % ph] = crit_phases[ph]
+    for ph in sorted(per_phase):
+        summary["phase_us[%s]" % ph] = per_phase[ph]
+
+    tracks = {}
+    for e in counters:
+        v = e.get("args", {}).get("value", 0.0)
+        st = tracks.setdefault(e["name"], {"samples": 0, "last": 0.0,
+                                           "max": float("-inf")})
+        st["samples"] += 1
+        st["last"] = v
+        st["max"] = max(st["max"], v)
+    for name in sorted(tracks):
+        st = tracks[name]
+        summary["counter[%s]" % name] = "samples=%d last=%s max=%s" % (
+            st["samples"], fmt(st["last"]), fmt(st["max"]))
+
+    timeline = sorted(
+        (e["ts"], e["tid"], e.get("cat", "?"), e.get("name", ""))
+        for e in instants)
+    return summary, timeline, device
+
+
+def flatten_metrics(doc):
+    out = {}
+    for m in doc.get("metrics", []):
+        key = m["name"]
+        if m.get("labels"):
+            key += "{%s}" % m["labels"]
+        if m.get("type") == "histogram":
+            out[key + ".count"] = m.get("count", 0)
+            out[key + ".sum"] = m.get("sum", 0.0)
+        else:
+            out[key] = m.get("value", 0.0)
+    return out
+
+
+# ---- commands ------------------------------------------------------------
+
+
+def cmd_report(args):
+    doc = load_json(args.trace)
+    if is_metrics(doc):
+        fail("%s is a metrics file; `report` wants a trace "
+             "(pass metrics via --metrics)" % args.trace)
+    summary, timeline, device = summarize_trace(doc)
+    print("homp-trace report: %s" % args.trace)
+    for key, val in summary.items():
+        print("%s: %s" % (key, fmt(val)))
+    if args.metrics:
+        mdoc = load_json(args.metrics)
+        if not is_metrics(mdoc):
+            fail("%s is not a homp metrics file" % args.metrics)
+        for key, val in sorted(flatten_metrics(mdoc).items()):
+            print("metric[%s]: %s" % (key, fmt(val)))
+    if args.timeline and timeline:
+        print("timeline:")
+        for ts, tid, cat, name in timeline:
+            print("  t=%sus %s %s: %s" % (fmt(float(ts)),
+                                          device.get(tid, tid), cat, name))
+    return 0
+
+
+def cmd_diff(args):
+    a, b = load_json(args.a), load_json(args.b)
+    if is_metrics(a) != is_metrics(b):
+        fail("cannot diff a trace against a metrics file")
+    if is_metrics(a):
+        fa, fb = flatten_metrics(a), flatten_metrics(b)
+    else:
+        fa = summarize_trace(a)[0]
+        fb = summarize_trace(b)[0]
+    tol = args.tolerance
+    diffs = 0
+    for key in sorted(set(fa) | set(fb)):
+        va, vb = fa.get(key), fb.get(key)
+        if va == vb:
+            continue
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            scale = max(abs(va), abs(vb))
+            if scale > 0 and abs(va - vb) / scale <= tol:
+                continue
+        diffs += 1
+        print("%s: %s -> %s" % (key, fmt(va) if va is not None else "absent",
+                                fmt(vb) if vb is not None else "absent"))
+    print("differing_keys: %d" % diffs)
+    return 1 if diffs else 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="homp_trace.py",
+                                 description=__doc__.split("\n")[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    rep = sub.add_parser("report", help="summarize one trace")
+    rep.add_argument("trace")
+    rep.add_argument("--metrics", help="append metrics JSON values")
+    rep.add_argument("--timeline", action="store_true",
+                     help="print the fault/recovery/decision timeline")
+    rep.set_defaults(func=cmd_report)
+
+    dif = sub.add_parser("diff", help="compare two traces or metrics files")
+    dif.add_argument("a")
+    dif.add_argument("b")
+    dif.add_argument("--tolerance", type=float, default=0.0,
+                     help="relative tolerance for numeric keys (default 0)")
+    dif.set_defaults(func=cmd_diff)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
