@@ -52,7 +52,11 @@ struct Imbalance {
   double mean_time = 0.0;
 
   double fraction() const noexcept {
-    return max_time > 0.0 ? (max_time - mean_time) / max_time : 0.0;
+    // Summation rounding can push the mean a few ulps above the max when
+    // every device finishes at the same instant; clamp so the documented
+    // [0, 1) contract holds.
+    const double f = max_time > 0.0 ? (max_time - mean_time) / max_time : 0.0;
+    return f > 0.0 ? f : 0.0;
   }
   double percent() const noexcept { return fraction() * 100.0; }
 };

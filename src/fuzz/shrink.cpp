@@ -1,0 +1,120 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+
+#include "fuzz/oracle.h"
+#include "sim/fault.h"
+
+namespace homp::fuzz {
+
+namespace {
+
+bool still_fails(const ScenarioSpec& candidate, const std::string& invariant,
+                 int& runs_left) {
+  if (runs_left <= 0) return false;
+  --runs_left;
+  const OracleReport r = run_oracle(candidate);
+  for (const auto& v : r.violations) {
+    if (v.invariant == invariant) return true;
+  }
+  return false;
+}
+
+/// Remove accelerator `dev` (a device index >= 1) and everything that
+/// referenced it: its fault-script entries go away, higher device ids
+/// shift down, and links no device uses anymore are pruned.
+ScenarioSpec drop_device(const ScenarioSpec& s, int dev) {
+  ScenarioSpec c = s;
+  c.machine.devices.erase(c.machine.devices.begin() + dev);
+  std::erase_if(c.faults, [dev](const sim::ScriptedFault& f) {
+    return f.device_id == dev;
+  });
+  for (auto& f : c.faults) {
+    if (f.device_id > dev) --f.device_id;
+  }
+  // Prune now-unused links, remapping the indices devices carry.
+  std::vector<int> remap(c.machine.links.size(), -1);
+  std::vector<mach::LinkDescriptor> kept;
+  for (const auto& d : c.machine.devices) {
+    if (d.link == mach::kNoLink) continue;
+    auto& slot = remap[static_cast<std::size_t>(d.link)];
+    if (slot < 0) {
+      slot = static_cast<int>(kept.size());
+      kept.push_back(c.machine.links[static_cast<std::size_t>(d.link)]);
+    }
+  }
+  for (auto& d : c.machine.devices) {
+    if (d.link != mach::kNoLink) {
+      d.link = remap[static_cast<std::size_t>(d.link)];
+    }
+  }
+  c.machine.links = std::move(kept);
+  return c;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioSpec& failing, const std::string& invariant,
+                    int max_oracle_runs) {
+  ShrinkResult out;
+  out.scenario = failing;
+  int runs_left = max_oracle_runs;
+
+  bool progressed = true;
+  while (progressed && runs_left > 0) {
+    progressed = false;
+    ScenarioSpec& cur = out.scenario;
+
+    // 1. Fewer devices. Iterate back to front so an accepted drop leaves
+    //    earlier indices valid; always keep the host plus one accelerator.
+    for (int dev = static_cast<int>(cur.machine.devices.size()) - 1;
+         dev >= 1 && cur.machine.devices.size() > 2; --dev) {
+      ScenarioSpec cand = drop_device(cur, dev);
+      if (still_fails(cand, invariant, runs_left)) {
+        cur = std::move(cand);
+        ++out.accepted;
+        progressed = true;
+      }
+    }
+
+    // 2. Smaller trip count (respecting the kernel's size floor).
+    while (cur.n > min_trip(cur.kernel) && runs_left > 0) {
+      ScenarioSpec cand = cur;
+      cand.n = quantize_trip(cand.kernel, cand.n / 2);
+      if (cand.n == cur.n) break;
+      if (!still_fails(cand, invariant, runs_left)) break;
+      cur = std::move(cand);
+      ++out.accepted;
+      progressed = true;
+    }
+
+    // 3. Fewer fault-script entries.
+    for (int i = static_cast<int>(cur.faults.size()) - 1;
+         i >= 0 && runs_left > 0; --i) {
+      ScenarioSpec cand = cur;
+      cand.faults.erase(cand.faults.begin() + i);
+      if (still_fails(cand, invariant, runs_left)) {
+        cur = std::move(cand);
+        ++out.accepted;
+        progressed = true;
+      }
+    }
+
+    // 4. Quiet rate-based fault profiles, one device at a time.
+    for (std::size_t d = 1; d < cur.machine.devices.size() && runs_left > 0;
+         ++d) {
+      if (!cur.machine.devices[d].fault.any()) continue;
+      ScenarioSpec cand = cur;
+      cand.machine.devices[d].fault = sim::FaultProfile{};
+      if (still_fails(cand, invariant, runs_left)) {
+        cur = std::move(cand);
+        ++out.accepted;
+        progressed = true;
+      }
+    }
+  }
+  out.oracle_runs = max_oracle_runs - runs_left;
+  return out;
+}
+
+}  // namespace homp::fuzz

@@ -1,0 +1,35 @@
+#ifndef HOMP_FUZZ_SHRINK_H
+#define HOMP_FUZZ_SHRINK_H
+
+/// \file shrink.h
+/// Greedy scenario minimization for homp-fuzz (docs/FUZZING.md).
+///
+/// Given a scenario that violates an invariant, the shrinker tries ever
+/// smaller candidates — drop an accelerator, halve the trip count, drop a
+/// fault-script entry, zero a device's fault rates — and keeps a
+/// candidate whenever the oracle still reports the *same* invariant
+/// failing (any algorithm). The loop repeats until a full pass makes no
+/// progress or the oracle-run budget is exhausted, so a repro file
+/// describes the smallest machine/loop/fault combination that still
+/// exhibits the failure.
+
+#include <string>
+
+#include "fuzz/scenario.h"
+
+namespace homp::fuzz {
+
+struct ShrinkResult {
+  ScenarioSpec scenario;  ///< the minimized scenario
+  int oracle_runs = 0;    ///< budget spent
+  int accepted = 0;       ///< candidates that kept the failure
+};
+
+/// Minimize `failing` while `invariant` keeps failing. `max_oracle_runs`
+/// bounds total work (each oracle run sweeps all ten algorithms).
+ShrinkResult shrink(const ScenarioSpec& failing, const std::string& invariant,
+                    int max_oracle_runs = 64);
+
+}  // namespace homp::fuzz
+
+#endif  // HOMP_FUZZ_SHRINK_H

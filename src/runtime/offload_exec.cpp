@@ -665,6 +665,11 @@ void OffloadExecution::try_fetch(int slot) {
     }
   }
   if (!chunk_opt) {
+    // A proxy handed no work does no serialized setup, so it must pass
+    // the token on: a two-stage scheduler can give a device an empty
+    // stage-1 sample, and under serialized setup the devices behind it
+    // would otherwise never start — deadlocking the stage barrier.
+    pass_serial_token(slot);
     if (scheduler_->finished(slot)) {
       check_completion(slot);
     } else if (!p.computing && p.outstanding_outputs == 0) {
@@ -2238,9 +2243,24 @@ OffloadResult OffloadExecution::run() {
       }
     }
   }
-  engine_.run();
+  if (opts_.harness.step_budget > 0) {
+    // The fuzz harness's livelock watchdog: a wedged scheduler keeps the
+    // queue busy forever in bounded virtual time, which run_until cannot
+    // catch but an event budget can (docs/FUZZING.md).
+    engine_.run_bounded(static_cast<std::size_t>(opts_.harness.step_budget));
+    if (!engine_.idle()) {
+      throw OffloadError(
+          "engine step budget (" +
+          std::to_string(opts_.harness.step_budget) +
+          " events) exhausted with work still pending during offload of '" +
+          kernel_.name + "' — livelock or deadlock suspected");
+    }
+  } else {
+    engine_.run();
+  }
 
   OffloadResult res;
+  res.engine_events = engine_.events_processed();
   res.algorithm_used = algorithm_used_;
   res.planned_weights = scheduler_->planned_weights();
   if (const auto* cut = scheduler_->cutoff()) {
@@ -2283,6 +2303,38 @@ OffloadResult OffloadExecution::run() {
     res.devices.push_back(p->stats);
     if (opts_.collect_trace) {
       res.trace.insert(res.trace.end(), p->spans.begin(), p->spans.end());
+    }
+  }
+
+  if (opts_.harness.capture_result_checksum && opts_.execute_bodies &&
+      region_envs_ == nullptr) {
+    // Differential-oracle tap (docs/FUZZING.md): fold every copies-out
+    // host array into one digest, in map order. The reduction is
+    // deliberately excluded — its partial-sum grouping differs across
+    // algorithms, so the oracle compares it under a tolerance, never
+    // bit-exactly. Only packed row-major bindings are digestible; a
+    // strided view leaves the checksum invalid rather than silently
+    // covering a subset of the result.
+    Checksummer sum(opts_.integrity.checksum);
+    bool digestible = true;
+    for (const auto& spec : maps_) {
+      if (!mem::copies_out(spec.dir)) continue;
+      const mem::ArrayBinding& b = spec.binding;
+      long long elems = 1;
+      bool packed = b.base != nullptr;
+      for (std::size_t d = b.shape.size(); d-- > 0;) {
+        if (b.strides[d] != elems) packed = false;
+        elems *= b.shape[d];
+      }
+      if (!packed) {
+        digestible = false;
+        break;
+      }
+      sum.update(b.base, static_cast<std::size_t>(elems) * b.elem_size);
+    }
+    if (digestible) {
+      res.result_checksum = sum.digest();
+      res.result_checksum_valid = true;
     }
   }
   return res;

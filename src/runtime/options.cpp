@@ -1,5 +1,7 @@
 #include "runtime/options.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -141,6 +143,23 @@ std::vector<std::string> OffloadOptions::validate() const {
   if (!(w.probe_iterations >= 0 && w.probation_successes >= 1)) {
     v.push_back("watchdog probation knobs must be non-negative (and at "
                 "least one probe success required)");
+  }
+
+  const HarnessOptions& h = harness;
+  if (h.step_budget < 0) {
+    v.push_back("harness.step_budget must be >= 0 (0 disables the "
+                "step-budget watchdog)");
+  } else if (h.step_budget > 0 &&
+             static_cast<std::size_t>(h.step_budget) <
+                 std::max<std::size_t>(device_ids.size(), 1)) {
+    v.push_back("harness.step_budget is below one engine event per "
+                "participating device — even fetching the first chunks "
+                "would exhaust it");
+  }
+  if (h.replay && h.replay_seed == 0) {
+    v.push_back("harness.replay requires the recorded nonzero "
+                "harness.replay_seed (a defaulted seed replays a "
+                "different fault trajectory)");
   }
 
   const IntegrityOptions& in = integrity;

@@ -154,6 +154,30 @@ struct IntegrityOptions {
   int quarantine_threshold = 3;
 };
 
+/// Differential-harness taps consumed by the scenario fuzzer
+/// (src/fuzz, the homp-fuzz driver; docs/FUZZING.md). All off by default:
+/// a production offload pays nothing for them.
+struct HarnessOptions {
+  /// Engine step-budget watchdog: abort the offload with OffloadError once
+  /// the DES engine has processed this many events without draining its
+  /// queue. A scheduler livelock advances virtual time forever, so only an
+  /// event budget — not a deadline — can catch it. 0 disables.
+  long long step_budget = 0;
+
+  /// Checksum every copies-out host buffer after the final write-backs
+  /// and publish it as OffloadResult::result_checksum — the differential
+  /// oracle's bit-exactness probe. Requires execute_bodies (a pure
+  /// simulation has no result bytes to hash).
+  bool capture_result_checksum = false;
+
+  /// This offload is a deterministic replay of a recorded fuzz scenario
+  /// (homp-fuzz --replay). Replays must carry the exact seed the repro
+  /// file recorded — validate() rejects a replay without one, because a
+  /// defaulted seed silently reproduces a *different* fault trajectory.
+  bool replay = false;
+  std::uint64_t replay_seed = 0;
+};
+
 struct OffloadOptions {
   /// Global device ids participating in the offload (the `device(...)`
   /// list). Must be non-empty; id 0 is the host.
@@ -215,6 +239,10 @@ struct OffloadOptions {
   /// Data-integrity verification tuning; armed only while fault
   /// injection is active unless `integrity.always`.
   IntegrityOptions integrity;
+
+  /// Fuzz/differential-harness taps (step-budget watchdog, result
+  /// checksum capture, replay bookkeeping; docs/FUZZING.md).
+  HarnessOptions harness;
 
   /// Record per-activity spans into OffloadResult::trace (see
   /// runtime/trace.h for the chrome://tracing exporter). Also implies
@@ -457,6 +485,18 @@ struct OffloadResult {
   /// True when at least one device was quarantined at some point (even if
   /// later re-admitted): the offload ran degraded for a while.
   bool degraded = false;
+
+  /// DES engine events processed by this offload — the denominator of the
+  /// step-budget watchdog and the bench_engine events/sec figure.
+  std::size_t engine_events = 0;
+
+  /// Combined checksum over every copies-out host buffer after the final
+  /// write-backs (only when OffloadOptions::harness.capture_result_checksum
+  /// and the buffers are real and contiguous — `result_checksum_valid`
+  /// says so). Two algorithms distributing the same loop must agree here
+  /// bit for bit; the fuzz oracle's differential invariant.
+  std::uint64_t result_checksum = 0;
+  bool result_checksum_valid = false;
 
   /// Load imbalance over per-device finish times (Figure 6 curve).
   Imbalance imbalance() const;

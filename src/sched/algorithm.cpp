@@ -44,9 +44,21 @@ constexpr AlgorithmInfo kInfo[kNumAlgorithms + kNumExtendedAlgorithms] = {
 };
 }  // namespace
 
+namespace {
+constexpr AlgorithmKind kEvery[kNumEveryAlgorithm] = {
+    AlgorithmKind::kBlock,          AlgorithmKind::kDynamic,
+    AlgorithmKind::kGuided,         AlgorithmKind::kModel1Auto,
+    AlgorithmKind::kModel2Auto,     AlgorithmKind::kSchedProfileAuto,
+    AlgorithmKind::kModelProfileAuto, AlgorithmKind::kCyclic,
+    AlgorithmKind::kWorkStealing,   AlgorithmKind::kHistoryAuto,
+};
+}  // namespace
+
 const AlgorithmKind* all_algorithms() noexcept { return kAll; }
 
 const AlgorithmKind* extended_algorithms() noexcept { return kExtended; }
+
+const AlgorithmKind* every_algorithm() noexcept { return kEvery; }
 
 const char* to_string(AlgorithmKind k) noexcept {
   switch (k) {

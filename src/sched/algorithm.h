@@ -39,6 +39,13 @@ const AlgorithmKind* all_algorithms() noexcept;
 /// The extension algorithms (kCyclic, kWorkStealing, kHistoryAuto).
 const AlgorithmKind* extended_algorithms() noexcept;
 
+/// All ten: the paper's seven (Table II order) followed by the three
+/// extensions — the iteration order of the differential oracle
+/// (src/fuzz), which runs every scenario through every family.
+const AlgorithmKind* every_algorithm() noexcept;
+inline constexpr int kNumEveryAlgorithm =
+    kNumAlgorithms + kNumExtendedAlgorithms;
+
 const char* to_string(AlgorithmKind k) noexcept;
 
 /// Parse "BLOCK", "SCHED_DYNAMIC", "MODEL_1_AUTO", ... (case-insensitive;

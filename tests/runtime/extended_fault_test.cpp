@@ -1,0 +1,181 @@
+// Fault-path coverage for the three extension algorithms (CYCLIC,
+// WORK_STEALING, HISTORY_AUTO): the resilience machinery — device-loss
+// redistribution, transient retry, and integrity re-execution — must be
+// bit-correct under every scheduler family, not just the seven paper
+// policies the other fault suites exercise. The homp-fuzz differential
+// harness sweeps these combinations randomly; this suite pins the
+// deterministic core cases into tier-1.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/case.h"
+#include "kernels/sum.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+#include "sched/algorithm.h"
+
+namespace homp {
+namespace {
+
+const sched::AlgorithmKind kExtendedAlgorithms[] = {
+    sched::AlgorithmKind::kCyclic,
+    sched::AlgorithmKind::kWorkStealing,
+    sched::AlgorithmKind::kHistoryAuto,
+};
+
+bool run_and_verify(rt::Runtime& rt, kern::KernelCase& c,
+                    const rt::OffloadOptions& o, rt::OffloadResult* out,
+                    std::string* why) {
+  c.init();
+  auto maps = c.maps();
+  auto kernel = c.kernel();
+  *out = rt.offload(kernel, maps, o);
+  if (auto* sum = dynamic_cast<kern::SumCase*>(&c)) {
+    sum->set_result(out->reduction);
+  }
+  return c.verify(why);
+}
+
+class ExtendedFault
+    : public ::testing::TestWithParam<sched::AlgorithmKind> {};
+
+TEST_P(ExtendedFault, DeviceLossIsRedistributedBitCorrectly) {
+  const auto alg = GetParam();
+  rt::Runtime rt{mach::testing_machine(3)};
+  auto c = kern::make_case("axpy", 1000, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2, 3};
+  o.sched.kind = alg;
+  sim::ScriptedFault loss;
+  loss.device_id = 2;
+  loss.kind = sim::FaultKind::kDeviceLoss;
+  loss.at_s = 2e-6;  // mid-flight at this problem size
+  o.fault.scripted.push_back(loss);
+
+  rt::OffloadResult res;
+  std::string why;
+  ASSERT_TRUE(run_and_verify(rt, *c, o, &res, &why))
+      << sched::to_string(alg) << ": " << why;
+  EXPECT_EQ(res.total_iterations(), c->kernel().iterations.size());
+  ASSERT_EQ(res.fault_events.size(), 1u);
+  EXPECT_EQ(res.fault_events[0].kind, sim::FaultKind::kDeviceLoss);
+  EXPECT_TRUE(res.fault_events[0].fatal);
+  EXPECT_EQ(res.fault_events[0].device_id, 2);
+  EXPECT_TRUE(res.devices[1].quarantined);
+}
+
+TEST_P(ExtendedFault, TransientFaultsAreRetriedBitCorrectly) {
+  const auto alg = GetParam();
+  rt::Runtime rt{mach::testing_machine(3)};
+  auto c = kern::make_case("matvec", 64, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2, 3};
+  o.sched.kind = alg;
+  o.fault.extra.transfer_fault_rate = 0.15;
+  o.fault.extra.launch_fault_rate = 0.10;
+  o.fault.extra.slowdown_rate = 0.10;
+
+  rt::OffloadResult res;
+  std::string why;
+  ASSERT_TRUE(run_and_verify(rt, *c, o, &res, &why))
+      << sched::to_string(alg) << ": " << why;
+  EXPECT_EQ(res.total_iterations(), c->kernel().iterations.size());
+  EXPECT_FALSE(res.fault_events.empty())
+      << sched::to_string(alg) << ": rates this high must inject something";
+  std::size_t retries = 0;
+  for (const auto& d : res.devices) retries += d.retries;
+  EXPECT_GT(retries, 0u) << sched::to_string(alg);
+}
+
+TEST_P(ExtendedFault, ComputeCorruptionIsDetectedAndRepaired) {
+  const auto alg = GetParam();
+  rt::Runtime rt{mach::testing_machine(2)};
+  auto c = kern::make_case("axpy", 1000, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = alg;
+  // Device 2's first kernel result arrives with flipped bits.
+  sim::ScriptedFault f;
+  f.device_id = 2;
+  f.kind = sim::FaultKind::kCorruptCompute;
+  f.op = 0;
+  o.fault.scripted.push_back(f);
+
+  rt::OffloadResult res;
+  std::string why;
+  ASSERT_TRUE(run_and_verify(rt, *c, o, &res, &why))
+      << sched::to_string(alg) << ": " << why;
+  EXPECT_EQ(res.total_iterations(), 1000);
+  const auto& bad = res.devices[1];
+  EXPECT_EQ(bad.corruptions_injected, 1u);
+  EXPECT_EQ(bad.integrity_failures, 1u);
+  std::size_t reexecs = 0;
+  for (const auto& d : res.devices) reexecs += d.integrity_reexecutions;
+  EXPECT_GE(reexecs, 1u) << sched::to_string(alg);
+}
+
+TEST_P(ExtendedFault, TransferCorruptionIsDetectedAndRepaired) {
+  const auto alg = GetParam();
+  rt::Runtime rt{mach::testing_machine(2)};
+  auto c = kern::make_case("matvec", 64, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = alg;
+  sim::ScriptedFault f;
+  f.device_id = 2;
+  f.kind = sim::FaultKind::kCorruptTransfer;
+  f.op = 0;
+  o.fault.scripted.push_back(f);
+
+  rt::OffloadResult res;
+  std::string why;
+  ASSERT_TRUE(run_and_verify(rt, *c, o, &res, &why))
+      << sched::to_string(alg) << ": " << why;
+  EXPECT_EQ(res.total_iterations(), c->kernel().iterations.size());
+  std::size_t failures = 0;
+  for (const auto& d : res.devices) failures += d.integrity_failures;
+  EXPECT_GE(failures, 1u) << sched::to_string(alg);
+}
+
+TEST_P(ExtendedFault, CorruptionCommitsSilentlyWhenIntegrityDisabled) {
+  // Negative control — the planted mode homp-fuzz uses for its
+  // self-test: with integrity off, the corruption reaches the result
+  // buffer and verify() fails.
+  const auto alg = GetParam();
+  rt::Runtime rt{mach::testing_machine(2)};
+  auto c = kern::make_case("axpy", 1000, /*materialize=*/true);
+
+  rt::OffloadOptions o;
+  o.device_ids = {1, 2};
+  o.sched.kind = alg;
+  o.integrity.enabled = false;
+  sim::ScriptedFault f;
+  f.device_id = 2;
+  f.kind = sim::FaultKind::kCorruptCompute;
+  f.op = 0;
+  o.fault.scripted.push_back(f);
+
+  rt::OffloadResult res;
+  std::string why;
+  EXPECT_FALSE(run_and_verify(rt, *c, o, &res, &why))
+      << sched::to_string(alg)
+      << ": corruption with integrity off must reach the output";
+  EXPECT_EQ(res.devices[1].corruptions_injected, 1u);
+  std::size_t checks = 0;
+  for (const auto& d : res.devices) checks += d.integrity_checks;
+  EXPECT_EQ(checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExtensionAlgorithms, ExtendedFault,
+    ::testing::ValuesIn(kExtendedAlgorithms),
+    [](const auto& tpinfo) { return std::string(sched::to_string(tpinfo.param)); });
+
+}  // namespace
+}  // namespace homp

@@ -103,6 +103,28 @@ TEST(OptionsValidate, RejectsBadIntegrityKnobs) {
   EXPECT_TRUE(mentions(o.validate(), "integrity.quarantine_threshold"));
 }
 
+TEST(OptionsValidate, HarnessKnobs) {
+  rt::OffloadOptions o;
+  o.harness.step_budget = -1;
+  EXPECT_TRUE(mentions(o.validate(), "step_budget"));
+
+  o.harness.step_budget = 0;  // disabled is fine
+  EXPECT_TRUE(o.validate().empty());
+
+  // A budget below one event per device can never make progress.
+  o.device_ids = {0, 1, 2, 3};
+  o.harness.step_budget = 3;
+  EXPECT_TRUE(mentions(o.validate(), "step_budget"));
+  o.harness.step_budget = 4;
+  EXPECT_TRUE(o.validate().empty());
+
+  o.harness.replay = true;
+  o.harness.replay_seed = 0;
+  EXPECT_TRUE(mentions(o.validate(), "replay_seed"));
+  o.harness.replay_seed = 7;
+  EXPECT_TRUE(o.validate().empty());
+}
+
 TEST(OptionsValidate, ReportsEveryViolationInOnePass) {
   rt::OffloadOptions o;
   o.sched.min_chunk = 0;

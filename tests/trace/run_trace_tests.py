@@ -205,6 +205,48 @@ class ErrorContract(unittest.TestCase):
                 out_path("run1.metrics.json"))
         self.assertEqual(r.returncode, 2)
 
+    def write_trace(self, name, doc):
+        path = out_path(name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def assert_clean_exit_2(self, r, needle):
+        """Exit 2 with a diagnostic on stderr — never a traceback."""
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+        self.assertIn(needle, r.stderr)
+
+    def test_empty_trace_exits_2(self):
+        r = cli("report", self.write_trace("empty.json", []))
+        self.assert_clean_exit_2(r, "empty")
+
+    def test_zero_span_trace_exits_2(self):
+        doc = [{"ph": "M", "name": "thread_name", "tid": 0,
+                "args": {"name": "host"}}]
+        r = cli("report", self.write_trace("nospans.json", doc))
+        self.assert_clean_exit_2(r, "no spans")
+
+    def test_span_missing_tid_exits_2(self):
+        doc = [{"ph": "X", "name": "compute k", "ts": 0.0, "dur": 1.0}]
+        r = cli("report", self.write_trace("notid.json", doc))
+        self.assert_clean_exit_2(r, "tid")
+
+    def test_non_object_event_exits_2(self):
+        r = cli("report", self.write_trace("nonobj.json", ["zap"]))
+        self.assert_clean_exit_2(r, "not an object")
+
+    def test_malformed_metrics_entry_exits_2(self):
+        doc = {"homp_metrics_version": 1, "metrics": [{"value": 3}]}
+        r = cli("report", out_path("run1.trace.json"),
+                "--metrics", self.write_trace("badmetrics.json", doc))
+        self.assert_clean_exit_2(r, "name")
+
+    def test_degenerate_diff_exits_2(self):
+        r = cli("diff", self.write_trace("empty2.json", []),
+                out_path("run1.trace.json"))
+        self.assert_clean_exit_2(r, "empty")
+
 
 def main():
     global FIXTURES_BIN

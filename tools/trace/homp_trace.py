@@ -104,12 +104,34 @@ def phase_of(ev):
     return ev.get("name", "").split(" ")[0]
 
 
+def ev_field(e, key, kind):
+    """Required event field, or a diagnosable exit instead of a KeyError
+    traceback (degenerate traces from crashed runs routinely drop
+    fields)."""
+    if key not in e:
+        fail("malformed %s event is missing '%s': %s"
+             % (kind, key, json.dumps(e)[:120]))
+    return e[key]
+
+
 def summarize_trace(events):
     if not isinstance(events, list):
         fail("trace is not a JSON array of events")
+    if not events:
+        fail("trace is empty (zero events)")
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail("event %d is not an object: %s"
+                 % (i, json.dumps(e)[:120]))
     spans = [e for e in events if e.get("ph") == "X"]
     instants = [e for e in events if e.get("ph") == "i"]
     counters = [e for e in events if e.get("ph") == "C"]
+    for e in spans:
+        tid, ts = ev_field(e, "tid", "span"), ev_field(e, "ts", "span")
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            fail("span event has non-integer tid: %s" % json.dumps(e)[:120])
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail("span event has non-numeric ts: %s" % json.dumps(e)[:120])
     names = {}  # tid -> device name from thread_name metadata
     for e in events:
         if e.get("ph") == "M" and e.get("name") == "thread_name":
@@ -204,8 +226,9 @@ def summarize_trace(events):
     tracks = {}
     for e in counters:
         v = e.get("args", {}).get("value", 0.0)
-        st = tracks.setdefault(e["name"], {"samples": 0, "last": 0.0,
-                                           "max": float("-inf")})
+        st = tracks.setdefault(ev_field(e, "name", "counter"),
+                               {"samples": 0, "last": 0.0,
+                                "max": float("-inf")})
         st["samples"] += 1
         st["last"] = v
         st["max"] = max(st["max"], v)
@@ -215,14 +238,21 @@ def summarize_trace(events):
             st["samples"], fmt(st["last"]), fmt(st["max"]))
 
     timeline = sorted(
-        (e["ts"], e["tid"], e.get("cat", "?"), e.get("name", ""))
+        (ev_field(e, "ts", "instant"), e.get("tid", -1),
+         e.get("cat", "?"), e.get("name", ""))
         for e in instants)
     return summary, timeline, device
 
 
 def flatten_metrics(doc):
     out = {}
-    for m in doc.get("metrics", []):
+    metrics = doc.get("metrics", [])
+    if not isinstance(metrics, list):
+        fail("metrics file has a non-array 'metrics' field")
+    for m in metrics:
+        if not isinstance(m, dict) or "name" not in m:
+            fail("malformed metrics entry (missing 'name'): %s"
+                 % json.dumps(m)[:120])
         key = m["name"]
         if m.get("labels"):
             key += "{%s}" % m["labels"]
