@@ -58,6 +58,22 @@ inline constexpr char kModel1RelError[] = "homp_model1_mean_rel_error";
 inline constexpr char kModel2RelError[] = "homp_model2_mean_rel_error";
 inline constexpr char kProfileRelError[] = "homp_profile_mean_rel_error";
 
+// ---- multi-tenant serving (docs/SERVING.md) ------------------------------
+inline constexpr char kServeSubmitted[] = "homp_serve_submitted_total";
+inline constexpr char kServeAdmitted[] = "homp_serve_admitted_total";
+inline constexpr char kServeRejected[] = "homp_serve_rejected_total";
+inline constexpr char kServeBlocked[] = "homp_serve_blocked_total";
+inline constexpr char kServeCompleted[] = "homp_serve_completed_total";
+inline constexpr char kServeFailed[] = "homp_serve_failed_total";
+inline constexpr char kServeIterations[] = "homp_serve_iterations_total";
+inline constexpr char kServeLatency[] = "homp_serve_job_latency_seconds";
+inline constexpr char kServeQueueWait[] = "homp_serve_queue_wait_seconds";
+inline constexpr char kServeSpecShed[] = "homp_serve_speculation_shed_total";
+inline constexpr char kServeShedLevel[] = "homp_serve_shed_level";
+inline constexpr char kServeShedTransitions[] =
+    "homp_serve_shed_transitions_total";
+inline constexpr char kServeViolations[] = "homp_serve_violations_total";
+
 }  // namespace homp::obs::names
 
 #endif  // HOMP_OBS_METRIC_NAMES_H

@@ -1,0 +1,53 @@
+#ifndef HOMP_RUNTIME_EXEC_CONTEXT_H
+#define HOMP_RUNTIME_EXEC_CONTEXT_H
+
+/// \file exec_context.h
+/// Shared execution substrate for concurrent offloads.
+///
+/// Standalone, an OffloadExecution owns a private sim::Engine and one
+/// pair of full-duplex link lanes per machine link — the whole machine
+/// belongs to one offload. A multi-tenant server (src/serve) instead
+/// owns the engine and the lanes itself and lends them to every
+/// execution it launches via this context, so N offloads advance on one
+/// virtual clock and their transfers contend on the same
+/// processor-shared lanes (sim/link.h), exactly as N tenants' DMA
+/// streams would contend on one PCIe switch.
+///
+/// Lifetime: the context (and everything it points to) must outlive
+/// every OffloadExecution launched against it, *including* executions
+/// that already delivered their result — stragglers such as probation
+/// cooldown timers may still fire on the shared engine after a job
+/// completes, and they dereference the execution they belong to.
+
+#include <functional>
+#include <vector>
+
+namespace homp::sim {
+class Engine;
+class SharedLink;
+}  // namespace homp::sim
+
+namespace homp::rt {
+
+struct ExecContext {
+  /// The shared clock. Executions schedule onto it relative to "now"
+  /// (launch time), never at absolute t=0.
+  sim::Engine* engine = nullptr;
+
+  /// Full-duplex lanes per machine link, indexed like
+  /// MachineDescriptor::links (same layout OffloadExecution builds for
+  /// itself standalone). Borrowed, never owned.
+  std::vector<sim::SharedLink*> down_links;
+  std::vector<sim::SharedLink*> up_links;
+
+  /// Optional compute-dilation hook, sampled once per chunk launch:
+  /// returns the multiplicative slowdown (>= 1) of running a kernel on
+  /// `device_id` right now. The serving layer uses it to model
+  /// time-slicing when device sharing (rather than exclusive
+  /// reservation) is configured; identity when unset.
+  std::function<double(int device_id)> load_factor;
+};
+
+}  // namespace homp::rt
+
+#endif  // HOMP_RUNTIME_EXEC_CONTEXT_H

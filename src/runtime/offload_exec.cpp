@@ -179,12 +179,24 @@ OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
                                    const OffloadOptions& opts,
                                    const dist::Distribution* forced_loop_dist,
                                    const std::vector<mem::DeviceDataEnv>*
-                                       region_envs)
+                                       region_envs,
+                                   const ExecContext* ctx)
     : machine_(machine),
       kernel_(kernel),
       maps_(maps),
       opts_(opts),
+      ctx_(ctx),
+      owned_engine_(ctx == nullptr ? std::make_unique<sim::Engine>()
+                                   : nullptr),
+      engine_(ctx == nullptr ? *owned_engine_ : *ctx->engine),
       region_envs_(region_envs) {
+  if (ctx_ != nullptr) {
+    HOMP_REQUIRE(ctx_->engine != nullptr,
+                 "ExecContext has no engine");
+    HOMP_REQUIRE(ctx_->down_links.size() == machine_.links.size() &&
+                     ctx_->up_links.size() == machine_.links.size(),
+                 "ExecContext link lanes do not match the machine's links");
+  }
   opts_.validate_or_throw();
   if (region_envs_ != nullptr) {
     HOMP_REQUIRE(maps_.empty(),
@@ -431,15 +443,27 @@ void OffloadExecution::validate_and_plan() {
 }
 
 void OffloadExecution::build_proxies() {
-  // One pair of full-duplex lanes per machine link.
-  down_links_.resize(machine_.links.size());
-  up_links_.resize(machine_.links.size());
-  for (std::size_t i = 0; i < machine_.links.size(); ++i) {
-    const auto& l = machine_.links[i];
-    down_links_[i] = std::make_unique<sim::SharedLink>(
-        engine_, l.name + ".down", l.latency_s, l.bandwidth_Bps);
-    up_links_[i] = std::make_unique<sim::SharedLink>(
-        engine_, l.name + ".up", l.latency_s, l.bandwidth_Bps);
+  if (ctx_ != nullptr) {
+    // Shared-engine mode: every concurrent execution's transfers ride
+    // the server's lanes, so cross-tenant link contention falls out of
+    // SharedLink's processor sharing with no further machinery.
+    down_links_ = ctx_->down_links;
+    up_links_ = ctx_->up_links;
+  } else {
+    // One pair of full-duplex lanes per machine link, owned.
+    owned_down_links_.resize(machine_.links.size());
+    owned_up_links_.resize(machine_.links.size());
+    down_links_.resize(machine_.links.size());
+    up_links_.resize(machine_.links.size());
+    for (std::size_t i = 0; i < machine_.links.size(); ++i) {
+      const auto& l = machine_.links[i];
+      owned_down_links_[i] = std::make_unique<sim::SharedLink>(
+          engine_, l.name + ".down", l.latency_s, l.bandwidth_Bps);
+      owned_up_links_[i] = std::make_unique<sim::SharedLink>(
+          engine_, l.name + ".up", l.latency_s, l.bandwidth_Bps);
+      down_links_[i] = owned_down_links_[i].get();
+      up_links_[i] = owned_up_links_[i].get();
+    }
   }
 
   proxies_.clear();
@@ -452,8 +476,8 @@ void OffloadExecution::build_proxies() {
                            !opts_.use_unified_memory &&
                            p->desc->link != mach::kNoLink;
     if (transfers) {
-      p->down = down_links_[static_cast<std::size_t>(p->desc->link)].get();
-      p->up = up_links_[static_cast<std::size_t>(p->desc->link)].get();
+      p->down = down_links_[static_cast<std::size_t>(p->desc->link)];
+      p->up = up_links_[static_cast<std::size_t>(p->desc->link)];
     }
     p->noise = Prng(opts_.noise_seed ^ (0x9e37u * (slot + 1)));
     p->stats.device_name = p->desc->name;
@@ -560,6 +584,11 @@ double OffloadExecution::compute_seconds(Proxy& p,
     const double factor =
         std::clamp(1.0 + p.desc->noise * p.noise.next_gaussian(), 0.5, 1.5);
     t *= factor;
+  }
+  if (ctx_ != nullptr && ctx_->load_factor) {
+    // Tenant time-slicing on a shared device (exec_context.h): sampled
+    // once at chunk launch, like the noise factor above.
+    t *= std::max(1.0, ctx_->load_factor(p.device_id));
   }
   return t;
 }
@@ -1704,6 +1733,9 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
   // The dead slot no longer holds the stage barrier; removing it may
   // release the survivors.
   check_stage_barrier();
+  // A spec-token'd chunk whose duplicate already committed requeues
+  // nothing, so this quarantine may have been the offload's last word.
+  maybe_finish();
 }
 
 void OffloadExecution::orphan_range(int slot, const dist::Range& range,
@@ -2204,14 +2236,17 @@ void OffloadExecution::complete_finalize(int slot) {
   // Redistribution work may have arrived while the write-back was in
   // flight; a healthy finished device takes its share.
   maybe_revive(slot);
+  maybe_finish();
 }
 
-OffloadResult OffloadExecution::run() {
-  HOMP_REQUIRE(!ran_, "OffloadExecution::run() called twice");
+void OffloadExecution::launch() {
+  HOMP_REQUIRE(!ran_, "OffloadExecution launched twice");
   ran_ = true;
+  start_time_ = engine_.now();
+  events_at_launch_ = engine_.events_processed();
 
   // CUTOFF verdicts are part of the audit trail: one record per slot at
-  // t=0, carrying the renormalized weight (Table V's predicted
+  // launch time, carrying the renormalized weight (Table V's predicted
   // contribution) in the detail field.
   if (audit_on()) {
     if (const auto* cut = scheduler_->cutoff()) {
@@ -2231,18 +2266,58 @@ OffloadResult OffloadExecution::run() {
 
   for (std::size_t slot = 0; slot < proxies_.size(); ++slot) {
     const int s = static_cast<int>(slot);
-    engine_.schedule_at(0.0, [this, s] { try_fetch(s); });
+    engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
   }
   if (fault_active_) {
     for (const auto& p : proxies_) {
       const double lt = fault_plan_.loss_time(p->device_id);
-      p->loss_time = lt;
+      // loss_time() is relative to the offload's start; store and
+      // schedule it absolute so quarantine's permanence check and the
+      // event both live on the shared clock.
+      p->loss_time = lt >= 0.0 ? start_time_ + lt : -1.0;
       if (lt >= 0.0) {
         const int s = p->slot;
-        engine_.schedule_at(lt, [this, s] { on_device_lost(s); });
+        engine_.schedule_after(lt, [this, s] { on_device_lost(s); });
       }
     }
   }
+}
+
+void OffloadExecution::start(std::function<void(OffloadResult&&)>
+                                 on_complete) {
+  HOMP_REQUIRE(ctx_ != nullptr,
+               "OffloadExecution::start() needs a shared ExecContext; "
+               "standalone executions use run()");
+  HOMP_REQUIRE(on_complete != nullptr, "start() needs a completion callback");
+  on_complete_ = std::move(on_complete);
+  launch();
+}
+
+void OffloadExecution::maybe_finish() {
+  if (!on_complete_ || finished_) return;
+  for (const auto& p : proxies_) {
+    if (!p->done && !p->lost) return;
+  }
+  if (!requeue_.empty()) return;
+  // Unsettled integrity re-executions are mandatory work even when every
+  // surviving proxy believes it is done (check_completion would have
+  // parked them, not finalized them — but a quarantine can strand the
+  // queue momentarily).
+  for (const auto& st : integrity_queue_) {
+    if (!st->resolved) return;
+  }
+  finished_ = true;
+  // Deliver from a fresh event: the caller's completion handler may
+  // destroy queues or launch new executions, which must not run inside
+  // whatever commit chain called us.
+  engine_.schedule_after(0.0, [this] { on_complete_(harvest()); });
+}
+
+OffloadResult OffloadExecution::run() {
+  HOMP_REQUIRE(ctx_ == nullptr,
+               "OffloadExecution::run() drives a private engine; "
+               "shared-context executions use start()");
+  launch();
   if (opts_.harness.step_budget > 0) {
     // The fuzz harness's livelock watchdog: a wedged scheduler keeps the
     // queue busy forever in bounded virtual time, which run_until cannot
@@ -2258,9 +2333,12 @@ OffloadResult OffloadExecution::run() {
   } else {
     engine_.run();
   }
+  return harvest();
+}
 
+OffloadResult OffloadExecution::harvest() {
   OffloadResult res;
-  res.engine_events = engine_.events_processed();
+  res.engine_events = engine_.events_processed() - events_at_launch_;
   res.algorithm_used = algorithm_used_;
   res.planned_weights = scheduler_->planned_weights();
   if (const auto* cut = scheduler_->cutoff()) {
@@ -2290,7 +2368,8 @@ OffloadResult OffloadExecution::run() {
     covered += p->stats.iterations;
   }
   HOMP_ASSERT(covered == kernel_.iterations.size());
-  res.total_time = end;
+  end = std::max(end, start_time_);
+  res.total_time = end - start_time_;
 
   for (auto& p : proxies_) {
     if (!p->stats.quarantined) {
@@ -2298,6 +2377,15 @@ OffloadResult OffloadExecution::run() {
           end - p->stats.finish_time;
       p->record_span(opts_.collect_trace, Phase::kBarrier,
                      p->stats.finish_time, end, "final");
+    }
+    // Stats times are job-relative (launch = 0) so imbalance() and the
+    // throughput feedback read the same whether the execution ran
+    // standalone (start_time_ == 0: identity) or on a shared engine.
+    // Trace spans above stay absolute for multi-tenant interleaving.
+    p->stats.finish_time = std::max(0.0, p->stats.finish_time - start_time_);
+    if (p->stats.quarantined) {
+      p->stats.quarantined_at =
+          std::max(0.0, p->stats.quarantined_at - start_time_);
     }
     res.reduction += p->partial_reduction;
     res.devices.push_back(p->stats);

@@ -65,6 +65,7 @@
 #include "machine/device.h"
 #include "memory/data_env.h"
 #include "memory/map_spec.h"
+#include "runtime/exec_context.h"
 #include "runtime/kernel.h"
 #include "runtime/options.h"
 #include "sched/scheduler.h"
@@ -82,18 +83,35 @@ class OffloadExecution {
   ///        region; when given, data is already device-resident, so the
   ///        offload moves no bytes (entry/halo/exit transfers are the
   ///        region's) and `maps` should be empty.
+  /// \param ctx non-null to run on a *shared* engine + link lanes
+  ///        (exec_context.h): the execution schedules relative to the
+  ///        engine's current time and delivers its result through the
+  ///        callback given to start() instead of returning from run().
+  ///        The context must outlive this object.
   OffloadExecution(const mach::MachineDescriptor& machine,
                    const LoopKernel& kernel,
                    const std::vector<mem::MapSpec>& maps,
                    const OffloadOptions& opts,
                    const dist::Distribution* forced_loop_dist = nullptr,
                    const std::vector<mem::DeviceDataEnv>* region_envs =
-                       nullptr);
+                       nullptr,
+                   const ExecContext* ctx = nullptr);
 
   ~OffloadExecution();  // out-of-line: Proxy/SpecPlan are private types
 
-  /// Run the offload to completion; single use.
+  /// Run the offload to completion on the *owned* engine; single use.
+  /// Standalone mode only (no ExecContext).
   OffloadResult run();
+
+  /// Shared-engine mode: enqueue the offload's first events on the
+  /// context's engine and return immediately. `on_complete` fires (as an
+  /// engine event) once every device is done or quarantined and all
+  /// redistribution/integrity work has settled; the caller drives the
+  /// shared engine. Times inside the result (total_time, per-device
+  /// finish_time) are relative to launch; trace spans and event streams
+  /// keep absolute virtual time so multi-tenant traces interleave
+  /// correctly. Single use, requires a context.
+  void start(std::function<void(OffloadResult&&)> on_complete);
 
   /// The effective cost profile (kernel FLOPs/memory plus transfer bytes
   /// per iteration derived from the actual map footprints) used for model
@@ -113,6 +131,17 @@ class OffloadExecution {
   void validate_and_plan();
   void build_proxies();
   void build_fault_plan();
+  /// Schedule the offload's opening events (fetches, loss timers) at the
+  /// engine's current time; shared front half of run()/start().
+  void launch();
+  /// Collect the OffloadResult once every proxy has settled; shared back
+  /// half of run()/start().
+  OffloadResult harvest();
+  /// Shared-engine completion probe: when every proxy is done or lost
+  /// and no mandatory work remains, fire the start() callback exactly
+  /// once (as a fresh engine event, so it never runs inside a commit
+  /// chain). No-op in standalone mode.
+  void maybe_finish();
   double compute_seconds(Proxy& p, const dist::Range& chunk) const;
   void make_chunk_mappings(Proxy& p, const dist::Range& chunk,
                            std::vector<mem::DeviceMapping*>* out) const;
@@ -222,9 +251,23 @@ class OffloadExecution {
   const std::vector<mem::MapSpec>& maps_;
   OffloadOptions opts_;
 
-  sim::Engine engine_;
-  std::vector<std::unique_ptr<sim::SharedLink>> down_links_;  // per machine link
-  std::vector<std::unique_ptr<sim::SharedLink>> up_links_;
+  /// Shared-engine mode (exec_context.h) when non-null: engine_ and the
+  /// link lanes are borrowed from the context, and completion is
+  /// delivered through on_complete_ instead of run()'s return.
+  const ExecContext* ctx_ = nullptr;
+  std::unique_ptr<sim::Engine> owned_engine_;  // standalone mode only
+  sim::Engine& engine_;  // the engine this execution schedules on
+  /// Owned lanes (standalone) feeding the borrowed-or-owned views below.
+  std::vector<std::unique_ptr<sim::SharedLink>> owned_down_links_;
+  std::vector<std::unique_ptr<sim::SharedLink>> owned_up_links_;
+  std::vector<sim::SharedLink*> down_links_;  // per machine link
+  std::vector<sim::SharedLink*> up_links_;
+  /// Engine time at launch(); all result times are reported relative to
+  /// it (zero standalone, so nothing changes there).
+  double start_time_ = 0.0;
+  std::size_t events_at_launch_ = 0;
+  std::function<void(OffloadResult&&)> on_complete_;
+  bool finished_ = false;  // completion callback already scheduled
 
   std::vector<SpecPlan> plans_;
   model::KernelCostProfile effective_profile_;

@@ -38,9 +38,30 @@ std::vector<int> Runtime::devices_of_type(mach::DeviceType t) const {
   return machine_.devices_of_type(t);
 }
 
+namespace {
+/// RAII release of the offload-in-flight flag: the guard must drop on
+/// every exit path, including the many throw sites below offload().
+struct InFlightGuard {
+  std::atomic<bool>* flag;
+  ~InFlightGuard() { flag->store(false, std::memory_order_release); }
+};
+}  // namespace
+
 OffloadResult Runtime::offload(const LoopKernel& kernel,
                                const std::vector<mem::MapSpec>& maps,
                                const OffloadOptions& opts) const {
+  // Fail fast on concurrent entry (docs/SERVING.md): two interleaved
+  // offloads would race on history_ and double-use engine state that is
+  // designed for one execution at a time.
+  if (offload_in_flight_->exchange(true, std::memory_order_acq_rel)) {
+    throw ExecutionError(
+        "Runtime::offload is not re-entrant: an offload of '" + kernel.name +
+        "' was requested while another offload is still in flight on this "
+        "Runtime. Serialize the calls, use one Runtime per thread, or use "
+        "serve::OffloadServer to run concurrent offloads on one machine.");
+  }
+  InFlightGuard guard{offload_in_flight_.get()};
+
   OffloadOptions o = opts;
   // Wire the runtime's throughput history into every offload: HISTORY_AUTO
   // partitions by it, and the watchdog consults it (whatever the

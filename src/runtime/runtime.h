@@ -13,6 +13,7 @@
 ///   o.sched.kind = homp::sched::AlgorithmKind::kDynamic;
 ///   auto result = rt.offload(kernel, maps, o);
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +61,13 @@ class Runtime {
   /// into the runtime's ThroughputHistory, which the HISTORY_AUTO
   /// extension algorithm consumes on later offloads of the same kernel
   /// (Qilin-style adaptive mapping; see sched/extended_sched.h).
+  ///
+  /// Not re-entrant: one offload at a time per Runtime. A second call
+  /// while one is in flight — from another thread, or from a kernel
+  /// body calling back into the same Runtime — throws ExecutionError
+  /// immediately instead of silently interleaving ThroughputHistory
+  /// updates. Concurrent offloads over one machine are what
+  /// serve::OffloadServer (docs/SERVING.md) is for.
   OffloadResult offload(const LoopKernel& kernel,
                         const std::vector<mem::MapSpec>& maps,
                         const OffloadOptions& opts) const;
@@ -74,6 +82,11 @@ class Runtime {
  private:
   mach::MachineDescriptor machine_;
   mutable sched::ThroughputHistory history_;
+  /// In-flight guard for offload()'s single-offload invariant. Held by
+  /// shared_ptr so Runtime stays movable (from_builtin returns by
+  /// value); the flag itself never moves.
+  mutable std::shared_ptr<std::atomic<bool>> offload_in_flight_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 }  // namespace homp::rt

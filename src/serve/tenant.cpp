@@ -1,0 +1,49 @@
+#include "serve/tenant.h"
+
+namespace homp::serve {
+
+const char* to_string(PriorityClass c) noexcept {
+  switch (c) {
+    case PriorityClass::kGold: return "gold";
+    case PriorityClass::kSilver: return "silver";
+    case PriorityClass::kBronze: return "bronze";
+  }
+  return "?";
+}
+
+const char* to_string(BackpressureMode m) noexcept {
+  switch (m) {
+    case BackpressureMode::kReject: return "reject";
+    case BackpressureMode::kBlock: return "block";
+  }
+  return "?";
+}
+
+const char* to_string(AdmitOutcome o) noexcept {
+  switch (o) {
+    case AdmitOutcome::kAdmitted: return "admitted";
+    case AdmitOutcome::kBlocked: return "blocked";
+    case AdmitOutcome::kRejectedQueueFull: return "queue-full";
+    case AdmitOutcome::kRejectedDeadline: return "deadline";
+    case AdmitOutcome::kRejectedShed: return "shed";
+    case AdmitOutcome::kRejectedInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+const char* to_string(ServeEventKind k) noexcept {
+  switch (k) {
+    case ServeEventKind::kSubmit: return "submit";
+    case ServeEventKind::kAdmit: return "admit";
+    case ServeEventKind::kReject: return "reject";
+    case ServeEventKind::kBlock: return "block";
+    case ServeEventKind::kUnblock: return "unblock";
+    case ServeEventKind::kDispatch: return "dispatch";
+    case ServeEventKind::kComplete: return "complete";
+    case ServeEventKind::kFail: return "fail";
+    case ServeEventKind::kShedLevel: return "shed-level";
+  }
+  return "?";
+}
+
+}  // namespace homp::serve

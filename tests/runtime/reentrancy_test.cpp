@@ -1,0 +1,63 @@
+// Runtime::offload's single-offload invariant: a second offload on the
+// same Runtime while one is in flight — the classic mistake being a
+// kernel body calling back into the runtime — throws ExecutionError
+// instead of silently interleaving ThroughputHistory updates. Concurrent
+// offloads belong to serve::OffloadServer (docs/SERVING.md).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "kernels/case.h"
+#include "machine/profiles.h"
+#include "runtime/runtime.h"
+
+namespace homp {
+namespace {
+
+TEST(OffloadReentrancy, NestedOffloadFromKernelBodyThrows) {
+  rt::Runtime runtime = rt::Runtime::from_builtin("gpu4");
+
+  auto outer = kern::make_case("axpy", 1 << 12, /*materialize=*/true);
+  auto inner = kern::make_case("axpy", 1 << 10, /*materialize=*/true);
+  auto inner_kernel = inner->kernel();
+  auto inner_maps = inner->maps();
+
+  rt::OffloadOptions inner_opts;
+  inner_opts.device_ids = {1};
+  inner_opts.sched.kind = sched::AlgorithmKind::kBlock;
+
+  int nested_calls = 0, nested_throws = 0;
+  auto kernel = outer->kernel();
+  auto real_body = kernel.body;
+  kernel.body = [&](const dist::Range& chunk, mem::DeviceDataEnv& env) {
+    ++nested_calls;
+    try {
+      runtime.offload(inner_kernel, inner_maps, inner_opts);
+    } catch (const ExecutionError&) {
+      ++nested_throws;
+    }
+    return real_body(chunk, env);
+  };
+
+  rt::OffloadOptions o;
+  o.device_ids = {1};
+  o.sched.kind = sched::AlgorithmKind::kBlock;
+  o.execute_bodies = true;
+  auto maps = outer->maps();
+  auto res = runtime.offload(kernel, maps, o);
+
+  // Every nested attempt was refused, and the outer offload itself was
+  // unharmed: it still ran every iteration and produced correct output.
+  EXPECT_GT(nested_calls, 0);
+  EXPECT_EQ(nested_throws, nested_calls);
+  EXPECT_EQ(res.total_iterations(), 1 << 12);
+  std::string why;
+  EXPECT_TRUE(outer->verify(&why)) << why;
+
+  // The guard resets once the offload returns: the runtime stays usable.
+  auto again = runtime.offload(inner_kernel, inner_maps, inner_opts);
+  EXPECT_EQ(again.total_iterations(), 1 << 10);
+}
+
+}  // namespace
+}  // namespace homp

@@ -1,0 +1,98 @@
+// Load-shedding ladder contract (docs/SERVING.md): backlog-driven
+// transitions land in the decision audit, L1 strips speculation, L2 caps
+// device grants, L3 refuses the lowest class at the door, and hysteresis
+// brings the ladder back down once the backlog drains.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "machine/profiles.h"
+#include "serve/server.h"
+
+namespace homp::serve {
+namespace {
+
+TenantSpec tenant(const std::string& name, PriorityClass cls) {
+  TenantSpec t;
+  t.name = name;
+  t.priority = cls;
+  t.max_queue_depth = 64;
+  return t;
+}
+
+JobSpec job(int devices = 2) {
+  JobSpec j;
+  j.kernel = "axpy";
+  j.n = 1 << 15;
+  j.devices = devices;
+  return j;
+}
+
+TEST(Shed, LadderClimbsShedsLowestClassAndRecovers) {
+  ServeOptions opts;
+  opts.shed_l1_depth = 2;
+  opts.shed_l2_depth = 4;
+  opts.shed_l3_depth = 6;
+  OffloadServer server(mach::builtin("full"),
+                       {tenant("gold", PriorityClass::kGold),
+                        tenant("bronze", PriorityClass::kBronze)},
+                       opts);
+
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(server.submit("gold", job()).accepted());
+  EXPECT_EQ(server.shed_level(), 3);
+
+  // L3: bronze is refused before any planning work is spent on it.
+  auto r = server.submit("bronze", job());
+  EXPECT_EQ(r.outcome, AdmitOutcome::kRejectedShed);
+
+  server.run();
+  const auto& rep = server.report();
+
+  // The drain empties the backlog, so the ladder walked back to L0 —
+  // and every transition (up and down) is in the audit.
+  EXPECT_EQ(rep.final_shed_level, 0);
+  EXPECT_GE(rep.shed_transitions, 2u);
+  std::size_t shed_events = 0;
+  for (const auto& e : rep.events) {
+    shed_events += e.kind == ServeEventKind::kShedLevel ? 1 : 0;
+  }
+  EXPECT_EQ(shed_events, rep.shed_transitions);
+
+  // Jobs dispatched while the ladder was raised ran without
+  // speculation (L1 degradation), and the records say so.
+  EXPECT_GT(rep.speculation_shed_jobs, 0u);
+  std::size_t flagged = 0;
+  for (const auto& j : rep.jobs) flagged += j.speculation_shed ? 1 : 0;
+  EXPECT_EQ(flagged, rep.speculation_shed_jobs);
+
+  EXPECT_EQ(rep.counts[1].rejected_shed, 1u);
+  EXPECT_TRUE(rep.validate().empty());
+}
+
+TEST(Shed, L2CapsDeviceGrants) {
+  ServeOptions opts;
+  opts.shed_l1_depth = 1;
+  opts.shed_l2_depth = 2;
+  opts.shed_l3_depth = 100;  // keep L3 out of the way
+  opts.shed_l2_device_cap = 1;
+  OffloadServer server(mach::builtin("full"),
+                       {tenant("t", PriorityClass::kSilver)}, opts);
+
+  // Every job asks for 4 devices; the backlog pins the ladder at L2
+  // until the queue is nearly empty, so grants stay capped at 1.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(server.submit("t", job(4)).accepted());
+  EXPECT_GE(server.shed_level(), 2);
+  server.run();
+
+  const auto& rep = server.report();
+  ASSERT_EQ(rep.jobs.size(), 6u);
+  std::size_t capped = 0;
+  for (const auto& j : rep.jobs) capped += j.devices_granted == 1 ? 1 : 0;
+  EXPECT_GE(capped, 4u);  // the tail may dispatch after the ladder drops
+  EXPECT_TRUE(rep.validate().empty());
+}
+
+}  // namespace
+}  // namespace homp::serve

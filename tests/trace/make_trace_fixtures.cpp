@@ -18,6 +18,7 @@
 // own telemetry (notably Imbalance::percent()).
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "kernels/axpy.h"
@@ -25,6 +26,7 @@
 #include "runtime/metrics_export.h"
 #include "runtime/runtime.h"
 #include "runtime/trace.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -104,6 +106,30 @@ rt::OffloadResult adversarial_result() {
   return res;
 }
 
+/// A small two-tenant serving run with trace collection on: its export
+/// exercises the CLI's per-tenant report sections against real spans.
+void write_serve_fixture(const std::string& path) {
+  serve::TenantSpec gold, bronze;
+  gold.name = "gold";
+  gold.priority = serve::PriorityClass::kGold;
+  bronze.name = "bronze";
+  bronze.priority = serve::PriorityClass::kBronze;
+
+  serve::ServeOptions opts;
+  opts.collect_trace = true;
+  serve::OffloadServer server(mach::builtin("full"), {gold, bronze}, opts);
+  serve::JobSpec j;
+  j.kernel = "axpy";
+  j.n = 1 << 14;
+  j.devices = 2;
+  server.submit("gold", j);
+  server.submit("bronze", j);
+  server.run();
+
+  std::ofstream out(path);
+  server.report().write_trace_json(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +144,7 @@ int main(int argc, char** argv) {
   write_pair(run1, outdir + "/run1");
   write_pair(run2, outdir + "/run2");
   write_pair(adversarial_result(), outdir + "/adversarial");
+  write_serve_fixture(outdir + "/serve.trace.json");
 
   std::printf("run_imbalance_pct=%.17g\n", run1.imbalance().percent());
   std::printf("run_total_time_s=%.17g\n", run1.total_time);

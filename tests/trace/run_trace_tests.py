@@ -30,6 +30,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(os.path.dirname(HERE))
 CLI = os.path.join(REPO, "tools", "trace", "homp_trace.py")
 STATIC_FIXTURE = os.path.join(HERE, "fixtures", "static_trace.json")
+TENANT_FIXTURE = os.path.join(HERE, "fixtures", "tenant_trace.json")
 
 FIXTURES_BIN = None  # set by main()
 WORK = None  # tempdir holding generated fixtures
@@ -162,6 +163,51 @@ class StaticFixture(unittest.TestCase):
         self.assertIn("counter[queue depth (cpu)]", rep)
 
 
+class MultiTenant(unittest.TestCase):
+    """Per-tenant report sections for serving traces, against a
+    hand-built two-tenant fixture: gold runs job threads finishing at
+    4 and 8 us (25% finish imbalance), bronze one thread over [2, 8)."""
+
+    def test_tenant_sections(self):
+        r = cli("report", TENANT_FIXTURE)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        rep = parse_report(r.stdout)
+        self.assertEqual(float(rep["tenants"]), 2)
+        self.assertEqual(float(rep["tenant[gold].spans"]), 2)
+        self.assertEqual(float(rep["tenant[gold].threads"]), 2)
+        self.assertAlmostEqual(float(rep["tenant[gold].busy_us"]), 12.0)
+        self.assertAlmostEqual(float(rep["tenant[gold].critical_path_us"]),
+                               8.0)
+        self.assertAlmostEqual(float(rep["tenant[gold].makespan_us"]), 8.0)
+        self.assertAlmostEqual(float(rep["tenant[gold].imbalance_pct"]), 25.0)
+        self.assertEqual(float(rep["tenant[bronze].spans"]), 1)
+        self.assertAlmostEqual(float(rep["tenant[bronze].busy_us"]), 6.0)
+        self.assertAlmostEqual(float(rep["tenant[bronze].makespan_us"]), 6.0)
+        self.assertAlmostEqual(float(rep["tenant[bronze].imbalance_pct"]),
+                               0.0)
+
+    def test_single_offload_reports_keep_their_shape(self):
+        # Runtime traces put every span on pid 0 with no process
+        # metadata: no tenant keys may appear.
+        r = cli("report", out_path("run1.trace.json"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        rep = parse_report(r.stdout)
+        self.assertNotIn("tenants", rep)
+        self.assertFalse([k for k in rep if k.startswith("tenant[")])
+
+    def test_real_serving_trace_round_trips(self):
+        # The generator's serve fixture (if present) must report with a
+        # tenant section per process.
+        path = out_path("serve.trace.json")
+        if not os.path.exists(path):
+            self.skipTest("generator built without the serve fixture")
+        r = cli("report", path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        rep = parse_report(r.stdout)
+        self.assertGreaterEqual(float(rep["tenants"]), 2)
+        self.assertTrue([k for k in rep if k.startswith("tenant[")])
+
+
 class Diff(unittest.TestCase):
     def test_identical_runs_diff_clean(self):
         for kind in ("trace", "metrics"):
@@ -241,6 +287,20 @@ class ErrorContract(unittest.TestCase):
         r = cli("report", out_path("run1.trace.json"),
                 "--metrics", self.write_trace("badmetrics.json", doc))
         self.assert_clean_exit_2(r, "name")
+
+    def test_non_integer_pid_exits_2(self):
+        doc = [{"ph": "X", "name": "compute k", "tid": 0, "ts": 0.0,
+                "dur": 1.0, "pid": "gold"}]
+        r = cli("report", self.write_trace("badpid.json", doc))
+        self.assert_clean_exit_2(r, "pid")
+
+    def test_multi_tenant_metadata_without_spans_exits_2(self):
+        # Degenerate serving trace: tenant processes declared, zero
+        # spans. The exit-2 contract holds for tenant traces too.
+        doc = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                "args": {"name": "gold"}}]
+        r = cli("report", self.write_trace("tenants_only.json", doc))
+        self.assert_clean_exit_2(r, "no spans")
 
     def test_degenerate_diff_exits_2(self):
         r = cli("diff", self.write_trace("empty2.json", []),

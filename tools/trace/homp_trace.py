@@ -13,6 +13,10 @@ Usage:
 critical path, compute/transfer overlap ratio, barrier skew, load
 imbalance percent (same definition as Imbalance::percent() in the
 runtime), fault/recovery/decision counts, and counter-track summaries.
+Multi-tenant serving traces (serve::ServeReport::write_trace_json lays
+tenants out as trace processes, named via process_name metadata) get an
+additional per-tenant section: span/thread counts, busy time, critical
+path, makespan and finish-time imbalance per tenant.
 
 `diff` compares two runs — two traces or two metrics files (detected by
 content) — and prints every key whose value differs beyond the relative
@@ -133,9 +137,16 @@ def summarize_trace(events):
         if not isinstance(ts, (int, float)) or isinstance(ts, bool):
             fail("span event has non-numeric ts: %s" % json.dumps(e)[:120])
     names = {}  # tid -> device name from thread_name metadata
+    tenants = {}  # pid -> tenant name from process_name metadata
     for e in events:
         if e.get("ph") == "M" and e.get("name") == "thread_name":
             names[e.get("tid")] = e.get("args", {}).get("name", "")
+        elif e.get("ph") == "M" and e.get("name") == "process_name":
+            tenants[e.get("pid")] = e.get("args", {}).get("name", "")
+    for e in spans:
+        pid = e.get("pid", 0)
+        if not isinstance(pid, int) or isinstance(pid, bool):
+            fail("span event has non-integer pid: %s" % json.dumps(e)[:120])
     if not spans:
         fail("trace contains no spans")
 
@@ -222,6 +233,40 @@ def summarize_trace(events):
         summary["critical_phase_us[%s]" % ph] = crit_phases[ph]
     for ph in sorted(per_phase):
         summary["phase_us[%s]" % ph] = per_phase[ph]
+
+    # Per-tenant sections for multi-tenant serving traces: grouping is
+    # by the span's trace process (pid). Single-offload traces (every
+    # span on pid 0, no process metadata) skip this entirely, so their
+    # report output is unchanged.
+    span_pids = {e.get("pid", 0) for e in spans}
+    if tenants or len(span_pids) > 1:
+        by_pid = {}
+        for e in spans:
+            by_pid.setdefault(e.get("pid", 0), []).append(e)
+        summary["tenants"] = len(by_pid)
+        for pid in sorted(by_pid):
+            label = tenants.get(pid) or ("pid %d" % pid)
+            evs = by_pid[pid]
+            per_tid = {}
+            for e in evs:
+                per_tid.setdefault(e["tid"], []).append(
+                    (e["ts"], e["ts"] + e.get("dur", 0.0)))
+            fins = [max(hi for _, hi in iv) for iv in per_tid.values()]
+            start = min(e["ts"] for e in evs)
+            # Finish-time imbalance across the tenant's job threads,
+            # same shape as the global Imbalance::percent() figure.
+            t_imb = 0.0
+            if fins and max(fins) > 0:
+                t_imb = ((max(fins) - sum(fins) / len(fins))
+                         / max(fins) * 100.0)
+            pre = "tenant[%s]" % label
+            summary[pre + ".spans"] = len(evs)
+            summary[pre + ".threads"] = len(per_tid)
+            summary[pre + ".busy_us"] = sum(
+                measure(union(iv)) for iv in per_tid.values())
+            summary[pre + ".critical_path_us"] = max(fins)
+            summary[pre + ".makespan_us"] = max(fins) - start
+            summary[pre + ".imbalance_pct"] = t_imb
 
     tracks = {}
     for e in counters:
