@@ -187,6 +187,76 @@ PhaseResult run_phase(bool overload) {
   return out;
 }
 
+/// --soak: one long overload run (>= 10k submissions) with the regular
+/// mix plus a poison tenant whose every job dies mid-run, so terminal
+/// kFail records, deadline cancellations and breaker trips all stay hot
+/// for the whole soak. The claim under test is memory flatness: after
+/// the drain the server retains zero job objects and the engine holds
+/// zero pending events and zero live generations — constant state no
+/// matter how many jobs flowed through (docs/SERVING.md "Timer
+/// lifecycle").
+struct SoakResult {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t rejected = 0;
+  std::size_t breaker_trips = 0;
+  std::size_t retained_jobs = 0;
+  std::size_t live_events = 0;
+  std::size_t live_generations = 0;
+  std::vector<std::string> breaches;
+};
+
+SoakResult run_soak(std::size_t min_jobs) {
+  auto mixes = overload_mix();
+  sim::FaultProfile poison;
+  poison.fail_at_s = 1e-4;  // every granted device dies mid-run
+  mixes.push_back({"chaos", PriorityClass::kBronze, 1.0,
+                   BackpressureMode::kReject, 8, 0.05, "axpy", 1 << 12,
+                   1 << 14, 1.5, 2, false, poison});
+
+  std::vector<TenantSpec> tenants;
+  for (const auto& m : mixes) tenants.push_back(spec_of(m));
+  OffloadServer server(mach::builtin("full"), tenants, serve_options());
+
+  // Aggregate offered rate -> duration placing >= min_jobs submissions.
+  double total_rate = 0.0;
+  for (const auto& m : mixes) {
+    const double mean_n = pareto_mean(m.size_min, m.size_max, m.tail_alpha);
+    const double pred = server.predicted_job_seconds(
+        m.kernel, static_cast<long long>(mean_n), m.devices);
+    total_rate += m.share * static_cast<double>(server.pool().size()) /
+                  (pred * static_cast<double>(m.devices));
+  }
+  const double duration =
+      1.1 * static_cast<double>(min_jobs) / total_rate;
+
+  std::vector<TenantLoad> loads;
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    loads.push_back(load_of(server, mixes[i], mixes[i].share, duration,
+                            kSeed + 11 * (i + 1)));
+  }
+  TrafficGen gen(server, loads);
+  gen.start();
+  server.run();
+
+  SoakResult out;
+  for (const auto& c : server.report().counts) {
+    out.submitted += c.submitted;
+    out.completed += c.completed;
+    out.failed += c.failed;
+    out.cancelled += c.cancelled;
+    out.rejected += c.rejected();
+    out.breaker_trips += c.breaker_trips;
+  }
+  out.retained_jobs = server.retained_jobs();
+  out.live_events = server.engine().live_events();
+  out.live_generations = server.engine().live_generations();
+  out.breaches = server.report().validate();
+  return out;
+}
+
 std::string format_number(double v) {
   char buf[64];
   if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
@@ -202,6 +272,7 @@ std::string format_number(double v) {
 int main(int argc, char** argv) {
   std::string json_out, metrics_out;
   bool smoke = false;
+  bool soak = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
       json_out = argv[++i];
@@ -209,13 +280,51 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json-out FILE] [--metrics-out FILE] "
-                   "[--smoke]\n",
+                   "[--smoke] [--soak]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (soak) {
+    constexpr std::size_t kMinJobs = 10000;
+    const auto r = run_soak(kMinJobs);
+    std::printf("traffic soak (machine=full, >= %zu jobs)\n\n", kMinJobs);
+    std::printf("%-22s %14zu\n", "submitted", r.submitted);
+    std::printf("%-22s %14zu\n", "completed", r.completed);
+    std::printf("%-22s %14zu\n", "failed", r.failed);
+    std::printf("%-22s %14zu\n", "cancelled", r.cancelled);
+    std::printf("%-22s %14zu\n", "rejected", r.rejected);
+    std::printf("%-22s %14zu\n", "breaker trips", r.breaker_trips);
+    std::printf("%-22s %14zu\n", "retained jobs", r.retained_jobs);
+    std::printf("%-22s %14zu\n", "live engine events", r.live_events);
+    std::printf("%-22s %14zu\n", "live generations", r.live_generations);
+    for (const auto& v : r.breaches) {
+      std::printf("  VIOLATION: %s\n", v.c_str());
+    }
+    int failures = 0;
+    auto check = [&](bool ok, const char* what) {
+      if (!ok) {
+        ++failures;
+        std::fprintf(stderr, "SOAK FAIL: %s\n", what);
+      }
+    };
+    check(r.submitted >= kMinJobs, "soak placed fewer than 10k submissions");
+    check(r.failed > 0, "poison tenant produced no terminal failures");
+    check(r.breaker_trips > 0, "poison tenant never tripped its breaker");
+    check(r.breaches.empty(), "soak run has invariant violations");
+    check(r.retained_jobs == 0, "server retained job state after drain");
+    check(r.live_events == 0, "engine holds pending events after drain");
+    check(r.live_generations == 0,
+          "engine holds live generations after drain");
+    if (failures > 0) return 1;
+    std::printf("\nsoak: memory-flat after %zu submissions\n", r.submitted);
+    return 0;
   }
 
   const auto unloaded = run_phase(/*overload=*/false);

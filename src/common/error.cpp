@@ -3,6 +3,30 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace homp {
+
+const char* fail_class_name(FailClass c) noexcept {
+  switch (c) {
+    case FailClass::kUnspecified:
+      return "unspecified";
+    case FailClass::kAllDevicesLost:
+      return "all_devices_lost";
+    case FailClass::kQuorumExhausted:
+      return "quorum_exhausted";
+    case FailClass::kMaxAttempts:
+      return "max_attempts";
+    case FailClass::kStepBudget:
+      return "step_budget";
+    case FailClass::kValidation:
+      return "validation";
+    case FailClass::kDeadlineMiss:
+      return "deadline_miss";
+  }
+  return "unspecified";
+}
+
+}  // namespace homp
+
 namespace homp::detail {
 
 void throw_config_error(const char* expr, const char* file, int line,

@@ -47,12 +47,39 @@ class ExecutionError : public Error {
   using Error::Error;
 };
 
+/// Classification of an unrecoverable offload failure. This is the error
+/// class a serving layer stamps on the job's terminal kFail record
+/// (docs/SERVING.md): operators aggregate by class, and the tenant
+/// circuit breaker counts them uniformly.
+enum class FailClass {
+  kUnspecified = 0,
+  kAllDevicesLost,   ///< every granted device withdrawn mid-offload
+  kQuorumExhausted,  ///< integrity quorum unreachable within its budget
+  kMaxAttempts,      ///< per-chunk retry budget exhausted
+  kStepBudget,       ///< step-budget watchdog tripped (livelock)
+  kValidation,       ///< materialized results failed verification
+  kDeadlineMiss,     ///< cancelled: admitted deadline blown mid-run
+};
+
+/// Stable lowercase name ("quorum_exhausted", ...) used in reports,
+/// summary JSON and trace tooling.
+const char* fail_class_name(FailClass c) noexcept;
+
 /// The offload can no longer make progress: every device that could serve
 /// the remaining iterations has been withdrawn (quarantined or
-/// deactivated). Raised instead of spinning or deadlocking the engine.
+/// deactivated), a retry/quorum budget ran out, or the step-budget
+/// watchdog tripped. Raised instead of spinning or deadlocking the
+/// engine; carries a FailClass so containment layers can classify it.
 class OffloadError : public ExecutionError {
  public:
-  using ExecutionError::ExecutionError;
+  explicit OffloadError(const std::string& what,
+                        FailClass cls = FailClass::kUnspecified)
+      : ExecutionError(what), class_(cls) {}
+
+  FailClass fail_class() const noexcept { return class_; }
+
+ private:
+  FailClass class_;
 };
 
 namespace detail {

@@ -73,6 +73,9 @@ inline constexpr char kServeShedLevel[] = "homp_serve_shed_level";
 inline constexpr char kServeShedTransitions[] =
     "homp_serve_shed_transitions_total";
 inline constexpr char kServeViolations[] = "homp_serve_violations_total";
+inline constexpr char kServeCancelled[] = "homp_serve_cancelled_total";
+inline constexpr char kServeBreakerTrips[] =
+    "homp_serve_breaker_trips_total";
 
 }  // namespace homp::obs::names
 

@@ -171,7 +171,12 @@ struct OffloadExecution::Proxy {
   }
 };
 
-OffloadExecution::~OffloadExecution() = default;
+OffloadExecution::~OffloadExecution() {
+  // Shared mode: revoke anything still pending (normally finish_now()
+  // already did — this covers owners tearing down mid-flight). The
+  // context's engine outlives the execution by contract.
+  if (ctx_ != nullptr) engine_.cancel_generation(gen_);
+}
 
 OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
                                    const LoopKernel& kernel,
@@ -196,6 +201,8 @@ OffloadExecution::OffloadExecution(const mach::MachineDescriptor& machine,
     HOMP_REQUIRE(ctx_->down_links.size() == machine_.links.size() &&
                      ctx_->up_links.size() == machine_.links.size(),
                  "ExecContext link lanes do not match the machine's links");
+    gen_ = engine_.new_generation();
+    alive_ = std::make_shared<bool>(true);
   }
   opts_.validate_or_throw();
   if (region_envs_ != nullptr) {
@@ -598,7 +605,7 @@ void OffloadExecution::pass_serial_token(int slot) {
   ++serial_token_;
   if (static_cast<std::size_t>(serial_token_) < proxies_.size()) {
     const int next = serial_token_;
-    engine_.schedule_after(0.0, [this, next] { try_fetch(next); });
+    sched_after(0.0, [this, next] { try_fetch(next); });
   }
 }
 
@@ -613,6 +620,13 @@ dist::Range OffloadExecution::take_requeue() {
 }
 
 void OffloadExecution::try_fetch(int slot) {
+  if (cancelled_) {
+    // Cancelled jobs fetch nothing more: every drain path funnels back
+    // here, so the proxy parks the moment its pipeline empties.
+    park_proxy(slot);
+    maybe_finish();
+    return;
+  }
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
   if (p.lost) {
     // A quarantined proxy that still holds the serial token must hand it
@@ -808,7 +822,7 @@ void OffloadExecution::try_fetch(int slot) {
     issue_input(slot, 1);
   };
   if (alloc_delay > 0.0 || kChunkSchedOverheadS > 0.0) {
-    engine_.schedule_after(alloc_delay + kChunkSchedOverheadS,
+    sched_after(alloc_delay + kChunkSchedOverheadS,
                            std::move(issue));
   } else {
     issue();
@@ -848,11 +862,11 @@ void OffloadExecution::issue_input(int slot, int attempt) {
   }
   if (attempt == 1) sample_queue_depth(p);
   adjust_outstanding_bytes(p, bytes);
-  p.down->transfer(bytes, [this, slot, start, jitter, bytes, attempt, failed,
-                           wire_seed] {
+  p.down->transfer(bytes, guard([this, slot, start, jitter, bytes, attempt,
+                                 failed, wire_seed] {
     adjust_outstanding_bytes(*proxies_[static_cast<std::size_t>(slot)],
                              -bytes);
-    engine_.schedule_after(jitter, [this, slot, start, attempt, failed,
+    sched_after(jitter, [this, slot, start, attempt, failed,
                                     wire_seed] {
       Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
       if (q.lost || !q.inflight) return;  // quarantined mid-transfer
@@ -877,7 +891,7 @@ void OffloadExecution::issue_input(int slot, int attempt) {
                     engine_.now(), q.inflight->range.to_string());
       on_input_done(slot, attempt, wire_seed);
     });
-  });
+  }));
 }
 
 void OffloadExecution::on_input_done(int slot, int attempt,
@@ -944,7 +958,7 @@ void OffloadExecution::on_input_done(int slot, int attempt,
                         " checksum mismatch — re-transferring");
       // The verification scan still costs its time before the retry; the
       // re-transfer re-stages the slices, repairing the flipped bytes.
-      engine_.schedule_after(vdelay, [this, slot, attempt] {
+      sched_after(vdelay, [this, slot, attempt] {
         Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
         if (q.lost || !q.inflight) return;
         handle_transient(slot, attempt, sim::FaultKind::kCorruptTransfer,
@@ -955,7 +969,7 @@ void OffloadExecution::on_input_done(int slot, int attempt,
       return;
     }
     if (vdelay > 0.0) {
-      engine_.schedule_after(vdelay, [this, slot] { input_ready(slot); });
+      sched_after(vdelay, [this, slot] { input_ready(slot); });
       return;
     }
   }
@@ -988,7 +1002,7 @@ void OffloadExecution::start_launch(int slot, int attempt) {
 
   if (fault_active_ && fault_plan_.launch_fails(p.device_id)) {
     // The failure surfaces after the launch overhead has been spent.
-    engine_.schedule_after(launch, [this, slot, attempt, launch] {
+    sched_after(launch, [this, slot, attempt, launch] {
       Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
       if (q.lost || !q.computing) return;  // quarantined meanwhile
       q.stats.phase_time[static_cast<int>(Phase::kRecovery)] += launch;
@@ -1054,7 +1068,7 @@ void OffloadExecution::start_launch(int slot, int attempt) {
   ++p.compute_serial;
   if (!hangs) {
     p.stats.phase_time[static_cast<int>(Phase::kCompute)] += compute;
-    engine_.schedule_after(launch + compute,
+    sched_after(launch + compute,
                            [this, slot] { on_compute_done(slot); });
   }
   // A hung chunk never completes; only the watchdog below can reclaim it
@@ -1066,7 +1080,7 @@ void OffloadExecution::start_launch(int slot, int attempt) {
         std::max(opts_.watchdog.deadline_floor_s,
                  opts_.watchdog.deadline_multiplier *
                      predicted_chunk_seconds(p, p.computing->range));
-    engine_.schedule_after(launch + soft, [this, slot, serial] {
+    sched_after(launch + soft, [this, slot, serial] {
       watchdog_soft(slot, serial);
     });
     // The kill window after the soft fire must leave a speculative
@@ -1077,7 +1091,7 @@ void OffloadExecution::start_launch(int slot, int attempt) {
     // plain multiple of soft.
     const auto& din = loop_context_.devices[static_cast<std::size_t>(slot)];
     const double grace = din.has_link ? 2.0 * din.link_latency_s : 0.0;
-    engine_.schedule_after(
+    sched_after(
         launch + (soft + grace) * opts_.watchdog.hard_kill_multiplier,
         [this, slot, serial] { watchdog_hard(slot, serial); });
   }
@@ -1228,8 +1242,8 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
     if (failed) wire_seed = 0;  // a failed attempt delivers no payload
   }
   adjust_outstanding_bytes(p, bytes);
-  p.up->transfer(bytes, [this, slot, rec, start, bytes, attempt, failed,
-                         wire_seed] {
+  p.up->transfer(bytes, guard([this, slot, rec, start, bytes, attempt,
+                               failed, wire_seed] {
     Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
     adjust_outstanding_bytes(q, -bytes);
     if (q.lost || rec->abandoned) return;  // requeued at quarantine
@@ -1275,7 +1289,7 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
       const double vdelay = integrity_delay(2.0 * bytes, q);
       q.stats.phase_time[static_cast<int>(Phase::kCopyOut)] += vdelay;
       if (vdelay > 0.0) {
-        engine_.schedule_after(vdelay,
+        sched_after(vdelay,
                                [this, slot, rec] { finish_commit(slot, rec); });
       } else {
         finish_commit(slot, rec);
@@ -1303,7 +1317,7 @@ void OffloadExecution::issue_output(int slot, std::shared_ptr<OutRecord> rec,
     // release) the stage barrier, or finish the offload.
     try_fetch(slot);
     check_completion(slot);
-  });
+  }));
 }
 
 std::uint64_t OffloadExecution::payload_checksum(
@@ -1447,7 +1461,8 @@ void OffloadExecution::finish_commit(int slot, std::shared_ptr<OutRecord> rec) {
             std::to_string(opts_.integrity.vote_quorum) +
             "-vote integrity quorum within integrity.max_attempts (" +
             std::to_string(opts_.integrity.max_attempts) +
-            ") executions — data integrity cannot be established");
+                ") executions — data integrity cannot be established",
+            FailClass::kQuorumExhausted);
       }
       integrity_queue_.push_back(st);
       auto it = std::find(q.outputs.begin(), q.outputs.end(), rec);
@@ -1550,7 +1565,8 @@ void OffloadExecution::handle_corrupt_commit(
           " still fails integrity verification after integrity."
           "max_attempts (" +
           std::to_string(opts_.integrity.max_attempts) +
-          ") executions — data integrity cannot be established");
+              ") executions — data integrity cannot be established",
+          FailClass::kMaxAttempts);
     }
     note_recovery(slot, RecoveryAction::kReexecuteQueued,
                   st->range.to_string() +
@@ -1598,7 +1614,7 @@ void OffloadExecution::handle_transient(int slot, int attempt,
   p.record_span(opts_.collect_trace, Phase::kRecovery, engine_.now(),
                 engine_.now() + backoff,
                 "backoff #" + std::to_string(attempt));
-  engine_.schedule_after(backoff, [this, slot, retry = std::move(retry)] {
+  sched_after(backoff, [this, slot, retry = std::move(retry)] {
     if (!proxies_[static_cast<std::size_t>(slot)]->lost) retry();
   });
 }
@@ -1698,8 +1714,9 @@ void OffloadExecution::quarantine(int slot, sim::FaultKind kind,
   }
   if (survivors == 0) {
     throw OffloadError("all devices lost during offload of '" +
-                       kernel_.name + "' (last: '" + p.desc->name + "', " +
-                       detail + ")");
+                           kernel_.name + "' (last: '" + p.desc->name +
+                           "', " + detail + ")",
+                       FailClass::kAllDevicesLost);
   }
 
   // Reserved-but-unissued iterations come back from the scheduler.
@@ -1926,7 +1943,7 @@ void OffloadExecution::schedule_readmission(int slot) {
                    static_cast<double>(p.stats.quarantine_count - 1)));
   p.record_span(opts_.collect_trace, Phase::kRecovery, engine_.now(),
                 engine_.now() + cooldown, "quarantine cooldown");
-  engine_.schedule_after(cooldown, [this, slot] { readmit(slot); });
+  sched_after(cooldown, [this, slot] { readmit(slot); });
 }
 
 void OffloadExecution::readmit(int slot) {
@@ -1959,7 +1976,7 @@ void OffloadExecution::readmit(int slot) {
   HOMP_INFO << "device '" << p.desc->name << "' re-admitted in probation at "
             << "t=" << engine_.now();
   scheduler_->reactivate(slot);
-  engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
+  sched_after(0.0, [this, slot] { try_fetch(slot); });
 }
 
 bool OffloadExecution::has_work_for(int slot) const {
@@ -1993,7 +2010,7 @@ void OffloadExecution::rouse(Proxy& q) {
              q.finalizing || q.outstanding_outputs > 0) {
     return;  // busy: picks work up at its next pipeline step
   }
-  engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+  sched_after(0.0, [this, s] { try_fetch(s); });
 }
 
 void OffloadExecution::note_recovery(int slot, RecoveryAction action,
@@ -2098,7 +2115,7 @@ void OffloadExecution::maybe_revive(int slot) {
   if (!p.done || p.lost || !has_work_for(slot)) return;
   p.done = false;
   p.finalizing = false;
-  engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
+  sched_after(0.0, [this, slot] { try_fetch(slot); });
 }
 
 void OffloadExecution::check_stage_barrier() {
@@ -2121,11 +2138,16 @@ void OffloadExecution::check_stage_barrier() {
     p->record_span(opts_.collect_trace, Phase::kBarrier,
                    p->stage_wait_start, engine_.now(), "stage");
     const int slot = p->slot;
-    engine_.schedule_after(0.0, [this, slot] { try_fetch(slot); });
+    sched_after(0.0, [this, slot] { try_fetch(slot); });
   }
 }
 
 void OffloadExecution::check_completion(int slot) {
+  if (cancelled_) {
+    park_proxy(slot);
+    maybe_finish();
+    return;
+  }
   Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
   if (p.done || p.finalizing || p.lost) return;
   if (!scheduler_->finished(slot) || !requeue_.empty()) return;
@@ -2185,8 +2207,8 @@ void OffloadExecution::issue_finalize(int slot, double bytes, int attempt) {
     if (failed) wire_seed = 0;
   }
   adjust_outstanding_bytes(p, bytes);
-  p.up->transfer(bytes, [this, slot, start, bytes, attempt, failed,
-                         wire_seed] {
+  p.up->transfer(bytes, guard([this, slot, start, bytes, attempt, failed,
+                               wire_seed] {
     Proxy& q = *proxies_[static_cast<std::size_t>(slot)];
     adjust_outstanding_bytes(q, -bytes);
     if (q.lost) return;  // quarantined mid-write-back
@@ -2223,7 +2245,7 @@ void OffloadExecution::issue_finalize(int slot, double bytes, int attempt) {
       }
     }
     complete_finalize(slot);
-  });
+  }));
 }
 
 void OffloadExecution::complete_finalize(int slot) {
@@ -2266,7 +2288,7 @@ void OffloadExecution::launch() {
 
   for (std::size_t slot = 0; slot < proxies_.size(); ++slot) {
     const int s = static_cast<int>(slot);
-    engine_.schedule_after(0.0, [this, s] { try_fetch(s); });
+    sched_after(0.0, [this, s] { try_fetch(s); });
   }
   if (fault_active_) {
     for (const auto& p : proxies_) {
@@ -2277,7 +2299,7 @@ void OffloadExecution::launch() {
       p->loss_time = lt >= 0.0 ? start_time_ + lt : -1.0;
       if (lt >= 0.0) {
         const int s = p->slot;
-        engine_.schedule_after(lt, [this, s] { on_device_lost(s); });
+        sched_after(lt, [this, s] { on_device_lost(s); });
       }
     }
   }
@@ -2298,19 +2320,117 @@ void OffloadExecution::maybe_finish() {
   for (const auto& p : proxies_) {
     if (!p->done && !p->lost) return;
   }
-  if (!requeue_.empty()) return;
-  // Unsettled integrity re-executions are mandatory work even when every
-  // surviving proxy believes it is done (check_completion would have
-  // parked them, not finalized them — but a quarantine can strand the
-  // queue momentarily).
-  for (const auto& st : integrity_queue_) {
-    if (!st->resolved) return;
+  if (!cancelled_) {
+    if (!requeue_.empty()) return;
+    // Unsettled integrity re-executions are mandatory work even when
+    // every surviving proxy believes it is done (check_completion would
+    // have parked them, not finalized them — but a quarantine can strand
+    // the queue momentarily). A cancelled job owes neither: its results
+    // are discarded anyway.
+    for (const auto& st : integrity_queue_) {
+      if (!st->resolved) return;
+    }
   }
+  finish_now();
+}
+
+void OffloadExecution::finish_now() {
+  if (finished_) return;
   finished_ = true;
+  // Revoke every timer this job ever armed — watchdog deadlines, loss
+  // schedules, retry backoffs, probation cooldowns. After delivery the
+  // owner may destroy the execution: nothing tagged can fire, and the
+  // untagged link completions are made inert by the alive_ sentinel.
+  engine_.cancel_generation(gen_);
   // Deliver from a fresh event: the caller's completion handler may
-  // destroy queues or launch new executions, which must not run inside
-  // whatever commit chain called us.
-  engine_.schedule_after(0.0, [this] { on_complete_(harvest()); });
+  // destroy queues, launch new executions — or destroy *this* — which
+  // must not run inside whatever commit chain called us. Move the
+  // callback to a local before invoking: its body may free the member.
+  std::weak_ptr<bool> alive = std::weak_ptr<bool>(alive_);
+  engine_.schedule_after(0.0, [this, alive] {
+    if (alive.expired()) return;
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb(harvest());
+  });
+}
+
+sim::Engine::Callback OffloadExecution::guard(sim::Engine::Callback fn) {
+  if (ctx_ == nullptr) return fn;  // standalone: exceptions leave run()
+  std::weak_ptr<bool> alive = std::weak_ptr<bool>(alive_);
+  return [this, alive, fn = std::move(fn)] {
+    if (alive.expired()) return;  // owner destroyed us; late completion
+    if (failed_) return;          // the domain is sealed
+    if (opts_.harness.step_budget > 0 &&
+        ++events_used_ >
+            static_cast<std::size_t>(opts_.harness.step_budget)) {
+      fail(FailClass::kStepBudget,
+           "job step budget (" + std::to_string(opts_.harness.step_budget) +
+               " events) exhausted during offload of '" + kernel_.name +
+               "' — livelock or deadlock suspected");
+      return;
+    }
+    try {
+      fn();
+    } catch (const OffloadError& e) {
+      fail(e.fail_class(), e.what());
+    } catch (const ExecutionError& e) {
+      fail(FailClass::kUnspecified, e.what());
+    }
+  };
+}
+
+std::uint64_t OffloadExecution::sched_after(double dt,
+                                            sim::Engine::Callback fn) {
+  return engine_.schedule_after(dt, guard(std::move(fn)), gen_);
+}
+
+void OffloadExecution::fail(FailClass cls, std::string what) {
+  if (ctx_ == nullptr || finished_ || failed_) return;
+  failed_ = true;
+  if (!cancelled_) {
+    // A failure that lands while a cancellation is draining completes
+    // the cancellation; the first terminal cause keeps its class.
+    fail_class_ = cls;
+    fail_error_ = std::move(what);
+  }
+  finish_now();
+}
+
+void OffloadExecution::request_cancel(FailClass cls, std::string reason) {
+  if (ctx_ == nullptr || finished_ || failed_ || cancelled_) return;
+  cancelled_ = true;
+  fail_class_ = cls;
+  fail_error_ = std::move(reason);
+  // Park everything idle right now; busy proxies drain their in-flight
+  // transfer/compute and park when their pipeline next reaches
+  // try_fetch / check_completion.
+  for (const auto& p : proxies_) park_proxy(p->slot);
+  maybe_finish();
+}
+
+void OffloadExecution::park_proxy(int slot) {
+  Proxy& p = *proxies_[static_cast<std::size_t>(slot)];
+  if (p.done || p.lost) {
+    pass_serial_token(slot);
+    return;
+  }
+  if (p.waiting_stage) {
+    p.waiting_stage = false;
+    p.stats.phase_time[static_cast<int>(Phase::kBarrier)] +=
+        engine_.now() - p.stage_wait_start;
+    p.record_span(opts_.collect_trace, Phase::kBarrier, p.stage_wait_start,
+                  engine_.now(), "stage (cancelled)");
+  }
+  if (p.fetching || p.inflight || p.ready || p.computing || p.finalizing ||
+      p.outstanding_outputs > 0) {
+    return;  // busy: drains back through try_fetch and parks there
+  }
+  // No final static write-back: a cancelled job's results are discarded,
+  // so it does not get to occupy the up-lane on its way out.
+  p.done = true;
+  p.stats.finish_time = engine_.now();
+  pass_serial_token(slot);
 }
 
 OffloadResult OffloadExecution::run() {
@@ -2328,7 +2448,8 @@ OffloadResult OffloadExecution::run() {
           "engine step budget (" +
           std::to_string(opts_.harness.step_budget) +
           " events) exhausted with work still pending during offload of '" +
-          kernel_.name + "' — livelock or deadlock suspected");
+              kernel_.name + "' — livelock or deadlock suspected",
+          FailClass::kStepBudget);
     }
   } else {
     engine_.run();
@@ -2338,6 +2459,11 @@ OffloadResult OffloadExecution::run() {
 
 OffloadResult OffloadExecution::harvest() {
   OffloadResult res;
+  const bool aborted = failed_ || cancelled_;
+  res.failed = failed_ && !cancelled_;
+  res.cancelled = cancelled_;
+  res.fail_class = fail_class_;
+  res.error = fail_error_;
   res.engine_events = engine_.events_processed() - events_at_launch_;
   res.algorithm_used = algorithm_used_;
   res.planned_weights = scheduler_->planned_weights();
@@ -2362,12 +2488,20 @@ OffloadResult OffloadExecution::harvest() {
       covered += p->stats.iterations;
       continue;
     }
-    HOMP_REQUIRE(p->done, "device '" + p->desc->name +
-                              "' never completed — scheduler deadlock");
+    if (!aborted) {
+      HOMP_REQUIRE(p->done, "device '" + p->desc->name +
+                                "' never completed — scheduler deadlock");
+    } else if (!p->done) {
+      // The failure sealed the domain mid-flight; the proxy's clock
+      // stops at the seal, not at some never-reached finish.
+      p->stats.finish_time = engine_.now();
+    }
     end = std::max(end, p->stats.finish_time);
     covered += p->stats.iterations;
   }
-  HOMP_ASSERT(covered == kernel_.iterations.size());
+  // A failed or cancelled job surrenders its coverage guarantee: the
+  // record carries whatever partial iteration counts accrued.
+  if (!aborted) HOMP_ASSERT(covered == kernel_.iterations.size());
   end = std::max(end, start_time_);
   res.total_time = end - start_time_;
 
@@ -2395,7 +2529,7 @@ OffloadResult OffloadExecution::harvest() {
   }
 
   if (opts_.harness.capture_result_checksum && opts_.execute_bodies &&
-      region_envs_ == nullptr) {
+      region_envs_ == nullptr && !aborted) {
     // Differential-oracle tap (docs/FUZZING.md): fold every copies-out
     // host array into one digest, in map order. The reduction is
     // deliberately excluded — its partial-sum grouping differs across

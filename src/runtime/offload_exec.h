@@ -111,7 +111,30 @@ class OffloadExecution {
   /// finish_time) are relative to launch; trace spans and event streams
   /// keep absolute virtual time so multi-tenant traces interleave
   /// correctly. Single use, requires a context.
+  ///
+  /// Shared-mode executions are their own *failure domain*
+  /// (docs/SERVING.md): an unrecoverable OffloadError raised inside any
+  /// of this execution's events is captured, every timer the execution
+  /// armed is revoked (cancel_generation), and on_complete receives a
+  /// result with `failed` set instead of the exception unwinding the
+  /// caller's engine drain. After on_complete returns the caller may
+  /// destroy the execution immediately — nothing it scheduled can fire
+  /// afterwards.
   void start(std::function<void(OffloadResult&&)> on_complete);
+
+  /// Cooperative cancellation (shared mode; no-op standalone or once the
+  /// result is already on its way). New work stops being fetched, idle
+  /// proxies park immediately, busy ones drain their in-flight transfer
+  /// or compute and then park — no final static write-back is paid. The
+  /// result arrives through on_complete with `cancelled` set, carrying
+  /// `cls`/`reason` and whatever partial statistics accrued.
+  void request_cancel(FailClass cls, std::string reason);
+
+  /// Shared mode: the cancellation generation every timer this execution
+  /// arms belongs to; 0 standalone. After the completion callback fires
+  /// the generation has no pending events — the serving layer's
+  /// memory-flatness invariant checks this via Engine::live_generations.
+  sim::Engine::GenTag generation() const noexcept { return gen_; }
 
   /// The effective cost profile (kernel FLOPs/memory plus transfer bytes
   /// per iteration derived from the actual map footprints) used for model
@@ -142,6 +165,27 @@ class OffloadExecution {
   /// once (as a fresh engine event, so it never runs inside a commit
   /// chain). No-op in standalone mode.
   void maybe_finish();
+
+  // Failure domain (shared mode; docs/SERVING.md "Job failure domains").
+  /// Event trampoline: every engine event and link-completion callback
+  /// this execution arms goes through here. Standalone it is the
+  /// identity (exceptions propagate out of run(), as ever). Shared, it
+  /// (a) goes inert once the owner destroyed the execution or the
+  /// domain is sealed by a failure, (b) charges the per-job step budget,
+  /// and (c) converts an escaping OffloadError/ExecutionError into
+  /// fail() instead of unwinding the shared engine.
+  sim::Engine::Callback guard(sim::Engine::Callback fn);
+  /// schedule_after through guard(), tagged with this job's generation.
+  std::uint64_t sched_after(double dt, sim::Engine::Callback fn);
+  /// Seal the domain: record the error, revoke every pending timer and
+  /// deliver the failed result. Idempotent.
+  void fail(FailClass cls, std::string what);
+  /// Common terminal path: cancel the generation and schedule the
+  /// (untagged, lifetime-guarded) delivery event.
+  void finish_now();
+  /// Cancellation parking: retire an idle / barrier-waiting proxy; busy
+  /// proxies drain back through try_fetch and park there.
+  void park_proxy(int slot);
   double compute_seconds(Proxy& p, const dist::Range& chunk) const;
   void make_chunk_mappings(Proxy& p, const dist::Range& chunk,
                            std::vector<mem::DeviceMapping*>* out) const;
@@ -268,6 +312,21 @@ class OffloadExecution {
   std::size_t events_at_launch_ = 0;
   std::function<void(OffloadResult&&)> on_complete_;
   bool finished_ = false;  // completion callback already scheduled
+
+  /// Failure-domain state (shared mode). `alive_` is the lifetime
+  /// sentinel captured (weakly) by link-completion callbacks, which live
+  /// inside the server's SharedLinks and cannot be generation-tagged; it
+  /// dying with the execution makes them inert. `events_used_` is the
+  /// per-job step-budget meter — run_bounded() guards standalone runs,
+  /// but on a shared engine only a per-domain budget can pin a livelock
+  /// on the job that spins.
+  sim::Engine::GenTag gen_ = 0;
+  std::shared_ptr<bool> alive_;
+  bool failed_ = false;
+  bool cancelled_ = false;
+  FailClass fail_class_ = FailClass::kUnspecified;
+  std::string fail_error_;
+  std::size_t events_used_ = 0;
 
   std::vector<SpecPlan> plans_;
   model::KernelCostProfile effective_profile_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/checksum.h"
+#include "common/error.h"
 #include "common/stats.h"
 #include "dist/policy.h"
 #include "model/loop_model.h"
@@ -497,6 +498,18 @@ struct OffloadResult {
   /// bit for bit; the fuzz oracle's differential invariant.
   std::uint64_t result_checksum = 0;
   bool result_checksum_valid = false;
+
+  /// Failure-domain outcome (shared-context executions only; standalone
+  /// run() still throws). `failed` marks an unrecoverable error captured
+  /// by the execution's containment guard; `cancelled` marks cooperative
+  /// cancellation (e.g. the serving layer revoking a job that blew its
+  /// admitted deadline). When either is set the result carries whatever
+  /// partial statistics were gathered — iteration coverage is NOT
+  /// guaranteed and the checksum is never valid.
+  bool failed = false;
+  bool cancelled = false;
+  FailClass fail_class = FailClass::kUnspecified;
+  std::string error;  ///< empty unless failed/cancelled
 
   /// Load imbalance over per-device finish times (Figure 6 curve).
   Imbalance imbalance() const;

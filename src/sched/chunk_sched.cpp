@@ -14,8 +14,9 @@ bool SlotLiveness::deactivate(int slot, long long remaining) {
   --alive_;
   if (alive_ == 0 && remaining > 0) {
     throw OffloadError("deactivated the last active device with " +
-                       std::to_string(remaining) +
-                       " iterations still undistributed");
+                           std::to_string(remaining) +
+                           " iterations still undistributed",
+                       FailClass::kAllDevicesLost);
   }
   return true;
 }

@@ -59,13 +59,16 @@ struct Agg {
   long long iterations = 0;
   std::size_t completed = 0;
   std::size_t failed = 0;
+  std::size_t cancelled = 0;
 
   void take(const JobRecord& j) {
-    if (j.ok) {
+    if (j.outcome == JobOutcome::kCompleted) {
       latencies.push_back(j.latency());
       waits.push_back(j.queue_wait());
       iterations += j.iterations_done;
       ++completed;
+    } else if (j.outcome == JobOutcome::kCancelled) {
+      ++cancelled;
     } else {
       ++failed;
     }
@@ -73,6 +76,7 @@ struct Agg {
 
   void write(std::ostream& os, double makespan) {
     os << "\"completed\": " << completed << ", \"failed\": " << failed
+       << ", \"cancelled\": " << cancelled
        << ", \"iterations\": " << iterations
        << ", \"p50_latency_s\": " << format_number(nearest_rank(latencies, 0.50))
        << ", \"p99_latency_s\": " << format_number(nearest_rank(latencies, 0.99))
@@ -85,6 +89,15 @@ struct Agg {
 };
 
 }  // namespace
+
+const char* to_string(JobOutcome o) noexcept {
+  switch (o) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kFail: return "fail";
+    case JobOutcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
 
 double ServeReport::latency_percentile(double q,
                                        const PriorityClass* cls) const {
@@ -102,12 +115,24 @@ std::vector<std::string> ServeReport::validate() const {
 
   // Iteration conservation: a completed job committed exactly the
   // iterations it asked for — shedding degrades latency and admission,
-  // never answers.
+  // never answers. Failed/cancelled jobs surrender coverage but must be
+  // honest about it: a terminal record always names its error class, and
+  // `ok` is exactly "completed".
   for (const auto& j : jobs) {
-    if (j.ok && j.iterations_done != j.n) {
+    if (j.outcome == JobOutcome::kCompleted && j.iterations_done != j.n) {
       out.push_back("job " + std::to_string(j.job_id) + " (" + j.tenant +
                     "): committed " + std::to_string(j.iterations_done) +
                     " of " + std::to_string(j.n) + " iterations");
+    }
+    if (j.ok != (j.outcome == JobOutcome::kCompleted)) {
+      out.push_back("job " + std::to_string(j.job_id) + " (" + j.tenant +
+                    "): ok flag disagrees with outcome " +
+                    std::string(to_string(j.outcome)));
+    }
+    if (j.outcome != JobOutcome::kCompleted && j.error_class.empty()) {
+      out.push_back("job " + std::to_string(j.job_id) + " (" + j.tenant +
+                    "): " + std::string(to_string(j.outcome)) +
+                    " record without an error class");
     }
   }
 
@@ -147,13 +172,14 @@ std::vector<std::string> ServeReport::validate() const {
     }
   }
 
-  // Drained-run accounting.
+  // Drained-run accounting: every admitted job ends in exactly one of
+  // the three terminal states.
   for (std::size_t t = 0; t < counts.size(); ++t) {
     const auto& c = counts[t];
-    if (c.admitted != c.completed + c.failed) {
+    if (c.admitted != c.completed + c.failed + c.cancelled) {
       out.push_back("tenant " + tenants[t] + ": admitted " +
                     std::to_string(c.admitted) + " but finished " +
-                    std::to_string(c.completed + c.failed));
+                    std::to_string(c.completed + c.failed + c.cancelled));
     }
   }
   return out;
@@ -169,6 +195,8 @@ void ServeReport::export_metrics(obs::MetricsRegistry& reg) const {
     reg.add(kServeBlocked, lbl, static_cast<double>(c.blocked));
     reg.add(kServeCompleted, lbl, static_cast<double>(c.completed));
     reg.add(kServeFailed, lbl, static_cast<double>(c.failed));
+    reg.add(kServeCancelled, lbl, static_cast<double>(c.cancelled));
+    reg.add(kServeBreakerTrips, lbl, static_cast<double>(c.breaker_trips));
     reg.add(kServeIterations, lbl, static_cast<double>(c.iterations));
     reg.add(kServeRejected, lbl + ",reason=\"queue-full\"",
             static_cast<double>(c.rejected_queue_full));
@@ -178,6 +206,8 @@ void ServeReport::export_metrics(obs::MetricsRegistry& reg) const {
             static_cast<double>(c.rejected_shed));
     reg.add(kServeRejected, lbl + ",reason=\"infeasible\"",
             static_cast<double>(c.rejected_infeasible));
+    reg.add(kServeRejected, lbl + ",reason=\"breaker\"",
+            static_cast<double>(c.rejected_breaker));
   }
   for (const auto& j : jobs) {
     if (!j.ok) continue;
@@ -196,7 +226,7 @@ void ServeReport::export_metrics(obs::MetricsRegistry& reg) const {
 void ServeReport::write_summary_json(std::ostream& os) const {
   const auto breaches = validate();
 
-  os << "{\n  \"schema\": \"homp-serve-report-v1\",\n";
+  os << "{\n  \"schema\": \"homp-serve-report-v2\",\n";
   os << "  \"makespan_s\": " << format_number(makespan_s) << ",\n";
   os << "  \"jobs\": " << jobs.size() << ",\n";
   os << "  \"shed\": {\"final_level\": " << final_shed_level
@@ -248,9 +278,28 @@ void ServeReport::write_summary_json(std::ostream& os) const {
        << ", \"rejected_queue_full\": " << c.rejected_queue_full
        << ", \"rejected_deadline\": " << c.rejected_deadline
        << ", \"rejected_shed\": " << c.rejected_shed
-       << ", \"rejected_infeasible\": " << c.rejected_infeasible << ", ";
+       << ", \"rejected_infeasible\": " << c.rejected_infeasible
+       << ", \"rejected_breaker\": " << c.rejected_breaker
+       << ", \"breaker_trips\": " << c.breaker_trips << ", ";
     agg.write(os, makespan_s);
-    os << '}';
+    // Error classes of this tenant's kFail/kCancelled records, sorted by
+    // class name (std::map) for deterministic output.
+    std::map<std::string, std::size_t> classes;
+    for (const auto& j : jobs) {
+      if (j.tenant == tenants[t] && j.outcome != JobOutcome::kCompleted) {
+        ++classes[j.error_class];
+      }
+    }
+    os << ", \"error_classes\": {";
+    bool first_cls = true;
+    for (const auto& [cls_name, count] : classes) {
+      if (!first_cls) os << ", ";
+      first_cls = false;
+      os << '"';
+      json_escape_into(os, cls_name);
+      os << "\": " << count;
+    }
+    os << "}}";
   }
   os << "}\n}\n";
 }

@@ -22,6 +22,18 @@
 
 namespace homp::serve {
 
+/// Terminal state of a job record (docs/SERVING.md "Job failure
+/// domains"). kFail marks an unrecoverable error contained to the job;
+/// kCancelled marks a cooperative revocation (admitted-deadline miss, or
+/// a job terminated straight out of the queue/vestibule).
+enum class JobOutcome {
+  kCompleted = 0,
+  kFail,
+  kCancelled,
+};
+
+const char* to_string(JobOutcome o) noexcept;
+
 /// One job's life, submit to finish. All times are absolute virtual
 /// seconds on the server's shared engine.
 struct JobRecord {
@@ -45,7 +57,13 @@ struct JobRecord {
   long long iterations_done = 0;
   /// Dispatched at shed level >= 1: speculation was stripped.
   bool speculation_shed = false;
-  bool ok = false;  ///< completed (vs failed)
+  bool ok = false;  ///< outcome == kCompleted (kept for convenience)
+
+  JobOutcome outcome = JobOutcome::kCompleted;
+  /// fail_class_name() of the contained error / cancellation reason
+  /// ("quorum_exhausted", "deadline_miss", ...); empty when completed.
+  std::string error_class;
+  std::string error;  ///< human-readable cause; empty when completed
 
   /// Per-activity spans of the offload (ServeOptions::collect_trace).
   std::vector<rt::TraceSpan> trace;
@@ -63,13 +81,16 @@ struct TenantCounts {
   std::size_t rejected_deadline = 0;
   std::size_t rejected_shed = 0;
   std::size_t rejected_infeasible = 0;
+  std::size_t rejected_breaker = 0;
   std::size_t completed = 0;
-  std::size_t failed = 0;
+  std::size_t failed = 0;     ///< terminal kFail records
+  std::size_t cancelled = 0;  ///< terminal kCancelled records
+  std::size_t breaker_trips = 0;
   long long iterations = 0;
 
   std::size_t rejected() const noexcept {
     return rejected_queue_full + rejected_deadline + rejected_shed +
-           rejected_infeasible;
+           rejected_infeasible + rejected_breaker;
   }
 };
 
@@ -106,14 +127,15 @@ struct ServeReport {
   ///  - iteration conservation: every completed job ran exactly its n
   ///  - per-tenant FIFO: dispatch order matches queue-entry order
   ///  - audit monotonicity: event times never go backwards
-  ///  - accounting: admitted == completed + failed for a drained run
+  ///  - accounting: admitted == completed + failed + cancelled for a
+  ///    drained run, and every kFail/kCancelled record carries a class
   std::vector<std::string> validate() const;
 
   /// Export tenant-labelled serving metrics into `reg`
   /// (docs/OBSERVABILITY.md naming; see obs/metric_names.h).
   void export_metrics(obs::MetricsRegistry& reg) const;
 
-  /// Deterministic summary JSON (schema "homp-serve-report-v1"):
+  /// Deterministic summary JSON (schema "homp-serve-report-v2"):
   /// per-class and per-tenant p50/p99 latency, goodput, admission
   /// counts, shed-ladder summary and violations. Byte-identical across
   /// same-seed runs.

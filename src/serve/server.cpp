@@ -45,13 +45,16 @@ struct OffloadServer::PendingJob {
   double enqueue_time = 0.0;
   double vestibule_since = 0.0;
   double blocked_s = 0.0;
+  /// Engine event id of the armed deadline timer; 0 = none.
+  std::uint64_t deadline_event = 0;
   std::function<void(const JobRecord&)> on_done;
 };
 
 /// One dispatched job. The kernel case, the LoopKernel and the map
-/// vector live here because OffloadExecution holds them by reference;
-/// the whole object stays alive (graveyard) until the server dies, since
-/// the execution's probation/watchdog timers may still be queued.
+/// vector live here because OffloadExecution holds them by reference.
+/// Destroyed the moment the job reaches a terminal state: the
+/// execution's generation tag cancels every timer it still has queued,
+/// so nothing needs to outlive completion.
 struct OffloadServer::ActiveJob {
   int tenant = -1;
   std::unique_ptr<kern::KernelCase> kcase;
@@ -59,6 +62,7 @@ struct OffloadServer::ActiveJob {
   std::vector<mem::MapSpec> maps;
   std::vector<int> devices;
   double footprint_per_dev = 0.0;
+  std::uint64_t deadline_event = 0;
   JobRecord record;
   std::function<void(const JobRecord&)> on_done;
   std::unique_ptr<rt::OffloadExecution> exec;
@@ -75,6 +79,14 @@ struct OffloadServer::TenantState {
   std::deque<PendingJob> vestibule;  ///< kBlock overflow, unbounded
   double service = 0.0;    ///< WFQ credit, predicted device-seconds
   double backlog_s = 0.0;  ///< predicted seconds queued (incl. vestibule)
+
+  // Circuit breaker (ServeOptions::breaker_threshold).
+  int consecutive_failures = 0;
+  int breaker_trips = 0;
+  bool breaker_open = false;
+  double breaker_open_until = 0.0;  ///< absolute time; half-open after
+  bool probe_outstanding = false;
+  std::uint64_t probe_job_id = 0;
 };
 
 OffloadServer::OffloadServer(mach::MachineDescriptor machine,
@@ -95,6 +107,17 @@ OffloadServer::OffloadServer(mach::MachineDescriptor machine,
         opts_.shed_l2_depth <= opts_.shed_l3_depth)) {
     throw ConfigError("shed ladder depths must be non-decreasing");
   }
+  if (opts_.breaker_threshold < 0) {
+    throw ConfigError("ServeOptions::breaker_threshold must be >= 0");
+  }
+  if (opts_.breaker_threshold > 0 &&
+      (opts_.breaker_cooldown_base_s <= 0.0 ||
+       opts_.breaker_cooldown_growth < 1.0 ||
+       opts_.breaker_cooldown_cap_s < opts_.breaker_cooldown_base_s)) {
+    throw ConfigError(
+        "breaker cooldown needs base > 0, growth >= 1, cap >= base");
+  }
+  gen_ = engine_.new_generation();
 
   // Shared link lanes: one down/up pair per machine link, borrowed by
   // every execution — PCIe contention between tenants falls out of the
@@ -141,7 +164,7 @@ OffloadServer::OffloadServer(mach::MachineDescriptor machine,
   }
 }
 
-OffloadServer::~OffloadServer() = default;
+OffloadServer::~OffloadServer() { engine_.cancel_generation(gen_); }
 
 int OffloadServer::tenant_index(const std::string& name) const {
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
@@ -271,6 +294,25 @@ SubmitResult OffloadServer::submit(
     return r;
   }
 
+  // Circuit breaker: an open tenant is rejected with a retry-after hint;
+  // once the cooldown elapses exactly one submission is admitted
+  // half-open as a probe, and further submissions wait on its verdict.
+  bool probe = false;
+  if (opts_.breaker_threshold > 0 && ts.breaker_open) {
+    if (now < ts.breaker_open_until || ts.probe_outstanding) {
+      ++c.rejected_breaker;
+      r.outcome = AdmitOutcome::kRejectedBreaker;
+      r.retry_after_s = std::max(0.0, ts.breaker_open_until - now);
+      r.detail = ts.probe_outstanding
+                     ? "circuit breaker half-open: probe in flight"
+                     : "circuit breaker open; retry after " +
+                           format_seconds(r.retry_after_s);
+      note_event(ServeEventKind::kReject, t, 0, r.detail);
+      return r;
+    }
+    probe = true;
+  }
+
   auto kcase = kern::make_case(job.kernel, job.n, opts_.materialize);
   const auto profile = kcase->paper_profile();
   const long long iters = kcase->kernel().iterations.size();
@@ -335,6 +377,8 @@ SubmitResult OffloadServer::submit(
     r.job_id = pj.job_id;
     note_event(ServeEventKind::kBlock, t, pj.job_id,
                "queue full; parked in vestibule");
+    if (probe) mark_probe(t, pj.job_id);
+    arm_deadline(t, pj);
     ts.backlog_s += pj.predicted_s;
     ts.vestibule.push_back(std::move(pj));
     recompute_shed();
@@ -348,6 +392,8 @@ SubmitResult OffloadServer::submit(
   ++c.admitted;
   note_event(ServeEventKind::kAdmit, t, pj.job_id,
              "predicted " + format_seconds(predicted));
+  if (probe) mark_probe(t, pj.job_id);
+  arm_deadline(t, pj);
   ts.backlog_s += pj.predicted_s;
   ts.queue.push_back(std::move(pj));
   recompute_shed();
@@ -355,10 +401,26 @@ SubmitResult OffloadServer::submit(
   return r;
 }
 
+void OffloadServer::mark_probe(int tenant, std::uint64_t job_id) {
+  auto& ts = tenants_[tenant];
+  ts.probe_outstanding = true;
+  ts.probe_job_id = job_id;
+  note_event(ServeEventKind::kBreakerProbe, tenant, job_id,
+             "half-open: admitted as probation probe");
+}
+
+void OffloadServer::arm_deadline(int tenant, PendingJob& pj) {
+  if (pj.spec.deadline_s <= 0.0) return;
+  const std::uint64_t job_id = pj.job_id;
+  pj.deadline_event = engine_.schedule_after(
+      pj.spec.deadline_s,
+      [this, tenant, job_id] { on_deadline(tenant, job_id); }, gen_);
+}
+
 void OffloadServer::schedule_dispatch() {
   if (dispatch_pending_) return;
   dispatch_pending_ = true;
-  engine_.schedule_after(0.0, [this] { dispatch(); });
+  engine_.schedule_after(0.0, [this] { dispatch(); }, gen_);
 }
 
 int OffloadServer::pick_class() const {
@@ -464,6 +526,7 @@ void OffloadServer::place(int tenant, PendingJob&& pj,
   aj->devices = devices;
   aj->footprint_per_dev =
       pj.total_bytes / static_cast<double>(devices.size());
+  aj->deadline_event = pj.deadline_event;
   aj->on_done = std::move(pj.on_done);
 
   JobRecord& rec = aj->record;
@@ -546,6 +609,9 @@ void OffloadServer::on_job_done(ActiveJob* job, rt::OffloadResult&& res) {
   const double now = engine_.now();
   auto& c = report_.counts[job->tenant];
 
+  // Resources come back whatever the outcome — fault containment means
+  // a failed job's grants and memory never leak.
+  if (job->deadline_event != 0) engine_.cancel(job->deadline_event);
   for (int id : job->devices) {
     auto& d = devices_[static_cast<std::size_t>(id)];
     d.holder = 0;
@@ -556,43 +622,201 @@ void OffloadServer::on_job_done(ActiveJob* job, rt::OffloadResult&& res) {
   JobRecord& rec = job->record;
   rec.finish_time = now;
   rec.iterations_done = res.total_iterations();
-  rec.ok = true;
   if (opts_.collect_trace) rec.trace = std::move(res.trace);
 
-  // Conservation is the serving layer's prime invariant: shedding and
-  // backpressure may delay or refuse a job, never shrink its answer.
-  if (rec.iterations_done != rec.n) {
-    report_.violations.push_back(
-        "job " + std::to_string(rec.job_id) + " (" + rec.tenant +
-        "): committed " + std::to_string(rec.iterations_done) + " of " +
-        std::to_string(rec.n) + " iterations");
-  }
-  if (opts_.materialize) {
+  if (res.failed) {
+    rec.ok = false;
+    rec.outcome = JobOutcome::kFail;
+    rec.error_class = fail_class_name(res.fail_class);
+    rec.error = res.error;
+    ++c.failed;
+    note_event(ServeEventKind::kFail, job->tenant, rec.job_id,
+               rec.error_class + ": " + rec.error);
+    note_job_failure(job->tenant, rec.job_id);
+  } else if (res.cancelled) {
+    rec.ok = false;
+    rec.outcome = JobOutcome::kCancelled;
+    rec.error_class = fail_class_name(res.fail_class);
+    rec.error = res.error;
+    ++c.cancelled;
+    note_event(ServeEventKind::kCancel, job->tenant, rec.job_id,
+               rec.error_class + ": " + rec.error);
+    // Cancellation is the server revoking its own admission, not the
+    // tenant misbehaving — it neither feeds nor resets the breaker.
+    auto& ts = tenants_[job->tenant];
+    if (ts.probe_outstanding && ts.probe_job_id == rec.job_id) {
+      ts.probe_outstanding = false;
+    }
+  } else {
+    rec.ok = true;
+    // Conservation is the serving layer's prime invariant: shedding and
+    // backpressure may delay or refuse a job, never shrink its answer.
+    if (rec.iterations_done != rec.n) {
+      report_.violations.push_back(
+          "job " + std::to_string(rec.job_id) + " (" + rec.tenant +
+          "): committed " + std::to_string(rec.iterations_done) + " of " +
+          std::to_string(rec.n) + " iterations");
+    }
     std::string why;
-    if (!job->kcase->verify(&why)) {
-      report_.violations.push_back("job " + std::to_string(rec.job_id) +
-                                   " (" + rec.tenant +
-                                   "): wrong result: " + why);
+    if (opts_.materialize && !job->kcase->verify(&why)) {
+      // Wrong answer at materialization is an unrecoverable job error,
+      // contained like any other: terminal kFail, class "validation".
+      rec.ok = false;
+      rec.outcome = JobOutcome::kFail;
+      rec.error_class = fail_class_name(FailClass::kValidation);
+      rec.error = "wrong result: " + why;
+      ++c.failed;
+      note_event(ServeEventKind::kFail, job->tenant, rec.job_id,
+                 rec.error_class + ": " + rec.error);
+      note_job_failure(job->tenant, rec.job_id);
+    } else {
+      ++c.completed;
+      c.iterations += rec.iterations_done;
+      note_event(ServeEventKind::kComplete, job->tenant, rec.job_id,
+                 "latency " + format_seconds(rec.latency()));
+      note_job_success(job->tenant, rec.job_id);
     }
   }
-
-  ++c.completed;
-  c.iterations += rec.iterations_done;
-  note_event(ServeEventKind::kComplete, job->tenant, rec.job_id,
-             "latency " + format_seconds(rec.latency()));
   report_.jobs.push_back(rec);
 
+  // Destroy the job in place: the execution's finished generation holds
+  // no timers (cancelled wholesale at completion), so nothing dangles.
   auto done = std::move(job->on_done);
   auto it = std::find_if(
       active_.begin(), active_.end(),
       [job](const std::unique_ptr<ActiveJob>& p) { return p.get() == job; });
-  if (it != active_.end()) {
-    graveyard_.push_back(std::move(*it));
-    active_.erase(it);
-  }
+  if (it != active_.end()) active_.erase(it);
 
   if (done) done(report_.jobs.back());
   schedule_dispatch();
+}
+
+void OffloadServer::on_deadline(int tenant, std::uint64_t job_id) {
+  auto& ts = tenants_[tenant];
+  const double now = engine_.now();
+
+  for (auto it = ts.queue.begin(); it != ts.queue.end(); ++it) {
+    if (it->job_id != job_id) continue;
+    PendingJob pj = std::move(*it);
+    ts.queue.erase(it);
+    ts.backlog_s = std::max(0.0, ts.backlog_s - pj.predicted_s);
+    cancel_pending(tenant, std::move(pj),
+                   "admitted deadline expired while queued");
+    recompute_shed();
+    schedule_dispatch();
+    return;
+  }
+
+  for (auto it = ts.vestibule.begin(); it != ts.vestibule.end(); ++it) {
+    if (it->job_id != job_id) continue;
+    PendingJob pj = std::move(*it);
+    ts.vestibule.erase(it);
+    ts.backlog_s = std::max(0.0, ts.backlog_s - pj.predicted_s);
+    // Promote-then-terminate: the job formally enters the queue (admit
+    // accounting, FIFO position) before its terminal record, so the
+    // per-tenant FIFO and accounting invariants hold unchanged.
+    pj.blocked_s = now - pj.vestibule_since;
+    pj.enqueue_time = now;
+    ++report_.counts[tenant].admitted;
+    note_event(ServeEventKind::kUnblock, tenant, pj.job_id,
+               "waited " + format_seconds(pj.blocked_s));
+    note_event(ServeEventKind::kAdmit, tenant, pj.job_id,
+               "predicted " + format_seconds(pj.predicted_s));
+    cancel_pending(tenant, std::move(pj),
+                   "admitted deadline expired in the vestibule");
+    recompute_shed();
+    schedule_dispatch();
+    return;
+  }
+
+  for (auto& aj : active_) {
+    if (aj->record.job_id != job_id) continue;
+    aj->exec->request_cancel(FailClass::kDeadlineMiss,
+                             "admitted deadline exceeded mid-run");
+    return;
+  }
+  // Already terminal: its completion cancelled this timer, so a fire
+  // here can only race a same-instant event — nothing to do.
+}
+
+void OffloadServer::cancel_pending(int tenant, PendingJob&& pj,
+                                   const std::string& why) {
+  auto& ts = tenants_[tenant];
+  auto& c = report_.counts[tenant];
+  const double now = engine_.now();
+
+  JobRecord rec;
+  rec.job_id = pj.job_id;
+  rec.tenant = ts.spec.name;
+  rec.priority = ts.spec.priority;
+  rec.kernel = pj.spec.kernel;
+  rec.n = static_cast<long long>(pj.kcase->kernel().iterations.size());
+  rec.submit_time = pj.submit_time;
+  rec.dispatch_time = now;
+  rec.finish_time = now;
+  rec.blocked_s = pj.blocked_s;
+  rec.predicted_s = pj.predicted_s;
+  rec.ok = false;
+  rec.outcome = JobOutcome::kCancelled;
+  rec.error_class = fail_class_name(FailClass::kDeadlineMiss);
+  rec.error = why;
+  ++c.cancelled;
+  note_event(ServeEventKind::kCancel, tenant, pj.job_id,
+             rec.error_class + ": " + why);
+  report_.jobs.push_back(std::move(rec));
+
+  if (ts.probe_outstanding && ts.probe_job_id == pj.job_id) {
+    ts.probe_outstanding = false;
+  }
+  auto done = std::move(pj.on_done);
+  if (done) done(report_.jobs.back());
+}
+
+void OffloadServer::note_job_failure(int tenant, std::uint64_t job_id) {
+  if (opts_.breaker_threshold <= 0) return;
+  auto& ts = tenants_[tenant];
+  const bool was_probe = ts.probe_outstanding && ts.probe_job_id == job_id;
+  if (was_probe) ts.probe_outstanding = false;
+  if (ts.breaker_open) {
+    // Only the probe's verdict moves an open breaker; a straggler from
+    // before the trip changes nothing.
+    if (was_probe) trip_breaker(tenant);
+    return;
+  }
+  if (++ts.consecutive_failures >= opts_.breaker_threshold) {
+    ts.consecutive_failures = 0;
+    trip_breaker(tenant);
+  }
+}
+
+void OffloadServer::note_job_success(int tenant, std::uint64_t job_id) {
+  if (opts_.breaker_threshold <= 0) return;
+  auto& ts = tenants_[tenant];
+  const bool was_probe = ts.probe_outstanding && ts.probe_job_id == job_id;
+  if (was_probe) ts.probe_outstanding = false;
+  ts.consecutive_failures = 0;
+  if (ts.breaker_open) {
+    ts.breaker_open = false;
+    note_event(ServeEventKind::kBreakerClose, tenant, job_id,
+               was_probe ? "probe succeeded" : "job succeeded");
+  }
+}
+
+void OffloadServer::trip_breaker(int tenant) {
+  auto& ts = tenants_[tenant];
+  ++ts.breaker_trips;
+  ++report_.counts[tenant].breaker_trips;
+  const double cooldown = std::min(
+      opts_.breaker_cooldown_cap_s,
+      opts_.breaker_cooldown_base_s *
+          std::pow(opts_.breaker_cooldown_growth,
+                   static_cast<double>(ts.breaker_trips - 1)));
+  ts.breaker_open = true;
+  ts.breaker_open_until = engine_.now() + cooldown;
+  ts.probe_outstanding = false;
+  note_event(ServeEventKind::kBreakerOpen, tenant, 0,
+             "trip " + std::to_string(ts.breaker_trips) + "; cooldown " +
+                 format_seconds(cooldown));
 }
 
 void OffloadServer::run() {

@@ -25,6 +25,16 @@
 ///     device grants, L3 rejects the lowest class at submit. Transitions
 ///     apply hysteresis and every one is recorded in the decision audit.
 ///
+/// Jobs are failure domains (docs/SERVING.md "Job failure domains"): an
+/// unrecoverable error inside one execution is contained by the runtime
+/// and surfaces here as a terminal kFail record — devices and memory are
+/// reclaimed and every other tenant keeps running. Consecutive failures
+/// trip a per-tenant circuit breaker that rejects at admission with a
+/// retry-after hint and re-admits through probation probe jobs under
+/// exponential cooldown. Jobs carrying a deadline get a cancellable
+/// timer: blowing the admitted deadline mid-run cancels the execution
+/// cooperatively (terminal kCancelled record, class "deadline_miss").
+///
 /// Everything runs in virtual time on the shared engine; a same-seed run
 /// reproduces the identical event sequence, report and summary JSON.
 
@@ -79,6 +89,17 @@ struct ServeOptions {
   /// even while higher classes queue.
   double floor_fraction = 0.1;
 
+  /// Per-tenant circuit breaker: this many *consecutive* terminal kFail
+  /// records trip the tenant open (submissions rejected with a
+  /// retry-after hint); 0 disables the breaker. Re-admission mirrors the
+  /// device-quarantine pattern: after the cooldown one probe job is
+  /// admitted half-open — success closes the breaker, failure re-opens
+  /// it with the cooldown grown by `breaker_cooldown_growth` (capped).
+  int breaker_threshold = 3;
+  double breaker_cooldown_base_s = 1.0;
+  double breaker_cooldown_growth = 2.0;
+  double breaker_cooldown_cap_s = 60.0;
+
   /// Materialize kernel cases and execute bodies (small-n tests that
   /// verify results); off = pure simulation at paper scale.
   bool materialize = false;
@@ -97,9 +118,10 @@ struct ServeOptions {
 
 /// See file comment. Construction wires the shared engine + link lanes;
 /// submit() enqueues work; run() drains the engine; report() afterwards
-/// holds every record. The server must outlive run() — completed
-/// executions are kept until destruction because their straggler timers
-/// may still sit in the engine queue.
+/// holds every record. A finished job's execution is destroyed on the
+/// spot: every timer it armed carries its generation tag, cancelled
+/// wholesale at completion, so no tombstone state outlives the job and
+/// a drained server retains zero job objects (see retained_jobs()).
 class OffloadServer {
  public:
   OffloadServer(mach::MachineDescriptor machine,
@@ -115,10 +137,10 @@ class OffloadServer {
   SubmitResult submit(const std::string& tenant, const JobSpec& job,
                       std::function<void(const JobRecord&)> on_done = {});
 
-  /// Drain the shared engine: runs every admitted job to completion
-  /// (plus whatever the traffic generator keeps injecting), then
-  /// finalizes the report. Unrecoverable per-job errors (e.g. every
-  /// granted device lost) propagate as OffloadError.
+  /// Drain the shared engine: runs every admitted job to a terminal
+  /// state (plus whatever the traffic generator keeps injecting), then
+  /// finalizes the report. Unrecoverable per-job errors never escape —
+  /// they are contained to kFail records (docs/SERVING.md).
   void run();
 
   /// The shared engine — the traffic generator schedules arrivals on it.
@@ -141,6 +163,11 @@ class OffloadServer {
 
   /// Run records so far; complete after run() returns.
   const ServeReport& report() const noexcept { return report_; }
+
+  /// Job objects still held by the server — the in-flight set. Zero
+  /// after a drained run(): finished jobs are destroyed immediately
+  /// (memory-flatness invariant the soak bench and chaos harness check).
+  std::size_t retained_jobs() const noexcept { return active_.size(); }
 
  private:
   struct PendingJob;
@@ -167,6 +194,20 @@ class OffloadServer {
   void place(int tenant, PendingJob&& pj, const std::vector<int>& devices);
   void promote_vestibule(int tenant);
   void on_job_done(ActiveJob* job, rt::OffloadResult&& res);
+  /// Mark an admitted job as the tenant's half-open breaker probe.
+  void mark_probe(int tenant, std::uint64_t job_id);
+  /// Arm the cancellable admitted-deadline timer for an accepted job.
+  void arm_deadline(int tenant, PendingJob& pj);
+  /// Admitted-deadline timer fired: terminate the job wherever it is
+  /// (queue, vestibule, or mid-run via cooperative cancellation).
+  void on_deadline(int tenant, std::uint64_t job_id);
+  /// Terminal kCancelled record for a job that never dispatched.
+  void cancel_pending(int tenant, PendingJob&& pj, const std::string& why);
+  /// Breaker bookkeeping on a terminal record (kFail feeds the trip
+  /// counter; any completion closes an open breaker).
+  void note_job_failure(int tenant, std::uint64_t job_id);
+  void note_job_success(int tenant, std::uint64_t job_id);
+  void trip_breaker(int tenant);
 
   mach::MachineDescriptor machine_;
   ServeOptions opts_;
@@ -189,9 +230,10 @@ class OffloadServer {
   double active_pred_s_ = 0.0;  ///< predicted seconds of running jobs
 
   std::vector<std::unique_ptr<ActiveJob>> active_;
-  /// Finished jobs, kept alive until the server dies: their probation /
-  /// watchdog timers may still be pending on the shared engine.
-  std::vector<std::unique_ptr<ActiveJob>> graveyard_;
+
+  /// Generation tag for every timer the server itself arms (dispatch
+  /// kicks, deadline timers); the destructor cancels the lot.
+  sim::Engine::GenTag gen_ = 0;
 
   ServeReport report_;
 };

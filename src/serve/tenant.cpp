@@ -27,6 +27,7 @@ const char* to_string(AdmitOutcome o) noexcept {
     case AdmitOutcome::kRejectedDeadline: return "deadline";
     case AdmitOutcome::kRejectedShed: return "shed";
     case AdmitOutcome::kRejectedInfeasible: return "infeasible";
+    case AdmitOutcome::kRejectedBreaker: return "breaker";
   }
   return "?";
 }
@@ -41,7 +42,11 @@ const char* to_string(ServeEventKind k) noexcept {
     case ServeEventKind::kDispatch: return "dispatch";
     case ServeEventKind::kComplete: return "complete";
     case ServeEventKind::kFail: return "fail";
+    case ServeEventKind::kCancel: return "cancel";
     case ServeEventKind::kShedLevel: return "shed-level";
+    case ServeEventKind::kBreakerOpen: return "breaker-open";
+    case ServeEventKind::kBreakerProbe: return "breaker-probe";
+    case ServeEventKind::kBreakerClose: return "breaker-close";
   }
   return "?";
 }

@@ -73,6 +73,7 @@ enum class AdmitOutcome {
   kRejectedDeadline,    ///< predicted completion exceeds the deadline
   kRejectedShed,        ///< shed level 3: lowest class refused at the door
   kRejectedInfeasible,  ///< cannot fit device memory on any device count
+  kRejectedBreaker,     ///< tenant circuit breaker open; retry after hint
 };
 
 const char* to_string(AdmitOutcome o) noexcept;
@@ -104,8 +105,12 @@ enum class ServeEventKind {
   kUnblock,   ///< vestibule -> queue (room opened)
   kDispatch,
   kComplete,
-  kFail,      ///< execution threw (e.g. every device lost)
-  kShedLevel, ///< ladder transition; detail carries "L_old -> L_new"
+  kFail,          ///< terminal kFail record (contained unrecoverable error)
+  kCancel,        ///< terminal kCancelled record (deadline miss, revocation)
+  kShedLevel,     ///< ladder transition; detail carries "L_old -> L_new"
+  kBreakerOpen,   ///< tenant circuit breaker tripped; detail has cooldown
+  kBreakerProbe,  ///< half-open: one submission admitted as a probe
+  kBreakerClose,  ///< probe succeeded; tenant restored to full admission
 };
 
 const char* to_string(ServeEventKind k) noexcept;

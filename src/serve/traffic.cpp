@@ -26,6 +26,7 @@ TrafficGen::TrafficGen(OffloadServer& server, std::vector<TenantLoad> loads)
     Stream s{l, Prng(l.seed), 0};
     streams_.push_back(std::move(s));
   }
+  gen_ = server_.engine().new_generation();
 }
 
 long long TrafficGen::draw_size(Stream& s) {
@@ -57,11 +58,12 @@ void TrafficGen::start() {
       // simultaneous.
       for (int p = 0; p < s.load.population; ++p) {
         server_.engine().schedule_after(
-            0.0, [this, i] { closed_submit(i); });
+            0.0, [this, i] { closed_submit(i); }, gen_);
       }
     } else {
       const double dt = draw_interarrival(s);
-      server_.engine().schedule_after(dt, [this, i] { open_arrival(i); });
+      server_.engine().schedule_after(dt, [this, i] { open_arrival(i); },
+                                      gen_);
     }
   }
 }
@@ -81,7 +83,8 @@ void TrafficGen::open_arrival(std::size_t idx) {
   // overload are precisely the signal bench_traffic measures.
   server_.submit(s.load.tenant.name, job);
   const double dt = draw_interarrival(s);
-  server_.engine().schedule_after(dt, [this, idx] { open_arrival(idx); });
+  server_.engine().schedule_after(dt, [this, idx] { open_arrival(idx); },
+                                  gen_);
 }
 
 void TrafficGen::closed_submit(std::size_t idx) {
@@ -99,16 +102,16 @@ void TrafficGen::closed_submit(std::size_t idx) {
       s.load.tenant.name, job,
       [this, idx](const JobRecord&) {
         const double think = streams_[idx].load.think_s;
-        server_.engine().schedule_after(std::max(think, 0.0),
-                                        [this, idx] { closed_submit(idx); });
+        server_.engine().schedule_after(
+            std::max(think, 0.0), [this, idx] { closed_submit(idx); }, gen_);
       });
   if (!r.accepted()) {
     // Back off and re-offer: a closed-loop client keeps its population
     // constant, honouring the server's retry-after hint.
     const double wait =
         std::max({s.load.think_s, r.retry_after_s, 1e-4});
-    server_.engine().schedule_after(wait,
-                                    [this, idx] { closed_submit(idx); });
+    server_.engine().schedule_after(
+        wait, [this, idx] { closed_submit(idx); }, gen_);
   }
 }
 

@@ -74,6 +74,10 @@ class TrafficGen {
   OffloadServer& server_;
   std::vector<Stream> streams_;
   std::size_t submitted_ = 0;
+  /// Generation tag for every timer this generator arms (homp-lint
+  /// HL006): all pending arrivals are cancellable as one unit and the
+  /// drained engine retires the generation, keeping `--soak` flat.
+  sim::Engine::GenTag gen_ = 0;
 };
 
 }  // namespace homp::serve

@@ -4,14 +4,27 @@
 
 namespace homp::sim {
 
-std::uint64_t Engine::schedule_at(Time t, Callback fn) {
+std::uint64_t Engine::schedule_at(Time t, Callback fn, GenTag tag) {
   HOMP_ASSERT(t >= now_);
   HOMP_ASSERT(fn != nullptr);
   const std::uint64_t id = next_seq_++;
-  queue_.push(Entry{t, id, std::move(fn)});
+  queue_.push(Entry{t, id, tag, std::move(fn)});
   pending_.insert(id);
+  if (tag != 0) {
+    gens_[tag].insert(id);
+    tag_of_.emplace(id, tag);
+  }
   ++live_events_;
   return id;
+}
+
+void Engine::retire_from_generation(std::uint64_t id, GenTag tag) {
+  if (tag == 0) return;
+  tag_of_.erase(id);
+  auto git = gens_.find(tag);
+  if (git == gens_.end()) return;
+  git->second.erase(id);
+  if (git->second.empty()) gens_.erase(git);
 }
 
 bool Engine::cancel(std::uint64_t id) {
@@ -22,8 +35,34 @@ bool Engine::cancel(std::uint64_t id) {
   if (it == pending_.end()) return false;
   pending_.erase(it);
   cancelled_.insert(id);
+  auto tit = tag_of_.find(id);
+  if (tit != tag_of_.end()) retire_from_generation(id, tit->second);
   if (live_events_ > 0) --live_events_;
   return true;
+}
+
+std::size_t Engine::cancel_generation(GenTag tag) {
+  if (tag == 0) return 0;
+  auto git = gens_.find(tag);
+  if (git == gens_.end()) return 0;
+  // Detach the set first: cancel() mutates gens_ via retire_from_generation
+  // and would invalidate the iteration otherwise.
+  std::unordered_set<std::uint64_t> ids = std::move(git->second);
+  gens_.erase(git);
+  std::size_t n = 0;
+  for (std::uint64_t id : ids) {
+    tag_of_.erase(id);
+    if (pending_.erase(id) == 0) continue;
+    cancelled_.insert(id);
+    if (live_events_ > 0) --live_events_;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Engine::pending_in(GenTag tag) const noexcept {
+  auto git = gens_.find(tag);
+  return git == gens_.end() ? 0 : git->second.size();
 }
 
 void Engine::purge_cancelled_top() {
@@ -41,6 +80,7 @@ bool Engine::pop_one() {
   Entry e = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   pending_.erase(e.seq);
+  retire_from_generation(e.seq, e.tag);
   HOMP_ASSERT(e.t >= now_);
   now_ = e.t;
   --live_events_;

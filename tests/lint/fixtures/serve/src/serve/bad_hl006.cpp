@@ -1,0 +1,29 @@
+// homp-lint fixture: HL006 must fire on every untagged timer arm below.
+// Minimal stand-ins; this file is never compiled, only linted.  Captures
+// are by value on purpose so HL001 stays quiet and only HL006 fires.
+
+using GenTag = unsigned long long;
+
+struct Engine {
+  template <class F>
+  unsigned long schedule_at(double, F, GenTag = 0) { return 0; }
+  template <class F>
+  unsigned long schedule_after(double, F, GenTag = 0) { return 0; }
+};
+
+struct Server {
+  Engine& engine();
+};
+
+void all_bad(Server& s, Engine& e) {
+  int jobs = 0;
+  e.schedule_at(1.0, [jobs] { (void)jobs; });     // tag omitted
+  e.schedule_after(0.5, [jobs] { (void)jobs; });  // tag omitted
+  // A multi-line lambda whose body holds commas at deeper nesting must
+  // still count as a single argument.
+  s.engine().schedule_after(0.25, [jobs]() {
+    int a = 1, b = 2;
+    (void)(a + b + jobs);
+  });
+  s.engine().schedule_at(2.0, [] {});
+}

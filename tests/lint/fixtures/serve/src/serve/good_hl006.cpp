@@ -1,0 +1,28 @@
+// homp-lint fixture: every serve-layer timer arm below carries its
+// generation tag, so HL006 must stay quiet.  Never compiled, only linted.
+
+using GenTag = unsigned long long;
+
+struct Engine {
+  GenTag new_generation() { return 1; }
+  template <class F>
+  unsigned long schedule_at(double, F, GenTag = 0) { return 0; }
+  template <class F>
+  unsigned long schedule_after(double, F, GenTag = 0) { return 0; }
+};
+
+struct Server {
+  Engine& engine();
+};
+
+void all_good(Server& s, Engine& e) {
+  const GenTag gen = e.new_generation();
+  int jobs = 0;
+  e.schedule_at(1.0, [jobs] { (void)jobs; }, gen);
+  e.schedule_after(0.5, [jobs] { (void)jobs; }, gen);
+  s.engine().schedule_after(0.25, [jobs]() {
+    int a = 1, b = 2;
+    (void)(a + b + jobs);
+  }, gen);
+  s.engine().schedule_at(2.0, [] {}, gen);
+}

@@ -1,0 +1,18 @@
+// homp-lint fixture: untagged serve-layer timers carrying the allow
+// comment, on the line and on the line above — HL006 must stay quiet.
+
+using GenTag = unsigned long long;
+
+struct Engine {
+  template <class F>
+  unsigned long schedule_at(double, F, GenTag = 0) { return 0; }
+  template <class F>
+  unsigned long schedule_after(double, F, GenTag = 0) { return 0; }
+};
+
+void deliberate(Engine& e) {
+  int jobs = 0;
+  e.schedule_at(1.0, [jobs] { (void)jobs; });  // homp-lint: allow(HL006)
+  // homp-lint: allow(HL006)
+  e.schedule_after(0.5, [jobs] { (void)jobs; });
+}

@@ -43,6 +43,7 @@ BAD_FIXTURES = {
     fx("bad_hl004.h"): ("HL004", 2),
     fx("bad_hl005.cpp"): ("HL005", 2),
     fx("obs", "bad_hl005_names.h"): ("HL005", 2),
+    fx("serve", "src", "serve", "bad_hl006.cpp"): ("HL006", 4),
 }
 
 CLEAN_FIXTURES = [
@@ -58,6 +59,8 @@ CLEAN_FIXTURES = [
     fx("suppressed_hl004.h"),
     fx("suppressed_hl005.cpp"),
     fx("obs", "suppressed_hl005_names.h"),
+    fx("serve", "src", "serve", "good_hl006.cpp"),
+    fx("serve", "src", "serve", "suppressed_hl006.cpp"),
 ]
 
 

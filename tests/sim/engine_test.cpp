@@ -149,6 +149,73 @@ TEST(Engine, RunUntilSeesDeadlinePastTombstones) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Engine, GenerationCancelRevokesOnlyItsOwnEvents) {
+  Engine e;
+  const auto gen = e.new_generation();
+  const auto other = e.new_generation();
+  EXPECT_NE(gen, other);
+  EXPECT_NE(gen, 0u);
+
+  int mine = 0, theirs = 0, untagged = 0;
+  e.schedule_after(1.0, [&] { ++mine; }, gen);
+  e.schedule_after(2.0, [&] { ++mine; }, gen);
+  e.schedule_after(1.5, [&] { ++theirs; }, other);
+  e.schedule_after(1.5, [&] { ++untagged; });
+  EXPECT_EQ(e.pending_in(gen), 2u);
+  EXPECT_EQ(e.pending_in(other), 1u);
+  EXPECT_EQ(e.live_generations(), 2u);
+
+  EXPECT_EQ(e.cancel_generation(gen), 2u);
+  EXPECT_EQ(e.pending_in(gen), 0u);
+  EXPECT_EQ(e.live_generations(), 1u);
+
+  e.run();
+  EXPECT_EQ(mine, 0);
+  EXPECT_EQ(theirs, 1);
+  EXPECT_EQ(untagged, 1);
+  EXPECT_EQ(e.live_generations(), 0u);  // ran events retire their gen
+  EXPECT_EQ(e.live_events(), 0u);
+}
+
+TEST(Engine, GenerationBookkeepingSurvivesIndividualCancel) {
+  // cancel() on a tagged event must retire it from its generation too,
+  // and cancelling an already-drained generation is a harmless no-op.
+  Engine e;
+  const auto gen = e.new_generation();
+  const auto id = e.schedule_after(1.0, [] {}, gen);
+  e.schedule_after(2.0, [] {}, gen);
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending_in(gen), 1u);
+  e.run();
+  EXPECT_EQ(e.pending_in(gen), 0u);
+  EXPECT_EQ(e.live_generations(), 0u);
+  EXPECT_EQ(e.cancel_generation(gen), 0u);
+
+  // The tag may be re-armed after a full drain.
+  int fired = 0;
+  e.schedule_after(1.0, [&] { ++fired; }, gen);
+  EXPECT_EQ(e.pending_in(gen), 1u);
+  EXPECT_EQ(e.cancel_generation(gen), 1u);
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, GenerationCancelFromInsideACallback) {
+  // A callback revoking its own generation mid-run (how a finishing job
+  // kills its pending watchdog/deadline timers) must stop every later
+  // event of that generation, including ones at the same timestamp.
+  Engine e;
+  const auto gen = e.new_generation();
+  int fired = 0;
+  e.schedule_at(1.0, [&] { e.cancel_generation(gen); });
+  e.schedule_at(1.0, [&] { ++fired; }, gen);
+  e.schedule_at(2.0, [&] { ++fired; }, gen);
+  e.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.live_generations(), 0u);
+}
+
 TEST(Engine, RepeatedCancelCyclesReclaimTombstones) {
   // Schedule/cancel churn must not grow the engine without bound: every
   // tombstone is reclaimed when its queue entry surfaces.

@@ -130,6 +130,41 @@ void write_serve_fixture(const std::string& path) {
   server.report().write_trace_json(out);
 }
 
+/// A serving run with a poison tenant (every granted device dies
+/// mid-run -> terminal kFail) and a deadline job on a covertly slow
+/// tenant (admitted, then cancelled mid-run as deadline_miss): real
+/// serve events for the CLI's failed/cancelled-jobs report section.
+void write_serve_failure_fixture(const std::string& path) {
+  serve::TenantSpec good, poison, slow;
+  good.name = "good";
+  poison.name = "poison";
+  poison.fault.fail_at_s = 1e-4;
+  slow.name = "slow";
+  slow.fault.slowdown_rate = 0.95;
+  slow.fault.slowdown_factor = 64.0;
+
+  serve::ServeOptions opts;
+  opts.collect_trace = true;
+  opts.breaker_threshold = 0;  // keep every poison job a kFail record
+  serve::OffloadServer server(mach::builtin("full"), {good, poison, slow},
+                              opts);
+  serve::JobSpec j;
+  j.kernel = "axpy";
+  j.n = 1 << 14;
+  j.devices = 2;
+  server.submit("good", j);
+  server.submit("poison", j);
+  serve::JobSpec doomed = j;
+  // Clears admission on the predicted runtime, unreachable at 64x slow.
+  doomed.deadline_s =
+      4.0 * server.predicted_job_seconds(doomed.kernel, doomed.n, 2);
+  server.submit("slow", doomed);
+  server.run();
+
+  std::ofstream out(path);
+  server.report().write_trace_json(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +180,7 @@ int main(int argc, char** argv) {
   write_pair(run2, outdir + "/run2");
   write_pair(adversarial_result(), outdir + "/adversarial");
   write_serve_fixture(outdir + "/serve.trace.json");
+  write_serve_failure_fixture(outdir + "/servefail.trace.json");
 
   std::printf("run_imbalance_pct=%.17g\n", run1.imbalance().percent());
   std::printf("run_total_time_s=%.17g\n", run1.total_time);

@@ -74,7 +74,8 @@ def tearDownModule():
 
 GENERATED = ["run1.trace.json", "run1.metrics.json", "run2.trace.json",
              "run2.metrics.json", "adversarial.trace.json",
-             "adversarial.metrics.json"]
+             "adversarial.metrics.json", "serve.trace.json",
+             "servefail.trace.json"]
 
 
 class ExportedJson(unittest.TestCase):
@@ -206,6 +207,75 @@ class MultiTenant(unittest.TestCase):
         rep = parse_report(r.stdout)
         self.assertGreaterEqual(float(rep["tenants"]), 2)
         self.assertTrue([k for k in rep if k.startswith("tenant[")])
+
+
+class ServeFailures(unittest.TestCase):
+    """Failed/cancelled-jobs report section (docs/SERVING.md "Job
+    failure domains"): serve traces carrying terminal fail/cancel
+    instants get counts, an error-class breakdown, and per-job lines;
+    traces without them keep their exact prior shape."""
+
+    def report(self, path):
+        r = cli("report", path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        return parse_report(r.stdout)
+
+    def test_failure_fixture_sections(self):
+        # Generator fixture: one poison kFail (all_devices_lost) and one
+        # mid-run deadline cancellation (deadline_miss).
+        rep = self.report(out_path("servefail.trace.json"))
+        self.assertEqual(float(rep["serve.failed_jobs"]), 1)
+        self.assertEqual(float(rep["serve.cancelled_jobs"]), 1)
+        self.assertEqual(
+            float(rep["serve.failed[poison/all_devices_lost]"]), 1)
+        self.assertEqual(
+            float(rep["serve.cancelled[slow/deadline_miss]"]), 1)
+        fails = [k for k in rep if k.startswith("serve.failed_job[")]
+        self.assertEqual(len(fails), 1)
+        self.assertIn("tenant=poison", rep[fails[0]])
+        self.assertIn("all_devices_lost:", rep[fails[0]])
+        cancels = [k for k in rep if k.startswith("serve.cancelled_job[")]
+        self.assertEqual(len(cancels), 1)
+        self.assertIn("tenant=slow", rep[cancels[0]])
+
+    def test_clean_traces_have_no_failure_section(self):
+        # Neither a single-offload trace nor an all-success serving
+        # trace may grow serve.* keys.
+        for name in ("run1.trace.json", "serve.trace.json"):
+            with self.subTest(file=name):
+                rep = self.report(out_path(name))
+                self.assertFalse([k for k in rep if k.startswith("serve.")])
+
+    def test_hand_built_counts_classes_and_escaping(self):
+        serve_i = {"cat": "serve", "ph": "i", "s": "g", "pid": 1, "tid": 0}
+        doc = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "t0"}},
+            {"ph": "X", "name": "compute k", "pid": 1, "tid": 64,
+             "ts": 0.0, "dur": 4.0},
+            dict(serve_i, name="fail", ts=4.0,
+                 args={"job": 1, "detail": "step_budget: over\nbudget"}),
+            dict(serve_i, name="fail", ts=5.0,
+                 args={"job": 2, "detail": "step_budget: again"}),
+            dict(serve_i, name="cancel", ts=6.0,
+                 args={"job": 3, "detail": "deadline_miss: in queue"}),
+            dict(serve_i, name="breaker-open", ts=7.0,
+                 args={"job": 0, "detail": "cooldown 1s"}),
+        ]
+        path = out_path("servefail_static.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        rep = self.report(path)
+        self.assertEqual(float(rep["serve.failed_jobs"]), 2)
+        self.assertEqual(float(rep["serve.cancelled_jobs"]), 1)
+        self.assertEqual(float(rep["serve.breaker_trips"]), 1)
+        self.assertEqual(float(rep["serve.failed[t0/step_budget]"]), 2)
+        self.assertEqual(float(rep["serve.cancelled[t0/deadline_miss]"]), 1)
+        # Newlines inside an error collapse so `key: value` lines hold.
+        self.assertEqual(rep["serve.failed_job[1]"],
+                         "tenant=t0 step_budget: over budget")
+        self.assertEqual(rep["serve.cancelled_job[3]"],
+                         "tenant=t0 deadline_miss: in queue")
 
 
 class Diff(unittest.TestCase):

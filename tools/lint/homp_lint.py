@@ -37,6 +37,14 @@ HL005  dead-telemetry         Every DeviceStats field / RecoveryAction
                               kX[]` constant in an obs/ directory that no
                               exporter references is a metric that silently
                               vanished from every dashboard.
+HL006  untagged-serve-timer   Engine::schedule_at / schedule_after called
+                              under src/serve without a generation-tag third
+                              argument.  The serving layer's memory-flatness
+                              contract (docs/SERVING.md "Timer lifecycle":
+                              zero pending events and zero live generations
+                              after a drain) holds only because every server
+                              timer is cancellable via its tag; an untagged
+                              arm outlives the job that armed it.
 
 Suppression
 -----------
@@ -72,6 +80,7 @@ CHECKS = {
     "HL003": "include-layering",
     "HL004": "header-hygiene",
     "HL005": "dead-telemetry",
+    "HL006": "untagged-serve-timer",
 }
 
 SUPPRESS_RE = re.compile(r"homp-lint:\s*allow\(([^)]*)\)")
@@ -549,6 +558,59 @@ def check_hl005(files, diags, struct_name, enum_name):
 
 
 # ---------------------------------------------------------------------------
+# HL006 — untagged timers in the serving layer
+# ---------------------------------------------------------------------------
+
+TIMER_SITE_RE = re.compile(r"\bschedule_(?:at|after)\s*\(")
+
+
+def _in_serve_layer(path):
+    parts = _parts(path)
+    return any(a == "src" and b == "serve" for a, b in zip(parts, parts[1:]))
+
+
+def _top_level_commas(args):
+    """Commas at nesting depth 0 of a call's argument span.  Lambdas,
+    braced initializers and subscripts all open a deeper level, so their
+    internal commas (captures, parameter lists, init elements) don't count."""
+    depth = 0
+    count = 0
+    for ch in args:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            count += 1
+    return count
+
+
+def check_hl006(sf, diags):
+    if not _in_serve_layer(sf.path):
+        return
+    for m in TIMER_SITE_RE.finditer(sf.clean):
+        open_idx = m.end() - 1
+        close_idx = _matching_paren(sf.clean, open_idx)
+        span = sf.clean[open_idx + 1:close_idx]
+        # (time, callback, tag) has two top-level commas; fewer means the
+        # generation tag was omitted and the timer is uncancellable.
+        if _top_level_commas(span) >= 2:
+            continue
+        line = sf.line_of(m.start())
+        if sf.suppressed(line, "HL006"):
+            continue
+        diags.append(Diagnostic(
+            "HL006", sf.path, line,
+            "schedule_at/schedule_after in src/serve without a generation "
+            "tag; an untagged timer cannot be cancelled and breaks the "
+            "drained-server memory-flatness contract",
+            "pass a sim::Engine::GenTag third argument (from "
+            "Engine::new_generation()) so the owner can "
+            "cancel_generation() it; a deliberately server-lifetime arm "
+            "may be suppressed with // homp-lint: allow(HL006)"))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -574,7 +636,7 @@ def collect_files(paths):
 def main(argv=None):
     ap = argparse.ArgumentParser(
         prog="homp_lint.py",
-        description="HOMP project-invariant static analysis (HL001-HL005).")
+        description="HOMP project-invariant static analysis (HL001-HL006).")
     ap.add_argument("paths", nargs="*", default=[],
                     help="files or directories to scan (default: src tests)")
     ap.add_argument("--json", action="store_true",
@@ -639,6 +701,8 @@ def main(argv=None):
             check_hl003(sf, diags, layers)
         if "HL004" in enabled:
             check_hl004(sf, diags)
+        if "HL006" in enabled:
+            check_hl006(sf, diags)
     if "HL005" in enabled:
         check_hl005(files, diags, args.telemetry_struct, args.telemetry_enum)
 

@@ -268,6 +268,41 @@ def summarize_trace(events):
             summary[pre + ".makespan_us"] = max(fins) - start
             summary[pre + ".imbalance_pct"] = t_imb
 
+    # Failed/cancelled-jobs section for serving traces: the serve layer
+    # records terminal outcomes as instant events (cat "serve") named
+    # "fail" / "cancel", whose detail leads with the error class
+    # ("all_devices_lost: ...", docs/SERVING.md "Job failure domains").
+    # Breaker trips ride along as "breaker-open" instants. Single-offload
+    # traces carry no serve events, so their report output is unchanged.
+    serve_evs = cats.get("serve", [])
+    kinds = {"fail": "failed", "cancel": "cancelled"}
+    terminal = [e for e in serve_evs if e.get("name") in kinds]
+    if terminal or any(e.get("name") == "breaker-open" for e in serve_evs):
+        counts = {"failed": 0, "cancelled": 0}
+        classes = {}
+        lines = []
+        for e in terminal:
+            kind = kinds[e["name"]]
+            counts[kind] += 1
+            a = e.get("args", {})
+            detail = " ".join(str(a.get("detail", "")).split())
+            cls = detail.split(":", 1)[0].strip() or "unspecified"
+            tenant = tenants.get(e.get("pid", 0), "?")
+            key = (kind, tenant, cls)
+            classes[key] = classes.get(key, 0) + 1
+            lines.append((kind, a.get("job", -1), tenant, detail))
+        summary["serve.failed_jobs"] = counts["failed"]
+        summary["serve.cancelled_jobs"] = counts["cancelled"]
+        summary["serve.breaker_trips"] = sum(
+            1 for e in serve_evs if e.get("name") == "breaker-open")
+        for kind, tenant, cls in sorted(classes):
+            summary["serve.%s[%s/%s]" % (kind, tenant, cls)] = (
+                classes[(kind, tenant, cls)])
+        for kind, job, tenant, detail in sorted(
+                lines, key=lambda x: (x[0], str(x[1]))):
+            summary["serve.%s_job[%s]" % (kind, job)] = (
+                "tenant=%s %s" % (tenant, detail))
+
     tracks = {}
     for e in counters:
         v = e.get("args", {}).get("value", 0.0)
