@@ -295,6 +295,11 @@ void plant_corrupt_commit(ScenarioSpec& s) {
   s.faults.push_back(f);
 }
 
+void plant_dsan_conflict(ScenarioSpec& s) {
+  s.dsan = true;
+  s.plant_dsan_conflict = true;
+}
+
 std::string to_toml(const ScenarioSpec& s, const std::string& machine_file,
                     const std::string& invariant,
                     const std::string& algorithm) {
@@ -331,6 +336,9 @@ std::string to_toml(const ScenarioSpec& s, const std::string& machine_file,
   os << "parallel_offload = " << (s.parallel_offload ? "true" : "false")
      << "\n";
   os << "step_budget = " << s.step_budget << "\n";
+  // dsan keys only when set: older repro files stay byte-identical.
+  if (s.dsan) os << "dsan = true\n";
+  if (s.plant_dsan_conflict) os << "plant_dsan_conflict = true\n";
 
   for (std::size_t i = 0; i < s.faults.size(); ++i) {
     const auto& f = s.faults[i];
@@ -444,6 +452,8 @@ ParsedScenario parse_scenario(const std::string& text) {
       else if (key == "watchdog") s.watchdog = as_bool();
       else if (key == "parallel_offload") s.parallel_offload = as_bool();
       else if (key == "step_budget") s.step_budget = as_ll();
+      else if (key == "dsan") s.dsan = as_bool();
+      else if (key == "plant_dsan_conflict") s.plant_dsan_conflict = as_bool();
       else bad("unknown [options] key '" + key + "'");
     } else if (fault != nullptr && starts_with(section, "fault.")) {
       if (key == "device") fault->device_id = static_cast<int>(as_ll());

@@ -32,6 +32,10 @@ struct ServeFuzzConfig {
   /// Stop emitting repro files (but keep counting) after this many
   /// failures, so a systematically broken build cannot flood the disk.
   int max_repros = 8;
+
+  /// Run every scenario's first pass under homp-dsan
+  /// (docs/DETERMINISM.md); conflicts surface as "dsan-determinism".
+  bool dsan = false;
 };
 
 /// One failing serve scenario as the summary reports it.

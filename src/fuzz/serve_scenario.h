@@ -51,6 +51,10 @@ struct ServeScenarioSpec {
   std::vector<serve::TenantSpec> tenants;
   std::vector<ServeJobEntry> jobs;
 
+  /// Run the first oracle pass under an attached homp-dsan context
+  /// (docs/DETERMINISM.md). Serialized, so dsan repros replay in kind.
+  bool dsan = false;
+
   /// Set (not serialized) when loaded from a repro file.
   bool replay = false;
 };

@@ -1,0 +1,171 @@
+#include "sim/dsan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace homp::sim::dsan {
+
+namespace {
+
+Context* g_active = nullptr;
+
+#if HOMP_DSAN_ENABLED
+/// Cell uids are issued in construction order. A deterministic program
+/// constructs its cells in a deterministic order, so uids — and with
+/// them violation reports — are byte-identical across runs.
+std::uint64_t g_next_cell_uid = 0;
+#endif
+
+}  // namespace
+
+Context* active() noexcept { return g_active; }
+
+Scope::Scope(Context& ctx) {
+  HOMP_REQUIRE(g_active == nullptr,
+               "dsan: nested Scope; one sanitizer context at a time");
+  g_active = &ctx;
+}
+
+Scope::~Scope() { g_active = nullptr; }
+
+std::string Violation::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "cell %s at t=%.17g: event (seq=%llu, gen=%llu, %s) is "
+                "concurrent with event (seq=%llu, gen=%llu, %s)",
+                cell.c_str(), time,
+                static_cast<unsigned long long>(first.seq),
+                static_cast<unsigned long long>(first.tag),
+                first_write ? "write" : "read",
+                static_cast<unsigned long long>(second.seq),
+                static_cast<unsigned long long>(second.tag),
+                second_write ? "write" : "read");
+  return buf;
+}
+
+#if HOMP_DSAN_ENABLED
+
+Cell::Cell(const char* label, CellKind kind)
+    : uid_(g_next_cell_uid++), label_(label), kind_(kind) {}
+
+Context::Context() = default;
+
+Context::~Context() {
+  if (g_active == this) g_active = nullptr;  // defensive; Scope owns this
+}
+
+void Context::begin_event(const void* engine, Time t, std::uint64_t seq,
+                          std::uint64_t tag, std::uint64_t parent_seq) {
+  // A non-increasing seq means a different engine *incarnation*: seqs
+  // strictly increase within one engine, but a successor engine can be
+  // constructed at the freed address of the last one (same pointer,
+  // seqs restarting at 0) — that must flush too.
+  if (engine != engine_ || !have_window_ || t != time_ ||
+      (!events_.empty() && seq <= events_.back().seq)) {
+    flush();
+    engine_ = engine;
+    time_ = t;
+    have_window_ = true;
+  }
+  events_.push_back(EventMeta{seq, tag, parent_seq});
+  current_ = events_.size() - 1;
+  in_event_ = true;
+}
+
+void Context::on_access(const Cell& cell, bool write) {
+  if (!in_event_) return;  // sequential harness code between drains
+  CellFacts& f = cells_[cell.uid()];
+  if (f.accesses.empty()) {
+    f.label = cell.label();
+    f.kind = cell.kind();
+  }
+  if (!f.accesses.empty() && f.accesses.back().event_index == current_) {
+    // One event's repeated touches collapse to its strongest access: a
+    // read-modify-write *within* one event is one logical operation.
+    f.accesses.back().write |= write;
+    return;
+  }
+  f.accesses.push_back(Access{current_, write});
+}
+
+std::size_t Context::index_of_seq(std::uint64_t seq) const {
+  // events_ is seq-ascending: the engine pops same-timestamp events in
+  // FIFO (seq) order, and later-scheduled events get larger seqs.
+  auto it = std::lower_bound(
+      events_.begin(), events_.end(), seq,
+      [](const EventMeta& e, std::uint64_t s) { return e.seq < s; });
+  if (it == events_.end() || it->seq != seq) return events_.size();
+  return static_cast<std::size_t>(it - events_.begin());
+}
+
+bool Context::ancestor_of(std::size_t a, std::size_t b) const {
+  const std::uint64_t want = events_[a].seq;
+  std::uint64_t parent = events_[b].parent;
+  while (parent != kNoParent) {
+    if (parent == want) return true;
+    const std::size_t idx = index_of_seq(parent);
+    if (idx >= events_.size()) return false;  // parent ran before window
+    parent = events_[idx].parent;
+  }
+  return false;
+}
+
+void Context::flush() {
+  for (const auto& [uid, f] : cells_) {
+    const auto& acc = f.accesses;
+    for (std::size_t j = 1; j < acc.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const bool wi = acc[i].write;
+        const bool wj = acc[j].write;
+        if (!wi && !wj) continue;  // read-read never conflicts
+        if (f.kind == CellKind::kCommutative && wi && wj) {
+          // Declared order-insensitive: the parallel engine commits
+          // same-timestamp writes in canonical (time, seq) order.
+          continue;
+        }
+        const EventMeta& a = events_[acc[i].event_index];
+        const EventMeta& b = events_[acc[j].event_index];
+        if (a.tag != 0 && a.tag == b.tag) continue;  // generation edge
+        if (ancestor_of(acc[i].event_index, acc[j].event_index)) continue;
+        ++total_;
+        if (violations_.size() < kMaxStored) {
+          Violation v;
+          v.cell = std::string(f.label) + "#" + std::to_string(uid);
+          v.time = time_;
+          v.first = EventId{time_, a.seq, a.tag};
+          v.second = EventId{time_, b.seq, b.tag};
+          v.first_write = wi;
+          v.second_write = wj;
+          violations_.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  cells_.clear();
+  events_.clear();
+  current_ = 0;
+}
+
+void Context::finish() {
+  flush();
+  have_window_ = false;
+  engine_ = nullptr;
+  in_event_ = false;
+}
+
+#else  // !HOMP_DSAN_ENABLED
+
+Context::Context() = default;
+Context::~Context() {
+  if (g_active == this) g_active = nullptr;
+}
+void Context::begin_event(const void*, Time, std::uint64_t, std::uint64_t,
+                          std::uint64_t) {}
+void Context::on_access(const Cell&, bool) {}
+void Context::finish() {}
+
+#endif  // HOMP_DSAN_ENABLED
+
+}  // namespace homp::sim::dsan

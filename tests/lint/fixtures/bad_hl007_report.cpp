@@ -1,0 +1,19 @@
+// HL007 fixture: a report writer iterating unordered containers.  Hash
+// iteration order differs across standard libraries (and across hash
+// seeds), so the serialized report stops being byte-identical.
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+void write_report(std::ostream& os) {
+  std::unordered_map<int, double> totals;
+  totals[3] = 1.0;
+  for (const auto& kv : totals) {
+    os << kv.first << "=" << kv.second << "\n";
+  }
+  std::unordered_set<int> seen;
+  seen.insert(7);
+  for (int id : seen) {
+    os << "seen " << id << "\n";
+  }
+}

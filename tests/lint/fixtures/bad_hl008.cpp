@@ -1,0 +1,18 @@
+// HL008 fixture: event lambdas mutating dsan-tracked members directly.
+// The writes bypass the accessor carrying HOMP_DSAN_WRITE, so homp-dsan
+// never sees them and its happens-before analysis is blind here.
+#include <deque>
+
+template <class F>
+void schedule_at(double t, F fn);
+
+struct Widget {
+  void kick();
+  std::deque<int> queue_;
+  std::deque<int> requeue_;
+};
+
+void Widget::kick() {
+  schedule_at(1.0, [this] { queue_.push_back(1); });
+  schedule_at(2.0, [this] { requeue_.clear(); });
+}

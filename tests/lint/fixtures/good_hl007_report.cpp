@@ -1,0 +1,24 @@
+// HL007 clean fixture: the same report writer, but serialization order
+// is pinned — keys are copied out and sorted, or the container is an
+// ordered std::map to begin with.
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+void write_report(std::ostream& os) {
+  std::unordered_map<int, double> totals;
+  totals[3] = 1.0;
+  std::vector<int> keys;
+  keys.reserve(totals.size());
+  for (std::size_t i = 0; i < keys.capacity(); ++i) keys.push_back(0);
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) {
+    os << k << "=" << totals[k] << "\n";
+  }
+  std::map<int, double> ordered(totals.begin(), totals.end());
+  for (const auto& kv : ordered) {
+    os << kv.first << "=" << kv.second << "\n";
+  }
+}

@@ -1,0 +1,22 @@
+// HL008 clean fixture: event lambdas reach tracked state only through
+// the owning object's accessor methods (which carry HOMP_DSAN_WRITE),
+// never by mutating the member directly.
+#include <deque>
+
+template <class F>
+void schedule_at(double t, F fn);
+
+struct Widget {
+  void kick();
+  void enqueue(int v);   // accessor: HOMP_DSAN_WRITE(dsan_queue_) inside
+  void drop_requeued();  // accessor: HOMP_DSAN_WRITE(dsan_queue_) inside
+
+ private:
+  std::deque<int> queue_;
+  std::deque<int> requeue_;
+};
+
+void Widget::kick() {
+  schedule_at(1.0, [this] { enqueue(1); });
+  schedule_at(2.0, [this] { drop_requeued(); });
+}

@@ -1,0 +1,15 @@
+// HL007 suppression fixture: a genuinely order-free fold over an
+// unordered container — summing into a commutative accumulator — may be
+// annotated instead of sorted.
+#include <unordered_map>
+
+double report_total() {
+  std::unordered_map<int, double> totals;
+  totals[3] = 1.0;
+  double sum = 0.0;
+  // homp-lint: allow(HL007)
+  for (const auto& kv : totals) {
+    sum += kv.second;
+  }
+  return sum;
+}

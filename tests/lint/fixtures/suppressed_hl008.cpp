@@ -1,0 +1,17 @@
+// HL008 suppression fixture: a deliberate direct mutation (e.g. inside
+// the owning class's own accessor implementation, where the tracked
+// write already happened one frame up) may be annotated.
+#include <deque>
+
+template <class F>
+void schedule_at(double t, F fn);
+
+struct Widget {
+  void kick();
+  std::deque<int> queue_;
+};
+
+void Widget::kick() {
+  // homp-lint: allow(HL008)
+  schedule_at(1.0, [this] { queue_.push_back(1); });
+}

@@ -44,6 +44,8 @@ BAD_FIXTURES = {
     fx("bad_hl005.cpp"): ("HL005", 2),
     fx("obs", "bad_hl005_names.h"): ("HL005", 2),
     fx("serve", "src", "serve", "bad_hl006.cpp"): ("HL006", 4),
+    fx("bad_hl007_report.cpp"): ("HL007", 2),
+    fx("bad_hl008.cpp"): ("HL008", 2),
 }
 
 CLEAN_FIXTURES = [
@@ -61,6 +63,10 @@ CLEAN_FIXTURES = [
     fx("obs", "suppressed_hl005_names.h"),
     fx("serve", "src", "serve", "good_hl006.cpp"),
     fx("serve", "src", "serve", "suppressed_hl006.cpp"),
+    fx("good_hl007_report.cpp"),
+    fx("suppressed_hl007_report.cpp"),
+    fx("good_hl008.cpp"),
+    fx("suppressed_hl008.cpp"),
 ]
 
 
@@ -150,6 +156,43 @@ class ErrorContract(unittest.TestCase):
     def test_missing_path(self):
         r = run_lint(os.path.join(FIXTURES, "does_not_exist.cpp"))
         self.assertEqual(r.returncode, 2)
+
+
+class ParallelScan(unittest.TestCase):
+    def test_pool_and_serial_agree_byte_for_byte(self):
+        """--jobs N must not change the report: same diagnostics, same
+        order, same exit code as the serial scan."""
+        serial = run_lint("--strict", "--jobs", "1", FIXTURES)
+        pooled = run_lint("--strict", "--jobs", "4", FIXTURES)
+        self.assertEqual(serial.returncode, 1)
+        self.assertEqual(pooled.returncode, serial.returncode)
+        self.assertEqual(pooled.stdout, serial.stdout)
+
+
+class ChangedOnly(unittest.TestCase):
+    def test_scans_only_git_changed_files(self):
+        """--changed-only lints what git reports changed (plus untracked)
+        and skips committed-clean files even when they carry findings."""
+        bad = "#include <ctime>\nlong f() { return std::time(nullptr); }\n"
+        with tempfile.TemporaryDirectory() as d:
+            def git(*a):
+                subprocess.run(
+                    ["git", "-c", "user.email=l@l", "-c", "user.name=l", *a],
+                    cwd=d, check=True, capture_output=True)
+            git("init", "-q")
+            with open(os.path.join(d, "committed.cpp"), "w") as f:
+                f.write(bad)
+            git("add", "committed.cpp")
+            git("commit", "-q", "-m", "seed")
+            with open(os.path.join(d, "fresh.cpp"), "w") as f:
+                f.write(bad)
+            r = subprocess.run(
+                [sys.executable, LINTER, "--strict", "--changed-only", "."],
+                capture_output=True, text=True, cwd=d)
+            self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+            self.assertIn("fresh.cpp", r.stdout)
+            self.assertNotIn("committed.cpp", r.stdout)
+            self.assertIn("HL005", r.stderr)  # the disabled-pass notice
 
 
 class TreeIsClean(unittest.TestCase):

@@ -1,0 +1,292 @@
+#include "sim/dsan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace homp::sim {
+namespace {
+
+// The whole suite only makes sense when the hooks are compiled in; an
+// -DHOMP_DSAN=OFF build skips it (and separately asserts zero cost by
+// construction — the macros expand to nothing).
+#if HOMP_DSAN_ENABLED
+
+/// Two causally unrelated events at one timestamp, at least one writing
+/// an ordered cell: the defining violation.
+TEST(Dsan, OrderedWriteWriteSameTimestampViolates) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.run();
+  }
+  ctx.finish();
+  ASSERT_EQ(ctx.total_conflicts(), 1u);
+  ASSERT_EQ(ctx.violations().size(), 1u);
+  const dsan::Violation& v = ctx.violations()[0];
+  EXPECT_EQ(v.time, 1.0);
+  EXPECT_TRUE(v.first_write);
+  EXPECT_TRUE(v.second_write);
+  EXPECT_LT(v.first.seq, v.second.seq);
+  // The rendering is the repro's payload — pin its shape.
+  EXPECT_NE(v.to_string().find("test/ordered"), std::string::npos);
+  EXPECT_NE(v.to_string().find("concurrent"), std::string::npos);
+}
+
+TEST(Dsan, ReadReadNeverConflicts) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_READ(cell); });
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_READ(cell); });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// Different timestamps are always ordered by virtual time.
+TEST(Dsan, CrossTimestampWritesAreOrdered) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.schedule_at(2.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// A zero-delay schedule chain parent -> child -> grandchild stays inside
+/// the timestamp and carries happens-before all the way down.
+TEST(Dsan, ZeroDelayScheduleChainIsHappensBefore) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&] {
+      HOMP_DSAN_WRITE(cell);
+      e.schedule_after(0.0, [&] {
+        HOMP_DSAN_WRITE(cell);
+        e.schedule_after(0.0, [&] { HOMP_DSAN_WRITE(cell); });
+      });
+    });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok()) << (ctx.violations().empty()
+                                ? ""
+                                : ctx.violations()[0].to_string());
+}
+
+/// Two zero-delay children of *different* roots at the same timestamp
+/// share no chain — they are concurrent.
+TEST(Dsan, SiblingChainsAreConcurrent) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0,
+                  [&] { e.schedule_after(0.0, [&] { HOMP_DSAN_WRITE(cell); }); });
+    e.schedule_at(1.0,
+                  [&] { e.schedule_after(0.0, [&] { HOMP_DSAN_WRITE(cell); }); });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_EQ(ctx.total_conflicts(), 1u);
+}
+
+/// A non-zero-delay reschedule leaves the timestamp; ordering comes from
+/// virtual time again, not the chain.
+TEST(Dsan, NonZeroDelayBreaksTheChainButTimeOrders) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&] {
+      HOMP_DSAN_WRITE(cell);
+      e.schedule_after(0.5, [&] { HOMP_DSAN_WRITE(cell); });
+    });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// Same non-zero generation tag = single-owner contract = ordered.
+TEST(Dsan, SameGenerationTagIsHappensBefore) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  const Engine::GenTag gen = e.new_generation();
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); }, gen);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); }, gen);
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+TEST(Dsan, DifferentGenerationTagsAreConcurrent) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); }, e.new_generation());
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); }, e.new_generation());
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_EQ(ctx.total_conflicts(), 1u);
+}
+
+/// Commutative cells declare concurrent write-write order-insensitive...
+TEST(Dsan, CommutativeWritesDoNotConflict) {
+  Engine e;
+  dsan::Cell cell("test/commutative", dsan::CellKind::kCommutative);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// ...but a concurrent read against a write still violates: the reader
+/// observes an intermediate state that depends on intra-timestamp order.
+TEST(Dsan, CommutativeReadVsWriteStillConflicts) {
+  Engine e;
+  dsan::Cell cell("test/commutative", dsan::CellKind::kCommutative);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+    e.schedule_at(1.0, [&cell] { HOMP_DSAN_READ(cell); });
+    e.run();
+  }
+  ctx.finish();
+  ASSERT_EQ(ctx.total_conflicts(), 1u);
+  EXPECT_TRUE(ctx.violations()[0].first_write);
+  EXPECT_FALSE(ctx.violations()[0].second_write);
+}
+
+/// Repeated touches by one event collapse to one logical access; a lone
+/// event can never conflict with itself.
+TEST(Dsan, OneEventRmwIsOneAccess) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    e.schedule_at(1.0, [&cell] {
+      HOMP_DSAN_READ(cell);
+      HOMP_DSAN_WRITE(cell);
+      HOMP_DSAN_READ(cell);
+    });
+    e.run();
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// Sequential engines under one context never cross-talk: the window
+/// flushes when the engine pointer changes.
+TEST(Dsan, SequentialEnginesDoNotCrossConflict) {
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    {
+      Engine a;
+      a.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+      a.run();
+    }
+    {
+      Engine b;
+      b.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+      b.run();
+    }
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// Accesses outside any event (sequential harness code) are ignored.
+TEST(Dsan, AccessOutsideEventsIsIgnored) {
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  dsan::Context ctx;
+  {
+    dsan::Scope scope(ctx);
+    HOMP_DSAN_WRITE(cell);
+    HOMP_DSAN_WRITE(cell);
+  }
+  ctx.finish();
+  EXPECT_TRUE(ctx.ok());
+}
+
+/// With no scope attached the hooks are inert — the runtime gate.
+TEST(Dsan, NoActiveContextMeansNoTracking) {
+  Engine e;
+  dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+  e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+  e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+  e.run();
+  EXPECT_EQ(dsan::active(), nullptr);
+}
+
+/// Violation reports are byte-identical across identical runs — the
+/// property that makes dsan repros diffable in CI.
+TEST(Dsan, ReportsAreByteStableAcrossRuns) {
+  auto run = [] {
+    Engine e;
+    dsan::Cell cell("test/ordered", dsan::CellKind::kOrdered);
+    dsan::Context ctx;
+    {
+      dsan::Scope scope(ctx);
+      e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+      e.schedule_at(1.0, [&cell] { HOMP_DSAN_WRITE(cell); });
+      e.run();
+    }
+    ctx.finish();
+    std::string out;
+    for (const auto& v : ctx.violations()) out += v.to_string() + "\n";
+    return out;
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  for (int i = 0; i < 10; ++i) {
+    // Cell uids advance between runs (construction-order identity), so
+    // compare everything after the "#<uid>" prefix.
+    const std::string again = run();
+    EXPECT_EQ(first.substr(first.find(':')), again.substr(again.find(':')));
+  }
+}
+
+#else  // !HOMP_DSAN_ENABLED
+
+TEST(Dsan, CompiledOut) { EXPECT_FALSE(dsan::compiled_in()); }
+
+#endif  // HOMP_DSAN_ENABLED
+
+}  // namespace
+}  // namespace homp::sim

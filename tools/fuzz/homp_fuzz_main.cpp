@@ -29,6 +29,7 @@
 #include "common/error.h"
 #include "fuzz/driver.h"
 #include "fuzz/serve_driver.h"
+#include "sim/dsan.h"
 
 namespace {
 
@@ -48,6 +49,15 @@ void usage(std::ostream& os) {
         "                     plant the acceptance-test violation into\n"
         "                     every scenario (integrity off + scripted\n"
         "                     silent compute corruption)\n"
+        "  --plant dsan-conflict\n"
+        "                     plant a same-timestamp write-write conflict\n"
+        "                     the determinism sanitizer must catch\n"
+        "                     (implies --dsan; not a serve-mode option)\n"
+        "  --dsan             sweep the corpus under homp-dsan\n"
+        "                     (docs/DETERMINISM.md): same-timestamp\n"
+        "                     conflicts become dsan-determinism failures\n"
+        "                     and dsan-repro-<seed> files; works in both\n"
+        "                     corpus modes\n"
         "\n"
         "serve mode (--serve): multi-tenant server scenarios checked\n"
         "against the serve-invariant catalog (fault containment, breaker,\n"
@@ -166,11 +176,18 @@ int main(int argc, char** argv) {
         serve_cfg.shrink_failures = false;
       } else if (arg == "--plant") {
         const std::string what = value();
-        if (what != "corrupt-commit") {
-          throw homp::ConfigError("unknown --plant mode '" + what +
-                                  "' (only corrupt-commit)");
+        if (what == "corrupt-commit") {
+          cfg.plant = true;
+        } else if (what == "dsan-conflict") {
+          cfg.plant_dsan = true;
+        } else {
+          throw homp::ConfigError(
+              "unknown --plant mode '" + what +
+              "' (corrupt-commit or dsan-conflict)");
         }
-        cfg.plant = true;
+      } else if (arg == "--dsan") {
+        cfg.dsan = true;
+        serve_cfg.dsan = true;
       } else if (arg == "--replay") {
         replay_path = value();
       } else {
@@ -178,12 +195,19 @@ int main(int argc, char** argv) {
       }
     }
 
+    if ((cfg.dsan || serve_cfg.dsan || cfg.plant_dsan) &&
+        !homp::sim::dsan::compiled_in()) {
+      std::cerr << "homp-fuzz: --dsan needs the sanitizer compiled in "
+                   "(rebuild without -DHOMP_DSAN=OFF)\n";
+      return 2;
+    }
+
     if (!replay_path.empty()) {
       return run_replay(replay_path);
     }
 
     if (serve) {
-      if (cfg.plant) {
+      if (cfg.plant || cfg.plant_dsan) {
         throw homp::ConfigError("--plant is not a serve-mode option");
       }
       const auto summary = homp::fuzz::run_serve_fuzz(serve_cfg);

@@ -45,6 +45,22 @@ HL006  untagged-serve-timer   Engine::schedule_at / schedule_after called
                               after a drain) holds only because every server
                               timer is cancellable via its tag; an untagged
                               arm outlives the job that armed it.
+HL007  unordered-export-iter  Range-for over a std::unordered_map /
+                              unordered_set declared in the same file, inside
+                              code that feeds exports, digests or oracles
+                              (src/obs, src/fuzz, or a basename containing
+                              report/export/metrics/trace/digest/summary/
+                              oracle).  Unordered iteration order varies
+                              across libc++/libstdc++ and hash seeds, so
+                              anything serialized from it silently stops
+                              being byte-identical (docs/DETERMINISM.md).
+HL008  untracked-event-write  Direct mutation of a dsan-tracked member
+                              (tools/lint/dsan_cells.toml roster) inside an
+                              event lambda at a deferred-execution site.
+                              Writes to tracked shared state must route
+                              through the owning object's accessor carrying
+                              HOMP_DSAN_READ/WRITE, or the determinism
+                              sanitizer never sees them.
 
 Suppression
 -----------
@@ -57,8 +73,10 @@ Exit codes: 0 = clean, 1 = diagnostics emitted, 2 = usage/config error.
 import argparse
 import bisect
 import json
+import multiprocessing
 import os
 import re
+import subprocess
 import sys
 
 DEFAULT_EXTS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
@@ -81,6 +99,8 @@ CHECKS = {
     "HL004": "header-hygiene",
     "HL005": "dead-telemetry",
     "HL006": "untagged-serve-timer",
+    "HL007": "unordered-export-iter",
+    "HL008": "untracked-event-write",
 }
 
 SUPPRESS_RE = re.compile(r"homp-lint:\s*allow\(([^)]*)\)")
@@ -120,11 +140,13 @@ class SourceFile:
     """One parsed source file: raw text, comment/string-blanked text, and a
     newline index so byte offsets map back to 1-based line numbers."""
 
-    def __init__(self, path, text):
+    def __init__(self, path, text, clean=None):
         self.path = path
         self.text = text
         self.lines = text.splitlines()
-        self.clean = _blank_comments_and_strings(text)
+        # `clean` may be handed in precomputed (the worker pool ships it
+        # back so the cross-file pass need not re-blank every file).
+        self.clean = _blank_comments_and_strings(text) if clean is None else clean
         self._nl = [i for i, ch in enumerate(text) if ch == "\n"]
 
     def line_of(self, offset):
@@ -611,6 +633,189 @@ def check_hl006(sf, diags):
 
 
 # ---------------------------------------------------------------------------
+# HL007 — unordered-container iteration in export/digest/oracle paths
+# ---------------------------------------------------------------------------
+
+# Files whose output is expected to be byte-stable: the observability and
+# fuzz layers (exports, digests, oracles) plus anything whose name says it
+# serializes (report writers, metric exporters, trace/summary emitters).
+HL007_BASENAME_TOKENS = (
+    "report", "export", "metrics", "trace", "digest", "summary", "oracle")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(([^();]*):\s*((?:\w+(?:\.|->))*(\w+))\s*\)")
+
+
+def _in_export_scope(path):
+    parts = _parts(path)
+    if any(a == "src" and b in ("obs", "fuzz")
+           for a, b in zip(parts, parts[1:])):
+        return True
+    base = os.path.basename(path).lower()
+    return any(tok in base for tok in HL007_BASENAME_TOKENS)
+
+
+def _unordered_names(clean):
+    """Variable/member names declared with an unordered container type in
+    this file (declaration = `unordered_map<...> name`)."""
+    names = set()
+    n = len(clean)
+    for m in UNORDERED_DECL_RE.finditer(clean):
+        i = clean.find("<", m.start())
+        depth, j = 0, i
+        while j < n:
+            if clean[j] == "<":
+                depth += 1
+            elif clean[j] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        if j >= n:
+            continue
+        mm = re.match(r"[\s&*]*(\w+)", clean[j + 1:])
+        if mm and mm.group(1) not in ("const", "constexpr"):
+            names.add(mm.group(1))
+    return names
+
+
+def check_hl007(sf, diags):
+    if not _in_export_scope(sf.path):
+        return
+    unordered = _unordered_names(sf.clean)
+    if not unordered:
+        return
+    for m in RANGE_FOR_RE.finditer(sf.clean):
+        if m.group(3) not in unordered:
+            continue
+        line = sf.line_of(m.start())
+        if sf.suppressed(line, "HL007"):
+            continue
+        diags.append(Diagnostic(
+            "HL007", sf.path, line,
+            "iteration over unordered container '%s' in an export/digest/"
+            "oracle path; unordered order differs across standard libraries "
+            "and hash seeds, so serialized output stops being byte-identical"
+            % m.group(3),
+            "use std::map/std::set, or copy the keys out and sort before "
+            "iterating; a genuinely order-free fold (count, sum into a "
+            "commutative accumulator) may be suppressed with "
+            "// homp-lint: allow(HL007)"))
+
+
+# ---------------------------------------------------------------------------
+# HL008 — tracked-state writes from event lambdas bypassing dsan accessors
+# ---------------------------------------------------------------------------
+
+MUTATOR_METHODS = (
+    "push_back|push_front|pop_back|pop_front|erase|insert|emplace\\w*"
+    "|clear|resize|assign")
+
+
+def load_dsan_roster(path):
+    """Parse the [tracked] members list from dsan_cells.toml.  Returns []
+    when the file does not exist (HL008 then has nothing to check)."""
+    if not os.path.isfile(path):
+        return []
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError as e:
+        raise ConfigError("cannot read dsan roster %s: %s" % (path, e))
+    try:
+        import tomllib
+        data = tomllib.loads(raw.decode("utf-8"))
+        members = data.get("tracked", {}).get("members", [])
+    except ModuleNotFoundError:
+        members = _parse_roster_fallback(raw.decode("utf-8"), path)
+    except Exception as e:  # tomllib.TOMLDecodeError
+        raise ConfigError("malformed %s: %s" % (path, e))
+    if not isinstance(members, list) or not all(
+            isinstance(x, str) and x for x in members):
+        raise ConfigError("%s: [tracked] members must be a list of "
+                          "non-empty strings" % path)
+    return sorted(set(members))
+
+
+def _parse_roster_fallback(text, path):
+    in_table = False
+    buf = None
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if re.match(r"^\s*\[tracked\]\s*$", line):
+            in_table = True
+            continue
+        if re.match(r"^\s*\[", line):
+            in_table = False
+            continue
+        if in_table:
+            m = re.match(r"^\s*members\s*=\s*\[(.*)$", line)
+            if m is not None:
+                buf = m.group(1)
+            elif buf is not None:
+                buf += " " + line
+            if buf is not None and "]" in buf:
+                inner = buf[:buf.index("]")]
+                return [t.strip().strip('"').strip("'")
+                        for t in inner.split(",") if t.strip()]
+    if buf is not None:
+        raise ConfigError("%s: unterminated members list" % path)
+    return []
+
+
+def _matching_brace(clean, open_idx):
+    depth = 0
+    for i in range(open_idx, len(clean)):
+        if clean[i] == "{":
+            depth += 1
+        elif clean[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(clean) - 1
+
+
+def check_hl008(sf, diags, roster):
+    if not roster:
+        return
+    mut_re = re.compile(
+        r"\b(%s)\s*(?:\.|->)\s*(?:%s)\s*\(|\b(%s)\s*=(?!=)"
+        % ("|".join(map(re.escape, roster)), MUTATOR_METHODS,
+           "|".join(map(re.escape, roster))))
+    for m in DEFERRED_SITE_RE.finditer(sf.clean):
+        open_idx = m.end() - 1
+        close_idx = _matching_paren(sf.clean, open_idx)
+        args = sf.clean[open_idx + 1:close_idx]
+        for lm in LAMBDA_INTRO_RE.finditer(args):
+            body_open = args.find("{", lm.end())
+            if body_open == -1:
+                continue
+            abs_open = open_idx + 1 + body_open
+            abs_close = _matching_brace(sf.clean, abs_open)
+            body = sf.clean[abs_open:abs_close + 1]
+            for bm in mut_re.finditer(body):
+                name = bm.group(1) or bm.group(2)
+                line = sf.line_of(abs_open + bm.start())
+                if sf.suppressed(line, "HL008"):
+                    continue
+                diags.append(Diagnostic(
+                    "HL008", sf.path, line,
+                    "event lambda mutates dsan-tracked state '%s' directly; "
+                    "the write bypasses the tracked accessor, so homp-dsan "
+                    "cannot see it and the happens-before analysis is blind "
+                    "to the conflict" % name,
+                    "route the mutation through the owning object's accessor "
+                    "method carrying HOMP_DSAN_WRITE (docs/DETERMINISM.md "
+                    "\"Tracked cells\"), or update "
+                    "tools/lint/dsan_cells.toml if the member is no longer "
+                    "tracked"))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -633,10 +838,62 @@ def collect_files(paths):
     return files, errors
 
 
+def _run_file_checks(sf, diags, enabled, strict, layers, roster):
+    """Every per-file check (HL005 is cross-file and runs separately)."""
+    if "HL001" in enabled:
+        check_hl001(sf, diags, strict, exempt_tests=True)
+    if "HL002" in enabled:
+        check_hl002(sf, diags)
+    if "HL003" in enabled:
+        check_hl003(sf, diags, layers)
+    if "HL004" in enabled:
+        check_hl004(sf, diags)
+    if "HL006" in enabled:
+        check_hl006(sf, diags)
+    if "HL007" in enabled:
+        check_hl007(sf, diags)
+    if "HL008" in enabled:
+        check_hl008(sf, diags, roster)
+
+
+def _scan_worker(task):
+    """Pool worker: parse one file and run the per-file checks.  Returns
+    (path, text, clean, diag_tuples, error) — plain picklable types; the
+    parent reassembles SourceFile (for HL005) and Diagnostic objects."""
+    path, enabled, strict, layers, roster = task
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return (path, None, None, [], str(e))
+    sf = SourceFile(path, text)
+    diags = []
+    _run_file_checks(sf, diags, enabled, strict, layers, roster)
+    return (path, text, sf.clean,
+            [(d.check_id, d.path, d.line, d.message, d.hint) for d in diags],
+            None)
+
+
+def changed_files():
+    """Paths touched relative to HEAD (staged, unstaged, and untracked),
+    as git reports them — the --changed-only work list."""
+    out = []
+    for cmd in (["git", "diff", "--name-only", "HEAD", "--"],
+                ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            r = subprocess.run(cmd, capture_output=True, text=True,
+                               check=True)
+        except (OSError, subprocess.CalledProcessError) as e:
+            raise ConfigError("--changed-only needs a git checkout: %s" % e)
+        out.extend(line.strip() for line in r.stdout.splitlines()
+                   if line.strip())
+    return set(os.path.normpath(p) for p in out)
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         prog="homp_lint.py",
-        description="HOMP project-invariant static analysis (HL001-HL006).")
+        description="HOMP project-invariant static analysis (HL001-HL008).")
     ap.add_argument("paths", nargs="*", default=[],
                     help="files or directories to scan (default: src tests)")
     ap.add_argument("--json", action="store_true",
@@ -644,11 +901,22 @@ def main(argv=None):
     ap.add_argument("--config", default=None,
                     help="layer DAG TOML (default: layers.toml next to this "
                          "script)")
+    ap.add_argument("--dsan-cells", default=None,
+                    help="HL008 tracked-member roster TOML (default: "
+                         "dsan_cells.toml next to this script)")
     ap.add_argument("--strict", action="store_true",
                     help="disable built-in path exemptions (HL001 under "
                          "tests/bench/examples); used by the fixture suite")
     ap.add_argument("--checks", default=",".join(sorted(CHECKS)),
                     help="comma-separated check IDs to run (default: all)")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="worker processes for the scan (0 = auto: one per "
+                         "core, capped at 8; 1 = serial)")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="scan only files git reports as changed relative "
+                         "to HEAD (plus untracked); disables the cross-file "
+                         "HL005 pass, which needs the whole tree.  CI runs "
+                         "full-tree mode; this is the fast local loop")
     ap.add_argument("--telemetry-struct", default="DeviceStats")
     ap.add_argument("--telemetry-enum", default="RecoveryAction")
     ap.add_argument("--list-checks", action="store_true",
@@ -668,10 +936,13 @@ def main(argv=None):
         return 2
 
     paths = args.paths or ["src", "tests"]
-    config = args.config or os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                                         "layers.toml")
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    config = args.config or os.path.join(script_dir, "layers.toml")
+    roster_path = args.dsan_cells or os.path.join(script_dir,
+                                                  "dsan_cells.toml")
     try:
         layers = load_layers(config)
+        roster = load_dsan_roster(roster_path) if "HL008" in enabled else []
     except ConfigError as e:
         print("homp-lint: %s" % e, file=sys.stderr)
         return 2
@@ -682,27 +953,52 @@ def main(argv=None):
               file=sys.stderr)
         return 2
 
-    files = []
-    for p in file_paths:
+    if args.changed_only:
         try:
-            with open(p, encoding="utf-8", errors="replace") as f:
-                files.append(SourceFile(p, f.read()))
-        except OSError as e:
-            print("homp-lint: cannot read %s: %s" % (p, e), file=sys.stderr)
+            changed = changed_files()
+        except ConfigError as e:
+            print("homp-lint: %s" % e, file=sys.stderr)
             return 2
+        file_paths = [p for p in file_paths
+                      if os.path.normpath(p) in changed
+                      or os.path.normpath(os.path.relpath(p)) in changed]
+        if "HL005" in enabled:
+            # Dead-telemetry needs every reference site in the tree; a
+            # partial scan would flag counters whose users simply were
+            # not read.  CI's full-tree run keeps HL005 coverage.
+            enabled.discard("HL005")
+            print("homp-lint: --changed-only disables HL005 "
+                  "(cross-file; needs the full tree)", file=sys.stderr)
 
+    jobs = args.jobs if args.jobs > 0 else min(8, os.cpu_count() or 1)
+    need_sources = "HL005" in enabled
     diags = []
-    for sf in files:
-        if "HL001" in enabled:
-            check_hl001(sf, diags, args.strict, exempt_tests=True)
-        if "HL002" in enabled:
-            check_hl002(sf, diags)
-        if "HL003" in enabled:
-            check_hl003(sf, diags, layers)
-        if "HL004" in enabled:
-            check_hl004(sf, diags)
-        if "HL006" in enabled:
-            check_hl006(sf, diags)
+    files = []
+    if jobs > 1 and len(file_paths) > 8:
+        tasks = [(p, enabled, args.strict, layers, roster)
+                 for p in file_paths]
+        with multiprocessing.Pool(jobs) as pool:
+            results = pool.map(_scan_worker, tasks, chunksize=8)
+        for path, text, clean, dtuples, err in results:
+            if err is not None:
+                print("homp-lint: cannot read %s: %s" % (path, err),
+                      file=sys.stderr)
+                return 2
+            if need_sources:
+                files.append(SourceFile(path, text, clean))
+            diags.extend(Diagnostic(*t) for t in dtuples)
+    else:
+        for p in file_paths:
+            try:
+                with open(p, encoding="utf-8", errors="replace") as f:
+                    sf = SourceFile(p, f.read())
+            except OSError as e:
+                print("homp-lint: cannot read %s: %s" % (p, e),
+                      file=sys.stderr)
+                return 2
+            if need_sources:
+                files.append(sf)
+            _run_file_checks(sf, diags, enabled, args.strict, layers, roster)
     if "HL005" in enabled:
         check_hl005(files, diags, args.telemetry_struct, args.telemetry_enum)
 
@@ -722,7 +1018,7 @@ def main(argv=None):
             counts[d.check_id] = counts.get(d.check_id, 0) + 1
         print(json.dumps({
             "version": 1,
-            "files_scanned": len(files),
+            "files_scanned": len(file_paths),
             "diagnostics": [d.as_dict() for d in diags],
             "counts": counts,
         }, indent=2))
@@ -731,7 +1027,7 @@ def main(argv=None):
             print(d.render())
         if diags:
             print("homp-lint: %d diagnostic(s) in %d file(s) scanned"
-                  % (len(diags), len(files)), file=sys.stderr)
+                  % (len(diags), len(file_paths)), file=sys.stderr)
     return 1 if diags else 0
 
 
