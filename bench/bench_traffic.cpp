@@ -270,7 +270,7 @@ std::string format_number(double v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_out, metrics_out;
+  std::string json_out, metrics_out, audit_out;
   bool smoke = false;
   bool soak = false;
   for (int i = 1; i < argc; ++i) {
@@ -278,6 +278,8 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit-out") == 0 && i + 1 < argc) {
+      audit_out = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--soak") == 0) {
@@ -285,7 +287,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json-out FILE] [--metrics-out FILE] "
-                   "[--smoke] [--soak]\n",
+                   "[--audit-out FILE] [--smoke] [--soak]\n",
                    argv[0]);
       return 2;
     }
@@ -371,6 +373,18 @@ int main(int argc, char** argv) {
         << "\"gold_p99_ratio\": " << format_number(ratio) << ",\n"
         << "\"unloaded\": " << unloaded.summary_json
         << ",\n\"overload\": " << loaded.summary_json << "}\n";
+  }
+
+  if (!audit_out.empty()) {
+    // Serve decision audit of the overload phase: the shed-ladder and
+    // breaker activity homp-advise attributes per tenant.
+    std::ofstream out(audit_out);
+    if (!out) {
+      std::fprintf(stderr, "bench_traffic: cannot write %s\n",
+                   audit_out.c_str());
+      return 2;
+    }
+    loaded.report.write_audit_json(out);
   }
 
   if (!metrics_out.empty()) {

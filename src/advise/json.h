@@ -1,0 +1,94 @@
+#ifndef HOMP_ADVISE_JSON_H
+#define HOMP_ADVISE_JSON_H
+
+/// \file json.h
+/// Minimal recursive-descent JSON reader for the offline advisor.
+///
+/// The advisor consumes only artifacts HOMP itself wrote (decision
+/// audits, metrics registries, chrome traces, serve audits, bench
+/// records), so this parser targets exactly that dialect: objects,
+/// arrays, strings with \uXXXX escapes, numbers via strtod, true/false/
+/// null. Object members keep their document order — the advisor's
+/// re-export paths depend on it for byte-identical output — and lookup
+/// is linear, which is fine at audit sizes (thousands of members).
+///
+/// Errors raise homp::ParseError with the byte offset, the same type the
+/// pragma front end uses, so CLI surfaces map every malformed input to
+/// one exit-2 path.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace homp::advise {
+
+/// One parsed JSON value. A tagged union over the five JSON kinds
+/// (integers are not distinguished from doubles; the writer re-derives
+/// integerness the same way the metrics registry does).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+
+  /// Value accessors. Wrong-type access returns the neutral value
+  /// (0.0 / false / "" / empty container) instead of throwing: the
+  /// advisor treats missing-or-mistyped fields as absent evidence, and
+  /// has_key()/find() exist for the cases that must distinguish.
+  double number() const noexcept { return type_ == Type::kNumber ? num_ : 0.0; }
+  bool boolean() const noexcept { return type_ == Type::kBool && num_ != 0.0; }
+  const std::string& string() const noexcept { return str_; }
+  const std::vector<Json>& array() const noexcept { return arr_; }
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return obj_;
+  }
+
+  /// Object lookup, first match in document order; nullptr when absent
+  /// or when this value is not an object.
+  const Json* find(const std::string& key) const noexcept;
+  bool has_key(const std::string& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Convenience: find(key)->number() with a fallback for absence.
+  double number_or(const std::string& key, double fallback) const noexcept;
+  /// Convenience: find(key)->string() or "" for absence.
+  const std::string& string_or_empty(const std::string& key) const noexcept;
+
+  /// Parse one complete document; trailing non-whitespace is an error.
+  /// Throws homp::ParseError with the offending byte offset.
+  static Json parse(const std::string& text);
+
+  /// Parse the file at `path`. Throws homp::ConfigError when the file
+  /// cannot be read, homp::ParseError when its content is malformed.
+  static Json parse_file(const std::string& path);
+
+  // Construction helpers for the ingestion code (tests build expected
+  // values with these too).
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool b);
+  static Json make_number(double v);
+  static Json make_string(std::string s);
+  static Json make_array(std::vector<Json> items);
+  static Json make_object(std::vector<std::pair<std::string, Json>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace homp::advise
+
+#endif  // HOMP_ADVISE_JSON_H

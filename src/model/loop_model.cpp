@@ -117,6 +117,12 @@ CutoffResult apply_cutoff(const std::vector<double>& weights,
   CutoffResult res;
   res.selected.assign(weights.size(), true);
   res.weights = weights;
+  res.pre_weights = weights;
+  double pre_total = 0.0;
+  for (double w : weights) pre_total += w;
+  if (pre_total > 0.0) {
+    for (double& w : res.pre_weights) w /= pre_total;
+  }
 
   auto renormalize = [&res] {
     double total = 0.0;

@@ -76,6 +76,12 @@ double predicted_completion_time(long long n_iters,
 struct CutoffResult {
   std::vector<bool> selected;    ///< per input position
   std::vector<double> weights;   ///< renormalized; 0 for dropped devices
+  /// The pre-drop shares (input weights normalized to sum 1): what each
+  /// device was predicted to contribute before any drop. A dropped
+  /// device's renormalized weight is 0, so this is the only place its
+  /// predicted share survives — the offline advisor's drop-regret
+  /// estimate divides by it (docs/OBSERVABILITY.md "Advisor").
+  std::vector<double> pre_weights;
   int num_selected = 0;
 };
 

@@ -57,6 +57,18 @@ inline constexpr char kDeviceVoteRounds[] = "homp_device_vote_rounds_total";
 inline constexpr char kModel1RelError[] = "homp_model1_mean_rel_error";
 inline constexpr char kModel2RelError[] = "homp_model2_mean_rel_error";
 inline constexpr char kProfileRelError[] = "homp_profile_mean_rel_error";
+// Advisor inputs: sample counts qualify the means above (a mean over 2
+// chunks is anecdote, over 200 it is evidence), the extrema expose
+// outlier-vs-systematic error shape. Extrema gauges hold -1 until the
+// first sample.
+inline constexpr char kModelSamples[] = "homp_model_prediction_samples";
+inline constexpr char kProfileSamples[] = "homp_profile_prediction_samples";
+inline constexpr char kModel1ErrorMin[] = "homp_model1_rel_error_min";
+inline constexpr char kModel1ErrorMax[] = "homp_model1_rel_error_max";
+inline constexpr char kModel2ErrorMin[] = "homp_model2_rel_error_min";
+inline constexpr char kModel2ErrorMax[] = "homp_model2_rel_error_max";
+inline constexpr char kProfileErrorMin[] = "homp_profile_rel_error_min";
+inline constexpr char kProfileErrorMax[] = "homp_profile_rel_error_max";
 
 // ---- multi-tenant serving (docs/SERVING.md) ------------------------------
 inline constexpr char kServeSubmitted[] = "homp_serve_submitted_total";

@@ -56,6 +56,12 @@ void Histogram::observe(double v) noexcept {
   sum_ += v;
 }
 
+void Histogram::add_bucket(int i, std::uint64_t n) noexcept {
+  if (i < 0 || i >= kNumBuckets) return;
+  buckets_[i] += n;
+  count_ += n;
+}
+
 void Histogram::merge(const Histogram& other) noexcept {
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
@@ -176,7 +182,10 @@ void MetricsRegistry::write_json(std::ostream& os) const {
         os << R"({"le": )" << format_number(Histogram::upper_bound(i))
            << R"(, "count": )" << cum << '}';
       }
-      if (last >= 0 && last < Histogram::kNumBuckets - 1) os << ", ";
+      // A comma is due whenever any finite row was emitted above — also
+      // when the last occupied bucket IS the final (+Inf-bound) one, in
+      // which case every finite row printed and +Inf still follows.
+      if (last >= 0) os << ", ";
       os << R"({"le": "+Inf", "count": )" << m.hist.count() << "}]";
     } else {
       os << ", \"value\": " << format_number(m.value);

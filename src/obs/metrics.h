@@ -48,6 +48,14 @@ class Histogram {
   void observe(double v) noexcept;
   void merge(const Histogram& other) noexcept;
 
+  /// Exact reconstruction of an exported histogram (the offline session
+  /// store reloads write_json output so cross-run merges stay
+  /// bucket-exact): add `n` samples' worth of count into bucket `i`
+  /// without touching the sum, then account the exported sum once via
+  /// add_sum(). Out-of-range bucket indices are ignored.
+  void add_bucket(int i, std::uint64_t n) noexcept;
+  void add_sum(double s) noexcept { sum_ += s; }
+
   std::uint64_t count() const noexcept { return count_; }
   double sum() const noexcept { return sum_; }
   /// Count in bucket i alone (not cumulative).

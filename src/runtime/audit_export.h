@@ -1,0 +1,48 @@
+#ifndef HOMP_RUNTIME_AUDIT_EXPORT_H
+#define HOMP_RUNTIME_AUDIT_EXPORT_H
+
+/// \file audit_export.h
+/// Deterministic JSON export of one offload's scheduler decision audit
+/// (docs/OBSERVABILITY.md "Decision audit"): the offline advisor's
+/// primary input (src/advise, the homp-advise CLI).
+///
+/// The document carries everything attribution needs in one file:
+///   - the run header (algorithm, virtual makespan, chunk count,
+///     degraded flag) and, when CUTOFF ran, the selection verdict with
+///     both pre-drop and renormalized weights;
+///   - per-device telemetry: finish time, work counters, the
+///     watchdog/speculation counters, and the full PredictionErrorStats
+///     (means, sample counts, relative-error extrema);
+///   - the decision stream itself, each record with its chunk range,
+///     chunk_bytes, the three predictor estimates, the EWMA at decision
+///     time, and the backfilled actual.
+///
+/// Schema version rides in "homp_audit_version" so consumers can sniff
+/// the kind of a JSON artifact (metrics files carry
+/// "homp_metrics_version", serve audits "homp_serve_audit_version").
+/// Export is byte-identical across identical seeded runs: numbers render
+/// through the same integer/%.17g rule as the metrics registry, strings
+/// are fully escaped.
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/options.h"
+
+namespace homp::rt {
+
+/// Current "homp_audit_version" value.
+inline constexpr int kAuditVersion = 1;
+
+/// Write the audit document for `res`. The result must carry decisions
+/// (run with OffloadOptions::collect_audit or collect_trace) — throws
+/// ConfigError otherwise, mirroring write_chrome_trace_file's contract.
+void write_audit_json(const OffloadResult& res, std::ostream& os);
+
+/// write_audit_json to `path`; throws ConfigError when the file cannot
+/// be opened.
+void write_audit_file(const OffloadResult& res, const std::string& path);
+
+}  // namespace homp::rt
+
+#endif  // HOMP_RUNTIME_AUDIT_EXPORT_H

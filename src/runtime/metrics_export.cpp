@@ -69,10 +69,20 @@ void collect_metrics(const OffloadResult& res, obs::MetricsRegistry& reg) {
             double(d.integrity_reexecutions));
     reg.add(names::kDeviceVoteRounds, dev, double(d.vote_rounds));
 
-    // Model accuracy (gauges: the means, not the raw sums).
+    // Model accuracy (gauges: the means, not the raw sums), qualified by
+    // sample counts and relative-error extrema for the offline advisor.
     reg.set(names::kModel1RelError, dev, d.prediction.model1_mean());
     reg.set(names::kModel2RelError, dev, d.prediction.model2_mean());
     reg.set(names::kProfileRelError, dev, d.prediction.profile_mean());
+    reg.set(names::kModelSamples, dev, double(d.prediction.model_samples));
+    reg.set(names::kProfileSamples, dev,
+            double(d.prediction.profile_samples));
+    reg.set(names::kModel1ErrorMin, dev, d.prediction.model1_err_min);
+    reg.set(names::kModel1ErrorMax, dev, d.prediction.model1_err_max);
+    reg.set(names::kModel2ErrorMin, dev, d.prediction.model2_err_min);
+    reg.set(names::kModel2ErrorMax, dev, d.prediction.model2_err_max);
+    reg.set(names::kProfileErrorMin, dev, d.prediction.profile_err_min);
+    reg.set(names::kProfileErrorMax, dev, d.prediction.profile_err_max);
   }
 }
 

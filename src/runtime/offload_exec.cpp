@@ -755,6 +755,8 @@ void OffloadExecution::try_fetch(int slot) {
     chunk.decision_index =
         note_decision(slot, DecisionKind::kChunkAssigned, chunk.range, source);
     SchedDecision& d = decisions_.back();
+    d.chunk_bytes = effective_profile_.transfer_bytes_per_iter *
+                    static_cast<double>(chunk.range.size());
     predict_chunk(p, chunk.range, &d.predicted_model1_s,
                   &d.predicted_model2_s, &d.predicted_profile_s);
   }
@@ -1861,6 +1863,8 @@ void OffloadExecution::watchdog_soft(int slot, std::uint64_t serial) {
     note_decision(slot, DecisionKind::kSpeculated, p.computing->range,
                   "tardy chunk offered to the survivors");
     SchedDecision& d = decisions_.back();
+    d.chunk_bytes = effective_profile_.transfer_bytes_per_iter *
+                    static_cast<double>(p.computing->range.size());
     predict_chunk(p, p.computing->range, &d.predicted_model1_s,
                   &d.predicted_model2_s, &d.predicted_profile_s);
   }
@@ -2104,11 +2108,21 @@ void OffloadExecution::accumulate_prediction_error(Proxy& p,
   PredictionErrorStats& e = p.stats.prediction;
   // MODEL_1 predicts pure compute; MODEL_2 and PROFILE predict the whole
   // fetch-to-compute-done span the scheduler's report() also sees.
-  e.model1_err_sum += std::abs(m1 - compute_s) / compute_s;
-  e.model2_err_sum += std::abs(m2 - chunk_s) / chunk_s;
+  const auto extrema = [](double& mn, double& mx, double v) {
+    if (mn < 0.0 || v < mn) mn = v;
+    if (v > mx) mx = v;
+  };
+  const double e1 = std::abs(m1 - compute_s) / compute_s;
+  const double e2 = std::abs(m2 - chunk_s) / chunk_s;
+  e.model1_err_sum += e1;
+  e.model2_err_sum += e2;
+  extrema(e.model1_err_min, e.model1_err_max, e1);
+  extrema(e.model2_err_min, e.model2_err_max, e2);
   ++e.model_samples;
   if (prof >= 0.0) {
-    e.profile_err_sum += std::abs(prof - chunk_s) / chunk_s;
+    const double ep = std::abs(prof - chunk_s) / chunk_s;
+    e.profile_err_sum += ep;
+    extrema(e.profile_err_min, e.profile_err_max, ep);
     ++e.profile_samples;
   }
 }
@@ -2285,7 +2299,14 @@ void OffloadExecution::launch() {
       for (const auto& p : proxies_) {
         const auto s = static_cast<std::size_t>(p->slot);
         const bool kept = s < cut->selected.size() && cut->selected[s];
-        const double w = s < cut->weights.size() ? cut->weights[s] : 0.0;
+        // Kept devices report their renormalized share (Table V's
+        // predicted contribution); dropped devices report the pre-drop
+        // share — their renormalized weight is 0 by definition, which
+        // would erase the very figure drop-regret analysis needs.
+        const double w = kept ? (s < cut->weights.size() ? cut->weights[s] : 0.0)
+                              : (s < cut->pre_weights.size()
+                                     ? cut->pre_weights[s]
+                                     : 0.0);
         note_decision(p->slot,
                       kept ? DecisionKind::kCutoffKept
                            : DecisionKind::kCutoffDropped,

@@ -330,6 +330,11 @@ struct SchedDecision {
   DecisionKind kind = DecisionKind::kChunkAssigned;
   dist::Range range;  ///< chunk concerned; empty for device-level records
 
+  /// Bytes this chunk moves over the device link (the kernel profile's
+  /// per-iteration transfer characteristic times the chunk size); 0 for
+  /// device-level records. The advisor's regret estimates divide by it.
+  double chunk_bytes = 0.0;
+
   /// MODEL_1 prediction: pure compute seconds for the chunk.
   double predicted_model1_s = -1.0;
   /// MODEL_2 prediction: compute + Hockney transfer + launch seconds.
@@ -388,6 +393,16 @@ struct PredictionErrorStats {
   double profile_err_sum = 0.0;  ///< history rate vs fetch-to-compute-done
   std::size_t model_samples = 0;
   std::size_t profile_samples = 0;  ///< chunks with a history rate
+
+  /// Per-predictor relative-error extrema (-1 until the first sample):
+  /// the advisor's spread evidence — a mean alone cannot distinguish a
+  /// uniformly-wrong model from one wrecked by a single outlier chunk.
+  double model1_err_min = -1.0;
+  double model1_err_max = -1.0;
+  double model2_err_min = -1.0;
+  double model2_err_max = -1.0;
+  double profile_err_min = -1.0;
+  double profile_err_max = -1.0;
 
   double model1_mean() const noexcept {
     return model_samples == 0 ? 0.0 : model1_err_sum / double(model_samples);

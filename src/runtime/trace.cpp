@@ -153,7 +153,8 @@ void write_events(const std::vector<TraceSpan>& spans,
       json_escape_into(os, label);
       os << R"(", "cat": "decision", "ph": "i", "s": "t", "pid": 0, )"
          << R"("tid": )" << d.slot << R"(, "ts": )" << d.time * 1e6
-         << R"(, "args": {"model1_s": )" << d.predicted_model1_s
+         << R"(, "args": {"chunk_bytes": )" << d.chunk_bytes
+         << R"(, "model1_s": )" << d.predicted_model1_s
          << R"(, "model2_s": )" << d.predicted_model2_s
          << R"(, "profile_s": )" << d.predicted_profile_s
          << R"(, "ewma_iter_s": )" << d.ewma_iter_s << R"(, "actual_s": )"

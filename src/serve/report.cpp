@@ -304,6 +304,46 @@ void ServeReport::write_summary_json(std::ostream& os) const {
   os << "}\n}\n";
 }
 
+void ServeReport::write_audit_json(std::ostream& os) const {
+  os << "{\n  \"homp_serve_audit_version\": 1,\n"
+     << "  \"makespan_s\": " << format_number(makespan_s)
+     << ",\n  \"final_shed_level\": " << final_shed_level
+     << ",\n  \"shed_transitions\": " << shed_transitions
+     << ",\n  \"speculation_shed_jobs\": " << speculation_shed_jobs;
+
+  os << ",\n  \"tenants\": [";
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const auto& c = counts[t];
+    os << (t ? ",\n" : "\n") << "    {\"name\": \"";
+    json_escape_into(os, tenants[t]);
+    os << "\", \"class\": \"" << to_string(tenant_priority[t])
+       << "\", \"submitted\": " << c.submitted
+       << ", \"admitted\": " << c.admitted << ", \"blocked\": " << c.blocked
+       << ", \"rejected_queue_full\": " << c.rejected_queue_full
+       << ", \"rejected_deadline\": " << c.rejected_deadline
+       << ", \"rejected_shed\": " << c.rejected_shed
+       << ", \"rejected_infeasible\": " << c.rejected_infeasible
+       << ", \"rejected_breaker\": " << c.rejected_breaker
+       << ", \"completed\": " << c.completed << ", \"failed\": " << c.failed
+       << ", \"cancelled\": " << c.cancelled
+       << ", \"breaker_trips\": " << c.breaker_trips
+       << ", \"iterations\": " << c.iterations << '}';
+  }
+
+  os << "\n  ],\n  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ServeEvent& e = events[i];
+    os << (i ? ",\n" : "\n") << "    {\"time_s\": " << format_number(e.time)
+       << ", \"kind\": \"" << to_string(e.kind) << "\", \"tenant\": \"";
+    json_escape_into(os, e.tenant);
+    os << "\", \"job_id\": " << e.job_id << ", \"class\": \""
+       << to_string(e.priority) << "\", \"detail\": \"";
+    json_escape_into(os, e.detail);
+    os << "\"}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 void ServeReport::write_trace_json(std::ostream& os) const {
   // chrome://tracing JSON array format; mirrors runtime/trace.cpp's
   // conventions (absolute microsecond timestamps, metadata rows first)

@@ -141,6 +141,14 @@ struct ServeReport {
   /// same-seed runs.
   void write_summary_json(std::ostream& os) const;
 
+  /// Deterministic JSON export of the serve decision audit (`events`)
+  /// with the run header and per-tenant counters — the serving-side
+  /// input of the offline advisor (src/advise: shed-ladder pressure and
+  /// per-tenant breaker attribution). Schema version rides in
+  /// "homp_serve_audit_version" so homp-advise can sniff the artifact
+  /// kind. Byte-identical across same-seed runs.
+  void write_audit_json(std::ostream& os) const;
+
   /// Combined chrome://tracing export of every job's spans: one trace
   /// "process" per tenant (pid = tenant index + 1, named via
   /// process_name metadata), one "thread" per (job, device slot), plus

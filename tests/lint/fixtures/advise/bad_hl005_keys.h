@@ -1,0 +1,15 @@
+#ifndef HOMP_LINT_FIXTURE_BAD_HL005_KEYS_H
+#define HOMP_LINT_FIXTURE_BAD_HL005_KEYS_H
+
+// Fixture: report-key constants in an advise/ roster that no attribution
+// or report code references. Each one is a finding kind that can no
+// longer be emitted — HL005 must flag both.
+
+namespace homp::advise {
+
+inline constexpr char kKindNeverEmitted[] = "never_emitted";
+inline constexpr char kKindAlsoOrphaned[] = "also_orphaned";
+
+}  // namespace homp::advise
+
+#endif  // HOMP_LINT_FIXTURE_BAD_HL005_KEYS_H

@@ -1,0 +1,15 @@
+#ifndef HOMP_LINT_FIXTURE_GOOD_HL005_KEYS_H
+#define HOMP_LINT_FIXTURE_GOOD_HL005_KEYS_H
+
+// Fixture: a report-key constant that IS referenced outside its
+// declaration (here by an emitter-shaped function) lints clean.
+
+namespace homp::advise {
+
+inline constexpr char kKindEmitted[] = "emitted_kind";
+
+inline const char* emitter_uses_the_key() { return kKindEmitted; }
+
+}  // namespace homp::advise
+
+#endif  // HOMP_LINT_FIXTURE_GOOD_HL005_KEYS_H

@@ -1,0 +1,14 @@
+#ifndef HOMP_LINT_FIXTURE_SUPPRESSED_HL005_KEYS_H
+#define HOMP_LINT_FIXTURE_SUPPRESSED_HL005_KEYS_H
+
+// Fixture: a reserved report key (declared ahead of its attribution
+// rule) can be suppressed explicitly while the wiring lands.
+
+namespace homp::advise {
+
+// homp-lint: allow(HL005)
+inline constexpr char kKindReservedForNextRelease[] = "reserved_kind";
+
+}  // namespace homp::advise
+
+#endif  // HOMP_LINT_FIXTURE_SUPPRESSED_HL005_KEYS_H

@@ -43,6 +43,7 @@ BAD_FIXTURES = {
     fx("bad_hl004.h"): ("HL004", 2),
     fx("bad_hl005.cpp"): ("HL005", 2),
     fx("obs", "bad_hl005_names.h"): ("HL005", 2),
+    fx("advise", "bad_hl005_keys.h"): ("HL005", 2),
     fx("serve", "src", "serve", "bad_hl006.cpp"): ("HL006", 4),
     fx("bad_hl007_report.cpp"): ("HL007", 2),
     fx("bad_hl008.cpp"): ("HL008", 2),
@@ -55,12 +56,14 @@ CLEAN_FIXTURES = [
     fx("good_hl004.h"),
     fx("good_hl005.cpp"),
     fx("obs", "good_hl005_names.h"),
+    fx("advise", "good_hl005_keys.h"),
     fx("suppressed_hl001.cpp"),
     fx("suppressed_hl002.cpp"),
     fx("layering", "src", "sim", "suppressed_hl003.cpp"),
     fx("suppressed_hl004.h"),
     fx("suppressed_hl005.cpp"),
     fx("obs", "suppressed_hl005_names.h"),
+    fx("advise", "suppressed_hl005_keys.h"),
     fx("serve", "src", "serve", "good_hl006.cpp"),
     fx("serve", "src", "serve", "suppressed_hl006.cpp"),
     fx("good_hl007_report.cpp"),

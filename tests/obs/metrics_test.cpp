@@ -173,5 +173,44 @@ TEST(Registry, HistogramJsonBucketsAreCumulative) {
   EXPECT_NE(json.find(R"({"le": "+Inf", "count": 3})"), std::string::npos);
 }
 
+TEST(Histogram, AddBucketAndAddSumRebuildExactly) {
+  // The advisor reloads exported histograms through add_bucket/add_sum
+  // (advise/session.cpp); rebuilt state must match the original bucket
+  // for bucket so a reload -> re-export round-trips byte-identically.
+  Histogram h;
+  h.observe(1.5e-7);
+  h.observe(3e-3);
+  h.observe(1e9);  // lands in the final bucket
+
+  Histogram rebuilt;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    rebuilt.add_bucket(i, h.bucket(i));
+  }
+  rebuilt.add_sum(h.sum());
+  EXPECT_EQ(rebuilt.count(), h.count());
+  EXPECT_DOUBLE_EQ(rebuilt.sum(), h.sum());
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(rebuilt.bucket(i), h.bucket(i));
+  }
+  // Out-of-range indices are ignored, not UB.
+  rebuilt.add_bucket(-1, 5);
+  rebuilt.add_bucket(Histogram::kNumBuckets, 5);
+  EXPECT_EQ(rebuilt.count(), h.count());
+}
+
+TEST(Registry, HistogramJsonStaysValidWhenLastBucketIsOccupied) {
+  // A sample beyond the finite range occupies the final bucket; the
+  // export must still separate the last finite row from the +Inf row
+  // with a comma (regression: the guard used to skip it).
+  MetricsRegistry reg;
+  reg.observe("h", "", 1.5e-7);  // bucket 0
+  reg.observe("h", "", 1e9);     // final bucket
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("}{"), std::string::npos);
+  EXPECT_NE(json.find(R"(}, {"le": "+Inf", "count": 2})"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace homp::obs

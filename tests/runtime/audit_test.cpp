@@ -13,6 +13,7 @@
 #include "kernels/case.h"
 #include "machine/profiles.h"
 #include "obs/metric_names.h"
+#include "runtime/audit_export.h"
 #include "runtime/metrics_export.h"
 #include "runtime/runtime.h"
 
@@ -67,6 +68,36 @@ TEST(Audit, ChunkAssignmentsCarryPredictionsAndActuals) {
     EXPECT_EQ(d.detail, "scheduler");
   }
   EXPECT_EQ(assigned, res.chunks_issued);
+}
+
+TEST(Audit, AssignedChunksCarryTransferBytes) {
+  // chunk_bytes sizes the decision's transfer term; the advisor uses it
+  // to tell transfer-dominated chunks from compute-dominated ones.
+  auto res = audited_run(true, false);
+  for (const auto& d : res.decisions) {
+    if (d.kind != DecisionKind::kChunkAssigned) continue;
+    EXPECT_GT(d.chunk_bytes, 0.0);
+  }
+}
+
+TEST(Audit, JsonExportIsByteIdenticalAcrossIdenticalRuns) {
+  auto render = [] {
+    auto res = audited_run(true, false);
+    std::ostringstream os;
+    write_audit_json(res, os);
+    return os.str();
+  };
+  const std::string doc = render();
+  EXPECT_EQ(doc, render());
+  // Consumers sniff artifact kind by this key (advise/session.cpp).
+  EXPECT_NE(doc.find("\"homp_audit_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"chunk_bytes\": "), std::string::npos);
+}
+
+TEST(Audit, ExportRequiresDecisions) {
+  auto res = audited_run(false, false);
+  std::ostringstream os;
+  EXPECT_THROW(write_audit_json(res, os), ConfigError);
 }
 
 TEST(Audit, CutoffRecordsKeepAndDropWithWeights) {
@@ -185,6 +216,32 @@ TEST(MetricsExport, BridgesResultToRegistry) {
   }
   EXPECT_DOUBLE_EQ(chunks, double(res.chunks_issued));
   EXPECT_EQ(hist_count, res.chunks_issued);
+}
+
+TEST(MetricsExport, AdvisorGaugesQualifyPredictionErrors) {
+  // Sample counts and relative-error extrema ride along with the error
+  // means so the offline advisor can weigh evidence strength.
+  auto res = audited_run(false, false);
+  obs::MetricsRegistry reg;
+  collect_metrics(res, reg);
+  namespace names = obs::names;
+  for (const auto& d : res.devices) {
+    const std::string dev = "device=\"" + d.device_name + "\"";
+    EXPECT_DOUBLE_EQ(reg.value(names::kModelSamples, dev),
+                     double(d.prediction.model_samples));
+    EXPECT_DOUBLE_EQ(reg.value(names::kProfileSamples, dev),
+                     double(d.prediction.profile_samples));
+    EXPECT_DOUBLE_EQ(reg.value(names::kModel2ErrorMin, dev),
+                     d.prediction.model2_err_min);
+    EXPECT_DOUBLE_EQ(reg.value(names::kModel2ErrorMax, dev),
+                     d.prediction.model2_err_max);
+    // Samples exist in this run, so the extrema left their -1 sentinel
+    // and bracket the mean.
+    EXPECT_GT(d.prediction.model_samples, 0u);
+    EXPECT_GE(d.prediction.model2_err_min, 0.0);
+    EXPECT_LE(d.prediction.model2_err_min, d.prediction.model2_mean());
+    EXPECT_GE(d.prediction.model2_err_max, d.prediction.model2_mean());
+  }
 }
 
 TEST(MetricsExport, SessionAggregationAccumulatesCounters) {

@@ -36,7 +36,11 @@ HL005  dead-telemetry         Every DeviceStats field / RecoveryAction
                               metric-name catalog: an `inline constexpr char
                               kX[]` constant in an obs/ directory that no
                               exporter references is a metric that silently
-                              vanished from every dashboard.
+                              vanished from every dashboard.  Likewise the
+                              advisor's report-key roster: such a constant
+                              in an advise/ directory that no attribution or
+                              report code references is a finding kind that
+                              can no longer be emitted.
 HL006  untagged-serve-timer   Engine::schedule_at / schedule_after called
                               under src/serve without a generation-tag third
                               argument.  The serving layer's memory-flatness
@@ -506,8 +510,9 @@ MEMBER_RE = re.compile(
     r"[\w:<>,*&\s]+?[\s&*](\w+)\s*(?:\[[^\]]*\]\s*)?(?:=[^;]*)?;",
     re.M)
 ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*(?:=[^,}]*)?,?", re.M)
-# Metric-name catalog constants (src/obs/metric_names.h and fixtures):
-# matched in any file with an `obs` path component.
+# Rostered string-constant catalogs: metric names (src/obs/metric_names.h)
+# in any file with an `obs` path component, and advisor report keys
+# (src/advise/report_keys.h) in any file with an `advise` component.
 METRIC_CONST_RE = re.compile(r"\binline\s+constexpr\s+char\s+(k\w+)\s*\[\s*\]")
 
 
@@ -532,11 +537,16 @@ def _find_block(clean, decl_re):
 def check_hl005(files, diags, struct_name, enum_name):
     decls = []  # (name, kind, SourceFile, body_span, line)
     for sf in files:
+        const_kind = None
         if "obs" in _parts(sf.path):
+            const_kind = "metric-name constant"
+        elif "advise" in _parts(sf.path):
+            const_kind = "report-key constant"
+        if const_kind:
             for mm in METRIC_CONST_RE.finditer(sf.clean):
                 end = sf.clean.find(";", mm.end())
                 end = len(sf.clean) if end == -1 else end + 1
-                decls.append((mm.group(1), "metric-name constant", sf,
+                decls.append((mm.group(1), const_kind, sf,
                               (mm.start(), end), sf.line_of(mm.start(1))))
         span = _find_block(
             sf.clean, re.compile(r"\bstruct\s+%s\b[^;{]*" % re.escape(struct_name)))

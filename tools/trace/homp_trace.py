@@ -8,6 +8,7 @@ metrics JSON written by write_metrics_file() / MetricsRegistry::write_json
 Usage:
   homp_trace.py report TRACE.json [--metrics METRICS.json] [--timeline]
   homp_trace.py diff A B [--tolerance REL]
+  homp_trace.py advise TRACE.json [--bias-threshold X] [--top N] [--json]
 
 `report` prints a machine-parseable summary, one `key: value` per line:
 critical path, compute/transfer overlap ratio, barrier skew, load
@@ -21,6 +22,12 @@ path, makespan and finish-time imbalance per tenant.
 `diff` compares two runs — two traces or two metrics files (detected by
 content) — and prints every key whose value differs beyond the relative
 tolerance. Exit status: 0 identical, 1 differences, 2 usage/input error.
+
+`advise` is the trace-only sibling of the homp-advise CLI: it mines the
+decision-audit instants (MODEL_2 estimate vs backfilled actual) and the
+span structure for under/over-prediction bias, per-device overlap
+deficit, and critical-path blame, ranked by estimated saving. Exit
+status: 0 no findings, 1 findings, 2 usage/input error.
 """
 
 import argparse
@@ -344,6 +351,163 @@ def flatten_metrics(doc):
     return out
 
 
+# ---- trace-side attribution (the advisor's trace-only sibling) -----------
+
+
+def device_finishes(events):
+    """Per-tid finish time in us, by summarize_trace's rule: a device's
+    final-barrier span starts when it arrived, so that ts is its finish;
+    devices without one (quarantined at the end) finish at their last
+    busy span's end."""
+    spans = [e for e in events if e.get("ph") == "X"]
+    finish, busy_hi = {}, {}
+    for e in spans:
+        t = e["tid"]
+        t0, t1 = e["ts"], e["ts"] + e.get("dur", 0.0)
+        ph = phase_of(e)
+        if ph == "barrier":
+            if e.get("name", "").endswith("final"):
+                finish[t] = t0
+            continue
+        busy_hi[t] = max(busy_hi.get(t, 0.0), t1)
+    for t, hi in busy_hi.items():
+        finish.setdefault(t, hi)
+    return finish
+
+
+def advise_trace(events, bias_threshold):
+    """Mine the decision instants and span structure of one trace for the
+    same finding kinds homp-advise computes from a decision audit:
+    under/over-prediction bias, per-device overlap deficit, and
+    critical-path blame. Returns findings ranked by estimated saving
+    (us), severity, kind, device."""
+    summary, _, device = summarize_trace(events)
+    spans = [e for e in events if e.get("ph") == "X"]
+    decisions = [e for e in events
+                 if e.get("ph") == "i" and e.get("cat") == "decision"]
+    makespan = summary["total_time_us"]
+    findings = []
+
+    # Prediction bias per device, from chunk-assigned decision instants
+    # carrying both a MODEL_2 estimate and a backfilled actual.
+    acc = {}  # tid -> [actual_sum, model2_sum, n]
+    for e in decisions:
+        if not e.get("name", "").startswith("decision: chunk-assigned"):
+            continue
+        a = e.get("args", {})
+        actual, model2 = a.get("actual_s", -1.0), a.get("model2_s", -1.0)
+        if not isinstance(actual, (int, float)) or actual <= 0:
+            continue
+        if not isinstance(model2, (int, float)) or model2 <= 0:
+            continue
+        st = acc.setdefault(e.get("tid", -1), [0.0, 0.0, 0])
+        st[0] += actual
+        st[1] += model2
+        st[2] += 1
+
+    finish = device_finishes(events)
+    computes = {}
+    for e in spans:
+        if phase_of(e) == "compute":
+            computes.setdefault(e["tid"], True)
+    participating = sorted(t for t in finish if t in computes)
+
+    def severity_for(saving_us):
+        return "critical" if makespan > 0 and saving_us >= 0.10 * makespan \
+            else "warning"
+
+    for tid in sorted(acc):
+        actual, predicted, n = acc[tid]
+        if predicted <= 0:
+            continue
+        bias = actual / predicted
+        dev = device.get(tid, "slot %d" % tid)
+        others = [finish[t] for t in participating if t != tid]
+        mean_others = sum(others) / len(others) if others else 0.0
+        if bias >= bias_threshold:
+            saving = max(0.0, finish.get(tid, 0.0) - mean_others)
+            findings.append({
+                "kind": "under_prediction", "severity": severity_for(saving),
+                "device": dev, "saving_us": saving,
+                "evidence": "ran %sx slower than MODEL_2 predicted over %d "
+                            "chunks; finished at %sus vs %sus mean of the "
+                            "other devices"
+                            % (fmt(bias), n, fmt(finish.get(tid, 0.0)),
+                               fmt(mean_others)),
+                "knob": "re-profile %s or switch to a guided/dynamic "
+                        "schedule so the EWMA corrects mid-run" % dev,
+            })
+        elif bias <= 1.0 / bias_threshold:
+            saving = max(0.0, makespan - finish.get(tid, 0.0)) * (1.0 - bias)
+            findings.append({
+                "kind": "over_prediction", "severity": "info",
+                "device": dev, "saving_us": saving,
+                "evidence": "ran %sx faster than MODEL_2 predicted over %d "
+                            "chunks; idle after %sus of a %sus run"
+                            % (fmt(1.0 / bias), n,
+                               fmt(finish.get(tid, 0.0)), fmt(makespan)),
+                "knob": "raise %s's share (model is pessimistic): "
+                        "re-profile it or lower its modelled transfer "
+                        "cost" % dev,
+            })
+
+    # Per-device overlap deficit: transfer time not hidden behind the
+    # device's own compute.
+    tr_iv, cp_iv = {}, {}
+    for e in spans:
+        ph = phase_of(e)
+        iv = (e["ts"], e["ts"] + e.get("dur", 0.0))
+        if ph in TRANSFER_PHASES:
+            tr_iv.setdefault(e["tid"], []).append(iv)
+        elif ph == "compute":
+            cp_iv.setdefault(e["tid"], []).append(iv)
+    for tid in sorted(tr_iv):
+        tr = union(tr_iv[tid])
+        total = measure(tr)
+        hidden = intersect(tr, union(cp_iv.get(tid, [])))
+        exposed = total - hidden
+        if total <= 0 or exposed <= 0.25 * total:
+            continue
+        if exposed < 0.01 * makespan:
+            continue
+        dev = device.get(tid, "slot %d" % tid)
+        findings.append({
+            "kind": "overlap_deficit",
+            "severity": "warning" if makespan > 0
+                        and exposed >= 0.10 * makespan else "info",
+            "device": dev, "saving_us": exposed,
+            "evidence": "%sus of %sus transfer on %s ran exposed (not "
+                        "overlapped with its compute)"
+                        % (fmt(exposed), fmt(total), dev),
+            "knob": "deepen pipelining for %s: smaller chunks or more "
+                    "in-flight chunks so copy-in hides behind compute" % dev,
+        })
+
+    # Critical-path blame: the device gating the final barrier.
+    if len(participating) >= 2:
+        ordered = sorted(participating, key=lambda t: finish[t])
+        worst, second = ordered[-1], ordered[-2]
+        gap = finish[worst] - finish[second]
+        if gap > 0:
+            dev = device.get(worst, "slot %d" % worst)
+            findings.append({
+                "kind": "critical_path_blame", "severity": "info",
+                "device": dev, "saving_us": gap,
+                "evidence": "%s gates the makespan: finished %sus after "
+                            "the next-latest device (%sus vs %sus)"
+                            % (dev, fmt(gap), fmt(finish[worst]),
+                               fmt(finish[second])),
+                "knob": "shift weight off %s or use guided chunking so "
+                        "trailing chunks shrink" % dev,
+            })
+
+    sev_rank = {"critical": 3, "warning": 2, "info": 1}
+    findings.sort(key=lambda f: (-f["saving_us"],
+                                 -sev_rank.get(f["severity"], 0),
+                                 f["kind"], f["device"]))
+    return findings
+
+
 # ---- commands ------------------------------------------------------------
 
 
@@ -396,6 +560,31 @@ def cmd_diff(args):
     return 1 if diffs else 0
 
 
+def cmd_advise(args):
+    doc = load_json(args.trace)
+    if is_metrics(doc):
+        fail("%s is a metrics file; `advise` wants a trace (for audit or "
+             "metrics evidence use the homp-advise CLI)" % args.trace)
+    findings = advise_trace(doc, args.bias_threshold)
+    if args.top > 0:
+        findings = findings[:args.top]
+    if args.json:
+        print(json.dumps({"homp_trace_advise_version": 1,
+                          "findings": findings}, indent=2))
+    elif not findings:
+        print("homp-trace advise: no findings on this trace's evidence.")
+    else:
+        print("homp-trace advise: %d finding%s, ranked by estimated saving"
+              % (len(findings), "" if len(findings) == 1 else "s"))
+        for i, f in enumerate(findings):
+            print("\n%d. [%s] %s @ %s  (est. saving %sus)"
+                  % (i + 1, f["severity"], f["kind"], f["device"],
+                     fmt(f["saving_us"])))
+            print("   evidence: %s" % f["evidence"])
+            print("   knob: %s" % f["knob"])
+    return 1 if findings else 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(prog="homp_trace.py",
                                  description=__doc__.split("\n")[0])
@@ -414,6 +603,19 @@ def main(argv=None):
     dif.add_argument("--tolerance", type=float, default=0.0,
                      help="relative tolerance for numeric keys (default 0)")
     dif.set_defaults(func=cmd_diff)
+
+    adv = sub.add_parser("advise",
+                         help="attribute makespan loss from one trace's "
+                              "decision instants and span structure")
+    adv.add_argument("trace")
+    adv.add_argument("--bias-threshold", type=float, default=1.5,
+                     help="under/over-prediction fires at actual/predicted"
+                          " >= X (default 1.5)")
+    adv.add_argument("--top", type=int, default=0,
+                     help="print only the top N findings")
+    adv.add_argument("--json", action="store_true",
+                     help="machine-readable findings")
+    adv.set_defaults(func=cmd_advise)
 
     args = ap.parse_args(argv)
     return args.func(args)
